@@ -1,0 +1,253 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// isolates one mechanism (result reuse, paged KV, iteration-level
+// scheduling, selective batching, sub-batch interleaving) and reports its
+// effect on either simulation speed or simulated serving quality.
+package llmservingsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func ablationOpts(b *testing.B, modelName string, tp int) core.Options {
+	b.Helper()
+	topo, err := network.Build(network.Tensor, tp, 0, config.DefaultLink(), config.DefaultLink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Options{
+		Model: model.MustLookup(modelName),
+		Topo:  topo,
+		NPU:   config.DefaultNPU(),
+		PIM:   config.DefaultPIM(),
+		Reuse: core.ReuseAll(),
+	}
+}
+
+func runAblation(b *testing.B, opts core.Options, reqs []workload.Request) *core.Report {
+	b.Helper()
+	sim, err := core.New(opts, reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkAblationReuseTechniques separates the two reuse techniques the
+// paper bundles in Section IV-C: model-redundancy reuse (one block per
+// model) and computation reuse (cross-iteration caching), measured as
+// whole-trace simulation wall time on identical simulated results.
+func BenchmarkAblationReuseTechniques(b *testing.B) {
+	trace, err := workload.PoissonTrace(workload.Alpaca(), 24, 16, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name  string
+		reuse core.ReuseOptions
+	}{
+		{"both-off", core.ReuseOptions{}},
+		{"redundancy-only", core.ReuseOptions{ModelRedundancy: true}},
+		{"computation-only", core.ReuseOptions{ComputationReuse: true}},
+		{"both-on", core.ReuseAll()},
+	}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationReuseTechniques")
+		if show {
+			fmt.Printf("\n=== Ablation: reuse techniques (gpt3-7b TP2, 24 Alpaca requests) ===\n")
+			fmt.Printf("%-18s %12s %12s %14s %10s\n", "variant", "wall", "simulated", "engine calls", "hit rate")
+		}
+		var simEnd float64
+		for _, v := range variants {
+			opts := ablationOpts(b, "gpt3-7b", 2)
+			opts.Reuse = v.reuse
+			rep := runAblation(b, opts, trace)
+			if simEnd == 0 {
+				simEnd = rep.SimEnd.Seconds()
+			} else if rep.SimEnd.Seconds() != simEnd {
+				b.Fatalf("%s changed simulated results: %.6f vs %.6f", v.name, rep.SimEnd.Seconds(), simEnd)
+			}
+			if show {
+				fmt.Printf("%-18s %12v %11.2fs %14d %9.0f%%\n",
+					v.name, rep.WallClock.Round(time.Millisecond), rep.SimEnd.Seconds(),
+					rep.NPUStats.SimulateCalls, 100*rep.NPUStats.HitRate())
+			}
+		}
+	}
+}
+
+// BenchmarkAblationKVPaging compares vLLM-style paged KV management with
+// conventional max-length preallocation on a memory-constrained system:
+// paging admits larger batches and finishes the trace sooner.
+func BenchmarkAblationKVPaging(b *testing.B) {
+	trace, err := workload.PoissonTrace(workload.ShareGPT(), 48, 16, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationKVPaging")
+		if show {
+			fmt.Printf("\n=== Ablation: KV cache management (gpt3-7b TP1, 48 ShareGPT requests) ===\n")
+			fmt.Printf("%-8s %12s %12s %12s %10s\n", "policy", "sim end", "gen tok/s", "p95 lat", "evictions")
+		}
+		for _, policy := range []kvcache.Policy{kvcache.Paged, kvcache.MaxLen} {
+			opts := ablationOpts(b, "gpt3-7b", 1)
+			opts.KVPolicy = policy
+			rep := runAblation(b, opts, trace)
+			if show {
+				fmt.Printf("%-8s %11.2fs %12.1f %11.3fs %10d\n",
+					policy, rep.SimEnd.Seconds(), rep.GenTPS, rep.Latency.P95Sec, rep.KV.Evictions)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationScheduling compares Orca iteration-level scheduling
+// against static run-to-completion batching.
+func BenchmarkAblationScheduling(b *testing.B) {
+	trace, err := workload.PoissonTrace(workload.Alpaca(), 48, 24, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationScheduling")
+		if show {
+			fmt.Printf("\n=== Ablation: scheduling policy (gpt3-7b TP2, 48 Alpaca requests) ===\n")
+			fmt.Printf("%-8s %12s %12s %12s %12s\n", "policy", "sim end", "gen tok/s", "mean lat", "ttft")
+		}
+		for _, policy := range []sched.Policy{sched.Orca, sched.Static} {
+			opts := ablationOpts(b, "gpt3-7b", 2)
+			opts.Sched.Policy = policy
+			rep := runAblation(b, opts, trace)
+			if show {
+				fmt.Printf("%-8s %11.2fs %12.1f %11.3fs %11.3fs\n",
+					policy, rep.SimEnd.Seconds(), rep.GenTPS, rep.Latency.MeanSec, rep.Latency.MeanTTFTSec)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSelectiveBatching compares Megatron-style head-split
+// attention against Orca's selective batching (request-split) on a
+// tensor-parallel group with skewed request lengths.
+func BenchmarkAblationSelectiveBatching(b *testing.B) {
+	trace, err := workload.PoissonTrace(workload.ShareGPT(), 32, 16, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationSelectiveBatching")
+		if show {
+			fmt.Printf("\n=== Ablation: attention placement (gpt3-7b TP4, 32 ShareGPT requests) ===\n")
+			fmt.Printf("%-14s %12s %12s %12s\n", "placement", "sim end", "gen tok/s", "mean lat")
+		}
+		for _, selective := range []bool{false, true} {
+			opts := ablationOpts(b, "gpt3-7b", 4)
+			opts.SelectiveBatching = selective
+			rep := runAblation(b, opts, trace)
+			name := "head-split"
+			if selective {
+				name = "request-split"
+			}
+			if show {
+				fmt.Printf("%-14s %11.2fs %12.1f %11.3fs\n",
+					name, rep.SimEnd.Seconds(), rep.GenTPS, rep.Latency.MeanSec)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSubBatchInterleaving measures NeuPIMs-style sub-batch
+// interleaving on the NPU+PIM system with long contexts (where PIM-side
+// attention is heavy enough for overlap to pay).
+func BenchmarkAblationSubBatchInterleaving(b *testing.B) {
+	// Long-context requests make the PIM side substantial.
+	trace := workload.UniformBatch(24, 768, 64)
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationSubBatchInterleaving")
+		if show {
+			fmt.Printf("\n=== Ablation: sub-batch interleaving (gpt3-7b TP2 NPU+PIM, 24 long requests) ===\n")
+			fmt.Printf("%-14s %12s %12s\n", "sub-batches", "sim end", "gen tok/s")
+		}
+		for _, n := range []int{1, 2, 4} {
+			opts := ablationOpts(b, "gpt3-7b", 2)
+			opts.PIMMode = core.PIMLocal
+			opts.Sched.SubBatches = n
+			rep := runAblation(b, opts, trace)
+			if show {
+				fmt.Printf("%-14d %11.2fs %12.1f\n", n, rep.SimEnd.Seconds(), rep.GenTPS)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationParallelism sweeps the five Fig. 9 strategies as full
+// serving runs, reporting simulated serving quality rather than simulator
+// speed (the complementary view to Fig. 9).
+func BenchmarkAblationParallelism(b *testing.B) {
+	trace, err := workload.PoissonTrace(workload.Alpaca(), 16, 4, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies := []struct{ tp, pp int }{{16, 1}, {8, 2}, {4, 4}, {2, 8}, {1, 16}}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkAblationParallelism")
+		if show {
+			fmt.Printf("\n=== Ablation: parallelism strategy (gpt3-13b, 16 NPUs, 16 Alpaca requests) ===\n")
+			fmt.Printf("%-12s %12s %12s %12s\n", "strategy", "sim end", "gen tok/s", "ttft")
+		}
+		for _, s := range strategies {
+			topo, err := network.Build(network.Hybrid, 16, s.pp, config.DefaultLink(), config.DefaultLink())
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := ablationOpts(b, "gpt3-13b", 1)
+			opts.Topo = topo
+			rep := runAblation(b, opts, trace)
+			if show {
+				fmt.Printf("TP%-2d PP%-4d %11.2fs %12.1f %11.3fs\n",
+					s.tp, s.pp, rep.SimEnd.Seconds(), rep.GenTPS, rep.Latency.MeanTTFTSec)
+			}
+		}
+	}
+}
+
+// BenchmarkSaturationSweep finds the serving capacity of a configuration
+// by sweeping the Poisson arrival rate — the capacity-planning use case a
+// serving simulator exists for. Below saturation the system drains the
+// trace shortly after the last arrival; past it, latency blows up.
+func BenchmarkSaturationSweep(b *testing.B) {
+	rates := []float64{2, 4, 8, 16, 32}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("BenchmarkSaturationSweep")
+		if show {
+			fmt.Printf("\n=== Saturation sweep (gpt3-7b TP4, 32 ShareGPT requests) ===\n")
+			fmt.Printf("%-10s %12s %12s %12s\n", "rate req/s", "sim end", "gen tok/s", "p95 lat")
+		}
+		for _, rate := range rates {
+			trace, err := workload.PoissonTrace(workload.ShareGPT(), 32, rate, 31)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := ablationOpts(b, "gpt3-7b", 4)
+			rep := runAblation(b, opts, trace)
+			if show {
+				fmt.Printf("%-10.0f %11.2fs %12.1f %11.3fs\n",
+					rate, rep.SimEnd.Seconds(), rep.GenTPS, rep.Latency.P95Sec)
+			}
+		}
+	}
+}

@@ -1,0 +1,432 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Section VI). Each benchmark prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured values.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchtime=1x -benchmem
+//
+// The -benchtime=1x setting matters: each benchmark performs a complete
+// experiment per iteration.
+package llmservingsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/gpu"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// printOnce reports true the first time each benchmark asks to print, so
+// figure output appears exactly once even when the benchmark framework
+// re-runs with a larger b.N.
+var printedFigures sync.Map
+
+func printOnce(name string) bool {
+	_, loaded := printedFigures.LoadOrStore(name, true)
+	return !loaded
+}
+
+// BenchmarkTable1HardwareSpec prints the Table I hardware specification
+// the simulator is configured with.
+func BenchmarkTable1HardwareSpec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !printOnce("table1") {
+			continue
+		}
+		n, p, l := config.DefaultNPU(), config.DefaultPIM(), config.DefaultLink()
+		fmt.Printf("\n=== Table I: LLMServingSim hardware specification ===\n")
+		fmt.Printf("NPU:  systolic array %dx%d, vector unit %dx1, %.0f GHz, %d GB, %.0f GB/s internal BW\n",
+			n.SystolicRows, n.SystolicCols, n.VectorLanes, n.FrequencyHz/1e9,
+			n.MemoryBytes/config.GB, n.MemoryBWBytes/1e9)
+		fmt.Printf("PIM:  %d banks/bankgroup, %d banks/channel, %d channels, %.0f GHz, %d GB, %.0f TB/s internal BW\n",
+			p.BanksPerBankgroup, p.BanksPerChannel, p.Channels, p.FrequencyHz/1e9,
+			p.MemoryBytes/config.GB, p.MemoryBWBytes/1e12)
+		fmt.Printf("Link: %.0f GB/s bandwidth, %.0f ns latency (PCIe 4.0 x16)\n",
+			l.BandwidthBytes/1e9, l.LatencyNs)
+	}
+}
+
+// BenchmarkFig2aSimulatorTime measures the one-iteration wall-clock time
+// of the three baseline simulator modes on GPT3-7B (batch 32, seq 512):
+// the motivation experiment showing conventional simulators are too slow
+// for iterative serving simulation.
+func BenchmarkFig2aSimulatorTime(b *testing.B) {
+	m := model.MustLookup("gpt3-7b")
+	for i := 0; i < b.N; i++ {
+		show := printOnce("fig2a")
+		if show {
+			fmt.Printf("\n=== Fig 2(a): one-iteration simulation time (GPT3-7B, batch 32, seq 512) ===\n")
+			fmt.Printf("%-12s %12s\n", "simulator", "wall")
+		}
+		for _, mode := range []baseline.SlowMode{baseline.MNPUsimMode, baseline.GeneSysMode, baseline.NeuPIMsMode} {
+			r, err := baseline.SimulateIteration(mode, m, config.DefaultNPU(), config.DefaultPIM(), 32, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if show {
+				fmt.Printf("%-12s %12v  (%d ops, %d tiles)\n", mode, r.Wall.Round(time.Millisecond), r.OpsSimulated, r.TilesVisited)
+			}
+		}
+	}
+}
+
+// BenchmarkFig2bRoofline prints the roofline placement of the LLM
+// operators in both phases on the RTX 3090-class device: attention and
+// normalisation are memory-bound, QKV/FFN compute-bound.
+func BenchmarkFig2bRoofline(b *testing.B) {
+	cfg := model.MustLookup("gpt3-7b")
+	gpu := config.DefaultGPU()
+	for i := 0; i < b.N; i++ {
+		ops, err := model.RooflineOps(cfg, 8, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := model.Roofline(ops, gpu.PeakFLOPs, gpu.MemoryBWBytes, 2)
+		if !printOnce("fig2b") {
+			continue
+		}
+		fmt.Printf("\n=== Fig 2(b): roofline analysis (GPT3-7B, RTX 3090-class) ===\n")
+		fmt.Printf("%-11s %-10s %14s %14s %8s\n", "phase", "op", "AI (FLOP/B)", "perf (TFLOPS)", "bound")
+		for _, p := range pts {
+			fmt.Printf("%-11s %-10s %14.2f %14.2f %8s\n", p.Phase, p.Kind, p.Intensity, p.AttainedTFLOPS, p.Bound)
+		}
+	}
+}
+
+// fig6Case is one panel of Fig. 6.
+type fig6Case struct {
+	model string
+	tp    int
+	rate  float64
+}
+
+// BenchmarkFig6ThroughputValidation reproduces the simulator-validation
+// experiment: a Poisson ShareGPT workload served by the GPU reference
+// system (the vLLM stand-in) and by LLMServingSim's NPU model; the paper
+// reports matching throughput trends with <14.7% average error.
+func BenchmarkFig6ThroughputValidation(b *testing.B) {
+	cases := []fig6Case{
+		{"gpt3-7b", 1, 6},
+		{"gpt3-30b", 4, 2},
+		{"llama-7b", 1, 6},
+		{"llama-30b", 4, 2},
+	}
+	for i := 0; i < b.N; i++ {
+		var errs []float64
+		show := printOnce("fig6")
+		if show {
+			fmt.Printf("\n=== Fig 6: throughput-over-time validation vs GPU reference (Poisson ShareGPT) ===\n")
+		}
+		for _, c := range cases {
+			trace, err := workload.PoissonTrace(workload.ShareGPT(), 48, c.rate, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := func(useGPU bool) *core.Report {
+				opts := fig6Options(b, c, useGPU)
+				sim, err := core.New(opts, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := sim.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				return rep
+			}
+			ref, sim := run(true), run(false)
+			gen := func(bk []metrics.Bucket) []float64 {
+				out := make([]float64, len(bk))
+				for j := range bk {
+					out[j] = bk[j].GenTPS
+				}
+				return out
+			}
+			prompt := func(bk []metrics.Bucket) []float64 {
+				out := make([]float64, len(bk))
+				for j := range bk {
+					out[j] = bk[j].PromptTPS
+				}
+				return out
+			}
+			genErr := metrics.MeanAbsPctError(gen(sim.Buckets), gen(ref.Buckets))
+			promptErr := metrics.MeanAbsPctError(prompt(sim.Buckets), prompt(ref.Buckets))
+			errs = append(errs, genErr, promptErr)
+			if show {
+				fmt.Printf("%-10s TP%d: mean gen tput ref=%7.1f sim=%7.1f tok/s | trend error: prompt %.1f%%, gen %.1f%%\n",
+					c.model, c.tp, ref.GenTPS, sim.GenTPS, 100*promptErr, 100*genErr)
+			}
+		}
+		if show {
+			var sum float64
+			for _, e := range errs {
+				sum += e
+			}
+			fmt.Printf("average trend error: %.1f%%  (paper reports 14.7%%)\n", 100*sum/float64(len(errs)))
+		}
+	}
+}
+
+func fig6Options(b *testing.B, c fig6Case, useGPU bool) core.Options {
+	b.Helper()
+	topo, err := network.Build(network.Tensor, c.tp, 0, config.DefaultLink(), config.DefaultLink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{
+		Model:            model.MustLookup(c.model),
+		Topo:             topo,
+		NPU:              config.DefaultNPU(),
+		PIM:              config.DefaultPIM(),
+		Reuse:            core.ReuseAll(),
+		ThroughputWindow: 5 * simtime.Second,
+	}
+	if useGPU {
+		opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(config.DefaultGPU()) }
+	}
+	return opts
+}
+
+// BenchmarkFig7NeuPIMsComparison reproduces the heterogeneous-system
+// validation: LLMServingSim with NPU+PIM and sub-batch interleaving vs
+// the analytic NeuPIMs model, across models and parallelisation schemes
+// (paper: error margins below 20%, geometric mean 8.88%).
+func BenchmarkFig7NeuPIMsComparison(b *testing.B) {
+	configs := []struct {
+		model  string
+		tp, pp int
+	}{
+		{"gpt3-7b", 4, 1},
+		{"gpt3-7b", 2, 2},
+		{"gpt3-13b", 8, 1},
+		{"gpt3-13b", 4, 2},
+		{"gpt3-30b", 8, 2},
+		{"gpt3-30b", 4, 4},
+	}
+	trace, err := workload.PoissonTrace(workload.Alpaca(), 256, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var sims, refs []float64
+		show := printOnce("fig7")
+		if show {
+			fmt.Printf("\n=== Fig 7: throughput vs NeuPIMs (Alpaca, 256 requests, NPU+PIM) ===\n")
+			fmt.Printf("%-10s %-9s %14s %14s %8s\n", "model", "scheme", "neupims tok/s", "llmsrvsim", "diff")
+		}
+		for _, c := range configs {
+			mode := network.Hybrid
+			groups := c.pp
+			topo, err := network.Build(mode, c.tp*c.pp, groups, config.DefaultLink(), config.DefaultLink())
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Options{
+				Model:   model.MustLookup(c.model),
+				Topo:    topo,
+				NPU:     config.DefaultNPU(),
+				PIM:     config.DefaultPIM(),
+				PIMMode: core.PIMLocal,
+				Sched:   sched.Config{SubBatches: 2},
+				Reuse:   core.ReuseAll(),
+			}
+			sim, err := core.New(opts, trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := sim.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			simTput := rep.PromptTPS + rep.GenTPS
+
+			refTput, err := baseline.NeuPIMsThroughput(baseline.NeuPIMsConfig{
+				Model: model.MustLookup(c.model),
+				NPU:   config.DefaultNPU(),
+				PIM:   config.DefaultPIM(),
+				TP:    c.tp, PP: c.pp, SubBatch: true,
+			}, trace)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = append(sims, simTput)
+			refs = append(refs, refTput)
+			if show {
+				diff := 100 * (simTput - refTput) / refTput
+				fmt.Printf("%-10s TP%d PP%d  %14.0f %14.0f %7.1f%%\n", c.model, c.tp, c.pp, refTput, simTput, diff)
+			}
+		}
+		if show {
+			fmt.Printf("geomean error: %.2f%%  (paper reports 8.88%%, margins < 20%%)\n",
+				100*metrics.GeomeanError(sims, refs))
+		}
+	}
+}
+
+// BenchmarkFig8SimTimeSpeedup compares one-iteration simulation time of
+// the three conventional simulators against LLMServingSim (model
+// redundancy reuse on, computation caches cold) across GPT-3 sizes
+// (batch 32, seq 512). The paper reports 491x / 34.7x / 45x speedups.
+func BenchmarkFig8SimTimeSpeedup(b *testing.B) {
+	models := []string{"gpt3-7b", "gpt3-13b", "gpt3-30b"}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("fig8")
+		if show {
+			fmt.Printf("\n=== Fig 8: one-iteration simulation time (batch 32, seq 512) ===\n")
+			fmt.Printf("%-10s %12s %12s %12s %12s %24s\n", "model", "mnpusim", "genesys", "neupims", "llmsrvsim", "speedup (vs mnpu/gen/neu)")
+		}
+		for _, name := range models {
+			m := model.MustLookup(name)
+			walls := map[baseline.SlowMode]time.Duration{}
+			for _, mode := range []baseline.SlowMode{baseline.MNPUsimMode, baseline.GeneSysMode, baseline.NeuPIMsMode} {
+				r, err := baseline.SimulateIteration(mode, m, config.DefaultNPU(), config.DefaultPIM(), 32, 512)
+				if err != nil {
+					b.Fatal(err)
+				}
+				walls[mode] = r.Wall
+			}
+			ours := llmServingSimIterationWall(b, name, 1, 1, 32, 512, core.ReuseOptions{ModelRedundancy: true})
+			if show {
+				fmt.Printf("%-10s %12v %12v %12v %12v %8.1fx /%6.1fx /%6.1fx\n",
+					name,
+					walls[baseline.MNPUsimMode].Round(time.Millisecond),
+					walls[baseline.GeneSysMode].Round(time.Millisecond),
+					walls[baseline.NeuPIMsMode].Round(time.Millisecond),
+					ours.Round(time.Millisecond),
+					float64(walls[baseline.MNPUsimMode])/float64(ours),
+					float64(walls[baseline.GeneSysMode])/float64(ours),
+					float64(walls[baseline.NeuPIMsMode])/float64(ours))
+			}
+		}
+	}
+}
+
+// llmServingSimIterationWall runs exactly one LLMServingSim iteration
+// (batch x seqLen prompt) and returns its host wall-clock time.
+func llmServingSimIterationWall(b *testing.B, modelName string, tp, pp, batch, seqLen int, reuse core.ReuseOptions) time.Duration {
+	return llmServingSimIterationBreakdown(b, modelName, tp, pp, batch, seqLen, reuse).Total()
+}
+
+// llmServingSimIterationBreakdown runs one iteration and returns the
+// per-component host time breakdown.
+func llmServingSimIterationBreakdown(b *testing.B, modelName string, tp, pp, batch, seqLen int, reuse core.ReuseOptions) metrics.ComponentTimes {
+	b.Helper()
+	mode := network.Hybrid
+	topo, err := network.Build(mode, tp*pp, pp, config.DefaultLink(), config.DefaultLink())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.MustLookup(modelName)
+	npuCfg := config.DefaultNPU()
+	// Size device memory so weights and the one-iteration KV fit at any
+	// device count (the experiment measures simulation time, not capacity).
+	perDev := m.WeightBytes()/int64(topo.NPUNodes()) + 32*config.GB
+	if npuCfg.MemoryBytes < perDev {
+		npuCfg.MemoryBytes = perDev
+	}
+	opts := core.Options{
+		Model: m, Topo: topo, NPU: npuCfg, PIM: config.DefaultPIM(), Reuse: reuse,
+	}
+	reqs := workload.UniformBatch(batch, seqLen, 1)
+	sim, err := core.New(opts, reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sim.FirstIteration(); err != nil {
+		b.Fatal(err)
+	}
+	return sim.HostTimes()
+}
+
+// BenchmarkFig9ReuseBreakdown reproduces the simulation-time breakdown
+// with and without the result-reusing techniques across five parallelism
+// strategies on GPT3-30B (batch 64, seq 1024, one iteration). The paper
+// reports 6.4x-12.2x speedups from reuse, with ASTRA-sim time largest
+// under pure tensor parallelism.
+func BenchmarkFig9ReuseBreakdown(b *testing.B) {
+	strategies := []struct{ tp, pp int }{
+		{64, 1}, {16, 4}, {8, 8}, {4, 16}, {1, 64},
+	}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("fig9")
+		if show {
+			fmt.Printf("\n=== Fig 9: simulation-time breakdown, GPT3-30B, batch 64, seq 1024 ===\n")
+			fmt.Printf("%-10s %-9s %10s %10s %10s %10s %10s %9s\n",
+				"strategy", "reuse", "sched", "engine", "convert", "astra", "total", "speedup")
+		}
+		for _, s := range strategies {
+			var withTotal, withoutTotal time.Duration
+			var rows []string
+			for _, reuse := range []bool{false, true} {
+				ro := core.ReuseOptions{ModelRedundancy: reuse, ComputationReuse: reuse}
+				h := llmServingSimIterationBreakdown(b, "gpt3-30b", s.tp, s.pp, 64, 1024, ro)
+				label := "w/o"
+				if reuse {
+					label = "w/"
+					withTotal = h.Total()
+				} else {
+					withoutTotal = h.Total()
+				}
+				rows = append(rows, fmt.Sprintf("TP%-3dPP%-3d %-9s %10v %10v %10v %10v %10v",
+					s.tp, s.pp, label,
+					h.Scheduler.Round(time.Millisecond),
+					h.ExecutionEngine.Round(time.Millisecond),
+					h.GraphConverter.Round(time.Millisecond),
+					h.AstraSim.Round(time.Millisecond),
+					h.Total().Round(time.Millisecond)))
+			}
+			if show {
+				fmt.Println(rows[0])
+				fmt.Printf("%s %8.1fx\n", rows[1], float64(withoutTotal)/float64(withTotal))
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Scalability sweeps the NPU count (tensor parallelism)
+// from 8 to 2048 for GPT3-7B/30B/175B (batch 64, seq 1024, no computation
+// reuse) and reports the one-iteration simulation wall time, which grows
+// with system size through graph conversion and ASTRA-sim cost.
+func BenchmarkFig10Scalability(b *testing.B) {
+	models := []string{"gpt3-7b", "gpt3-30b", "gpt3-175b"}
+	counts := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	for i := 0; i < b.N; i++ {
+		show := printOnce("fig10")
+		if show {
+			fmt.Printf("\n=== Fig 10: simulation time vs #NPUs (TP only, batch 64, seq 1024, no reuse) ===\n")
+			fmt.Printf("%-8s", "npus")
+			for _, m := range models {
+				fmt.Printf(" %12s", m)
+			}
+			fmt.Println()
+		}
+		for _, n := range counts {
+			if show {
+				fmt.Printf("%-8d", n)
+			}
+			for _, name := range models {
+				w := llmServingSimIterationWall(b, name, n, 1, 64, 1024,
+					core.ReuseOptions{ModelRedundancy: true, ComputationReuse: false})
+				if show {
+					fmt.Printf(" %12v", w.Round(time.Millisecond))
+				}
+			}
+			if show {
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,363 @@
+// Command evaluation reproduces the paper's five evaluation experiments,
+// mirroring the artifact's evaluation1.sh ... evaluation5.sh scripts. Each
+// experiment writes a text summary plus TSV result files into the chosen
+// output directory:
+//
+//	evaluation 1   — simulator validation vs the GPU reference (Fig. 6)
+//	evaluation 2   — NPU+PIM heterogeneous validation vs NeuPIMs (Fig. 7)
+//	evaluation 3   — simulation-time speedup over slow simulators (Fig. 8)
+//	evaluation 4   — reuse on/off breakdown across parallelisms (Fig. 9)
+//	evaluation 5   — simulation-time scalability over NPU counts (Fig. 10)
+//	evaluation all — everything
+//
+// Usage: evaluation [-out DIR] [-quick] <1|2|3|4|5|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/gpu"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+var (
+	outDir = flag.String("out", "evaluation-results", "output directory")
+	quick  = flag.Bool("quick", false, "smaller workloads for a fast pass")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: evaluation [-out DIR] [-quick] <1|2|3|4|5|all>")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	evals := map[string]func() error{
+		"1": eval1, "2": eval2, "3": eval3, "4": eval4, "5": eval5,
+	}
+	run := func(id string) {
+		fmt.Printf("--- evaluation %s ---\n", id)
+		start := time.Now()
+		if err := evals[id](); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("--- evaluation %s done in %v ---\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	switch arg := flag.Arg(0); arg {
+	case "all":
+		for _, id := range []string{"1", "2", "3", "4", "5"} {
+			run(id)
+		}
+	case "1", "2", "3", "4", "5":
+		run(arg)
+	default:
+		fatal(fmt.Errorf("unknown evaluation %q", arg))
+	}
+}
+
+func gpuEngineFactory() (engine.Engine, error) { return gpu.New(config.DefaultGPU()) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evaluation:", err)
+	os.Exit(1)
+}
+
+func outPath(name string) string { return filepath.Join(*outDir, name) }
+
+func writeFile(name string, write func(*os.File) error) error {
+	f, err := os.Create(outPath(name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// eval1 validates throughput trends against the GPU reference (Fig. 6).
+func eval1() error {
+	n := 48
+	if *quick {
+		n = 16
+	}
+	cases := []struct {
+		model string
+		tp    int
+		rate  float64
+	}{
+		{"gpt3-7b", 1, 6}, {"gpt3-30b", 4, 2}, {"llama-7b", 1, 6}, {"llama-30b", 4, 2},
+	}
+	var allErrs []float64
+	for _, c := range cases {
+		trace, err := workload.PoissonTrace(workload.ShareGPT(), n, c.rate, 42)
+		if err != nil {
+			return err
+		}
+		topo, err := network.Build(network.Tensor, c.tp, 0, config.DefaultLink(), config.DefaultLink())
+		if err != nil {
+			return err
+		}
+		run := func(gpuRef bool) (*core.Report, error) {
+			opts := core.Options{
+				Model: model.MustLookup(c.model), Topo: topo,
+				NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
+				Reuse: core.ReuseAll(), ThroughputWindow: 5 * simtime.Second,
+			}
+			if gpuRef {
+				opts.EngineFactory = gpuEngineFactory
+			}
+			sim, err := core.New(opts, trace)
+			if err != nil {
+				return nil, err
+			}
+			return sim.Run()
+		}
+		ref, err := run(true)
+		if err != nil {
+			return err
+		}
+		sim, err := run(false)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("eval1-%s-tp%d", c.model, c.tp)
+		if err := writeFile(name+"-throughput.tsv", func(f *os.File) error {
+			return metrics.WriteThroughputTSV(f, sim.Buckets)
+		}); err != nil {
+			return err
+		}
+		if err := writeFile(name+"-reference-throughput.tsv", func(f *os.File) error {
+			return metrics.WriteThroughputTSV(f, ref.Buckets)
+		}); err != nil {
+			return err
+		}
+		genErr := metrics.MeanAbsPctError(series(sim.Buckets, false), series(ref.Buckets, false))
+		promptErr := metrics.MeanAbsPctError(series(sim.Buckets, true), series(ref.Buckets, true))
+		allErrs = append(allErrs, genErr, promptErr)
+		fmt.Printf("%-10s TP%d  ref gen %7.1f tok/s  sim gen %7.1f tok/s  trend err prompt %.1f%% gen %.1f%%\n",
+			c.model, c.tp, ref.GenTPS, sim.GenTPS, 100*promptErr, 100*genErr)
+	}
+	var sum float64
+	for _, e := range allErrs {
+		sum += e
+	}
+	fmt.Printf("average trend error %.1f%% (paper: 14.7%%)\n", 100*sum/float64(len(allErrs)))
+	return nil
+}
+
+func series(b []metrics.Bucket, prompt bool) []float64 {
+	out := make([]float64, len(b))
+	for i := range b {
+		if prompt {
+			out[i] = b[i].PromptTPS
+		} else {
+			out[i] = b[i].GenTPS
+		}
+	}
+	return out
+}
+
+// eval2 validates the NPU+PIM heterogeneous system against the analytic
+// NeuPIMs model (Fig. 7).
+func eval2() error {
+	n := 256
+	if *quick {
+		n = 64
+	}
+	trace, err := workload.PoissonTrace(workload.Alpaca(), n, 64, 7)
+	if err != nil {
+		return err
+	}
+	configs := []struct {
+		model  string
+		tp, pp int
+	}{
+		{"gpt3-7b", 4, 1}, {"gpt3-7b", 2, 2},
+		{"gpt3-13b", 8, 1}, {"gpt3-13b", 4, 2},
+		{"gpt3-30b", 8, 2}, {"gpt3-30b", 4, 4},
+	}
+	var sims, refs []float64
+	rows := "model\tscheme\tneupims_tps\tllmservingsim_tps\n"
+	for _, c := range configs {
+		topo, err := network.Build(network.Hybrid, c.tp*c.pp, c.pp, config.DefaultLink(), config.DefaultLink())
+		if err != nil {
+			return err
+		}
+		sim, err := core.New(core.Options{
+			Model: model.MustLookup(c.model), Topo: topo,
+			NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
+			PIMMode: core.PIMLocal, Sched: sched.Config{SubBatches: 2},
+			Reuse: core.ReuseAll(),
+		}, trace)
+		if err != nil {
+			return err
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			return err
+		}
+		simT := rep.PromptTPS + rep.GenTPS
+		refT, err := baseline.NeuPIMsThroughput(baseline.NeuPIMsConfig{
+			Model: model.MustLookup(c.model), NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
+			TP: c.tp, PP: c.pp, SubBatch: true,
+		}, trace)
+		if err != nil {
+			return err
+		}
+		sims, refs = append(sims, simT), append(refs, refT)
+		rows += fmt.Sprintf("%s\tTP%d PP%d\t%.0f\t%.0f\n", c.model, c.tp, c.pp, refT, simT)
+		fmt.Printf("%-10s TP%d PP%d  neupims %6.0f  llmservingsim %6.0f tok/s\n", c.model, c.tp, c.pp, refT, simT)
+	}
+	fmt.Printf("geomean error %.2f%% (paper: 8.88%%)\n", 100*metrics.GeomeanError(sims, refs))
+	return writeFile("eval2-throughput.tsv", func(f *os.File) error {
+		_, err := f.WriteString(rows)
+		return err
+	})
+}
+
+// eval3 measures one-iteration simulation time of the conventional
+// simulators vs LLMServingSim (Fig. 8).
+func eval3() error {
+	models := []string{"gpt3-7b", "gpt3-13b", "gpt3-30b"}
+	if *quick {
+		models = models[:1]
+	}
+	rows := "model\tmnpusim_ms\tgenesys_ms\tneupims_ms\tllmservingsim_ms\n"
+	for _, name := range models {
+		m := model.MustLookup(name)
+		walls := map[baseline.SlowMode]time.Duration{}
+		for _, mode := range []baseline.SlowMode{baseline.MNPUsimMode, baseline.GeneSysMode, baseline.NeuPIMsMode} {
+			r, err := baseline.SimulateIteration(mode, m, config.DefaultNPU(), config.DefaultPIM(), 32, 512)
+			if err != nil {
+				return err
+			}
+			walls[mode] = r.Wall
+		}
+		ours, err := oneIteration(name, 1, 1, 32, 512, core.ReuseOptions{ModelRedundancy: true})
+		if err != nil {
+			return err
+		}
+		rows += fmt.Sprintf("%s\t%.1f\t%.1f\t%.1f\t%.1f\n", name,
+			ms(walls[baseline.MNPUsimMode]), ms(walls[baseline.GeneSysMode]),
+			ms(walls[baseline.NeuPIMsMode]), ms(ours.Total()))
+		fmt.Printf("%-10s mnpusim %8.0fms  genesys %7.0fms  neupims %7.0fms  llmservingsim %6.1fms  (%.0fx / %.0fx / %.0fx)\n",
+			name, ms(walls[baseline.MNPUsimMode]), ms(walls[baseline.GeneSysMode]),
+			ms(walls[baseline.NeuPIMsMode]), ms(ours.Total()),
+			float64(walls[baseline.MNPUsimMode])/float64(ours.Total()),
+			float64(walls[baseline.GeneSysMode])/float64(ours.Total()),
+			float64(walls[baseline.NeuPIMsMode])/float64(ours.Total()))
+	}
+	return writeFile("eval3-simulation-time.tsv", func(f *os.File) error {
+		_, err := f.WriteString(rows)
+		return err
+	})
+}
+
+// eval4 reproduces the reuse on/off component breakdown (Fig. 9).
+func eval4() error {
+	strategies := []struct{ tp, pp int }{{64, 1}, {16, 4}, {8, 8}, {4, 16}, {1, 64}}
+	if *quick {
+		strategies = strategies[:2]
+	}
+	rows := "strategy\treuse\tscheduler_ms\tengine_ms\tconverter_ms\tastra_ms\ttotal_ms\n"
+	for _, s := range strategies {
+		for _, reuse := range []bool{false, true} {
+			ro := core.ReuseOptions{ModelRedundancy: reuse, ComputationReuse: reuse}
+			h, err := oneIteration("gpt3-30b", s.tp, s.pp, 64, 1024, ro)
+			if err != nil {
+				return err
+			}
+			label := "w/o"
+			if reuse {
+				label = "w/"
+			}
+			rows += fmt.Sprintf("TP%d PP%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				s.tp, s.pp, label, ms(h.Scheduler), ms(h.ExecutionEngine),
+				ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total()))
+			fmt.Printf("TP%-3d PP%-3d %-4s engine %7.0fms  convert %6.0fms  astra %6.0fms  total %7.0fms\n",
+				s.tp, s.pp, label, ms(h.ExecutionEngine), ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total()))
+		}
+	}
+	return writeFile("eval4-simulation-time.tsv", func(f *os.File) error {
+		_, err := f.WriteString(rows)
+		return err
+	})
+}
+
+// eval5 sweeps NPU counts for simulation-time scalability (Fig. 10).
+func eval5() error {
+	counts := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	models := []string{"gpt3-7b", "gpt3-30b", "gpt3-175b"}
+	if *quick {
+		counts = []int{8, 64, 512}
+		models = models[:2]
+	}
+	rows := "npus"
+	for _, m := range models {
+		rows += "\t" + m + "_ms"
+	}
+	rows += "\n"
+	for _, n := range counts {
+		rows += fmt.Sprintf("%d", n)
+		fmt.Printf("%5d NPUs:", n)
+		for _, name := range models {
+			h, err := oneIteration(name, n, 1, 64, 1024,
+				core.ReuseOptions{ModelRedundancy: true, ComputationReuse: false})
+			if err != nil {
+				return err
+			}
+			rows += fmt.Sprintf("\t%.1f", ms(h.Total()))
+			fmt.Printf("  %s %7.0fms", name, ms(h.Total()))
+		}
+		fmt.Println()
+		rows += "\n"
+	}
+	return writeFile("eval5-simulation-time.tsv", func(f *os.File) error {
+		_, err := f.WriteString(rows)
+		return err
+	})
+}
+
+// oneIteration runs a single LLMServingSim iteration and returns the host
+// component breakdown.
+func oneIteration(modelName string, tp, pp, batch, seqLen int, reuse core.ReuseOptions) (metrics.ComponentTimes, error) {
+	topo, err := network.Build(network.Hybrid, tp*pp, pp, config.DefaultLink(), config.DefaultLink())
+	if err != nil {
+		return metrics.ComponentTimes{}, err
+	}
+	m := model.MustLookup(modelName)
+	npuCfg := config.DefaultNPU()
+	perDev := m.WeightBytes()/int64(topo.NPUNodes()) + 32*config.GB
+	if npuCfg.MemoryBytes < perDev {
+		npuCfg.MemoryBytes = perDev
+	}
+	sim, err := core.New(core.Options{
+		Model: m, Topo: topo, NPU: npuCfg, PIM: config.DefaultPIM(), Reuse: reuse,
+	}, workload.UniformBatch(batch, seqLen, 1))
+	if err != nil {
+		return metrics.ComponentTimes{}, err
+	}
+	if _, _, err := sim.FirstIteration(); err != nil {
+		return metrics.ComponentTimes{}, err
+	}
+	return sim.HostTimes(), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,170 @@
+// Command llmservingsim runs a serving simulation from the command line,
+// exposing the artifact's simulation parameters (model_name, npu_num,
+// max_batch, batch_delay, scheduling, parallel, npu_group, npu_mem,
+// kv_manage, pim_type, sub_batch, dataset, network, output, gen,
+// fast_run).
+//
+// Example:
+//
+//	llmservingsim -model gpt3-7b -npu-num 4 -parallel tensor \
+//	    -dataset trace.tsv -output run1
+//
+// writes run1-throughput.tsv and run1-simulation-time.tsv and prints a
+// summary to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	llmservingsim "repro"
+	"repro/internal/config"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "gpt2", "model name (see -list-models)")
+		listModels = flag.Bool("list-models", false, "print known models and exit")
+		npuNum     = flag.Int("npu-num", 16, "number of NPUs")
+		maxBatch   = flag.Int("max-batch", 0, "maximum batch size (0 = unlimited)")
+		batchDelay = flag.Duration("batch-delay", 0, "delay to accumulate arrivals before batching")
+		scheduling = flag.String("scheduling", "orca", "scheduling policy: orca|static")
+		parallel   = flag.String("parallel", "hybrid", "parallelism: tensor|pipeline|hybrid")
+		npuGroup   = flag.Int("npu-group", 1, "NPU group count for hybrid parallelism")
+		npuMem     = flag.Int("npu-mem", 0, "NPU local memory in GB (0 = Table I default)")
+		kvManage   = flag.String("kv-manage", "vllm", "KV cache management: vllm|maxlen")
+		pimType    = flag.String("pim-type", "none", "PIM usage: none|local|pool")
+		pimPool    = flag.Int("pim-pool", 0, "PIM pool size (pool mode; 0 = npu-num)")
+		subBatch   = flag.Bool("sub-batch", false, "enable NeuPIMs sub-batch interleaving")
+		selective  = flag.Bool("selective", false, "enable selective batching across TP workers")
+		noReuse    = flag.Bool("no-reuse", false, "disable all result-reuse optimisations")
+		gpuEngine  = flag.Bool("gpu", false, "use the GPU reference engine instead of the NPU")
+		networkCfg = flag.String("network", "", "JSON link config file (bandwidth/latency)")
+		npuCfgPath = flag.String("npu-config", "", "JSON NPU config file")
+		dataset    = flag.String("dataset", "", "TSV request trace (input/output tokens + arrival ms)")
+		synth      = flag.String("synth", "", "synthesise a trace instead: sharegpt|alpaca")
+		synthN     = flag.Int("synth-n", 128, "synthetic trace request count")
+		synthRate  = flag.Float64("synth-rate", 4, "synthetic Poisson arrival rate (req/s)")
+		seed       = flag.Int64("seed", 1, "synthetic trace random seed")
+		genOnly    = flag.Bool("gen", false, "skip the initiation phase (generation only)")
+		output     = flag.String("output", "", "output file prefix for TSV results")
+	)
+	flag.Parse()
+
+	if *listModels {
+		for _, m := range llmservingsim.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = *modelName
+	cfg.NPUs = *npuNum
+	cfg.MaxBatch = *maxBatch
+	cfg.BatchDelay = *batchDelay
+	cfg.Scheduling = *scheduling
+	cfg.Parallelism = *parallel
+	cfg.NPUGroups = *npuGroup
+	cfg.KVManage = *kvManage
+	cfg.PIMType = *pimType
+	cfg.PIMPoolSize = *pimPool
+	cfg.SelectiveBatching = *selective
+	cfg.SkipInitiation = *genOnly
+	cfg.UseGPUEngine = *gpuEngine
+	if *subBatch {
+		cfg.SubBatches = 2
+	}
+	if *noReuse {
+		cfg.ModelRedundancyReuse = false
+		cfg.ComputationReuse = false
+	}
+	if *npuMem > 0 {
+		cfg.NPU.MemoryBytes = int64(*npuMem) * config.GB
+	}
+	if *networkCfg != "" {
+		if err := config.LoadJSON(*networkCfg, &cfg.Link); err != nil {
+			fatal(err)
+		}
+	}
+	if *npuCfgPath != "" {
+		if err := config.LoadJSON(*npuCfgPath, &cfg.NPU); err != nil {
+			fatal(err)
+		}
+	}
+
+	var trace []llmservingsim.Request
+	var err error
+	switch {
+	case *dataset != "":
+		trace, err = llmservingsim.LoadTrace(*dataset)
+	case *synth == "sharegpt":
+		trace, err = llmservingsim.ShareGPTTrace(*synthN, *synthRate, *seed)
+	case *synth == "alpaca":
+		trace, err = llmservingsim.AlpacaTrace(*synthN, *synthRate, *seed)
+	default:
+		err = fmt.Errorf("provide -dataset FILE or -synth sharegpt|alpaca")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sim, err := llmservingsim.New(cfg, trace)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep, err := sim.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model            %s\n", rep.Model)
+	fmt.Printf("topology         %s\n", rep.Topology)
+	fmt.Printf("requests         %d\n", rep.Latency.Count)
+	fmt.Printf("iterations       %d\n", rep.Iterations)
+	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
+	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
+	fmt.Printf("gen tput         %.1f tok/s\n", rep.GenTPS)
+	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, ttft %.3f)\n",
+		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.TTFTSec)
+	fmt.Printf("kv evict/reload  %d / %d\n", rep.KV.Evictions, rep.KV.Reloads)
+	fmt.Printf("cache hit rate   %.1f %%\n", 100*rep.EngineCacheHitRate)
+	fmt.Printf("simulation time  %v (sched %v, engine %v, convert %v, astra %v)\n",
+		time.Since(start).Round(time.Millisecond),
+		rep.SimTime.Scheduler.Round(time.Millisecond),
+		rep.SimTime.ExecutionEngine.Round(time.Millisecond),
+		rep.SimTime.GraphConverter.Round(time.Millisecond),
+		rep.SimTime.AstraSim.Round(time.Millisecond))
+
+	if *output != "" {
+		if err := writeTSVs(*output, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s-throughput.tsv, %s-simulation-time.tsv\n", *output, *output)
+	}
+}
+
+func writeTSVs(prefix string, rep *llmservingsim.Report) error {
+	tf, err := os.Create(prefix + "-throughput.tsv")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := rep.WriteThroughputTSV(tf); err != nil {
+		return err
+	}
+	sf, err := os.Create(prefix + "-simulation-time.tsv")
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	return rep.WriteSimulationTimeTSV(sf)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llmservingsim:", err)
+	os.Exit(1)
+}

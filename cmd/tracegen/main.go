@@ -1,0 +1,77 @@
+// Command tracegen synthesises request traces in the artifact's TSV
+// format: ShareGPT-like conversational traffic, Alpaca-like instruction
+// traffic, or fixed-shape batches, with Poisson or burst arrivals.
+//
+// Example:
+//
+//	tracegen -dist sharegpt -n 256 -rate 5 -seed 7 -o trace.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dist = flag.String("dist", "sharegpt", "length distribution: sharegpt|alpaca|fixed")
+		n    = flag.Int("n", 256, "request count")
+		rate = flag.Float64("rate", 4, "Poisson arrival rate in requests/second (0 = burst at t=0)")
+		seed = flag.Int64("seed", 1, "random seed")
+		in   = flag.Int("in", 512, "input tokens (fixed distribution)")
+		out  = flag.Int("out", 128, "output tokens (fixed distribution)")
+		o    = flag.String("o", "", "output TSV path (default stdout)")
+		show = flag.Bool("stats", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	var d workload.LengthDist
+	switch *dist {
+	case "sharegpt":
+		d = workload.ShareGPT()
+	case "alpaca":
+		d = workload.Alpaca()
+	case "fixed":
+		d = workload.Fixed(*in, *out)
+	default:
+		fatal(fmt.Errorf("unknown distribution %q", *dist))
+	}
+
+	var reqs []workload.Request
+	var err error
+	if *rate > 0 {
+		reqs, err = workload.PoissonTrace(d, *n, *rate, *seed)
+	} else {
+		reqs, err = workload.BurstTrace(d, *n, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *show {
+		s := workload.Summarize(reqs)
+		fmt.Fprintf(os.Stderr, "requests %d, mean in/out %.1f/%.1f, p50 %d/%d, p95 %d/%d, span %v\n",
+			s.Count, s.MeanInput, s.MeanOutput, s.P50Input, s.P50Output, s.P95Input, s.P95Output, s.Span)
+	}
+
+	w := os.Stdout
+	if *o != "" {
+		f, err := os.Create(*o)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTSV(w, reqs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

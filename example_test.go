@@ -1,0 +1,56 @@
+package llmservingsim_test
+
+import (
+	"fmt"
+
+	llmservingsim "repro"
+)
+
+// ExampleNew shows the minimal simulation flow: configure a system, build
+// a trace, run, and read the report. The workload here is fixed-shape so
+// the output is deterministic.
+func ExampleNew() {
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = "tensor"
+
+	trace := llmservingsim.UniformTrace(4, 64, 8) // 4 requests, 64->8 tokens
+	sim, err := llmservingsim.New(cfg, trace)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("model=%s topology=%s requests=%d iterations=%d\n",
+		rep.Model, rep.Topology, rep.Latency.Count, rep.Iterations)
+	// Output: model=gpt2 topology=TP2 PP1 requests=4 iterations=8
+}
+
+// ExampleConfig_heterogeneous configures the Fig. 5(a) NPU+PIM system
+// with NeuPIMs-style sub-batch interleaving.
+func ExampleConfig_heterogeneous() {
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = "tensor"
+	cfg.PIMType = "local"
+	cfg.SubBatches = 2
+
+	sim, err := llmservingsim.New(cfg, llmservingsim.UniformTrace(4, 64, 4))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("completed %d requests on %s\n", rep.Latency.Count, rep.Topology)
+	// Output: completed 4 requests on TP2 PP1
+}

@@ -1,0 +1,54 @@
+// Heterogeneous: the Fig. 5(b) system — an NPU pool running the
+// compute-bound operators and a separate PIM pool running the
+// memory-bound attention core, connected by a high-bandwidth interconnect
+// — compared against the homogeneous all-NPU system and the Fig. 5(a)
+// directly-attached NPU+PIM system with NeuPIMs-style sub-batch
+// interleaving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	llmservingsim "repro"
+)
+
+func main() {
+	// Alpaca-like instruction traffic, as in the paper's heterogeneous
+	// evaluation (Section VI-B, Fig. 7).
+	trace, err := llmservingsim.AlpacaTrace(64, 16.0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := llmservingsim.DefaultConfig()
+	base.Model = "gpt3-7b"
+	base.NPUs = 4
+	base.Parallelism = "tensor"
+
+	systems := []struct {
+		name string
+		mut  func(*llmservingsim.Config)
+	}{
+		{"NPU only (homogeneous)", func(c *llmservingsim.Config) {}},
+		{"NPU+PIM local (Fig 5a)", func(c *llmservingsim.Config) { c.PIMType = "local" }},
+		{"NPU+PIM local, sub-batched", func(c *llmservingsim.Config) { c.PIMType = "local"; c.SubBatches = 2 }},
+		{"NPU pool + PIM pool (Fig 5b)", func(c *llmservingsim.Config) { c.PIMType = "pool"; c.PIMPoolSize = 4 }},
+	}
+
+	fmt.Println("system                            iters   sim_end    gen tok/s   p95 lat")
+	for _, s := range systems {
+		cfg := base
+		s.mut(&cfg)
+		sim, err := llmservingsim.New(cfg, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %6d  %7.2fs  %9.1f  %8.3fs\n",
+			s.name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.P95Sec)
+	}
+}

@@ -1,0 +1,52 @@
+// Parallelism: sweep tensor/pipeline/hybrid parallelism strategies for
+// GPT3-30B on 16 NPUs (the Fig. 3 hybrid topology is TP4 x PP4) and
+// report how the strategy changes serving throughput and latency —
+// all-reduce-heavy tensor parallelism vs fill-latency-bound pipeline
+// parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	llmservingsim "repro"
+)
+
+func main() {
+	trace, err := llmservingsim.ShareGPTTrace(32, 2.0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type cfg struct {
+		name        string
+		parallelism string
+		groups      int
+	}
+	sweeps := []cfg{
+		{"TP16 PP1 (tensor)", "tensor", 0},
+		{"TP8  PP2 (hybrid)", "hybrid", 2},
+		{"TP4  PP4 (hybrid, Fig 3)", "hybrid", 4},
+		{"TP2  PP8 (hybrid)", "hybrid", 8},
+		{"TP1  PP16 (pipeline)", "pipeline", 0},
+	}
+
+	fmt.Println("strategy                      iters   sim_end   gen tok/s   mean lat   ttft")
+	for _, s := range sweeps {
+		c := llmservingsim.DefaultConfig()
+		c.Model = "gpt3-30b"
+		c.NPUs = 16
+		c.Parallelism = s.parallelism
+		c.NPUGroups = s.groups
+		sim, err := llmservingsim.New(c, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %6d  %7.2fs  %9.1f  %8.3fs  %6.3fs\n",
+			s.name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.MeanSec, rep.Latency.TTFTSec)
+	}
+}

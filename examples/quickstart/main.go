@@ -1,0 +1,40 @@
+// Quickstart: simulate a small ShareGPT-like workload on a 4-NPU
+// tensor-parallel system and print the serving summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	llmservingsim "repro"
+)
+
+func main() {
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = "gpt3-7b"
+	cfg.NPUs = 4
+	cfg.Parallelism = "tensor"
+
+	trace, err := llmservingsim.ShareGPTTrace(64, 4.0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim, err := llmservingsim.New(cfg, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Simulated %d requests on %s (%s)\n", rep.Latency.Count, rep.Model, rep.Topology)
+	fmt.Printf("  iterations:        %d\n", rep.Iterations)
+	fmt.Printf("  simulated seconds: %.2f\n", rep.SimEndSec)
+	fmt.Printf("  prompt throughput: %.1f tok/s\n", rep.PromptTPS)
+	fmt.Printf("  gen throughput:    %.1f tok/s\n", rep.GenTPS)
+	fmt.Printf("  mean latency:      %.3f s (TTFT %.3f s)\n", rep.Latency.MeanSec, rep.Latency.TTFTSec)
+	fmt.Printf("  wall-clock:        %v (engine cache hit rate %.0f%%)\n",
+		rep.SimTime.Total, 100*rep.EngineCacheHitRate)
+}

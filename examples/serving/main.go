@@ -1,0 +1,61 @@
+// Serving: the Fig. 6-style validation scenario. A Poisson ShareGPT
+// workload is served twice — once by the GPU reference system (the
+// vLLM-like "real system" stand-in) and once by LLMServingSim's NPU model —
+// and the throughput-over-time series are printed side by side with the
+// trend error, the paper's simulator-validation methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	llmservingsim "repro"
+)
+
+func main() {
+	trace, err := llmservingsim.ShareGPTTrace(96, 6.0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(useGPU bool) *llmservingsim.Report {
+		cfg := llmservingsim.DefaultConfig()
+		cfg.Model = "gpt3-7b"
+		cfg.NPUs = 1
+		cfg.Parallelism = "tensor"
+		cfg.UseGPUEngine = useGPU
+		cfg.ThroughputWindow = 5e9 // 5 simulated seconds
+		sim, err := llmservingsim.New(cfg, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	ref := run(true)  // GPU/vLLM reference
+	sim := run(false) // LLMServingSim NPU model
+
+	fmt.Println("time_s   ref_prompt  sim_prompt   ref_gen   sim_gen   (tok/s)")
+	n := len(ref.Throughput)
+	if len(sim.Throughput) < n {
+		n = len(sim.Throughput)
+	}
+	for i := 0; i < n; i++ {
+		r, s := ref.Throughput[i], sim.Throughput[i]
+		fmt.Printf("%6.0f   %10.1f  %10.1f  %8.1f  %8.1f\n",
+			r.TimeSec, r.PromptTPS, s.PromptTPS, r.GenTPS, s.GenTPS)
+	}
+	fmt.Printf("\nmean gen throughput: reference %.1f tok/s, simulator %.1f tok/s (diff %.1f%%)\n",
+		ref.GenTPS, sim.GenTPS, 100*abs(ref.GenTPS-sim.GenTPS)/ref.GenTPS)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

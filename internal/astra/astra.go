@@ -1,0 +1,196 @@
+// Package astra executes execution graphs over the modelled system,
+// substituting for ASTRA-sim's analytical backend.
+//
+// The simulator is discrete-event: a node becomes ready when its
+// dependencies complete, then competes for its resources (device compute
+// units, network ports, host DMA engines), each of which executes one node
+// at a time. Among ready nodes the engine dispatches the one with the
+// earliest feasible start, so independent work overlaps across devices and
+// communication overlaps compute exactly as in ASTRA-sim's queue model.
+package astra
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/simtime"
+)
+
+// NodeTiming records when one graph node executed.
+type NodeTiming struct {
+	Start, End simtime.Time
+}
+
+// Result is the outcome of executing a graph.
+type Result struct {
+	Makespan simtime.Duration
+	Timings  []NodeTiming // indexed by node ID
+
+	// BusyTime per resource, for utilisation reporting.
+	Busy map[graph.Resource]simtime.Duration
+	// ComputeTime and CommTime aggregate node durations by class.
+	ComputeTime simtime.Duration
+	CommTime    simtime.Duration
+}
+
+// Utilization returns the busy fraction of a resource over the makespan.
+func (r Result) Utilization(res graph.Resource) float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.Busy[res]) / float64(r.Makespan)
+}
+
+type candidate struct {
+	node  int
+	start simtime.Time
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].node < h[j].node // deterministic tie-break
+}
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// Execute runs the graph to completion and returns the schedule.
+func Execute(g *graph.Graph) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(g.Nodes)
+	res := Result{
+		Timings: make([]NodeTiming, n),
+		Busy:    make(map[graph.Resource]simtime.Duration),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Build successor lists and indegrees.
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, node := range g.Nodes {
+		indeg[node.ID] = len(node.Deps)
+		for _, d := range node.Deps {
+			succ[d] = append(succ[d], node.ID)
+		}
+	}
+
+	readyAt := make([]simtime.Time, n) // max end time of dependencies
+	resFree := make(map[graph.Resource]simtime.Time)
+
+	feasible := func(id int) simtime.Time {
+		t := readyAt[id]
+		for _, r := range g.Nodes[id].Resources {
+			if f := resFree[r]; f > t {
+				t = f
+			}
+		}
+		return t
+	}
+
+	h := &candidateHeap{}
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			heap.Push(h, candidate{node: id, start: feasible(id)})
+		}
+	}
+
+	scheduled := 0
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		c := heap.Pop(h).(candidate)
+		if done[c.node] {
+			continue
+		}
+		// Resource availability may have advanced since the candidate was
+		// pushed; if so, re-queue it with the refreshed start (lazy
+		// re-evaluation keeps the heap consistent as times only grow).
+		now := feasible(c.node)
+		if now > c.start {
+			heap.Push(h, candidate{node: c.node, start: now})
+			continue
+		}
+		node := g.Nodes[c.node]
+		start := now
+		end := start.Add(node.Duration)
+		res.Timings[c.node] = NodeTiming{Start: start, End: end}
+		done[c.node] = true
+		scheduled++
+		for _, r := range node.Resources {
+			resFree[r] = end
+			res.Busy[r] += node.Duration
+		}
+		if node.Kind == graph.Compute {
+			res.ComputeTime += node.Duration
+		} else {
+			res.CommTime += node.Duration
+		}
+		if d := end.Sub(0); d > res.Makespan {
+			res.Makespan = d
+		}
+		for _, s := range succ[c.node] {
+			if readyAt[s] < end {
+				readyAt[s] = end
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, candidate{node: s, start: feasible(s)})
+			}
+		}
+	}
+	if scheduled != n {
+		return Result{}, fmt.Errorf("astra: deadlock, scheduled %d of %d nodes (cycle in graph?)", scheduled, n)
+	}
+	return res, nil
+}
+
+// CriticalPath returns the node IDs of one longest finish-time chain, for
+// diagnosing what bounds an iteration.
+func CriticalPath(g *graph.Graph, r Result) []int {
+	if len(g.Nodes) == 0 || len(r.Timings) != len(g.Nodes) {
+		return nil
+	}
+	// Find the node finishing last, then walk back through the dependency
+	// (or resource-wait) chain by picking the dep finishing latest.
+	last := 0
+	for id := range g.Nodes {
+		if r.Timings[id].End > r.Timings[last].End {
+			last = id
+		}
+	}
+	var path []int
+	for cur := last; ; {
+		path = append(path, cur)
+		deps := g.Nodes[cur].Deps
+		if len(deps) == 0 {
+			break
+		}
+		best := deps[0]
+		for _, d := range deps[1:] {
+			if r.Timings[d].End > r.Timings[best].End {
+				best = d
+			}
+		}
+		cur = best
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

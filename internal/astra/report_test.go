@@ -1,0 +1,59 @@
+package astra
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/simtime"
+)
+
+func TestUtilizations(t *testing.T) {
+	g := graph.New()
+	a := g.AddCompute("a", 0, 100*simtime.Microsecond)
+	g.AddCompute("b", 1, 50*simtime.Microsecond)
+	g.AddP2P("x", 0, 1, 25*simtime.Microsecond, 1024, a)
+	r, err := Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := Utilizations(r)
+	if len(us) != 2 {
+		t.Fatalf("devices %d", len(us))
+	}
+	// Device 0: compute 100/125, network 25/125.
+	if us[0].Device != 0 || us[0].Compute != 0.8 || us[0].Network != 0.2 {
+		t.Fatalf("device 0 utilisation %+v", us[0])
+	}
+	if us[1].Compute != 0.4 {
+		t.Fatalf("device 1 utilisation %+v", us[1])
+	}
+}
+
+func TestWriteReports(t *testing.T) {
+	g := graph.New()
+	a := g.AddCompute("first", 0, 10*simtime.Microsecond)
+	g.AddCompute("second", 0, 20*simtime.Microsecond, a)
+	r, err := Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteUtilizationReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compute") || !strings.Contains(buf.String(), "makespan") {
+		t.Fatalf("utilisation report malformed:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteCriticalPathReport(&buf, g, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "first") || !strings.Contains(out, "second") {
+		t.Fatalf("critical path report malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestSlowModeStrings(t *testing.T) {
+	if GeneSysMode.String() != "genesys" || MNPUsimMode.String() != "mnpusim" || NeuPIMsMode.String() != "neupims" {
+		t.Fatal("mode strings")
+	}
+}
+
+// TestSlowSimOrdering reproduces the Fig. 2(a)/Fig. 8 ordering on a small
+// model: mNPUsim is the slowest (DRAM trace replay), NeuPIMs costs more
+// than GeneSys (co-simulation), and all three report the same simulated
+// iteration latency structure.
+func TestSlowSimOrdering(t *testing.T) {
+	m := model.MustLookup("gpt2")
+	npuCfg, pimCfg := config.DefaultNPU(), config.DefaultPIM()
+
+	run := func(mode SlowMode) SlowResult {
+		r, err := SimulateIteration(mode, m, npuCfg, pimCfg, 8, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	genesys := run(GeneSysMode)
+	mnpusim := run(MNPUsimMode)
+
+	if genesys.SimLatency <= 0 || genesys.OpsSimulated == 0 || genesys.TilesVisited == 0 {
+		t.Fatalf("degenerate genesys result %+v", genesys)
+	}
+	// Same model and inputs: per-layer simulation structure matches.
+	if mnpusim.OpsSimulated != genesys.OpsSimulated {
+		t.Fatalf("ops mismatch %d vs %d", mnpusim.OpsSimulated, genesys.OpsSimulated)
+	}
+	if mnpusim.Wall <= genesys.Wall {
+		t.Fatalf("mNPUsim wall %v must exceed GeneSys %v (DRAM trace replay)", mnpusim.Wall, genesys.Wall)
+	}
+}
+
+func TestSlowSimNeuPIMsCoSim(t *testing.T) {
+	m := model.MustLookup("gpt2")
+	r, err := SimulateIteration(NeuPIMsMode, m, config.DefaultNPU(), config.DefaultPIM(), 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimLatency <= 0 || r.OpsSimulated == 0 {
+		t.Fatalf("degenerate neupims result %+v", r)
+	}
+}
+
+func TestSlowSimErrors(t *testing.T) {
+	m := model.MustLookup("gpt2")
+	if _, err := SimulateIteration(GeneSysMode, m, config.DefaultNPU(), config.DefaultPIM(), 0, 64); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+	bad := config.DefaultNPU()
+	bad.FrequencyHz = 0
+	if _, err := SimulateIteration(GeneSysMode, m, bad, config.DefaultPIM(), 4, 64); err == nil {
+		t.Fatal("bad npu config must fail")
+	}
+}
+
+func alpaca(t *testing.T, n int) []workload.Request {
+	t.Helper()
+	reqs, err := workload.PoissonTrace(workload.Alpaca(), n, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestNeuPIMsThroughputBasic(t *testing.T) {
+	cfg := NeuPIMsConfig{
+		Model: model.MustLookup("gpt3-7b"),
+		NPU:   config.DefaultNPU(),
+		PIM:   config.DefaultPIM(),
+		TP:    4, PP: 1, SubBatch: true,
+	}
+	tput, err := NeuPIMsThroughput(cfg, alpaca(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+// TestNeuPIMsScaling: more tensor-parallel devices yield more throughput,
+// and sub-batch interleaving helps.
+func TestNeuPIMsScaling(t *testing.T) {
+	reqs := alpaca(t, 256)
+	base := NeuPIMsConfig{
+		Model: model.MustLookup("gpt3-7b"),
+		NPU:   config.DefaultNPU(),
+		PIM:   config.DefaultPIM(),
+		TP:    2, PP: 1, SubBatch: true,
+	}
+	small, _ := NeuPIMsThroughput(base, reqs)
+	big := base
+	big.TP = 8
+	bigT, _ := NeuPIMsThroughput(big, reqs)
+	if bigT <= small {
+		t.Fatalf("TP8 %.0f should beat TP2 %.0f", bigT, small)
+	}
+
+	noSub := base
+	noSub.SubBatch = false
+	noSubT, _ := NeuPIMsThroughput(noSub, reqs)
+	if noSubT >= small {
+		t.Fatalf("sub-batching should help: %.0f vs %.0f", small, noSubT)
+	}
+}
+
+// TestNeuPIMsModelSizeMonotonic: bigger models are slower on the same
+// hardware.
+func TestNeuPIMsModelSizeMonotonic(t *testing.T) {
+	reqs := alpaca(t, 128)
+	mk := func(name string) float64 {
+		cfg := NeuPIMsConfig{
+			Model: model.MustLookup(name),
+			NPU:   config.DefaultNPU(),
+			PIM:   config.DefaultPIM(),
+			TP:    8, PP: 1, SubBatch: true,
+		}
+		tput, err := NeuPIMsThroughput(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tput
+	}
+	t7, t13, t30 := mk("gpt3-7b"), mk("gpt3-13b"), mk("gpt3-30b")
+	if !(t7 > t13 && t13 > t30) {
+		t.Fatalf("throughput must fall with model size: %.0f %.0f %.0f", t7, t13, t30)
+	}
+}
+
+func TestNeuPIMsErrors(t *testing.T) {
+	good := NeuPIMsConfig{
+		Model: model.MustLookup("gpt3-7b"),
+		NPU:   config.DefaultNPU(),
+		PIM:   config.DefaultPIM(),
+		TP:    1, PP: 1,
+	}
+	if _, err := NeuPIMsThroughput(good, nil); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+	bad := good
+	bad.TP = 0
+	if _, err := NeuPIMsThroughput(bad, alpaca(t, 4)); err == nil {
+		t.Fatal("bad TP must fail")
+	}
+	bad = good
+	bad.Model.Layers = 0
+	if _, err := NeuPIMsThroughput(bad, alpaca(t, 4)); err == nil {
+		t.Fatal("bad model must fail")
+	}
+}

@@ -1,0 +1,247 @@
+// Package core implements the LLMServingSim orchestrator: the iterative
+// loop of Fig. 4 that alternates request scheduling, execution-engine
+// hardware simulation, graph conversion, and system simulation, feeding
+// each iteration's simulated latency back into the scheduler clock.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// PIMMode selects how PIM devices participate (the artifact's pim_type).
+type PIMMode int
+
+const (
+	// PIMNone runs a homogeneous NPU system.
+	PIMNone PIMMode = iota
+	// PIMLocal pairs each NPU with a directly-attached PIM device; the two
+	// act as one system node and overlap via the execution engine stack's
+	// operator scheduler (Fig. 5(a)).
+	PIMLocal
+	// PIMPool places PIM devices in a separate pool reached over the
+	// interconnect, with explicit transfer operators (Fig. 5(b)).
+	PIMPool
+)
+
+// ParsePIMMode converts the artifact's CLI values ("none", "local",
+// "pool").
+func ParsePIMMode(s string) (PIMMode, error) {
+	switch s {
+	case "none", "":
+		return PIMNone, nil
+	case "local":
+		return PIMLocal, nil
+	case "pool":
+		return PIMPool, nil
+	default:
+		return 0, fmt.Errorf("core: unknown pim mode %q (want none|local|pool)", s)
+	}
+}
+
+func (m PIMMode) String() string {
+	switch m {
+	case PIMLocal:
+		return "local"
+	case PIMPool:
+		return "pool"
+	default:
+		return "none"
+	}
+}
+
+// ReuseOptions toggles the paper's two result-reusing techniques
+// independently (Section IV-C).
+type ReuseOptions struct {
+	// ModelRedundancy compiles and simulates one transformer block and
+	// replicates it across layers.
+	ModelRedundancy bool
+	// ComputationReuse caches compilation and simulation results across
+	// iterations (and layers).
+	ComputationReuse bool
+}
+
+// ReuseAll enables both techniques (the simulator's default).
+func ReuseAll() ReuseOptions {
+	return ReuseOptions{ModelRedundancy: true, ComputationReuse: true}
+}
+
+// ReuseNone disables both, reproducing conventional per-layer simulation.
+func ReuseNone() ReuseOptions { return ReuseOptions{} }
+
+// Options configures a Simulator.
+type Options struct {
+	Model model.Config
+	Topo  network.Topology
+
+	NPU config.NPUConfig
+	PIM config.PIMConfig // used when PIMMode != PIMNone
+	// EngineFactory optionally overrides the NPU engine (e.g. with the GPU
+	// reference model for validation runs). When nil the systolic NPU
+	// engine is used.
+	EngineFactory func() (engine.Engine, error)
+
+	PIMMode PIMMode
+
+	Sched sched.Config
+	// SelectiveBatching distributes each request's full-head attention
+	// across the tensor-parallel group (Fig. 3); off means Megatron-style
+	// head-split attention.
+	SelectiveBatching bool
+
+	KVPolicy     kvcache.Policy
+	KVPageTokens int   // vLLM block size; defaults to 16
+	KVReserve    int64 // bytes of device memory reserved beyond weights
+
+	Reuse ReuseOptions
+
+	// ThroughputWindow is the bucket width for throughput-over-time
+	// series; defaults to 10 simulated seconds.
+	ThroughputWindow simtime.Duration
+}
+
+// Report is the outcome of a serving simulation run.
+type Report struct {
+	Model model.Config
+	Topo  network.Topology
+
+	Iterations int
+	SimEnd     simtime.Time
+
+	PromptTPS, GenTPS float64 // mean over the run
+	Buckets           []metrics.Bucket
+
+	Finished []sched.Finished
+	Latency  metrics.LatencyStats
+
+	KV kvcache.Stats
+
+	// Host-side instrumentation (the paper's "simulation time").
+	Host      metrics.ComponentTimes
+	WallClock time.Duration
+	NPUStats  engine.StackStats
+	PIMStats  engine.StackStats
+}
+
+// Simulator is one configured LLMServingSim instance.
+type Simulator struct {
+	opts Options
+
+	npu *engine.Stack
+	pim *engine.Stack
+
+	kv        *kvcache.Manager
+	scheduler *sched.Scheduler
+	collector metrics.Collector
+	host      metrics.ComponentTimes
+}
+
+// New validates options and assembles a simulator for the given trace.
+func New(opts Options, reqs []workload.Request) (*Simulator, error) {
+	if err := opts.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Model.SplitTensorParallel(opts.Topo.TP); err != nil {
+		return nil, err
+	}
+	if opts.PIMMode == PIMPool && opts.Topo.PIMPool <= 0 {
+		return nil, fmt.Errorf("core: pim pool mode requires PIM nodes in the topology")
+	}
+	if opts.KVPageTokens <= 0 {
+		opts.KVPageTokens = 16
+	}
+	if opts.ThroughputWindow <= 0 {
+		opts.ThroughputWindow = 10 * simtime.Second
+	}
+	if opts.Sched.SubBatches <= 0 {
+		opts.Sched.SubBatches = 1
+	}
+	if opts.Sched.SubBatches > 1 && opts.PIMMode == PIMNone {
+		return nil, fmt.Errorf("core: sub-batch interleaving requires a PIM configuration")
+	}
+
+	s := &Simulator{opts: opts}
+
+	var eng engine.Engine
+	var err error
+	if opts.EngineFactory != nil {
+		eng, err = opts.EngineFactory()
+	} else {
+		eng, err = newNPUEngine(opts.NPU)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.npu = engine.NewStack(eng, opts.Reuse.ComputationReuse)
+
+	if opts.PIMMode != PIMNone {
+		p, err := newPIMEngine(opts.PIM)
+		if err != nil {
+			return nil, err
+		}
+		s.pim = engine.NewStack(p, opts.Reuse.ComputationReuse)
+	}
+
+	// KV budget: device memory across the system minus model weights,
+	// minus the configured reserve. Weights are sharded TP x PP ways, so
+	// per-device weight share = total/NPUs; KV is likewise sharded, so the
+	// scheduler reasons about the aggregate budget.
+	npus := int64(opts.Topo.NPUNodes())
+	totalMem := eng.MemoryBytes() * npus
+	budget := totalMem - opts.Model.WeightBytes() - opts.KVReserve
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: model %s weights (%d B) exceed system memory (%d B across %d devices)",
+			opts.Model.Name, opts.Model.WeightBytes(), totalMem, npus)
+	}
+	s.kv, err = kvcache.New(kvcache.Config{
+		Policy:        opts.KVPolicy,
+		PageTokens:    opts.KVPageTokens,
+		BytesPerToken: opts.Model.KVBytesPerToken(),
+		CapacityBytes: budget,
+		MaxSeqLen:     opts.Model.MaxSeqLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.scheduler, err = sched.New(opts.Sched, s.kv, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// KV exposes the KV manager (read-only use by callers, e.g. for stats).
+func (s *Simulator) KV() *kvcache.Manager { return s.kv }
+
+// NPUStack exposes the NPU execution engine stack.
+func (s *Simulator) NPUStack() *engine.Stack { return s.npu }
+
+// PIMStack exposes the PIM execution engine stack (nil when PIMMode is
+// none).
+func (s *Simulator) PIMStack() *engine.Stack { return s.pim }
+
+// placement derives the graph attention placement from the options.
+func (s *Simulator) placement() graph.AttentionPlacement {
+	switch {
+	case s.opts.PIMMode == PIMPool:
+		return graph.PIMPool
+	case s.opts.SelectiveBatching && s.opts.Topo.TP > 1:
+		return graph.RequestSplit
+	default:
+		return graph.HeadSplit
+	}
+}

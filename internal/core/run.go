@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astra"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/engine/npu"
+	"repro/internal/engine/pim"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func newNPUEngine(cfg config.NPUConfig) (engine.Engine, error) { return npu.New(cfg) }
+func newPIMEngine(cfg config.PIMConfig) (engine.Engine, error) { return pim.New(cfg) }
+
+// Run drives the simulator until every request completes, executing the
+// Fig. 4 cycle each iteration: scheduler -> execution engine stack ->
+// graph converter -> system simulator -> scheduler feedback.
+func (s *Simulator) Run() (*Report, error) {
+	wallStart := time.Now()
+	for {
+		t0 := time.Now()
+		batch, ok := s.scheduler.Next()
+		s.host.Scheduler += time.Since(t0)
+		if !ok {
+			break
+		}
+
+		latency, err := s.SimulateIteration(batch)
+		if err != nil {
+			return nil, err
+		}
+
+		t0 = time.Now()
+		if err := s.scheduler.Complete(batch, latency); err != nil {
+			return nil, err
+		}
+		s.host.Scheduler += time.Since(t0)
+
+		s.collector.AddIteration(metrics.Iteration{
+			Start:        batch.Time,
+			End:          batch.Time.Add(latency),
+			PromptTokens: batch.PromptTokens,
+			GenTokens:    len(batch.Seqs),
+			BatchSize:    len(batch.Seqs),
+		})
+	}
+	return s.report(time.Since(wallStart)), nil
+}
+
+// SimulateIteration runs the hardware and system simulation of one batch
+// and returns the iteration latency. It is exported for single-iteration
+// experiments (Figs. 8-10 measure exactly this).
+func (s *Simulator) SimulateIteration(b *sched.Batch) (simtime.Duration, error) {
+	work, embedDur, headDur, totalNew, err := s.runEngines(b)
+	if err != nil {
+		return 0, err
+	}
+
+	t0 := time.Now()
+	g, err := s.convert(b, work, embedDur, headDur, totalNew)
+	s.host.GraphConverter += time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+
+	t0 = time.Now()
+	res, err := astra.Execute(g)
+	s.host.AstraSim += time.Since(t0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// FirstIteration schedules and simulates exactly one iteration, returning
+// the batch and its simulated latency. The simulation-time experiments
+// (Figs. 2a, 8, 9, 10) measure the host cost of this call via HostTimes.
+func (s *Simulator) FirstIteration() (*sched.Batch, simtime.Duration, error) {
+	t0 := time.Now()
+	batch, ok := s.scheduler.Next()
+	s.host.Scheduler += time.Since(t0)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: no schedulable work")
+	}
+	lat, err := s.SimulateIteration(batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	return batch, lat, nil
+}
+
+// runEngines performs the execution-engine phase: build each sub-batch's
+// operator workload, map operators to engines (Algorithm 1, line 6), run
+// the compiler/simulator stacks, and merge the traces.
+func (s *Simulator) runEngines(b *sched.Batch) (graph.BlockWork, simtime.Duration, simtime.Duration, int, error) {
+	t0 := time.Now()
+	defer func() { s.host.ExecutionEngine += time.Since(t0) }()
+
+	var zero graph.BlockWork
+	subBatches := groupSeqs(b)
+	reps := 1
+	if !s.opts.Reuse.ModelRedundancy {
+		// Without model-redundancy reuse every transformer block is
+		// compiled and simulated separately, like conventional simulators.
+		reps = s.opts.Model.Layers
+	}
+
+	var allItems []trace.Item
+	var embedDur, headDur simtime.Duration
+	totalNew := 0
+	pool := s.opts.PIMMode == PIMPool
+
+	for sbIdx, seqs := range subBatches {
+		it, err := model.BuildIteration(s.opts.Model, seqs, s.opts.Topo.TP)
+		if err != nil {
+			return zero, 0, 0, 0, err
+		}
+		totalNew += it.TotalNewTokens
+
+		for rep := 0; rep < reps; rep++ {
+			for i, op := range it.Block {
+				stack, runOp := s.mapOperator(op, pool)
+				res, err := stack.Run(runOp)
+				if err != nil {
+					return zero, 0, 0, 0, err
+				}
+				if rep == 0 {
+					allItems = append(allItems, trace.Item{
+						Op:       op,
+						Engine:   stack.Engine().Name(),
+						Kind:     stack.Engine().Kind(),
+						Latency:  res.Latency,
+						SubBatch: sbIdx,
+						Seq:      i,
+					})
+				}
+			}
+		}
+		eRes, err := s.npu.Run(it.Embed)
+		if err != nil {
+			return zero, 0, 0, 0, err
+		}
+		hRes, err := s.npu.Run(it.Head)
+		if err != nil {
+			return zero, 0, 0, 0, err
+		}
+		embedDur += eRes.Latency
+		headDur += hRes.Latency
+	}
+
+	work, err := s.assembleBlockWork(allItems, len(subBatches))
+	if err != nil {
+		return zero, 0, 0, 0, err
+	}
+	return work, embedDur, headDur, totalNew, nil
+}
+
+// mapOperator implements the operator-mapping strategy: attention-core
+// operators go to the PIM stack when one is configured; with a PIM pool,
+// attention runs at full head count on the pool devices (the group's head
+// shards gather there), so the operator is widened accordingly.
+func (s *Simulator) mapOperator(op model.Op, pool bool) (*engine.Stack, model.Op) {
+	if s.pim == nil || !op.Kind.IsAttention() {
+		return s.npu, op
+	}
+	if pool {
+		op.Heads *= s.opts.Topo.TP
+	}
+	return s.pim, op
+}
+
+// assembleBlockWork reduces the merged engine trace into the graph
+// converter's per-layer work description.
+func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.BlockWork, error) {
+	var work graph.BlockWork
+	if len(items) == 0 {
+		return work, fmt.Errorf("core: engine phase produced no trace items")
+	}
+
+	if nSub > 1 {
+		// Sub-batch interleaving: the execution engine stack's operator
+		// scheduler overlaps sub-batches across the heterogeneous engines
+		// (Algorithm 1, line 14); the block behaves as one fused span.
+		sched := trace.Greedy(items)
+		if err := sched.Validate(); err != nil {
+			return work, err
+		}
+		work.Monolithic = sched.Makespan
+		// Attention identities are still needed for placement bookkeeping.
+		work.Attn = map[int]simtime.Duration{}
+		for _, it := range items {
+			if it.Op.Kind.IsAttention() {
+				work.Attn[it.Op.ReqID] += it.Latency
+			}
+		}
+		return work, nil
+	}
+
+	seg := trace.SplitSegments(items)
+	work.Pre, work.Post = seg.Pre, seg.Post
+	work.Attn = seg.Attn
+	if s.opts.PIMMode == PIMPool {
+		// Attention items carry full-head PIM costs; expose them for the
+		// pool placement and keep per-request identity for fan-out.
+		work.PIMAttn = seg.Attn
+	}
+	return work, nil
+}
+
+// convert builds the iteration's execution graph.
+func (s *Simulator) convert(b *sched.Batch, work graph.BlockWork, embedDur, headDur simtime.Duration, totalNew int) (*graph.Graph, error) {
+	m := s.opts.Model
+	d := int64(m.DTypeBytes)
+	actBytes := int64(totalNew) * int64(m.Hidden) * d
+
+	reqBytes := map[int]int64{}
+	for _, q := range b.Seqs {
+		reqBytes[q.ReqID] = int64(q.NewTokens) * int64(m.Hidden) * d
+	}
+
+	// KV paging transfers are sharded across devices; stage-0 workers gate
+	// the iteration, so the per-device share is charged there.
+	var memOps []graph.MemOp
+	if len(b.PageOps) > 0 {
+		npus := int64(s.opts.Topo.NPUNodes())
+		for _, op := range b.PageOps {
+			share := op.Bytes / npus
+			if share == 0 {
+				share = op.Bytes
+			}
+			for _, dev := range s.opts.Topo.StageNodes(0) {
+				label := fmt.Sprintf("evict.r%d", op.ReqID)
+				if op.Load {
+					label = fmt.Sprintf("reload.r%d", op.ReqID)
+				}
+				memOps = append(memOps, graph.MemOp{
+					Device: dev, Bytes: share, Load: op.Load, Label: label,
+				})
+			}
+		}
+	}
+
+	return graph.Convert(graph.Params{
+		Topo:            s.opts.Topo,
+		Layers:          m.Layers,
+		Block:           work,
+		EmbedDur:        embedDur,
+		HeadDur:         headDur,
+		ActBytes:        actBytes,
+		HeadGatherBytes: int64(len(b.Seqs)) * int64(m.Vocab/s.opts.Topo.TP) * d,
+		ReqBytes:        reqBytes,
+		Placement:       s.placement(),
+		MemOps:          memOps,
+	})
+}
+
+// report assembles the final Report.
+func (s *Simulator) report(wall time.Duration) *Report {
+	prompt, gen := s.collector.MeanThroughput()
+	fin := s.scheduler.Finished()
+
+	arr := make([]simtime.Time, len(fin))
+	first := make([]simtime.Time, len(fin))
+	comp := make([]simtime.Time, len(fin))
+	for i, f := range fin {
+		arr[i], first[i], comp[i] = f.Req.Arrival, f.FirstToken, f.Completed
+	}
+
+	r := &Report{
+		Model:      s.opts.Model,
+		Topo:       s.opts.Topo,
+		Iterations: s.scheduler.Iterations(),
+		SimEnd:     s.collector.End(),
+		PromptTPS:  prompt,
+		GenTPS:     gen,
+		Buckets:    s.collector.Buckets(s.opts.ThroughputWindow),
+		Finished:   fin,
+		Latency:    metrics.Latency(arr, first, comp),
+		KV:         s.kv.Stats(),
+		Host:       s.host,
+		WallClock:  wall,
+		NPUStats:   s.npu.Stats(),
+	}
+	if s.pim != nil {
+		r.PIMStats = s.pim.Stats()
+	}
+	return r
+}
+
+// HostTimes returns the accumulated per-component host wall-clock
+// breakdown (the Fig. 9 stack).
+func (s *Simulator) HostTimes() metrics.ComponentTimes { return s.host }
+
+// groupSeqs splits the batch into sub-batch sequence groups in index
+// order.
+func groupSeqs(b *sched.Batch) [][]model.Seq {
+	n := 1
+	for _, sb := range b.SubBatch {
+		if sb+1 > n {
+			n = sb + 1
+		}
+	}
+	groups := make([][]model.Seq, n)
+	for _, q := range b.Seqs {
+		sb := b.SubBatch[q.ReqID]
+		groups[sb] = append(groups[sb], q)
+	}
+	// Drop empty groups (possible when eviction removed all of one group).
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/engine/npu"
+	"repro/internal/model"
+)
+
+func newStack(t *testing.T, reuse bool) *engine.Stack {
+	t.Helper()
+	eng, err := npu.New(config.DefaultNPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.NewStack(eng, reuse)
+}
+
+func gemmOp(m int) model.Op {
+	return model.Op{
+		Kind: model.OpQKVGen, Name: "QKVGen", Phase: model.Initiation,
+		M: m, N: 256, K: 256, Heads: 1, ReqID: -1, Batched: true,
+		Weights: 256 * 256 * 2,
+	}
+}
+
+// TestComputationReuse verifies the paper's core optimisation: repeated
+// shapes compile and simulate once, later calls hit the caches, and cached
+// results are bit-identical to fresh ones.
+func TestComputationReuse(t *testing.T) {
+	s := newStack(t, true)
+	op := gemmOp(64)
+
+	first, err := s.Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Run(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Latency != second.Latency {
+		t.Fatalf("cached latency %v differs from fresh %v", second.Latency, first.Latency)
+	}
+	st := s.Stats()
+	if st.CompileCalls != 2 || st.CompileHits != 1 {
+		t.Fatalf("compile calls/hits = %d/%d", st.CompileCalls, st.CompileHits)
+	}
+	if st.SimulateCalls != 2 || st.SimulateHits != 1 {
+		t.Fatalf("simulate calls/hits = %d/%d", st.SimulateCalls, st.SimulateHits)
+	}
+	if c, r := s.CacheSizes(); c != 1 || r != 1 {
+		t.Fatalf("cache sizes %d/%d", c, r)
+	}
+}
+
+// TestReuseAcrossRequests: attention ops of different requests with the
+// same context share a cache entry (the key excludes ReqID).
+func TestReuseAcrossRequests(t *testing.T) {
+	s := newStack(t, true)
+	a := model.Op{Kind: model.OpScore, Name: "Score.r0", M: 1, N: 65, K: 128, Heads: 8, ReqID: 0, Context: 65}
+	b := a
+	b.Name, b.ReqID = "Score.r7", 7
+	if _, err := s.Run(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(b); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SimulateHits != 1 {
+		t.Fatalf("expected cross-request cache hit, stats %+v", st)
+	}
+}
+
+func TestNoReuseRecomputes(t *testing.T) {
+	s := newStack(t, false)
+	op := gemmOp(64)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CompileHits != 0 || st.SimulateHits != 0 {
+		t.Fatalf("no-reuse stack must not hit caches: %+v", st)
+	}
+	if c, r := s.CacheSizes(); c != 0 || r != 0 {
+		t.Fatalf("no-reuse stack must not populate caches: %d/%d", c, r)
+	}
+}
+
+func TestClearCaches(t *testing.T) {
+	s := newStack(t, true)
+	if _, err := s.Run(gemmOp(64)); err != nil {
+		t.Fatal(err)
+	}
+	s.ClearCaches()
+	if c, r := s.CacheSizes(); c != 0 || r != 0 {
+		t.Fatal("caches must be empty after ClearCaches")
+	}
+	if _, err := s.Run(gemmOp(64)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SimulateHits != 0 {
+		t.Fatal("cold cache must not hit")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := newStack(t, true)
+	if _, err := s.Run(gemmOp(64)); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.CompileCalls != 0 || st.OpsSimulated != 0 {
+		t.Fatalf("stats must reset: %+v", st)
+	}
+	// Caches survive a stats reset.
+	if c, _ := s.CacheSizes(); c != 1 {
+		t.Fatal("caches must survive ResetStats")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var st engine.StackStats
+	if st.HitRate() != 0 {
+		t.Fatal("empty stats hit rate must be 0")
+	}
+	st = engine.StackStats{CompileCalls: 2, CompileHits: 1, SimulateCalls: 2, SimulateHits: 1}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+// TestConcurrentRun exercises the stack from many goroutines; run with
+// -race to validate the locking.
+func TestConcurrentRun(t *testing.T) {
+	s := newStack(t, true)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, err := s.Run(gemmOp(16 + (i+j)%4*16)); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.OpsSimulated != 64 {
+		t.Fatalf("ops simulated = %d", st.OpsSimulated)
+	}
+}
+
+func TestRunResultIdentity(t *testing.T) {
+	s := newStack(t, true)
+	op := gemmOp(32)
+	if _, err := s.Run(op); err != nil {
+		t.Fatal(err)
+	}
+	other := op
+	other.Name, other.ReqID = "renamed", 5
+	res, err := s.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached results must carry the caller's op identity, not the cached
+	// op's.
+	if res.Op.Name != "renamed" {
+		t.Fatalf("result op name %q", res.Op.Name)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if engine.NPU.String() != "npu" || engine.PIM.String() != "pim" || engine.GPU.String() != "gpu" {
+		t.Fatal("kind strings")
+	}
+}

@@ -1,0 +1,66 @@
+package npu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/model"
+)
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e, err := New(config.DefaultNPU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkCompileGEMM measures the tiling compiler on a prefill-sized
+// GEMM — the cost model-redundancy reuse amortises across layers.
+func BenchmarkCompileGEMM(b *testing.B) {
+	e := benchEngine(b)
+	op := model.Op{Kind: model.OpQKVGen, Name: "qkv", M: 16384, N: 12288, K: 4096, Heads: 1,
+		Weights: 12288 * 4096 * 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Compile(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateGEMM measures the tile-walking simulator on the same
+// shape.
+func BenchmarkSimulateGEMM(b *testing.B) {
+	e := benchEngine(b)
+	op := model.Op{Kind: model.OpQKVGen, Name: "qkv", M: 16384, N: 12288, K: 4096, Heads: 1,
+		Weights: 12288 * 4096 * 2}
+	c, err := e.Compile(op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Simulate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateDecodeAttention measures the generation-phase GEMV
+// path that dominates per-iteration re-simulation.
+func BenchmarkSimulateDecodeAttention(b *testing.B) {
+	e := benchEngine(b)
+	op := model.Op{Kind: model.OpAttend, Name: "attend", M: 1, N: 128, K: 1024, Heads: 32, Context: 1024}
+	c, err := e.Compile(op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Simulate(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package pim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/engine/npu"
+	"repro/internal/model"
+	"repro/internal/simtime"
+)
+
+func npuEngine() (engine.Engine, error) { return npu.New(config.DefaultNPU()) }
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(config.DefaultPIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func run(t *testing.T, e *Engine, op model.Op) engine.Result {
+	t.Helper()
+	c, err := e.Compile(op)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	r, err := e.Simulate(c)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return r
+}
+
+func scoreOp(ctx, heads int) model.Op {
+	return model.Op{Kind: model.OpScore, Name: "score", M: 1, N: ctx, K: 128, Heads: heads, Context: ctx}
+}
+
+func attendOp(ctx, heads int) model.Op {
+	return model.Op{Kind: model.OpAttend, Name: "attend", M: 1, N: 128, K: ctx, Heads: heads, Context: ctx}
+}
+
+func TestNewValidates(t *testing.T) {
+	bad := config.DefaultPIM()
+	bad.Channels = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+func TestSupportsOnlyAttention(t *testing.T) {
+	e := newEngine(t)
+	if !e.Supports(model.OpScore) || !e.Supports(model.OpAttend) || !e.Supports(model.OpSoftmax) {
+		t.Fatal("PIM must support the attention core")
+	}
+	if e.Supports(model.OpQKVGen) || e.Supports(model.OpFFN1) || e.Supports(model.OpLayerNorm) {
+		t.Fatal("PIM must reject compute-bound operators")
+	}
+}
+
+func TestCompileRejectsGEMM(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Compile(model.Op{Kind: model.OpFFN1, M: 1, N: 2, K: 3}); err == nil {
+		t.Fatal("FFN on PIM must fail")
+	}
+	if _, err := e.Compile(scoreOp(0, 1)); err == nil {
+		t.Fatal("zero dims must fail")
+	}
+}
+
+func TestEngineInterface(t *testing.T) {
+	e := newEngine(t)
+	if e.Kind() != engine.PIM {
+		t.Fatal("kind")
+	}
+	if e.MemoryBytes() != 32*config.GB {
+		t.Fatal("Table I memory")
+	}
+	if e.PeakFLOPs() <= 0 || e.MemoryBandwidth() != 1e12 {
+		t.Fatal("descriptor methods")
+	}
+}
+
+// TestGEMVNearBandwidth: the whole point of PIM — GEMV runs near the
+// aggregate internal bandwidth.
+func TestGEMVNearBandwidth(t *testing.T) {
+	e := newEngine(t)
+	op := attendOp(2048, 32)
+	r := run(t, e, op)
+	bytes := float64(r.BytesMoved)
+	floor := simtime.FromSeconds(bytes / e.Config().MemoryBWBytes)
+	if r.Latency < floor {
+		t.Fatalf("latency %v beats the bandwidth floor %v", r.Latency, floor)
+	}
+	if r.Latency > 3*floor {
+		t.Fatalf("PIM GEMV %v too far above bandwidth floor %v", r.Latency, floor)
+	}
+}
+
+// TestPIMBeatsNPUOnDecodeAttention: the heterogeneous mapping premise —
+// generation-phase attention is faster on PIM than on the NPU.
+func TestPIMBeatsNPUOnDecodeAttention(t *testing.T) {
+	p := newEngine(t)
+	n, err := npuEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := attendOp(1024, 32)
+	pimRes := run(t, p, op)
+
+	c, err := n.Compile(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npuRes, err := n.Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pimRes.Latency >= npuRes.Latency {
+		t.Fatalf("PIM attend %v should beat NPU %v", pimRes.Latency, npuRes.Latency)
+	}
+}
+
+func TestContextScalesLatency(t *testing.T) {
+	e := newEngine(t)
+	small := run(t, e, scoreOp(128, 8))
+	large := run(t, e, scoreOp(2048, 8))
+	if large.Latency <= small.Latency {
+		t.Fatal("longer context must cost more")
+	}
+}
+
+func TestSoftmaxOnPIM(t *testing.T) {
+	e := newEngine(t)
+	r := run(t, e, model.Op{Kind: model.OpSoftmax, Name: "sm", M: 1, N: 1024, K: 1, Heads: 32, Context: 1024})
+	if r.Latency <= 0 {
+		t.Fatal("softmax must take time")
+	}
+}
+
+func TestMoreChannelsFaster(t *testing.T) {
+	few := config.DefaultPIM()
+	few.Channels = 4
+	many := config.DefaultPIM()
+	many.Channels = 32
+	eFew, _ := New(few)
+	eMany, _ := New(many)
+	op := attendOp(4096, 32)
+	rFew := run(t, eFew, op)
+	rMany := run(t, eMany, op)
+	if rMany.Latency > rFew.Latency {
+		t.Fatalf("more banks should not be slower: %v vs %v", rMany.Latency, rFew.Latency)
+	}
+}
+
+func TestForeignArtifact(t *testing.T) {
+	e := newEngine(t)
+	if _, err := e.Simulate(fake{}); err == nil {
+		t.Fatal("foreign artifact must fail")
+	}
+}
+
+type fake struct{}
+
+func (fake) Key() string  { return "fake" }
+func (fake) Op() model.Op { return model.Op{} }

@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/simtime"
+)
+
+// AttentionPlacement selects how the attention core is distributed, the
+// axis along which LLMServingSim differs between homogeneous Megatron-style
+// execution, Orca's selective batching, and the NPU+PIM pool system.
+type AttentionPlacement int
+
+const (
+	// HeadSplit keeps attention on each tensor-parallel worker, sharded by
+	// heads (classic Megatron execution).
+	HeadSplit AttentionPlacement = iota
+	// RequestSplit applies selective batching: each request's full-head
+	// attention runs on one worker of the group, requests round-robined
+	// across workers (Fig. 3).
+	RequestSplit
+	// PIMPool offloads each request's attention to a node of the PIM pool
+	// with explicit transfer operators before and after (Fig. 5(b)).
+	PIMPool
+)
+
+func (p AttentionPlacement) String() string {
+	switch p {
+	case HeadSplit:
+		return "head-split"
+	case RequestSplit:
+		return "request-split"
+	case PIMPool:
+		return "pim-pool"
+	default:
+		return fmt.Sprintf("AttentionPlacement(%d)", int(p))
+	}
+}
+
+// MemOp is a KV-cache paging action the scheduler decided on, to be
+// inserted into the graph as a host transfer (Section IV-A, "KV
+// cache-aware memory modeling").
+type MemOp struct {
+	Device int
+	Bytes  int64
+	Load   bool // true = reload from host, false = evict to host
+	Label  string
+}
+
+// BlockWork carries one transformer block's simulated durations for a
+// single tensor-parallel worker, as produced by the execution engine stack
+// and split by trace.SplitSegments.
+type BlockWork struct {
+	Pre  simtime.Duration         // LayerNorm1 + QKV projection
+	Post simtime.Duration         // Proj through final residual
+	Attn map[int]simtime.Duration // per-request attention at local head count
+
+	// PIMAttn is the per-request full-head attention time on a PIM device;
+	// required when Placement is PIMPool.
+	PIMAttn map[int]simtime.Duration
+
+	// Monolithic, when positive, replaces the Pre/Attn/Post interior with
+	// a single fused span per worker — the form the execution engine
+	// stack's operator scheduler produces when sub-batch interleaving
+	// overlaps work across heterogeneous engines inside one device node.
+	Monolithic simtime.Duration
+}
+
+// Params configures one iteration's graph conversion.
+type Params struct {
+	Topo   network.Topology
+	Layers int
+	Block  BlockWork
+
+	EmbedDur simtime.Duration // embedding, on every stage-0 worker
+	HeadDur  simtime.Duration // LM head, on every last-stage worker
+
+	// ActBytes is the activation payload per tensor-parallel worker at
+	// stage boundaries and per all-reduce (totalNewTokens x hidden x dtype).
+	ActBytes int64
+	// HeadGatherBytes is the logit payload all-gathered after the LM head.
+	HeadGatherBytes int64
+	// ReqBytes is each request's activation payload, used for transfers to
+	// and from the PIM pool.
+	ReqBytes map[int]int64
+
+	Placement AttentionPlacement
+	MemOps    []MemOp
+}
+
+// Convert builds the execution graph of one serving iteration: embedding
+// on stage 0, Layers transformer blocks distributed over pipeline stages
+// (tensor-parallel within each stage, with all-reduce synchronisation),
+// point-to-point activation transfers between stages, attention placed per
+// Params.Placement, KV paging transfers, and the LM head on the final
+// stage.
+func Convert(p Params) (*Graph, error) {
+	topo := p.Topo
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Layers <= 0 {
+		return nil, fmt.Errorf("graph: layers must be positive, got %d", p.Layers)
+	}
+	if len(p.Block.Attn) == 0 && p.Block.Monolithic <= 0 {
+		return nil, fmt.Errorf("graph: block has no attention work (empty batch?)")
+	}
+	if p.Placement == PIMPool && p.Block.Monolithic <= 0 {
+		if topo.PIMPool <= 0 {
+			return nil, fmt.Errorf("graph: PIM placement requires a PIM pool in the topology")
+		}
+		if len(p.Block.PIMAttn) == 0 {
+			return nil, fmt.Errorf("graph: PIM placement requires PIMAttn durations")
+		}
+	}
+
+	g := New()
+	reqIDs := sortedKeys(p.Block.Attn)
+
+	// KV paging transfers run up front on each device's DMA engine; the
+	// device's first compute of the iteration waits for them.
+	memDeps := map[int][]int{}
+	for _, m := range p.MemOps {
+		d := topo.HostTransfer(m.Bytes)
+		id := g.AddMemOp(m.Label, m.Device, m.Load, d, m.Bytes)
+		memDeps[m.Device] = append(memDeps[m.Device], id)
+	}
+
+	// entry[w] carries, per worker of the current stage, the dependencies
+	// the next compute node must wait on.
+	layersOf := distributeLayers(p.Layers, topo.Stages)
+	var entry map[int][]int
+
+	// Stage 0: embedding on every worker.
+	stage0 := topo.StageNodes(0)
+	entry = map[int][]int{}
+	for _, dev := range stage0 {
+		id := g.AddCompute("embed", dev, p.EmbedDur, memDeps[dev]...)
+		entry[dev] = []int{id}
+	}
+
+	pimRR := 0
+	for s := 0; s < topo.Stages; s++ {
+		devs := topo.StageNodes(s)
+		if s > 0 {
+			// Activation transfer from the corresponding worker of the
+			// previous stage.
+			prevDevs := topo.StageNodes(s - 1)
+			next := map[int][]int{}
+			for i, dev := range devs {
+				src := prevDevs[i]
+				d := topo.P2P(p.ActBytes)
+				id := g.AddP2P(fmt.Sprintf("stage%d->%d", s-1, s), src, dev, d, p.ActBytes,
+					append(entry[src], memDeps[dev]...)...)
+				next[dev] = []int{id}
+			}
+			entry = next
+		}
+
+		for l := 0; l < layersOf[s]; l++ {
+			entry, pimRR = emitLayer(g, topo, p, s, l, reqIDs, entry, pimRR)
+		}
+	}
+
+	// LM head on the final stage, then logits all-gather across the group.
+	lastDevs := topo.StageNodes(topo.Stages - 1)
+	headIDs := make([]int, 0, len(lastDevs))
+	for _, dev := range lastDevs {
+		headIDs = append(headIDs, g.AddCompute("lmhead", dev, p.HeadDur, entry[dev]...))
+	}
+	if topo.TP > 1 && p.HeadGatherBytes > 0 {
+		d := topo.AllGather(p.HeadGatherBytes, topo.TP)
+		g.AddAllReduce("logit-gather", lastDevs, d, p.HeadGatherBytes, headIDs...)
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// emitLayer adds one transformer block for stage s, returning the new
+// per-worker entry dependencies and the advanced PIM round-robin cursor.
+func emitLayer(g *Graph, topo network.Topology, p Params, s, l int, reqIDs []int, entry map[int][]int, pimRR int) (map[int][]int, int) {
+	devs := topo.StageNodes(s)
+	label := func(part string) string { return fmt.Sprintf("s%d.l%d.%s", s, l, part) }
+
+	if p.Block.Monolithic > 0 {
+		// Fused block interior (sub-batch interleaved execution): one
+		// compute span per worker, then the group collective.
+		next := map[int][]int{}
+		ids := make([]int, 0, len(devs))
+		for _, dev := range devs {
+			id := g.AddCompute(label("block"), dev, p.Block.Monolithic, entry[dev]...)
+			ids = append(ids, id)
+			next[dev] = []int{id}
+		}
+		if topo.TP > 1 {
+			d := 2 * topo.AllReduce(p.ActBytes, topo.TP)
+			cid := g.AddAllReduce(label("allreduce"), devs, d, 2*p.ActBytes, ids...)
+			for _, dev := range devs {
+				next[dev] = []int{cid}
+			}
+		}
+		return next, pimRR
+	}
+
+	pre := map[int]int{}
+	for _, dev := range devs {
+		pre[dev] = g.AddCompute(label("pre"), dev, p.Block.Pre, entry[dev]...)
+	}
+
+	// Attention core.
+	attnDeps := map[int][]int{} // per worker, nodes Post must wait on
+	switch p.Placement {
+	case HeadSplit:
+		var total simtime.Duration
+		for _, d := range p.Block.Attn {
+			total += d
+		}
+		for _, dev := range devs {
+			id := g.AddCompute(label("attn"), dev, total, pre[dev])
+			attnDeps[dev] = []int{id}
+		}
+	case RequestSplit:
+		// Each request's full-head attention on one worker; a worker's
+		// full-head cost is its local-head cost scaled by the group size
+		// (heads are independent repetitions).
+		for i, r := range reqIDs {
+			dev := devs[i%len(devs)]
+			d := p.Block.Attn[r] * simtime.Duration(topo.TP)
+			id := g.AddCompute(fmt.Sprintf("%s.r%d", label("attn"), r), dev, d, pre[dev])
+			attnDeps[dev] = append(attnDeps[dev], id)
+		}
+		// Workers left without requests proceed straight from pre.
+		for _, dev := range devs {
+			if len(attnDeps[dev]) == 0 {
+				attnDeps[dev] = []int{pre[dev]}
+			}
+		}
+	case PIMPool:
+		pims := topo.PIMNodes()
+		for i, r := range reqIDs {
+			owner := devs[i%len(devs)]
+			pimDev := pims[pimRR%len(pims)]
+			pimRR++
+			bytes := p.ReqBytes[r]
+			out := g.AddP2P(fmt.Sprintf("%s.r%d.toPIM", label("attn"), r),
+				owner, pimDev, topo.P2P(bytes), bytes, pre[owner])
+			comp := g.AddCompute(fmt.Sprintf("%s.r%d.pim", label("attn"), r),
+				pimDev, p.Block.PIMAttn[r], out)
+			back := g.AddP2P(fmt.Sprintf("%s.r%d.fromPIM", label("attn"), r),
+				pimDev, owner, topo.P2P(bytes), bytes, comp)
+			attnDeps[owner] = append(attnDeps[owner], back)
+		}
+		for _, dev := range devs {
+			if len(attnDeps[dev]) == 0 {
+				attnDeps[dev] = []int{pre[dev]}
+			}
+		}
+	}
+
+	post := make([]int, 0, len(devs))
+	postByDev := map[int]int{}
+	for _, dev := range devs {
+		id := g.AddCompute(label("post"), dev, p.Block.Post, attnDeps[dev]...)
+		post = append(post, id)
+		postByDev[dev] = id
+	}
+
+	next := map[int][]int{}
+	if topo.TP > 1 {
+		// Two ring all-reduces per block (after attention projection and
+		// after FFN2), merged into one collective node of doubled cost.
+		d := 2 * topo.AllReduce(p.ActBytes, topo.TP)
+		id := g.AddAllReduce(label("allreduce"), devs, d, 2*p.ActBytes, post...)
+		for _, dev := range devs {
+			next[dev] = []int{id}
+		}
+	} else {
+		for _, dev := range devs {
+			next[dev] = []int{postByDev[dev]}
+		}
+	}
+	return next, pimRR
+}
+
+// distributeLayers spreads n layers over s pipeline stages as evenly as
+// possible; leading stages take the remainder (a stage may hold zero
+// layers when stages exceed layers, and then only forwards activations).
+func distributeLayers(n, s int) []int {
+	out := make([]int, s)
+	base, extra := n/s, n%s
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[int]simtime.Duration) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,202 @@
+// Package graph defines the execution graph the system simulator replays —
+// the role Chakra execution traces play between LLMServingSim's graph
+// converter and ASTRA-sim.
+//
+// Nodes are compute spans pinned to a device, communication operations
+// (ring all-reduce within a tensor-parallel group, point-to-point
+// activation transfers between pipeline stages or accelerator pools), and
+// host-memory paging transfers for evicted KV-cache pages. Edges are
+// dependencies. Durations are precomputed analytically — compute durations
+// come from the execution engines' traces, communication durations from
+// the network cost models — and the system simulator resolves resource
+// contention and overlap.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// NodeKind classifies execution graph nodes.
+type NodeKind int
+
+const (
+	Compute   NodeKind = iota // engine work on one device
+	AllReduce                 // collective within a node group
+	P2P                       // point-to-point transfer between devices
+	MemLoad                   // host -> device KV page reload
+	MemStore                  // device -> host KV page eviction
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case AllReduce:
+		return "allreduce"
+	case P2P:
+		return "p2p"
+	case MemLoad:
+		return "memload"
+	case MemStore:
+		return "memstore"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// ResourceClass separates the execution resources of a device so that
+// communication can overlap compute, as in ASTRA-sim.
+type ResourceClass int
+
+const (
+	ResCompute ResourceClass = iota // the accelerator's execution units
+	ResNetwork                      // the device's network port
+	ResHostDMA                      // the device's host-link DMA engine
+)
+
+// Resource identifies one serially-occupied resource in the system.
+type Resource struct {
+	Class  ResourceClass
+	Device int
+}
+
+// Node is one vertex of the execution graph.
+type Node struct {
+	ID       int
+	Kind     NodeKind
+	Label    string
+	Duration simtime.Duration
+	Bytes    int64 // payload for communication/memory nodes (informational)
+
+	// Resources the node occupies for its whole duration. Compute nodes
+	// occupy their device's compute unit; collectives occupy the network
+	// ports of every participant; paging occupies the host DMA engine.
+	Resources []Resource
+
+	Deps []int // node IDs that must complete first
+}
+
+// Graph is a DAG of execution nodes. Nodes are stored in insertion order
+// and node IDs equal slice indices.
+type Graph struct {
+	Nodes []*Node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Add appends a node, assigning its ID, and returns the ID.
+func (g *Graph) Add(n *Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n.ID
+}
+
+// AddCompute appends a compute node on the given device.
+func (g *Graph) AddCompute(label string, device int, d simtime.Duration, deps ...int) int {
+	return g.Add(&Node{
+		Kind: Compute, Label: label, Duration: d,
+		Resources: []Resource{{ResCompute, device}},
+		Deps:      dedup(deps),
+	})
+}
+
+// AddAllReduce appends a collective across the given devices.
+func (g *Graph) AddAllReduce(label string, devices []int, d simtime.Duration, bytes int64, deps ...int) int {
+	res := make([]Resource, len(devices))
+	for i, dev := range devices {
+		res[i] = Resource{ResNetwork, dev}
+	}
+	return g.Add(&Node{
+		Kind: AllReduce, Label: label, Duration: d, Bytes: bytes,
+		Resources: res, Deps: dedup(deps),
+	})
+}
+
+// AddP2P appends a point-to-point transfer occupying both endpoints'
+// network ports.
+func (g *Graph) AddP2P(label string, src, dst int, d simtime.Duration, bytes int64, deps ...int) int {
+	return g.Add(&Node{
+		Kind: P2P, Label: label, Duration: d, Bytes: bytes,
+		Resources: []Resource{{ResNetwork, src}, {ResNetwork, dst}},
+		Deps:      dedup(deps),
+	})
+}
+
+// AddMemOp appends a host paging transfer on the device's DMA engine.
+func (g *Graph) AddMemOp(label string, device int, load bool, d simtime.Duration, bytes int64, deps ...int) int {
+	kind := MemStore
+	if load {
+		kind = MemLoad
+	}
+	return g.Add(&Node{
+		Kind: kind, Label: label, Duration: d, Bytes: bytes,
+		Resources: []Resource{{ResHostDMA, device}},
+		Deps:      dedup(deps),
+	})
+}
+
+// Validate checks the graph is a well-formed DAG: dependencies reference
+// earlier nodes (the builders emit in topological order) and every node
+// holds at least one resource.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		if len(n.Resources) == 0 {
+			return fmt.Errorf("graph: node %d (%s) has no resources", n.ID, n.Label)
+		}
+		if n.Duration < 0 {
+			return fmt.Errorf("graph: node %d (%s) has negative duration", n.ID, n.Label)
+		}
+		for _, d := range n.Deps {
+			if d < 0 || d >= len(g.Nodes) {
+				return fmt.Errorf("graph: node %d (%s) depends on unknown node %d", n.ID, n.Label, d)
+			}
+			if d >= n.ID {
+				return fmt.Errorf("graph: node %d (%s) depends on later node %d (not topological)", n.ID, n.Label, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a graph.
+type Stats struct {
+	Nodes      int
+	ByKind     map[NodeKind]int
+	TotalWork  simtime.Duration // sum of compute durations
+	TotalComm  simtime.Duration // sum of communication durations
+	TotalBytes int64            // communication + paging payload
+}
+
+// Summarize computes graph statistics.
+func (g *Graph) Summarize() Stats {
+	s := Stats{Nodes: len(g.Nodes), ByKind: map[NodeKind]int{}}
+	for _, n := range g.Nodes {
+		s.ByKind[n.Kind]++
+		switch n.Kind {
+		case Compute:
+			s.TotalWork += n.Duration
+		default:
+			s.TotalComm += n.Duration
+			s.TotalBytes += n.Bytes
+		}
+	}
+	return s
+}
+
+func dedup(deps []int) []int {
+	if len(deps) <= 1 {
+		return deps
+	}
+	seen := make(map[int]bool, len(deps))
+	out := deps[:0]
+	for _, d := range deps {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

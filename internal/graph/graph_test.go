@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestBuilders(t *testing.T) {
+	g := New()
+	a := g.AddCompute("a", 0, 10)
+	b := g.AddCompute("b", 1, 20, a)
+	c := g.AddAllReduce("ar", []int{0, 1}, 5, 1024, a, b)
+	d := g.AddP2P("x", 0, 1, 3, 256, c)
+	e := g.AddMemOp("load", 0, true, 7, 4096)
+	f := g.AddMemOp("store", 1, false, 7, 4096, e)
+
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 6 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	if g.Nodes[c].Kind != AllReduce || len(g.Nodes[c].Resources) != 2 {
+		t.Fatal("allreduce resources")
+	}
+	if g.Nodes[d].Kind != P2P || g.Nodes[d].Resources[0].Class != ResNetwork {
+		t.Fatal("p2p resources")
+	}
+	if g.Nodes[e].Kind != MemLoad || g.Nodes[f].Kind != MemStore {
+		t.Fatal("mem kinds")
+	}
+	if g.Nodes[f].Resources[0].Class != ResHostDMA {
+		t.Fatal("mem resource class")
+	}
+}
+
+func TestDedupDeps(t *testing.T) {
+	g := New()
+	a := g.AddCompute("a", 0, 1)
+	b := g.AddCompute("b", 0, 1, a, a, a)
+	if len(g.Nodes[b].Deps) != 1 {
+		t.Fatalf("deps = %v", g.Nodes[b].Deps)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := New()
+	g.Nodes = append(g.Nodes, &Node{ID: 0, Kind: Compute, Duration: 1})
+	if g.Validate() == nil {
+		t.Fatal("resourceless node must fail")
+	}
+
+	g = New()
+	g.Nodes = append(g.Nodes, &Node{
+		ID: 0, Kind: Compute, Duration: 1,
+		Resources: []Resource{{ResCompute, 0}},
+		Deps:      []int{5},
+	})
+	if g.Validate() == nil {
+		t.Fatal("dangling dep must fail")
+	}
+
+	g = New()
+	g.Nodes = append(g.Nodes, &Node{
+		ID: 0, Kind: Compute, Duration: 1,
+		Resources: []Resource{{ResCompute, 0}},
+		Deps:      []int{0},
+	})
+	if g.Validate() == nil {
+		t.Fatal("self/forward dep must fail")
+	}
+
+	g = New()
+	g.Nodes = append(g.Nodes, &Node{
+		ID: 0, Kind: Compute, Duration: -1,
+		Resources: []Resource{{ResCompute, 0}},
+	})
+	if g.Validate() == nil {
+		t.Fatal("negative duration must fail")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := New()
+	g.AddCompute("a", 0, 10*simtime.Microsecond)
+	g.AddCompute("b", 1, 20*simtime.Microsecond)
+	g.AddAllReduce("ar", []int{0, 1}, 5*simtime.Microsecond, 1000)
+	g.AddMemOp("m", 0, true, 2*simtime.Microsecond, 500)
+
+	s := g.Summarize()
+	if s.Nodes != 4 || s.ByKind[Compute] != 2 || s.ByKind[AllReduce] != 1 || s.ByKind[MemLoad] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.TotalWork != 30*simtime.Microsecond {
+		t.Fatalf("work %v", s.TotalWork)
+	}
+	if s.TotalComm != 7*simtime.Microsecond {
+		t.Fatalf("comm %v", s.TotalComm)
+	}
+	if s.TotalBytes != 1500 {
+		t.Fatalf("bytes %d", s.TotalBytes)
+	}
+}
+
+func TestNodeKindStrings(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		Compute: "compute", AllReduce: "allreduce", P2P: "p2p",
+		MemLoad: "memload", MemStore: "memstore",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

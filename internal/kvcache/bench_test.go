@@ -1,0 +1,40 @@
+package kvcache
+
+import "testing"
+
+// BenchmarkServingChurn measures the allocator under a serving-shaped
+// admit/extend/release cycle.
+func BenchmarkServingChurn(b *testing.B) {
+	m, err := New(Config{
+		Policy:        Paged,
+		PageTokens:    16,
+		BytesPerToken: 512 << 10,
+		CapacityBytes: 64 << 30,
+		MaxSeqLen:     2048,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := i % 256
+		if m.Resident(id) {
+			if _, err := m.Extend(id, 1); err != nil {
+				if err := m.Release(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if m.Tokens(id) > 300 {
+				if err := m.Release(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			continue
+		}
+		if m.CanAdmit(128) {
+			if err := m.Admit(id, 128); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

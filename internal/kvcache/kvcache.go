@@ -1,0 +1,339 @@
+// Package kvcache manages key-value cache memory for serving simulation.
+//
+// The default manager implements vLLM-style demand paging: KV memory is
+// carved into fixed-size pages allocated on demand as sequences grow, and
+// when device memory is exhausted whole sequences are evicted to host
+// memory and reloaded later (Section IV-A "KV cache-aware memory
+// modeling"). A max-length preallocation manager reproduces the
+// conventional scheme vLLM improves on, for the paging ablation.
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the memory-management scheme (the artifact's kv_manage
+// parameter).
+type Policy int
+
+const (
+	// Paged is vLLM-style demand paging.
+	Paged Policy = iota
+	// MaxLen preallocates pages for the maximum possible sequence length.
+	MaxLen
+)
+
+// ParsePolicy converts the artifact's CLI values ("vllm", "maxlen").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "vllm", "paged":
+		return Paged, nil
+	case "maxlen", "max":
+		return MaxLen, nil
+	default:
+		return 0, fmt.Errorf("kvcache: unknown policy %q (want vllm|maxlen)", s)
+	}
+}
+
+func (p Policy) String() string {
+	if p == MaxLen {
+		return "maxlen"
+	}
+	return "vllm"
+}
+
+// Config sizes a Manager.
+type Config struct {
+	Policy        Policy
+	PageTokens    int   // tokens per page (vLLM block size; 16 by default)
+	BytesPerToken int64 // KV bytes one token occupies (model-dependent)
+	CapacityBytes int64 // device memory available for KV cache
+	MaxSeqLen     int   // model context limit (MaxLen policy page count)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.PageTokens <= 0:
+		return fmt.Errorf("kvcache: page tokens must be positive, got %d", c.PageTokens)
+	case c.BytesPerToken <= 0:
+		return fmt.Errorf("kvcache: bytes per token must be positive, got %d", c.BytesPerToken)
+	case c.CapacityBytes <= 0:
+		return fmt.Errorf("kvcache: capacity must be positive, got %d", c.CapacityBytes)
+	case c.MaxSeqLen <= 0:
+		return fmt.Errorf("kvcache: max sequence length must be positive, got %d", c.MaxSeqLen)
+	}
+	return nil
+}
+
+// seq tracks one resident or evicted sequence.
+type seq struct {
+	id     int
+	tokens int
+	pages  int
+	onHost bool
+	order  int // admission order, used as the eviction tiebreak
+}
+
+// Stats reports manager occupancy.
+type Stats struct {
+	TotalPages     int
+	FreePages      int
+	ResidentSeqs   int
+	EvictedSeqs    int
+	ResidentTokens int
+	// InternalFragTokens counts allocated-but-unused token slots (page
+	// rounding waste), the fragmentation vLLM paging bounds.
+	InternalFragTokens int
+	Evictions          int64 // cumulative
+	Reloads            int64 // cumulative
+}
+
+// Manager allocates KV-cache pages for sequences.
+type Manager struct {
+	cfg       Config
+	pageBytes int64
+	total     int
+	free      int
+	seqs      map[int]*seq
+	admitted  int
+	evictions int64
+	reloads   int64
+}
+
+// New creates a manager; capacity is rounded down to whole pages.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pageBytes := int64(cfg.PageTokens) * cfg.BytesPerToken
+	total := int(cfg.CapacityBytes / pageBytes)
+	if total <= 0 {
+		return nil, fmt.Errorf("kvcache: capacity %d bytes holds no %d-byte pages", cfg.CapacityBytes, pageBytes)
+	}
+	return &Manager{
+		cfg:       cfg,
+		pageBytes: pageBytes,
+		total:     total,
+		free:      total,
+		seqs:      make(map[int]*seq),
+	}, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// PageBytes returns the size of one page in bytes.
+func (m *Manager) PageBytes() int64 { return m.pageBytes }
+
+// TotalPages returns the device page count.
+func (m *Manager) TotalPages() int { return m.total }
+
+// FreePages returns the currently free device page count.
+func (m *Manager) FreePages() int { return m.free }
+
+// pagesFor returns the pages a sequence of the given length needs.
+func (m *Manager) pagesFor(tokens int) int {
+	if m.cfg.Policy == MaxLen {
+		return (m.cfg.MaxSeqLen + m.cfg.PageTokens - 1) / m.cfg.PageTokens
+	}
+	return (tokens + m.cfg.PageTokens - 1) / m.cfg.PageTokens
+}
+
+// CanAdmit reports whether a new sequence of the given length fits without
+// eviction.
+func (m *Manager) CanAdmit(tokens int) bool {
+	return m.pagesFor(tokens) <= m.free
+}
+
+// Admit allocates pages for a new sequence. It fails if the sequence is
+// unknown to fit (callers decide eviction policy via EvictLast).
+func (m *Manager) Admit(id, tokens int) error {
+	if tokens <= 0 {
+		return fmt.Errorf("kvcache: admit seq %d with %d tokens", id, tokens)
+	}
+	if tokens > m.cfg.MaxSeqLen {
+		return fmt.Errorf("kvcache: seq %d length %d exceeds max %d", id, tokens, m.cfg.MaxSeqLen)
+	}
+	if _, ok := m.seqs[id]; ok {
+		return fmt.Errorf("kvcache: seq %d already admitted", id)
+	}
+	need := m.pagesFor(tokens)
+	if need > m.free {
+		return fmt.Errorf("kvcache: seq %d needs %d pages, only %d free", id, need, m.free)
+	}
+	m.free -= need
+	m.seqs[id] = &seq{id: id, tokens: tokens, pages: need, order: m.admitted}
+	m.admitted++
+	return nil
+}
+
+// Extend grows a resident sequence by n tokens, allocating pages on demand.
+// It returns the number of newly allocated pages, or an error if memory is
+// exhausted (callers should then evict and retry).
+func (m *Manager) Extend(id, n int) (newPages int, err error) {
+	s, ok := m.seqs[id]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: extend unknown seq %d", id)
+	}
+	if s.onHost {
+		return 0, fmt.Errorf("kvcache: extend evicted seq %d", id)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("kvcache: extend seq %d by %d tokens", id, n)
+	}
+	if s.tokens+n > m.cfg.MaxSeqLen {
+		return 0, fmt.Errorf("kvcache: seq %d would exceed max length %d", id, m.cfg.MaxSeqLen)
+	}
+	need := m.pagesFor(s.tokens+n) - s.pages
+	if need > m.free {
+		return 0, fmt.Errorf("kvcache: seq %d needs %d new pages, only %d free", id, need, m.free)
+	}
+	m.free -= need
+	s.pages += need
+	s.tokens += n
+	return need, nil
+}
+
+// Resident reports whether the sequence holds device pages.
+func (m *Manager) Resident(id int) bool {
+	s, ok := m.seqs[id]
+	return ok && !s.onHost
+}
+
+// Tokens returns the cached token count of a sequence (0 if unknown).
+func (m *Manager) Tokens(id int) int {
+	if s, ok := m.seqs[id]; ok {
+		return s.tokens
+	}
+	return 0
+}
+
+// SeqBytes returns the bytes a sequence's pages occupy.
+func (m *Manager) SeqBytes(id int) int64 {
+	if s, ok := m.seqs[id]; ok {
+		return int64(s.pages) * m.pageBytes
+	}
+	return 0
+}
+
+// EvictLast evicts the most recently admitted resident sequence to host
+// memory (the paper's policy: "the entire page for KV cache and sequence
+// of the last added requests are evicted"). It returns the evicted
+// sequence ID and the bytes moved, or ok=false if nothing is resident.
+func (m *Manager) EvictLast() (id int, bytes int64, ok bool) {
+	var victim *seq
+	for _, s := range m.seqs {
+		if s.onHost {
+			continue
+		}
+		if victim == nil || s.order > victim.order {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return 0, 0, false
+	}
+	bytes = int64(victim.pages) * m.pageBytes
+	m.free += victim.pages
+	victim.pages = 0
+	victim.onHost = true
+	m.evictions++
+	return victim.id, bytes, true
+}
+
+// Evicted returns the IDs of host-resident sequences, oldest first.
+func (m *Manager) Evicted() []int {
+	var out []*seq
+	for _, s := range m.seqs {
+		if s.onHost {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	ids := make([]int, len(out))
+	for i, s := range out {
+		ids[i] = s.id
+	}
+	return ids
+}
+
+// CanReload reports whether an evicted sequence fits back on device.
+func (m *Manager) CanReload(id int) bool {
+	s, ok := m.seqs[id]
+	return ok && s.onHost && m.pagesFor(s.tokens) <= m.free
+}
+
+// Reload brings an evicted sequence back to device memory, returning the
+// bytes moved over the host link.
+func (m *Manager) Reload(id int) (bytes int64, err error) {
+	s, ok := m.seqs[id]
+	if !ok {
+		return 0, fmt.Errorf("kvcache: reload unknown seq %d", id)
+	}
+	if !s.onHost {
+		return 0, fmt.Errorf("kvcache: reload resident seq %d", id)
+	}
+	need := m.pagesFor(s.tokens)
+	if need > m.free {
+		return 0, fmt.Errorf("kvcache: reload seq %d needs %d pages, only %d free", id, need, m.free)
+	}
+	m.free -= need
+	s.pages = need
+	s.onHost = false
+	m.reloads++
+	return int64(need) * m.pageBytes, nil
+}
+
+// Release frees a finished sequence entirely.
+func (m *Manager) Release(id int) error {
+	s, ok := m.seqs[id]
+	if !ok {
+		return fmt.Errorf("kvcache: release unknown seq %d", id)
+	}
+	if !s.onHost {
+		m.free += s.pages
+	}
+	delete(m.seqs, id)
+	return nil
+}
+
+// Stats returns an occupancy snapshot.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		TotalPages: m.total,
+		FreePages:  m.free,
+		Evictions:  m.evictions,
+		Reloads:    m.reloads,
+	}
+	for _, s := range m.seqs {
+		if s.onHost {
+			st.EvictedSeqs++
+			continue
+		}
+		st.ResidentSeqs++
+		st.ResidentTokens += s.tokens
+		st.InternalFragTokens += s.pages*m.cfg.PageTokens - s.tokens
+	}
+	return st
+}
+
+// Invariant checks internal consistency; tests call it after mutation
+// sequences.
+func (m *Manager) Invariant() error {
+	used := 0
+	for _, s := range m.seqs {
+		if s.onHost && s.pages != 0 {
+			return fmt.Errorf("kvcache: evicted seq %d still holds %d pages", s.id, s.pages)
+		}
+		if !s.onHost && s.pages < m.pagesFor(s.tokens) && m.cfg.Policy == Paged {
+			return fmt.Errorf("kvcache: seq %d holds %d pages for %d tokens", s.id, s.pages, s.tokens)
+		}
+		used += s.pages
+	}
+	if used+m.free != m.total {
+		return fmt.Errorf("kvcache: page accounting broken: used %d + free %d != total %d", used, m.free, m.total)
+	}
+	return nil
+}

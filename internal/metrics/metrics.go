@@ -1,0 +1,269 @@
+// Package metrics collects serving statistics (throughput over time,
+// request latencies) and the simulator's own component timing, and writes
+// the artifact's TSV outputs (*-throughput.tsv, *-simulation-time.tsv).
+// It also provides the error measures the paper validates with: mean
+// absolute percentage error for throughput-trend comparison (Fig. 6) and
+// geometric-mean error across configurations (Fig. 7).
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Iteration records one completed serving iteration.
+type Iteration struct {
+	Start, End   simtime.Time
+	PromptTokens int // prompt tokens processed (initiation work)
+	GenTokens    int // output tokens produced (generation work)
+	BatchSize    int
+}
+
+// Collector accumulates iteration and request records.
+type Collector struct {
+	iters []Iteration
+}
+
+// AddIteration appends one iteration record.
+func (c *Collector) AddIteration(it Iteration) { c.iters = append(c.iters, it) }
+
+// Iterations returns the recorded iterations.
+func (c *Collector) Iterations() []Iteration { return c.iters }
+
+// End returns the simulated end time of the run.
+func (c *Collector) End() simtime.Time {
+	if len(c.iters) == 0 {
+		return 0
+	}
+	return c.iters[len(c.iters)-1].End
+}
+
+// TotalPromptTokens sums prompt tokens across the run.
+func (c *Collector) TotalPromptTokens() int64 {
+	var n int64
+	for _, it := range c.iters {
+		n += int64(it.PromptTokens)
+	}
+	return n
+}
+
+// TotalGenTokens sums generated tokens across the run.
+func (c *Collector) TotalGenTokens() int64 {
+	var n int64
+	for _, it := range c.iters {
+		n += int64(it.GenTokens)
+	}
+	return n
+}
+
+// MeanThroughput returns overall prompt and generation token rates in
+// tokens/second over the whole run.
+func (c *Collector) MeanThroughput() (prompt, gen float64) {
+	end := c.End().Seconds()
+	if end <= 0 {
+		return 0, 0
+	}
+	return float64(c.TotalPromptTokens()) / end, float64(c.TotalGenTokens()) / end
+}
+
+// Bucket is one point of a throughput-over-time series (Fig. 6 rows).
+type Bucket struct {
+	Time      simtime.Time // bucket end
+	PromptTPS float64
+	GenTPS    float64
+}
+
+// Buckets bins iteration token counts into fixed windows; each iteration's
+// tokens are attributed to the window containing its end time.
+func (c *Collector) Buckets(width simtime.Duration) []Bucket {
+	if width <= 0 || len(c.iters) == 0 {
+		return nil
+	}
+	end := c.End()
+	n := int(int64(end)/int64(width)) + 1
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Time = simtime.Time(int64(i+1) * int64(width))
+	}
+	for _, it := range c.iters {
+		idx := int(int64(it.End) / int64(width))
+		if idx >= n {
+			idx = n - 1
+		}
+		out[idx].PromptTPS += float64(it.PromptTokens)
+		out[idx].GenTPS += float64(it.GenTokens)
+	}
+	sec := width.Seconds()
+	for i := range out {
+		out[i].PromptTPS /= sec
+		out[i].GenTPS /= sec
+	}
+	return out
+}
+
+// WriteThroughputTSV writes the artifact's *-throughput.tsv format.
+func WriteThroughputTSV(w io.Writer, buckets []Bucket) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s\tprompt_throughput_tps\tgen_throughput_tps"); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		if _, err := fmt.Fprintf(bw, "%.3f\t%.2f\t%.2f\n", b.Time.Seconds(), b.PromptTPS, b.GenTPS); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ComponentTimes is the host wall-clock breakdown of one simulation run
+// across the four LLMServingSim components (the Fig. 9 stack).
+type ComponentTimes struct {
+	Scheduler       time.Duration
+	ExecutionEngine time.Duration
+	GraphConverter  time.Duration
+	AstraSim        time.Duration
+}
+
+// Total sums the component times.
+func (c ComponentTimes) Total() time.Duration {
+	return c.Scheduler + c.ExecutionEngine + c.GraphConverter + c.AstraSim
+}
+
+// Add accumulates another breakdown.
+func (c *ComponentTimes) Add(o ComponentTimes) {
+	c.Scheduler += o.Scheduler
+	c.ExecutionEngine += o.ExecutionEngine
+	c.GraphConverter += o.GraphConverter
+	c.AstraSim += o.AstraSim
+}
+
+// WriteSimulationTimeTSV writes the artifact's *-simulation-time.tsv
+// format (per-component milliseconds).
+func WriteSimulationTimeTSV(w io.Writer, c ComponentTimes) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "component\ttime_ms"); err != nil {
+		return err
+	}
+	rows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"scheduler", c.Scheduler},
+		{"execution_engine", c.ExecutionEngine},
+		{"graph_converter", c.GraphConverter},
+		{"astra_sim", c.AstraSim},
+		{"total", c.Total()},
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(bw, "%s\t%.3f\n", r.name, float64(r.d)/float64(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MeanAbsPctError compares two aligned series as the paper's validation
+// does: mean of |a-b| / max(b, floor) over points where the reference b is
+// active. floor guards division blow-ups in idle windows.
+func MeanAbsPctError(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var ref float64
+	for i := 0; i < n; i++ {
+		if b[i] > ref {
+			ref = b[i]
+		}
+	}
+	floor := ref * 0.05 // ignore near-idle reference windows
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		if b[i] <= floor {
+			continue
+		}
+		sum += math.Abs(a[i]-b[i]) / b[i]
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// GeomeanError returns the geometric mean of |a-b|/b across configuration
+// pairs, the Fig. 7 summary statistic (8.88% in the paper).
+func GeomeanError(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var logSum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		if b[i] == 0 {
+			continue
+		}
+		e := math.Abs(a[i]-b[i]) / b[i]
+		if e == 0 {
+			e = 1e-9 // avoid log(0); an exact match contributes ~zero error
+		}
+		logSum += math.Log(e)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(cnt))
+}
+
+// LatencyStats summarises request completion latencies.
+type LatencyStats struct {
+	Count                   int
+	MeanSec, P50Sec, P95Sec float64
+	MeanTTFTSec             float64 // time to first token
+}
+
+// Latency computes statistics from (arrival, firstToken, completed)
+// triples expressed as simulated times.
+func Latency(arrivals, firstTokens, completions []simtime.Time) LatencyStats {
+	n := len(arrivals)
+	if n == 0 || len(firstTokens) != n || len(completions) != n {
+		return LatencyStats{}
+	}
+	lat := make([]float64, n)
+	var sum, ttft float64
+	for i := 0; i < n; i++ {
+		lat[i] = completions[i].Sub(arrivals[i]).Seconds()
+		sum += lat[i]
+		ttft += firstTokens[i].Sub(arrivals[i]).Seconds()
+	}
+	sort.Float64s(lat)
+	return LatencyStats{
+		Count:       n,
+		MeanSec:     sum / float64(n),
+		P50Sec:      lat[n/2],
+		P95Sec:      lat[min(n-1, n*95/100)],
+		MeanTTFTSec: ttft / float64(n),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestCollectorTotals(t *testing.T) {
+	var c Collector
+	c.AddIteration(Iteration{Start: 0, End: simtime.AtSeconds(1), PromptTokens: 100, GenTokens: 10, BatchSize: 4})
+	c.AddIteration(Iteration{Start: simtime.AtSeconds(1), End: simtime.AtSeconds(2), PromptTokens: 0, GenTokens: 20, BatchSize: 4})
+	if c.TotalPromptTokens() != 100 || c.TotalGenTokens() != 30 {
+		t.Fatal("totals")
+	}
+	if c.End() != simtime.AtSeconds(2) {
+		t.Fatal("end")
+	}
+	p, g := c.MeanThroughput()
+	if p != 50 || g != 15 {
+		t.Fatalf("throughput %v %v", p, g)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	var c Collector
+	if c.End() != 0 {
+		t.Fatal("empty end")
+	}
+	p, g := c.MeanThroughput()
+	if p != 0 || g != 0 {
+		t.Fatal("empty throughput")
+	}
+	if c.Buckets(simtime.Second) != nil {
+		t.Fatal("empty buckets")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	var c Collector
+	// Iterations ending at 0.5s, 1.5s, 1.7s.
+	c.AddIteration(Iteration{End: simtime.AtSeconds(0.5), PromptTokens: 10, GenTokens: 1})
+	c.AddIteration(Iteration{End: simtime.AtSeconds(1.5), GenTokens: 2})
+	c.AddIteration(Iteration{End: simtime.AtSeconds(1.7), GenTokens: 3})
+	b := c.Buckets(simtime.Second)
+	if len(b) != 2 {
+		t.Fatalf("buckets %d", len(b))
+	}
+	if b[0].PromptTPS != 10 || b[0].GenTPS != 1 {
+		t.Fatalf("bucket 0 %+v", b[0])
+	}
+	if b[1].GenTPS != 5 {
+		t.Fatalf("bucket 1 %+v", b[1])
+	}
+	if c.Buckets(0) != nil {
+		t.Fatal("zero width")
+	}
+}
+
+func TestWriteThroughputTSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteThroughputTSV(&buf, []Bucket{
+		{Time: simtime.AtSeconds(10), PromptTPS: 100.5, GenTPS: 20.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_s\tprompt_throughput_tps\tgen_throughput_tps\n") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "10.000\t100.50\t20.25") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestComponentTimes(t *testing.T) {
+	c := ComponentTimes{Scheduler: time.Second, ExecutionEngine: 2 * time.Second,
+		GraphConverter: 3 * time.Second, AstraSim: 4 * time.Second}
+	if c.Total() != 10*time.Second {
+		t.Fatal("total")
+	}
+	var sum ComponentTimes
+	sum.Add(c)
+	sum.Add(c)
+	if sum.Total() != 20*time.Second {
+		t.Fatal("add")
+	}
+	var buf bytes.Buffer
+	if err := WriteSimulationTimeTSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"component\ttime_ms", "scheduler\t1000.000", "astra_sim\t4000.000", "total\t10000.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	if e := MeanAbsPctError([]float64{100, 100}, []float64{100, 100}); e != 0 {
+		t.Fatalf("identical series error %v", e)
+	}
+	if e := MeanAbsPctError([]float64{110, 90}, []float64{100, 100}); math.Abs(e-0.1) > 1e-9 {
+		t.Fatalf("10%% error: %v", e)
+	}
+	// Idle reference windows are excluded.
+	if e := MeanAbsPctError([]float64{110, 500}, []float64{100, 0}); math.Abs(e-0.1) > 1e-9 {
+		t.Fatalf("idle exclusion: %v", e)
+	}
+	if MeanAbsPctError(nil, nil) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestGeomeanError(t *testing.T) {
+	// Two configs at 10% and 40% error: geomean = 20%.
+	e := GeomeanError([]float64{110, 140}, []float64{100, 100})
+	if math.Abs(e-0.2) > 1e-9 {
+		t.Fatalf("geomean %v", e)
+	}
+	if GeomeanError(nil, nil) != 0 {
+		t.Fatal("empty")
+	}
+	// Zero reference entries are skipped.
+	e = GeomeanError([]float64{110, 1}, []float64{100, 0})
+	if math.Abs(e-0.1) > 1e-9 {
+		t.Fatalf("zero skip %v", e)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	arr := []simtime.Time{0, 0}
+	first := []simtime.Time{simtime.AtSeconds(1), simtime.AtSeconds(2)}
+	comp := []simtime.Time{simtime.AtSeconds(3), simtime.AtSeconds(5)}
+	s := Latency(arr, first, comp)
+	if s.Count != 2 || s.MeanSec != 4 || s.MeanTTFTSec != 1.5 {
+		t.Fatalf("latency %+v", s)
+	}
+	if s.P50Sec != 5 || s.P95Sec != 5 {
+		t.Fatalf("percentiles %+v", s)
+	}
+	if Latency(nil, nil, nil).Count != 0 {
+		t.Fatal("empty")
+	}
+	if Latency(arr, first, comp[:1]).Count != 0 {
+		t.Fatal("mismatched lengths must yield zero")
+	}
+}

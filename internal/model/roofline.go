@@ -1,0 +1,76 @@
+package model
+
+import "sort"
+
+// RooflinePoint places one operator on a device roofline (Fig. 2b): its
+// arithmetic intensity and the performance the device can attain for it.
+type RooflinePoint struct {
+	Name           string
+	Kind           OpKind
+	Phase          Phase
+	Intensity      float64 // FLOPs per byte
+	AttainedTFLOPS float64
+	Bound          string // "compute" or "memory"
+}
+
+// Roofline evaluates operators against a device with the given peak
+// compute rate (FLOP/s) and memory bandwidth (B/s): attainable performance
+// is min(peak, intensity x bandwidth).
+func Roofline(ops []Op, peakFLOPs, bwBytes float64, dtypeBytes int) []RooflinePoint {
+	pts := make([]RooflinePoint, 0, len(ops))
+	for _, op := range ops {
+		ai := op.ArithmeticIntensity(dtypeBytes)
+		attained := ai * bwBytes
+		bound := "memory"
+		if attained >= peakFLOPs {
+			attained = peakFLOPs
+			bound = "compute"
+		}
+		pts = append(pts, RooflinePoint{
+			Name:           op.Name,
+			Kind:           op.Kind,
+			Phase:          op.Phase,
+			Intensity:      ai,
+			AttainedTFLOPS: attained / 1e12,
+			Bound:          bound,
+		})
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Intensity < pts[j].Intensity })
+	return pts
+}
+
+// RooflineOps builds the representative operator set the paper plots for
+// both phases of one model: LayerNorm, QKV generation, Score, Attend, and
+// FFN, in the initiation phase (prompt of seqLen tokens) and the
+// generation phase (one token against a seqLen context), at the given
+// batch size.
+func RooflineOps(cfg Config, batch, seqLen int) ([]Op, error) {
+	var out []Op
+	for _, phase := range []Phase{Initiation, Generation} {
+		seqs := make([]Seq, batch)
+		for i := range seqs {
+			if phase == Initiation {
+				seqs[i] = Seq{ReqID: i, NewTokens: seqLen, Context: 0, Phase: Initiation}
+			} else {
+				seqs[i] = Seq{ReqID: i, NewTokens: 1, Context: seqLen, Phase: Generation}
+			}
+		}
+		it, err := BuildIteration(cfg, seqs, 1)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[OpKind]bool{}
+		for _, op := range it.Block {
+			switch op.Kind {
+			case OpLayerNorm, OpQKVGen, OpScore, OpAttend, OpFFN1:
+				if seen[op.Kind] {
+					continue
+				}
+				seen[op.Kind] = true
+				op.Phase = phase
+				out = append(out, op)
+			}
+		}
+	}
+	return out, nil
+}

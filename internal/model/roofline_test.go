@@ -1,0 +1,63 @@
+package model
+
+import "testing"
+
+// TestRooflineFig2b checks the qualitative claims of Fig. 2(b): attention
+// and layer-norm operators have low arithmetic intensity (memory-bound),
+// QKV generation and FFN are high intensity (compute-bound), and the
+// generation phase sits further into the memory-bound region than
+// initiation.
+func TestRooflineFig2b(t *testing.T) {
+	cfg := MustLookup("gpt3-7b")
+	ops, err := RooflineOps(cfg, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTX 3090-like roofline.
+	pts := Roofline(ops, 71e12, 936e9, 2)
+
+	intensity := map[string]float64{}
+	bound := map[string]string{}
+	for _, p := range pts {
+		key := p.Phase.String() + "/" + p.Kind.String()
+		intensity[key] = p.Intensity
+		bound[key] = p.Bound
+	}
+
+	if bound["initiation/QKVGen"] != "compute" || bound["initiation/FFN1"] != "compute" {
+		t.Errorf("initiation GEMMs should be compute-bound: %v", bound)
+	}
+	if bound["generation/Score"] != "memory" || bound["generation/Attend"] != "memory" {
+		t.Errorf("generation attention should be memory-bound: %v", bound)
+	}
+	if bound["initiation/LayerNorm"] != "memory" || bound["generation/LayerNorm"] != "memory" {
+		t.Errorf("layernorm should be memory-bound: %v", bound)
+	}
+	if intensity["generation/QKVGen"] >= intensity["initiation/QKVGen"] {
+		t.Errorf("generation QKV intensity %.1f should be below initiation %.1f",
+			intensity["generation/QKVGen"], intensity["initiation/QKVGen"])
+	}
+	if intensity["initiation/Score"] >= intensity["initiation/FFN1"] {
+		t.Errorf("attention intensity %.1f should be below FFN %.1f",
+			intensity["initiation/Score"], intensity["initiation/FFN1"])
+	}
+}
+
+func TestRooflineSorted(t *testing.T) {
+	cfg := MustLookup("gpt2")
+	ops, err := RooflineOps(cfg, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Roofline(ops, 1e12, 1e11, 2)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Intensity < pts[i-1].Intensity {
+			t.Fatal("points must be sorted by intensity")
+		}
+	}
+	for _, p := range pts {
+		if p.AttainedTFLOPS <= 0 || p.AttainedTFLOPS > 1.0001 {
+			t.Fatalf("%s attained %.3f TFLOPS outside (0, peak]", p.Name, p.AttainedTFLOPS)
+		}
+	}
+}

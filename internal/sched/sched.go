@@ -1,0 +1,475 @@
+// Package sched implements iteration-level request scheduling for LLM
+// serving simulation — the Orca-style continuous batching at the heart of
+// LLMServingSim's workflow (Fig. 4, step 1), intertwined with vLLM-style
+// paged KV-cache admission, eviction and reload, plus the sub-batch
+// partitioning used for NPU+PIM interleaving (Algorithm 1, line 2).
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Policy selects the batching discipline (the artifact's scheduling
+// parameter).
+type Policy int
+
+const (
+	// Orca reschedules the batch every iteration: finished requests leave
+	// immediately and new arrivals join immediately.
+	Orca Policy = iota
+	// Static runs an admitted batch to completion before admitting more,
+	// the pre-Orca baseline.
+	Static
+)
+
+// ParsePolicy converts the artifact's CLI values.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "orca", "iteration":
+		return Orca, nil
+	case "static", "batch":
+		return Static, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown policy %q (want orca|static)", s)
+	}
+}
+
+func (p Policy) String() string {
+	if p == Static {
+		return "static"
+	}
+	return "orca"
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	Policy     Policy
+	MaxBatch   int              // maximum requests per iteration; 0 = unlimited
+	BatchDelay simtime.Duration // extra wait to accumulate arrivals when idle
+	SubBatches int              // >1 partitions batches for engine interleaving
+	// SkipPrefill admits requests directly in the generation phase with
+	// their prompt KV assumed resident (the artifact's "gen" flag, used to
+	// isolate generation-phase behaviour).
+	SkipPrefill bool
+}
+
+// PageOp is a KV paging action decided during batch formation, to be
+// turned into a memory transfer node by the graph converter.
+type PageOp struct {
+	ReqID int
+	Bytes int64
+	Load  bool // reload from host vs evict to host
+}
+
+// Batch is one iteration's scheduled work.
+type Batch struct {
+	Time    simtime.Time // iteration start (scheduler clock)
+	Seqs    []model.Seq
+	PageOps []PageOp
+	// SubBatch maps request ID to its sub-batch index (all zero when
+	// partitioning is off).
+	SubBatch map[int]int
+	// PromptTokens counts prompt tokens processed this iteration;
+	// DecodeSeqs counts generation-phase sequences.
+	PromptTokens int
+	DecodeSeqs   int
+}
+
+// Finished records one completed request.
+type Finished struct {
+	Req        workload.Request
+	FirstToken simtime.Time // when the first output token was produced
+	Completed  simtime.Time
+}
+
+// reqState tracks a request through its serving lifetime.
+type reqState struct {
+	req       workload.Request
+	generated int
+	prefilled bool
+	first     simtime.Time
+}
+
+// Scheduler forms iteration batches from a request trace against a KV
+// cache budget.
+type Scheduler struct {
+	cfg Config
+	kv  *kvcache.Manager
+
+	pending []workload.Request // arrival-sorted, not yet admitted
+	cursor  int
+	active  []*reqState // admission order
+	clock   simtime.Time
+
+	finished   []Finished
+	iterations int
+}
+
+// New creates a scheduler over the given trace. The trace is sorted by
+// arrival time internally.
+func New(cfg Config, kv *kvcache.Manager, reqs []workload.Request) (*Scheduler, error) {
+	if kv == nil {
+		return nil, fmt.Errorf("sched: nil kv manager")
+	}
+	if cfg.SubBatches < 0 {
+		return nil, fmt.Errorf("sched: negative sub-batch count %d", cfg.SubBatches)
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("sched: negative max batch %d", cfg.MaxBatch)
+	}
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	return &Scheduler{cfg: cfg, kv: kv, pending: sorted}, nil
+}
+
+// Clock returns the scheduler's current simulated time.
+func (s *Scheduler) Clock() simtime.Time { return s.clock }
+
+// Iterations returns how many batches have completed.
+func (s *Scheduler) Iterations() int { return s.iterations }
+
+// Finished returns the completed requests so far, in completion order.
+func (s *Scheduler) Finished() []Finished { return s.finished }
+
+// Done reports whether all requests have completed.
+func (s *Scheduler) Done() bool {
+	return s.cursor == len(s.pending) && len(s.active) == 0
+}
+
+// Next forms the next iteration batch (Algorithm 1, line 1 "Batch
+// formatting"). It advances the clock to the next arrival when the system
+// is idle. ok is false when all requests have completed.
+func (s *Scheduler) Next() (b *Batch, ok bool) {
+	if s.Done() {
+		return nil, false
+	}
+	// Idle system: jump to the next arrival (plus the configured batching
+	// delay to accumulate a fuller first batch).
+	if len(s.active) == 0 && !s.anyEvicted() {
+		arr := s.pending[s.cursor].Arrival
+		t := arr.Add(s.cfg.BatchDelay)
+		if s.clock.Before(t) {
+			s.clock = t
+		}
+	}
+
+	var ops []PageOp
+
+	// Reload previously evicted sequences when memory permits (oldest
+	// first, as the paper reloads "for processing in subsequent batches").
+	for _, id := range s.kv.Evicted() {
+		if !s.kv.CanReload(id) {
+			break
+		}
+		bytes, err := s.kv.Reload(id)
+		if err != nil {
+			break
+		}
+		ops = append(ops, PageOp{ReqID: id, Bytes: bytes, Load: true})
+	}
+
+	// Admit new arrivals under Orca (Static admits only when drained).
+	if s.cfg.Policy == Orca || len(s.active) == 0 {
+		s.admit(&ops)
+	}
+
+	// Grow every resident running sequence by one token slot; on memory
+	// exhaustion, evict the most recently admitted sequences until the
+	// growth fits (the paper's eviction policy).
+	batchSeqs := make([]model.Seq, 0, len(s.active))
+	var promptTokens, decodeSeqs int
+	evictedThisIter := map[int]bool{}
+	count := 0
+	for _, st := range s.active {
+		if s.cfg.MaxBatch > 0 && count >= s.cfg.MaxBatch {
+			break
+		}
+		id := st.req.ID
+		if evictedThisIter[id] || !s.kv.Resident(id) {
+			continue
+		}
+		if st.prefilled {
+			// Reserve the KV slot for the token produced this iteration.
+			if !s.growOrEvict(id, &ops, evictedThisIter) {
+				continue
+			}
+			ctx := st.req.InputLen + st.generated - 1
+			batchSeqs = append(batchSeqs, model.Seq{
+				ReqID: id, NewTokens: 1, Context: ctx, Phase: model.Generation,
+			})
+			decodeSeqs++
+		} else {
+			batchSeqs = append(batchSeqs, model.Seq{
+				ReqID: id, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation,
+			})
+			promptTokens += st.req.InputLen
+		}
+		count++
+	}
+
+	if len(batchSeqs) == 0 {
+		// Everything resident was evicted or nothing is runnable yet;
+		// advance to the next arrival and retry, or report starvation.
+		if s.cursor < len(s.pending) {
+			s.clock = simtime.Later(s.clock, s.pending[s.cursor].Arrival)
+			s.admit(&ops)
+			return s.retryAfterAdmit(ops)
+		}
+		// All remaining requests are evicted with no memory to reload:
+		// forcibly reload the oldest (the system would thrash; the
+		// simulator must still make progress).
+		if id, ok := s.forceReload(&ops); ok {
+			st := s.findActive(id)
+			if st != nil {
+				b := s.buildSingle(st, ops)
+				return b, true
+			}
+		}
+		return nil, false
+	}
+
+	return &Batch{
+		Time:         s.clock,
+		Seqs:         batchSeqs,
+		PageOps:      ops,
+		SubBatch:     s.partition(batchSeqs),
+		PromptTokens: promptTokens,
+		DecodeSeqs:   decodeSeqs,
+	}, true
+}
+
+// retryAfterAdmit rebuilds a batch right after late admissions; used when
+// the first pass found nothing runnable.
+func (s *Scheduler) retryAfterAdmit(ops []PageOp) (*Batch, bool) {
+	batchSeqs := make([]model.Seq, 0, len(s.active))
+	promptTokens := 0
+	for _, st := range s.active {
+		if st.prefilled || !s.kv.Resident(st.req.ID) {
+			continue
+		}
+		batchSeqs = append(batchSeqs, model.Seq{
+			ReqID: st.req.ID, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation,
+		})
+		promptTokens += st.req.InputLen
+		if s.cfg.MaxBatch > 0 && len(batchSeqs) >= s.cfg.MaxBatch {
+			break
+		}
+	}
+	if len(batchSeqs) == 0 {
+		return nil, false
+	}
+	return &Batch{
+		Time:         s.clock,
+		Seqs:         batchSeqs,
+		PageOps:      ops,
+		SubBatch:     s.partition(batchSeqs),
+		PromptTokens: promptTokens,
+	}, true
+}
+
+// buildSingle runs one sequence alone (thrash-recovery path).
+func (s *Scheduler) buildSingle(st *reqState, ops []PageOp) *Batch {
+	seq := model.Seq{ReqID: st.req.ID, NewTokens: 1, Context: st.req.InputLen + st.generated - 1, Phase: model.Generation}
+	promptTokens := 0
+	if !st.prefilled {
+		seq = model.Seq{ReqID: st.req.ID, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation}
+		promptTokens = st.req.InputLen
+	}
+	return &Batch{
+		Time:         s.clock,
+		Seqs:         []model.Seq{seq},
+		PageOps:      ops,
+		SubBatch:     map[int]int{st.req.ID: 0},
+		PromptTokens: promptTokens,
+		DecodeSeqs:   boolToInt(st.prefilled),
+	}
+}
+
+// admit pulls arrived requests into the active set while KV memory fits.
+func (s *Scheduler) admit(ops *[]PageOp) {
+	for s.cursor < len(s.pending) {
+		r := s.pending[s.cursor]
+		if r.Arrival.After(s.clock) {
+			break
+		}
+		if s.cfg.MaxBatch > 0 && s.runnableCount() >= s.cfg.MaxBatch {
+			break
+		}
+		if !s.kv.CanAdmit(r.InputLen) {
+			break
+		}
+		if err := s.kv.Admit(r.ID, r.InputLen); err != nil {
+			break
+		}
+		st := &reqState{req: r}
+		if s.cfg.SkipPrefill {
+			// Generation-only mode: the prompt KV is assumed resident and
+			// the first token is accounted at admission.
+			st.prefilled = true
+			st.generated = 1
+			st.first = s.clock
+		}
+		s.active = append(s.active, st)
+		s.cursor++
+		_ = ops // admissions allocate fresh pages; no transfer needed
+	}
+}
+
+// growOrEvict extends seq id by one token, evicting newest-admitted other
+// sequences on demand. Returns false if id itself was evicted.
+func (s *Scheduler) growOrEvict(id int, ops *[]PageOp, evicted map[int]bool) bool {
+	for {
+		if _, err := s.kv.Extend(id, 1); err == nil {
+			return true
+		}
+		vid, bytes, ok := s.kv.EvictLast()
+		if !ok {
+			return false
+		}
+		*ops = append(*ops, PageOp{ReqID: vid, Bytes: bytes, Load: false})
+		evicted[vid] = true
+		if vid == id {
+			return false
+		}
+	}
+}
+
+// forceReload evicts nothing but reloads the oldest evicted sequence by
+// first releasing enough... it simply reloads if possible; returns ok.
+func (s *Scheduler) forceReload(ops *[]PageOp) (int, bool) {
+	ev := s.kv.Evicted()
+	if len(ev) == 0 {
+		return 0, false
+	}
+	id := ev[0]
+	if !s.kv.CanReload(id) {
+		return 0, false
+	}
+	bytes, err := s.kv.Reload(id)
+	if err != nil {
+		return 0, false
+	}
+	*ops = append(*ops, PageOp{ReqID: id, Bytes: bytes, Load: true})
+	return id, true
+}
+
+// Complete applies one simulated iteration's outcome: the clock advances
+// by the iteration latency, every scheduled sequence emits one token, and
+// finished requests release their KV pages (Fig. 4's feedback edge from
+// ASTRA-sim back to the scheduler).
+func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
+	if b == nil {
+		return fmt.Errorf("sched: nil batch")
+	}
+	if latency < 0 {
+		return fmt.Errorf("sched: negative iteration latency %v", latency)
+	}
+	s.clock = b.Time.Add(latency)
+	s.iterations++
+
+	for _, seq := range b.Seqs {
+		st := s.findActive(seq.ReqID)
+		if st == nil {
+			return fmt.Errorf("sched: completed unknown request %d", seq.ReqID)
+		}
+		if !st.prefilled {
+			st.prefilled = true
+			st.generated = 1
+			st.first = s.clock
+		} else {
+			st.generated++
+		}
+		if st.generated >= st.req.OutputLen {
+			if err := s.kv.Release(st.req.ID); err != nil {
+				return err
+			}
+			s.finished = append(s.finished, Finished{
+				Req: st.req, FirstToken: st.first, Completed: s.clock,
+			})
+			s.removeActive(st.req.ID)
+		}
+	}
+	return nil
+}
+
+// partition splits the batch into SubBatches groups balanced by new-token
+// load (longest-processing-time assignment), the paper's "fairness of
+// computation load" criteria.
+func (s *Scheduler) partition(seqs []model.Seq) map[int]int {
+	out := make(map[int]int, len(seqs))
+	n := s.cfg.SubBatches
+	if n <= 1 {
+		for _, q := range seqs {
+			out[q.ReqID] = 0
+		}
+		return out
+	}
+	// Sort by descending work (new tokens, then context), assign each to
+	// the lightest bucket.
+	order := append([]model.Seq(nil), seqs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		wi := order[i].NewTokens*1024 + order[i].Context
+		wj := order[j].NewTokens*1024 + order[j].Context
+		return wi > wj
+	})
+	load := make([]int, n)
+	for _, q := range order {
+		best := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		load[best] += q.NewTokens*1024 + q.Context
+		out[q.ReqID] = best
+	}
+	return out
+}
+
+func (s *Scheduler) runnableCount() int {
+	n := 0
+	for _, st := range s.active {
+		if s.kv.Resident(st.req.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) anyEvicted() bool { return len(s.kv.Evicted()) > 0 }
+
+func (s *Scheduler) findActive(id int) *reqState {
+	for _, st := range s.active {
+		if st.req.ID == id {
+			return st
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) removeActive(id int) {
+	for i, st := range s.active {
+		if st.req.ID == id {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// The TSV trace format matches the artifact's dataset files: a header line
+// followed by one request per line with input token count, output token
+// count, and arrival time in milliseconds.
+const tsvHeader = "input_toks\toutput_toks\tarrival_time_ms"
+
+// WriteTSV writes a trace in the artifact's TSV format.
+func WriteTSV(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, tsvHeader); err != nil {
+		return fmt.Errorf("workload: writing trace: %w", err)
+	}
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		ms := simtime.Duration(r.Arrival).Milliseconds()
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%.3f\n", r.InputLen, r.OutputLen, ms); err != nil {
+			return fmt.Errorf("workload: writing trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses a trace in the artifact's TSV format. A header line is
+// optional. IDs are assigned in file order.
+func ReadTSV(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var reqs []Request
+	lineNo := 0
+	sawContent := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if !sawContent && looksLikeHeader(fields) {
+			sawContent = true
+			continue
+		}
+		sawContent = true
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("workload: line %d: want 3 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		in, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: input tokens: %w", lineNo, err)
+		}
+		out, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: output tokens: %w", lineNo, err)
+		}
+		ms, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: arrival time: %w", lineNo, err)
+		}
+		req := Request{
+			ID:        len(reqs),
+			InputLen:  in,
+			OutputLen: out,
+			Arrival:   simtime.Time(ms * float64(simtime.Millisecond)),
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return reqs, nil
+}
+
+func looksLikeHeader(fields []string) bool {
+	if len(fields) == 0 {
+		return false
+	}
+	_, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	return err != nil
+}
+
+// LoadTSVFile reads a trace file from disk.
+func LoadTSVFile(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return ReadTSV(f)
+}
+
+// SaveTSVFile writes a trace file to disk.
+func SaveTSVFile(path string, reqs []Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if err := WriteTSV(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

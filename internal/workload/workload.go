@@ -1,0 +1,220 @@
+// Package workload generates and loads LLM inference request traces.
+//
+// A trace is a sequence of (input tokens, output tokens, arrival time)
+// tuples, the exact format the artifact consumes from TSV files. Because
+// the real ShareGPT and Alpaca datasets are not available offline, the
+// package synthesises traces from log-normal length distributions fitted
+// to the published summary statistics of those datasets and overlays
+// Poisson arrivals, which is precisely how the paper reshapes the datasets
+// for its experiments (Section VI-B).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Request is one inference request in a trace.
+type Request struct {
+	ID        int
+	InputLen  int          // prompt tokens
+	OutputLen int          // tokens to generate
+	Arrival   simtime.Time // arrival time relative to trace start
+}
+
+// TotalLen returns the final sequence length of the request.
+func (r Request) TotalLen() int { return r.InputLen + r.OutputLen }
+
+// Validate reports an error if the request is malformed.
+func (r Request) Validate() error {
+	if r.InputLen <= 0 {
+		return fmt.Errorf("workload: request %d has input length %d", r.ID, r.InputLen)
+	}
+	if r.OutputLen <= 0 {
+		return fmt.Errorf("workload: request %d has output length %d", r.ID, r.OutputLen)
+	}
+	if r.Arrival < 0 {
+		return fmt.Errorf("workload: request %d has negative arrival", r.ID)
+	}
+	return nil
+}
+
+// LengthDist is a distribution over (input, output) token lengths.
+type LengthDist struct {
+	Name string
+	// Log-normal parameters for input and output lengths.
+	InMu, InSigma   float64
+	OutMu, OutSigma float64
+	MinLen, MaxLen  int // clamp range for each side
+}
+
+// Sample draws one (input, output) pair.
+func (d LengthDist) Sample(rng *rand.Rand) (in, out int) {
+	in = d.clamp(math.Exp(d.InMu + d.InSigma*rng.NormFloat64()))
+	out = d.clamp(math.Exp(d.OutMu + d.OutSigma*rng.NormFloat64()))
+	return in, out
+}
+
+func (d LengthDist) clamp(v float64) int {
+	n := int(math.Round(v))
+	if n < d.MinLen {
+		n = d.MinLen
+	}
+	if n > d.MaxLen {
+		n = d.MaxLen
+	}
+	return n
+}
+
+// ShareGPT approximates the ShareGPT conversation dataset: medium prompts
+// with long, chatty responses (median input ~2 hundred tokens, responses of
+// a few hundred tokens with a heavy tail).
+func ShareGPT() LengthDist {
+	return LengthDist{
+		Name: "sharegpt",
+		InMu: math.Log(170), InSigma: 0.95,
+		OutMu: math.Log(210), OutSigma: 0.85,
+		MinLen: 4, MaxLen: 1024,
+	}
+}
+
+// Alpaca approximates the Stanford Alpaca instruction dataset: short
+// instructions with short completions (tens of tokens each).
+func Alpaca() LengthDist {
+	return LengthDist{
+		Name: "alpaca",
+		InMu: math.Log(22), InSigma: 0.65,
+		OutMu: math.Log(58), OutSigma: 0.95,
+		MinLen: 4, MaxLen: 512,
+	}
+}
+
+// Fixed returns a degenerate distribution that always yields the given
+// lengths; used by the simulation-time experiments (batch 32, seq 512 ...).
+func Fixed(in, out int) LengthDist {
+	return LengthDist{
+		Name: fmt.Sprintf("fixed-%d-%d", in, out),
+		InMu: math.Log(float64(in)), OutMu: math.Log(float64(out)),
+		MinLen: 1, MaxLen: 1 << 20,
+	}
+}
+
+// PoissonTrace draws n requests with lengths from dist and exponential
+// inter-arrival gaps at the given mean rate (requests per second). The
+// result is sorted by arrival time and IDs are assigned in arrival order.
+func PoissonTrace(dist LengthDist, n int, ratePerSec float64, seed int64) ([]Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", ratePerSec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / ratePerSec
+		in, out := dist.Sample(rng)
+		reqs[i] = Request{ID: i, InputLen: in, OutputLen: out, Arrival: simtime.AtSeconds(t)}
+	}
+	return reqs, nil
+}
+
+// BurstTrace returns n requests that all arrive at time zero, the setup
+// used by the one-iteration simulation-time experiments.
+func BurstTrace(dist LengthDist, n int, seed int64) ([]Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		in, out := dist.Sample(rng)
+		reqs[i] = Request{ID: i, InputLen: in, OutputLen: out}
+	}
+	return reqs, nil
+}
+
+// UniformBatch returns n identical requests: the "batch size 32, sequence
+// length 512" style inputs of Figs. 8-10.
+func UniformBatch(n, inputLen, outputLen int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, InputLen: inputLen, OutputLen: outputLen}
+	}
+	return reqs
+}
+
+// SortByArrival sorts requests by arrival time (stable on ID) and
+// renumbers IDs in arrival order.
+func SortByArrival(reqs []Request) {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Arrival != reqs[j].Arrival {
+			return reqs[i].Arrival < reqs[j].Arrival
+		}
+		return reqs[i].ID < reqs[j].ID
+	})
+	for i := range reqs {
+		reqs[i].ID = i
+	}
+}
+
+// Stats summarises a trace.
+type Stats struct {
+	Count                 int
+	MeanInput, MeanOutput float64
+	P50Input, P50Output   int
+	P95Input, P95Output   int
+	TotalTokens           int64
+	Span                  simtime.Duration // last arrival - first arrival
+}
+
+// Summarize computes trace statistics.
+func Summarize(reqs []Request) Stats {
+	if len(reqs) == 0 {
+		return Stats{}
+	}
+	ins := make([]int, len(reqs))
+	outs := make([]int, len(reqs))
+	var s Stats
+	s.Count = len(reqs)
+	first, last := reqs[0].Arrival, reqs[0].Arrival
+	for i, r := range reqs {
+		ins[i], outs[i] = r.InputLen, r.OutputLen
+		s.MeanInput += float64(r.InputLen)
+		s.MeanOutput += float64(r.OutputLen)
+		s.TotalTokens += int64(r.TotalLen())
+		if r.Arrival < first {
+			first = r.Arrival
+		}
+		if r.Arrival > last {
+			last = r.Arrival
+		}
+	}
+	s.MeanInput /= float64(s.Count)
+	s.MeanOutput /= float64(s.Count)
+	sort.Ints(ins)
+	sort.Ints(outs)
+	s.P50Input, s.P50Output = percentile(ins, 0.50), percentile(outs, 0.50)
+	s.P95Input, s.P95Output = percentile(ins, 0.95), percentile(outs, 0.95)
+	s.Span = last.Sub(first)
+	return s
+}
+
+func percentile(sorted []int, p float64) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

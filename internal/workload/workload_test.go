@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestDistributionsClamped(t *testing.T) {
+	for _, d := range []LengthDist{ShareGPT(), Alpaca()} {
+		reqs, err := BurstTrace(d, 500, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range reqs {
+			if r.InputLen < d.MinLen || r.InputLen > d.MaxLen {
+				t.Fatalf("%s: input %d outside [%d,%d]", d.Name, r.InputLen, d.MinLen, d.MaxLen)
+			}
+			if r.OutputLen < d.MinLen || r.OutputLen > d.MaxLen {
+				t.Fatalf("%s: output %d outside [%d,%d]", d.Name, r.OutputLen, d.MinLen, d.MaxLen)
+			}
+		}
+	}
+}
+
+// TestDistributionShapes checks the two datasets' relative character:
+// ShareGPT conversations are much longer than Alpaca instructions.
+func TestDistributionShapes(t *testing.T) {
+	sg, _ := BurstTrace(ShareGPT(), 2000, 7)
+	al, _ := BurstTrace(Alpaca(), 2000, 7)
+	s1, s2 := Summarize(sg), Summarize(al)
+	if s1.MeanInput <= 2*s2.MeanInput {
+		t.Errorf("ShareGPT mean input %.0f should far exceed Alpaca %.0f", s1.MeanInput, s2.MeanInput)
+	}
+	if s1.MeanOutput <= s2.MeanOutput {
+		t.Errorf("ShareGPT mean output %.0f should exceed Alpaca %.0f", s1.MeanOutput, s2.MeanOutput)
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	reqs, _ := BurstTrace(Fixed(512, 128), 10, 1)
+	for _, r := range reqs {
+		if r.InputLen != 512 || r.OutputLen != 128 {
+			t.Fatalf("fixed dist drifted: %d/%d", r.InputLen, r.OutputLen)
+		}
+	}
+}
+
+func TestPoissonTrace(t *testing.T) {
+	const rate = 10.0
+	reqs, err := PoissonTrace(ShareGPT(), 2000, rate, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival-sorted with IDs in order.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatal("arrivals not sorted")
+		}
+		if reqs[i].ID != i {
+			t.Fatal("IDs not in arrival order")
+		}
+	}
+	// Mean inter-arrival ~ 1/rate within 10%.
+	span := reqs[len(reqs)-1].Arrival.Seconds()
+	gotRate := float64(len(reqs)) / span
+	if math.Abs(gotRate-rate)/rate > 0.10 {
+		t.Fatalf("empirical rate %.2f, want ~%.2f", gotRate, rate)
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := PoissonTrace(Alpaca(), 50, 5, 42)
+	b, _ := PoissonTrace(Alpaca(), 50, 5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the trace")
+		}
+	}
+	c, _ := PoissonTrace(Alpaca(), 50, 5, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	if _, err := PoissonTrace(Alpaca(), 0, 1, 1); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := PoissonTrace(Alpaca(), 5, 0, 1); err == nil {
+		t.Fatal("rate=0 must fail")
+	}
+	if _, err := BurstTrace(Alpaca(), -1, 1); err == nil {
+		t.Fatal("n<0 must fail")
+	}
+}
+
+func TestUniformBatch(t *testing.T) {
+	reqs := UniformBatch(32, 512, 1)
+	if len(reqs) != 32 {
+		t.Fatal("count")
+	}
+	for i, r := range reqs {
+		if r.InputLen != 512 || r.OutputLen != 1 || r.Arrival != 0 || r.ID != i {
+			t.Fatalf("bad request %+v", r)
+		}
+	}
+}
+
+func TestSortByArrival(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, InputLen: 1, OutputLen: 1, Arrival: simtime.AtSeconds(3)},
+		{ID: 1, InputLen: 1, OutputLen: 1, Arrival: simtime.AtSeconds(1)},
+		{ID: 2, InputLen: 1, OutputLen: 1, Arrival: simtime.AtSeconds(2)},
+	}
+	SortByArrival(reqs)
+	if reqs[0].Arrival.Seconds() != 1 || reqs[2].Arrival.Seconds() != 3 {
+		t.Fatal("not sorted")
+	}
+	for i := range reqs {
+		if reqs[i].ID != i {
+			t.Fatal("IDs not renumbered")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	reqs := []Request{
+		{InputLen: 10, OutputLen: 20, Arrival: 0},
+		{InputLen: 30, OutputLen: 40, Arrival: simtime.AtSeconds(5)},
+	}
+	s := Summarize(reqs)
+	if s.Count != 2 || s.MeanInput != 20 || s.MeanOutput != 30 {
+		t.Fatalf("bad stats %+v", s)
+	}
+	if s.TotalTokens != 100 {
+		t.Fatalf("total tokens %d", s.TotalTokens)
+	}
+	if s.Span != 5*simtime.Second {
+		t.Fatalf("span %v", s.Span)
+	}
+	if (Summarize(nil) != Stats{}) {
+		t.Fatal("empty summarize must be zero")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	orig, _ := PoissonTrace(Alpaca(), 25, 4, 9)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("count %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].InputLen != orig[i].InputLen || got[i].OutputLen != orig[i].OutputLen {
+			t.Fatalf("row %d mismatch", i)
+		}
+		// Arrival preserved to millisecond precision.
+		diff := got[i].Arrival - orig[i].Arrival
+		if diff < 0 {
+			diff = -diff
+		}
+		if simtime.Duration(diff) > simtime.Millisecond {
+			t.Fatalf("row %d arrival drift %v", i, simtime.Duration(diff))
+		}
+	}
+}
+
+func TestReadTSVNoHeader(t *testing.T) {
+	in := "100\t50\t0.000\n200\t60\t1500.000\n"
+	reqs, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[1].Arrival != simtime.Time(1500*simtime.Millisecond) {
+		t.Fatalf("parsed %+v", reqs)
+	}
+}
+
+func TestReadTSVComments(t *testing.T) {
+	in := "# trace\ninput_toks\toutput_toks\tarrival_time_ms\n\n10\t5\t0\n"
+	reqs, err := ReadTSV(strings.NewReader(in))
+	if err != nil || len(reqs) != 1 {
+		t.Fatalf("got %v, %v", reqs, err)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	bad := []string{
+		"10\t5\n",    // too few fields
+		"x\t5\t0\n",  // bad input
+		"10\ty\t0\n", // bad output
+		"10\t5\tz\n", // bad arrival
+		"10\t0\t0\n", // zero output length
+	}
+	for _, in := range bad {
+		if _, err := ReadTSV(strings.NewReader("1\t1\t0\n" + in)); err == nil {
+			t.Errorf("input %q must fail", in)
+		}
+	}
+}
+
+func TestTSVFileIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.tsv")
+	orig := UniformBatch(5, 100, 10)
+	if err := SaveTSVFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].InputLen != 100 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := LoadTSVFile(path + ".missing"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{ID: 1, InputLen: 5, OutputLen: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Request{
+		{InputLen: 0, OutputLen: 5},
+		{InputLen: 5, OutputLen: 0},
+		{InputLen: 5, OutputLen: 5, Arrival: -1},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%+v must fail", r)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package llmservingsim is a hardware/software co-simulation
+// infrastructure for LLM inference serving at scale, reproducing
+// LLMServingSim (Cho et al., IISWC 2024) in pure Go.
+//
+// The simulator jointly models the serving system software — Orca-style
+// iteration-level scheduling, vLLM-style paged KV-cache management,
+// tensor/pipeline/hybrid parallelism — and the accelerator hardware, via
+// pluggable compiler-and-simulator execution engines for NPU, PIM, and
+// GPU devices. Each serving iteration runs through the pipeline of Fig. 4:
+// the scheduler forms a batch, the execution engines simulate every
+// operator (with the paper's model-redundancy and computation-reuse
+// optimisations), the graph converter builds a distributed execution
+// graph, and a discrete-event system simulator replays it over the
+// network topology, feeding the iteration latency back into the
+// scheduler's clock.
+//
+// Quick start:
+//
+//	cfg := llmservingsim.DefaultConfig()
+//	cfg.Model = "gpt3-7b"
+//	cfg.NPUs = 4
+//	cfg.Parallelism = "tensor"
+//	trace, _ := llmservingsim.ShareGPTTrace(128, 4.0, 1)
+//	sim, _ := llmservingsim.New(cfg, trace)
+//	report, _ := sim.Run()
+//	fmt.Println(report.GenTPS)
+package llmservingsim
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/gpu"
+	"repro/internal/kvcache"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/network"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Request is one inference request: a prompt of InputLen tokens arriving
+// at Arrival (relative to trace start) that generates OutputLen tokens.
+type Request struct {
+	InputLen  int
+	OutputLen int
+	Arrival   time.Duration
+}
+
+// Config mirrors the artifact's simulation parameters.
+type Config struct {
+	// Model names the LLM architecture: gpt2, gpt3-7b, gpt3-13b,
+	// gpt3-30b, gpt3-175b, llama-7b, llama-13b, llama-30b.
+	Model string
+
+	// NPUs is the accelerator count; Parallelism is "tensor", "pipeline"
+	// or "hybrid"; NPUGroups is the hybrid group count (pipeline stages).
+	NPUs        int
+	Parallelism string
+	NPUGroups   int
+
+	// MaxBatch caps requests per iteration (0 = unlimited); BatchDelay
+	// waits to accumulate arrivals; Scheduling is "orca" or "static".
+	MaxBatch   int
+	BatchDelay time.Duration
+	Scheduling string
+
+	// KVManage is "vllm" (paged) or "maxlen"; KVPageTokens is the page
+	// size in tokens (default 16).
+	KVManage     string
+	KVPageTokens int
+
+	// PIMType is "none", "local" (NPU+PIM device pairs) or "pool"
+	// (separate PIM pool); PIMPoolSize sizes the pool; SubBatches > 1
+	// enables NeuPIMs-style sub-batch interleaving.
+	PIMType     string
+	PIMPoolSize int
+	SubBatches  int
+
+	// SelectiveBatching distributes per-request full-head attention
+	// across tensor-parallel workers (Orca/Fig. 3 style).
+	SelectiveBatching bool
+
+	// SkipInitiation admits requests directly into the generation phase
+	// (the artifact's "gen" flag).
+	SkipInitiation bool
+
+	// Reuse toggles the paper's result-reusing techniques. Disable only
+	// to reproduce the no-reuse baselines.
+	ModelRedundancyReuse bool
+	ComputationReuse     bool
+
+	// UseGPUEngine swaps the NPU engine for the GPU reference model
+	// (vLLM-like kernels), used by the validation experiments.
+	UseGPUEngine bool
+
+	// Hardware overrides; zero values use the Table I defaults.
+	NPU  config.NPUConfig
+	PIM  config.PIMConfig
+	GPU  config.GPUConfig
+	Link config.LinkConfig
+
+	// ThroughputWindow is the bucket width of throughput-over-time
+	// series (default 10s of simulated time).
+	ThroughputWindow time.Duration
+}
+
+// DefaultConfig returns the artifact's default parameters: gpt2, 16 NPUs,
+// hybrid parallelism with 1 group, Orca scheduling, vLLM KV management,
+// no PIM, all reuse optimisations on.
+func DefaultConfig() Config {
+	return Config{
+		Model:                "gpt2",
+		NPUs:                 16,
+		Parallelism:          "hybrid",
+		NPUGroups:            1,
+		Scheduling:           "orca",
+		KVManage:             "vllm",
+		KVPageTokens:         16,
+		PIMType:              "none",
+		SubBatches:           1,
+		ModelRedundancyReuse: true,
+		ComputationReuse:     true,
+		NPU:                  config.DefaultNPU(),
+		PIM:                  config.DefaultPIM(),
+		GPU:                  config.DefaultGPU(),
+		Link:                 config.DefaultLink(),
+	}
+}
+
+// ThroughputPoint is one sample of the throughput-over-time series.
+type ThroughputPoint struct {
+	TimeSec   float64
+	PromptTPS float64
+	GenTPS    float64
+}
+
+// LatencyStats summarises request latencies in seconds.
+type LatencyStats struct {
+	Count   int
+	MeanSec float64
+	P50Sec  float64
+	P95Sec  float64
+	TTFTSec float64 // mean time to first token
+}
+
+// SimulationTime is the host wall-clock breakdown across simulator
+// components — the paper's "simulation time" (Fig. 9).
+type SimulationTime struct {
+	Scheduler       time.Duration
+	ExecutionEngine time.Duration
+	GraphConverter  time.Duration
+	AstraSim        time.Duration
+	Total           time.Duration
+}
+
+// KVStats reports KV-cache occupancy at end of run plus cumulative paging
+// activity.
+type KVStats struct {
+	TotalPages int
+	Evictions  int64
+	Reloads    int64
+}
+
+// Report is the outcome of a simulation run.
+type Report struct {
+	Model              string
+	Topology           string
+	Iterations         int
+	SimEndSec          float64 // simulated time to drain the trace
+	PromptTPS          float64 // mean prompt tokens/second
+	GenTPS             float64 // mean generated tokens/second
+	Throughput         []ThroughputPoint
+	Latency            LatencyStats
+	KV                 KVStats
+	SimTime            SimulationTime
+	EngineCacheHitRate float64
+
+	inner *core.Report
+}
+
+// WriteThroughputTSV writes the artifact's *-throughput.tsv output.
+func (r *Report) WriteThroughputTSV(w io.Writer) error {
+	return metrics.WriteThroughputTSV(w, r.inner.Buckets)
+}
+
+// WriteSimulationTimeTSV writes the artifact's *-simulation-time.tsv
+// output.
+func (r *Report) WriteSimulationTimeTSV(w io.Writer) error {
+	return metrics.WriteSimulationTimeTSV(w, r.inner.Host)
+}
+
+// Simulator is a configured LLMServingSim instance bound to a trace.
+type Simulator struct {
+	inner *core.Simulator
+}
+
+// New builds a simulator from the configuration and trace.
+func New(cfg Config, trace []Request) (*Simulator, error) {
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]workload.Request, len(trace))
+	for i, r := range trace {
+		reqs[i] = workload.Request{
+			ID:        i,
+			InputLen:  r.InputLen,
+			OutputLen: r.OutputLen,
+			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
+		}
+	}
+	inner, err := core.New(opts, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{inner: inner}, nil
+}
+
+// Run simulates the trace to completion.
+func (s *Simulator) Run() (*Report, error) {
+	rep, err := s.inner.Run()
+	if err != nil {
+		return nil, err
+	}
+	return wrapReport(rep), nil
+}
+
+func wrapReport(rep *core.Report) *Report {
+	out := &Report{
+		Model:      rep.Model.Name,
+		Topology:   rep.Topo.String(),
+		Iterations: rep.Iterations,
+		SimEndSec:  rep.SimEnd.Seconds(),
+		PromptTPS:  rep.PromptTPS,
+		GenTPS:     rep.GenTPS,
+		Latency: LatencyStats{
+			Count:   rep.Latency.Count,
+			MeanSec: rep.Latency.MeanSec,
+			P50Sec:  rep.Latency.P50Sec,
+			P95Sec:  rep.Latency.P95Sec,
+			TTFTSec: rep.Latency.MeanTTFTSec,
+		},
+		KV: KVStats{
+			TotalPages: rep.KV.TotalPages,
+			Evictions:  rep.KV.Evictions,
+			Reloads:    rep.KV.Reloads,
+		},
+		SimTime: SimulationTime{
+			Scheduler:       rep.Host.Scheduler,
+			ExecutionEngine: rep.Host.ExecutionEngine,
+			GraphConverter:  rep.Host.GraphConverter,
+			AstraSim:        rep.Host.AstraSim,
+			Total:           rep.Host.Total(),
+		},
+		EngineCacheHitRate: rep.NPUStats.HitRate(),
+		inner:              rep,
+	}
+	for _, b := range rep.Buckets {
+		out.Throughput = append(out.Throughput, ThroughputPoint{
+			TimeSec: b.Time.Seconds(), PromptTPS: b.PromptTPS, GenTPS: b.GenTPS,
+		})
+	}
+	return out
+}
+
+// buildOptions converts the public Config into core options.
+func buildOptions(cfg Config) (core.Options, error) {
+	var opts core.Options
+
+	m, err := model.Lookup(cfg.Model)
+	if err != nil {
+		return opts, err
+	}
+	par, err := network.ParseParallelism(cfg.Parallelism)
+	if err != nil {
+		return opts, err
+	}
+	link := cfg.Link
+	if link.BandwidthBytes == 0 {
+		link = config.DefaultLink()
+	}
+	topo, err := network.Build(par, cfg.NPUs, cfg.NPUGroups, link, link)
+	if err != nil {
+		return opts, err
+	}
+
+	pimMode, err := core.ParsePIMMode(cfg.PIMType)
+	if err != nil {
+		return opts, err
+	}
+	if pimMode == core.PIMPool {
+		n := cfg.PIMPoolSize
+		if n <= 0 {
+			n = cfg.NPUs
+		}
+		topo.PIMPool = n
+	}
+
+	schedPolicy, err := sched.ParsePolicy(orDefault(cfg.Scheduling, "orca"))
+	if err != nil {
+		return opts, err
+	}
+	kvPolicy, err := kvcache.ParsePolicy(orDefault(cfg.KVManage, "vllm"))
+	if err != nil {
+		return opts, err
+	}
+
+	npuCfg := cfg.NPU
+	if npuCfg.FrequencyHz == 0 {
+		npuCfg = config.DefaultNPU()
+	}
+	pimCfg := cfg.PIM
+	if pimCfg.FrequencyHz == 0 {
+		pimCfg = config.DefaultPIM()
+	}
+
+	opts = core.Options{
+		Model:   m,
+		Topo:    topo,
+		NPU:     npuCfg,
+		PIM:     pimCfg,
+		PIMMode: pimMode,
+		Sched: sched.Config{
+			Policy:      schedPolicy,
+			MaxBatch:    cfg.MaxBatch,
+			BatchDelay:  simtime.FromStd(cfg.BatchDelay),
+			SubBatches:  maxInt(cfg.SubBatches, 1),
+			SkipPrefill: cfg.SkipInitiation,
+		},
+		SelectiveBatching: cfg.SelectiveBatching,
+		KVPolicy:          kvPolicy,
+		KVPageTokens:      cfg.KVPageTokens,
+		Reuse: core.ReuseOptions{
+			ModelRedundancy:  cfg.ModelRedundancyReuse,
+			ComputationReuse: cfg.ComputationReuse,
+		},
+		ThroughputWindow: simtime.FromStd(cfg.ThroughputWindow),
+	}
+	if cfg.UseGPUEngine {
+		gpuCfg := cfg.GPU
+		if gpuCfg.PeakFLOPs == 0 {
+			gpuCfg = config.DefaultGPU()
+		}
+		opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(gpuCfg) }
+	}
+	return opts, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ShareGPTTrace synthesises n requests with ShareGPT-like length
+// statistics and Poisson arrivals at ratePerSec.
+func ShareGPTTrace(n int, ratePerSec float64, seed int64) ([]Request, error) {
+	reqs, err := workload.PoissonTrace(workload.ShareGPT(), n, ratePerSec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fromWorkload(reqs), nil
+}
+
+// AlpacaTrace synthesises n requests with Alpaca-like length statistics
+// and Poisson arrivals at ratePerSec.
+func AlpacaTrace(n int, ratePerSec float64, seed int64) ([]Request, error) {
+	reqs, err := workload.PoissonTrace(workload.Alpaca(), n, ratePerSec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return fromWorkload(reqs), nil
+}
+
+// UniformTrace returns n identical requests arriving together (the
+// fixed-shape inputs of the simulation-time experiments).
+func UniformTrace(n, inputLen, outputLen int) []Request {
+	return fromWorkload(workload.UniformBatch(n, inputLen, outputLen))
+}
+
+// LoadTrace reads a trace from an artifact-format TSV file.
+func LoadTrace(path string) ([]Request, error) {
+	reqs, err := workload.LoadTSVFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromWorkload(reqs), nil
+}
+
+// SaveTrace writes a trace to an artifact-format TSV file.
+func SaveTrace(path string, trace []Request) error {
+	reqs := make([]workload.Request, len(trace))
+	for i, r := range trace {
+		reqs[i] = workload.Request{
+			ID: i, InputLen: r.InputLen, OutputLen: r.OutputLen,
+			Arrival: simtime.Time(simtime.FromStd(r.Arrival)),
+		}
+	}
+	return workload.SaveTSVFile(path, reqs)
+}
+
+func fromWorkload(reqs []workload.Request) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		out[i] = Request{
+			InputLen:  r.InputLen,
+			OutputLen: r.OutputLen,
+			Arrival:   simtime.Duration(r.Arrival).Std(),
+		}
+	}
+	return out
+}
+
+// Models returns the registered model names.
+func Models() []string { return model.Names() }
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,273 @@
+package llmservingsim
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuickstart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "gpt3-7b"
+	cfg.NPUs = 4
+	cfg.Parallelism = "tensor"
+	trace, err := ShareGPTTrace(16, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations == 0 || rep.Latency.Count != 16 || rep.GenTPS <= 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.Model != "gpt3-7b" || rep.Topology != "TP4 PP1" {
+		t.Fatalf("labels: %s %s", rep.Model, rep.Topology)
+	}
+	if rep.SimTime.Total <= 0 || rep.EngineCacheHitRate <= 0 {
+		t.Fatal("instrumentation missing")
+	}
+}
+
+func TestConfigurationsEndToEnd(t *testing.T) {
+	trace, err := AlpacaTrace(10, 8.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"pipeline", func(c *Config) { c.Parallelism = "pipeline"; c.NPUs = 4 }},
+		{"hybrid", func(c *Config) { c.Parallelism = "hybrid"; c.NPUs = 8; c.NPUGroups = 2 }},
+		{"pim-local", func(c *Config) { c.PIMType = "local"; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"pim-local-subbatch", func(c *Config) { c.PIMType = "local"; c.SubBatches = 2; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"pim-pool", func(c *Config) { c.PIMType = "pool"; c.PIMPoolSize = 2; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"selective", func(c *Config) { c.SelectiveBatching = true; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"no-reuse", func(c *Config) {
+			c.ModelRedundancyReuse = false
+			c.ComputationReuse = false
+			c.NPUs = 4
+			c.Parallelism = "tensor"
+		}},
+		{"gpu-engine", func(c *Config) { c.UseGPUEngine = true; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"static-maxlen", func(c *Config) { c.Scheduling = "static"; c.KVManage = "maxlen"; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"max-batch-delay", func(c *Config) {
+			c.MaxBatch = 4
+			c.BatchDelay = 50 * time.Millisecond
+			c.NPUs = 4
+			c.Parallelism = "tensor"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = "gpt3-7b"
+			tc.mut(&cfg)
+			sim, err := New(cfg, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Latency.Count != len(trace) {
+				t.Fatalf("finished %d of %d", rep.Latency.Count, len(trace))
+			}
+		})
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	trace := UniformTrace(2, 16, 2)
+	for name, mut := range map[string]func(*Config){
+		"bad model":       func(c *Config) { c.Model = "nope" },
+		"bad parallelism": func(c *Config) { c.Parallelism = "nope" },
+		"bad scheduling":  func(c *Config) { c.Scheduling = "nope" },
+		"bad kv":          func(c *Config) { c.KVManage = "nope" },
+		"bad pim":         func(c *Config) { c.PIMType = "nope" },
+		"zero npus":       func(c *Config) { c.NPUs = 0 },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if _, err := New(cfg, trace); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	sg, err := ShareGPTTrace(50, 5, 1)
+	if err != nil || len(sg) != 50 {
+		t.Fatal(err)
+	}
+	al, err := AlpacaTrace(50, 5, 1)
+	if err != nil || len(al) != 50 {
+		t.Fatal(err)
+	}
+	// ShareGPT conversations are longer.
+	var sgTokens, alTokens int
+	for i := range sg {
+		sgTokens += sg[i].InputLen + sg[i].OutputLen
+		alTokens += al[i].InputLen + al[i].OutputLen
+	}
+	if sgTokens <= alTokens {
+		t.Fatal("sharegpt should be heavier than alpaca")
+	}
+	u := UniformTrace(4, 100, 10)
+	if len(u) != 4 || u[0].InputLen != 100 || u[0].OutputLen != 10 {
+		t.Fatalf("uniform %+v", u)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.tsv")
+	orig, _ := AlpacaTrace(10, 5, 3)
+	if err := SaveTrace(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("loaded %d", len(got))
+	}
+	for i := range got {
+		if got[i].InputLen != orig[i].InputLen || got[i].OutputLen != orig[i].OutputLen {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestReportTSVOutputs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NPUs = 2
+	cfg.Parallelism = "tensor"
+	trace := UniformTrace(4, 32, 4)
+	sim, err := New(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tput, simt bytes.Buffer
+	if err := rep.WriteThroughputTSV(&tput); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tput.String(), "prompt_throughput_tps") {
+		t.Fatal("throughput TSV malformed")
+	}
+	if err := rep.WriteSimulationTimeTSV(&simt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(simt.String(), "execution_engine") {
+		t.Fatal("simulation-time TSV malformed")
+	}
+}
+
+func TestModels(t *testing.T) {
+	names := Models()
+	if len(names) < 8 {
+		t.Fatalf("models %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "gpt3-175b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("gpt3-175b missing")
+	}
+}
+
+// TestDeterministicRuns: the same configuration and trace give identical
+// simulated results.
+func TestDeterministicRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NPUs = 2
+	cfg.Parallelism = "tensor"
+	trace, _ := AlpacaTrace(8, 10, 5)
+	run := func() *Report {
+		sim, err := New(cfg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.SimEndSec != b.SimEndSec || a.Iterations != b.Iterations || a.GenTPS != b.GenTPS {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestMoEServing exercises the Section V-B mixture-of-experts extension
+// end to end: a Mixtral-class sparse model serves a trace, and its decode
+// iterations are costlier than the dense model with the same active
+// backbone (expert weights stream from memory).
+func TestMoEServing(t *testing.T) {
+	trace, _ := AlpacaTrace(6, 10, 9)
+	run := func(model string, npus int) *Report {
+		cfg := DefaultConfig()
+		cfg.Model = model
+		cfg.NPUs = npus
+		cfg.Parallelism = "tensor"
+		cfg.NPU.MemoryBytes = 64 << 30 // fit the 47B expert weights
+		sim, err := New(cfg, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	moe := run("moe-8x7b", 4)
+	dense := run("llama-7b", 4)
+	if moe.Latency.Count != 6 || dense.Latency.Count != 6 {
+		t.Fatal("runs incomplete")
+	}
+	if moe.GenTPS >= dense.GenTPS {
+		t.Fatalf("moe decode (%v tok/s) must be slower than dense (%v tok/s): expert weights dominate",
+			moe.GenTPS, dense.GenTPS)
+	}
+}
+
+// TestSkipInitiationConfig exercises the artifact's gen flag end to end.
+func TestSkipInitiationConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NPUs = 2
+	cfg.Parallelism = "tensor"
+	cfg.SkipInitiation = true
+	trace := UniformTrace(4, 128, 8)
+	sim, err := New(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PromptTPS != 0 {
+		t.Fatalf("gen-only run reported prompt throughput %v", rep.PromptTPS)
+	}
+	if rep.Latency.Count != 4 {
+		t.Fatalf("finished %d", rep.Latency.Count)
+	}
+}
