@@ -345,8 +345,10 @@ func llmServingSimIterationBreakdown(b *testing.B, modelName string, tp, pp, bat
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := sim.FirstIteration(); err != nil {
+	if done, err := sim.Step(); err != nil {
 		b.Fatal(err)
+	} else if done {
+		b.Fatal("no schedulable work")
 	}
 	return sim.HostTimes()
 }

@@ -10,26 +10,29 @@
 //	evaluation 5   — simulation-time scalability over NPU counts (Fig. 10)
 //	evaluation all — everything
 //
+// All experiments drive the llmservingsim Sweep API. The throughput
+// experiments (1, 2) fan their scenario grid out over all cores —
+// simulated results are deterministic, so parallelism only changes
+// wall-clock. The simulation-time experiments (3, 4, 5) measure host
+// wall-clock per component, so they pin the sweep to one worker to keep
+// timings contention-free.
+//
 // Usage: evaluation [-out DIR] [-quick] <1|2|3|4|5|all>
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	llmservingsim "repro"
 	"repro/internal/baseline"
 	"repro/internal/config"
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/engine/gpu"
 	"repro/internal/metrics"
 	"repro/internal/model"
-	"repro/internal/network"
-	"repro/internal/sched"
-	"repro/internal/simtime"
 	"repro/internal/workload"
 )
 
@@ -70,8 +73,6 @@ func main() {
 	}
 }
 
-func gpuEngineFactory() (engine.Engine, error) { return gpu.New(config.DefaultGPU()) }
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "evaluation:", err)
 	os.Exit(1)
@@ -79,7 +80,7 @@ func fatal(err error) {
 
 func outPath(name string) string { return filepath.Join(*outDir, name) }
 
-func writeFile(name string, write func(*os.File) error) error {
+func writeFile(name string, write func(io.Writer) error) error {
 	f, err := os.Create(outPath(name))
 	if err != nil {
 		return err
@@ -91,7 +92,16 @@ func writeFile(name string, write func(*os.File) error) error {
 	return f.Close()
 }
 
+func writeString(name, s string) error {
+	return writeFile(name, func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	})
+}
+
 // eval1 validates throughput trends against the GPU reference (Fig. 6).
+// Each model runs twice — NPU simulator and GPU reference — as one
+// sweep of paired scenarios.
 func eval1() error {
 	n := 48
 	if *quick {
@@ -104,52 +114,46 @@ func eval1() error {
 	}{
 		{"gpt3-7b", 1, 6}, {"gpt3-30b", 4, 2}, {"llama-7b", 1, 6}, {"llama-30b", 4, 2},
 	}
+	sw := llmservingsim.NewSweep()
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		trace, err := llmservingsim.ShareGPTTrace(n, c.rate, 42)
+		if err != nil {
+			return err
+		}
+		cfg := llmservingsim.DefaultConfig()
+		cfg.Model = c.model
+		cfg.NPUs = c.tp
+		cfg.Parallelism = llmservingsim.ParallelismTensor
+		cfg.ThroughputWindow = 5 * time.Second
+		ref := cfg
+		ref.UseGPUEngine = true
+		names[i] = fmt.Sprintf("eval1-%s-tp%d", c.model, c.tp)
+		sw.Add(
+			llmservingsim.NewScenario(names[i], cfg, trace),
+			llmservingsim.NewScenario(names[i]+"-ref", ref, trace),
+		)
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
 	var allErrs []float64
-	for _, c := range cases {
-		trace, err := workload.PoissonTrace(workload.ShareGPT(), n, c.rate, 42)
-		if err != nil {
+	for i, c := range cases {
+		sim := rep.Result(names[i]).Report
+		ref := rep.Result(names[i] + "-ref").Report
+		if err := writeFile(names[i]+"-throughput.tsv", sim.WriteThroughputTSV); err != nil {
 			return err
 		}
-		topo, err := network.Build(network.Tensor, c.tp, 0, config.DefaultLink(), config.DefaultLink())
-		if err != nil {
+		if err := writeFile(names[i]+"-reference-throughput.tsv", ref.WriteThroughputTSV); err != nil {
 			return err
 		}
-		run := func(gpuRef bool) (*core.Report, error) {
-			opts := core.Options{
-				Model: model.MustLookup(c.model), Topo: topo,
-				NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
-				Reuse: core.ReuseAll(), ThroughputWindow: 5 * simtime.Second,
-			}
-			if gpuRef {
-				opts.EngineFactory = gpuEngineFactory
-			}
-			sim, err := core.New(opts, trace)
-			if err != nil {
-				return nil, err
-			}
-			return sim.Run()
-		}
-		ref, err := run(true)
-		if err != nil {
-			return err
-		}
-		sim, err := run(false)
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("eval1-%s-tp%d", c.model, c.tp)
-		if err := writeFile(name+"-throughput.tsv", func(f *os.File) error {
-			return metrics.WriteThroughputTSV(f, sim.Buckets)
-		}); err != nil {
-			return err
-		}
-		if err := writeFile(name+"-reference-throughput.tsv", func(f *os.File) error {
-			return metrics.WriteThroughputTSV(f, ref.Buckets)
-		}); err != nil {
-			return err
-		}
-		genErr := metrics.MeanAbsPctError(series(sim.Buckets, false), series(ref.Buckets, false))
-		promptErr := metrics.MeanAbsPctError(series(sim.Buckets, true), series(ref.Buckets, true))
+		genErr := metrics.MeanAbsPctError(series(sim.Throughput, false), series(ref.Throughput, false))
+		promptErr := metrics.MeanAbsPctError(series(sim.Throughput, true), series(ref.Throughput, true))
 		allErrs = append(allErrs, genErr, promptErr)
 		fmt.Printf("%-10s TP%d  ref gen %7.1f tok/s  sim gen %7.1f tok/s  trend err prompt %.1f%% gen %.1f%%\n",
 			c.model, c.tp, ref.GenTPS, sim.GenTPS, 100*promptErr, 100*genErr)
@@ -162,13 +166,13 @@ func eval1() error {
 	return nil
 }
 
-func series(b []metrics.Bucket, prompt bool) []float64 {
-	out := make([]float64, len(b))
-	for i := range b {
+func series(points []llmservingsim.ThroughputPoint, prompt bool) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
 		if prompt {
-			out[i] = b[i].PromptTPS
+			out[i] = p.PromptTPS
 		} else {
-			out[i] = b[i].GenTPS
+			out[i] = p.GenTPS
 		}
 	}
 	return out
@@ -181,7 +185,15 @@ func eval2() error {
 	if *quick {
 		n = 64
 	}
-	trace, err := workload.PoissonTrace(workload.Alpaca(), n, 64, 7)
+	trace, err := llmservingsim.AlpacaTrace(n, 64, 7)
+	if err != nil {
+		return err
+	}
+	// The analytic NeuPIMs baseline consumes the internal request form;
+	// regenerating from the same generator and seed yields the same
+	// trace the scenarios run, up to sub-nanosecond arrival truncation
+	// in the public Request form.
+	baselineTrace, err := workload.PoissonTrace(workload.Alpaca(), n, 64, 7)
 	if err != nil {
 		return err
 	}
@@ -193,31 +205,33 @@ func eval2() error {
 		{"gpt3-13b", 8, 1}, {"gpt3-13b", 4, 2},
 		{"gpt3-30b", 8, 2}, {"gpt3-30b", 4, 4},
 	}
+	sw := llmservingsim.NewSweep()
+	for _, c := range configs {
+		cfg := llmservingsim.DefaultConfig()
+		cfg.Model = c.model
+		cfg.NPUs = c.tp * c.pp
+		cfg.NPUGroups = c.pp
+		cfg.PIMType = llmservingsim.PIMLocal
+		cfg.SubBatches = 2
+		sw.Add(llmservingsim.NewScenario(fmt.Sprintf("%s TP%d PP%d", c.model, c.tp, c.pp), cfg, trace))
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
 	var sims, refs []float64
 	rows := "model\tscheme\tneupims_tps\tllmservingsim_tps\n"
-	for _, c := range configs {
-		topo, err := network.Build(network.Hybrid, c.tp*c.pp, c.pp, config.DefaultLink(), config.DefaultLink())
-		if err != nil {
-			return err
-		}
-		sim, err := core.New(core.Options{
-			Model: model.MustLookup(c.model), Topo: topo,
-			NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
-			PIMMode: core.PIMLocal, Sched: sched.Config{SubBatches: 2},
-			Reuse: core.ReuseAll(),
-		}, trace)
-		if err != nil {
-			return err
-		}
-		rep, err := sim.Run()
-		if err != nil {
-			return err
-		}
-		simT := rep.PromptTPS + rep.GenTPS
+	for i, c := range configs {
+		r := rep.Results[i].Report
+		simT := r.PromptTPS + r.GenTPS
 		refT, err := baseline.NeuPIMsThroughput(baseline.NeuPIMsConfig{
 			Model: model.MustLookup(c.model), NPU: config.DefaultNPU(), PIM: config.DefaultPIM(),
 			TP: c.tp, PP: c.pp, SubBatch: true,
-		}, trace)
+		}, baselineTrace)
 		if err != nil {
 			return err
 		}
@@ -226,10 +240,7 @@ func eval2() error {
 		fmt.Printf("%-10s TP%d PP%d  neupims %6.0f  llmservingsim %6.0f tok/s\n", c.model, c.tp, c.pp, refT, simT)
 	}
 	fmt.Printf("geomean error %.2f%% (paper: 8.88%%)\n", 100*metrics.GeomeanError(sims, refs))
-	return writeFile("eval2-throughput.tsv", func(f *os.File) error {
-		_, err := f.WriteString(rows)
-		return err
-	})
+	return writeString("eval2-throughput.tsv", rows)
 }
 
 // eval3 measures one-iteration simulation time of the conventional
@@ -239,8 +250,20 @@ func eval3() error {
 	if *quick {
 		models = models[:1]
 	}
-	rows := "model\tmnpusim_ms\tgenesys_ms\tneupims_ms\tllmservingsim_ms\n"
+	sw := timingSweep()
 	for _, name := range models {
+		sw.Add(iterationScenario(name, name, 1, 1, 32, 512, true, false))
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
+	rows := "model\tmnpusim_ms\tgenesys_ms\tneupims_ms\tllmservingsim_ms\n"
+	for i, name := range models {
 		m := model.MustLookup(name)
 		walls := map[baseline.SlowMode]time.Duration{}
 		for _, mode := range []baseline.SlowMode{baseline.MNPUsimMode, baseline.GeneSysMode, baseline.NeuPIMsMode} {
@@ -250,24 +273,18 @@ func eval3() error {
 			}
 			walls[mode] = r.Wall
 		}
-		ours, err := oneIteration(name, 1, 1, 32, 512, core.ReuseOptions{ModelRedundancy: true})
-		if err != nil {
-			return err
-		}
+		ours := rep.Results[i].Report.SimTime.Total
 		rows += fmt.Sprintf("%s\t%.1f\t%.1f\t%.1f\t%.1f\n", name,
 			ms(walls[baseline.MNPUsimMode]), ms(walls[baseline.GeneSysMode]),
-			ms(walls[baseline.NeuPIMsMode]), ms(ours.Total()))
+			ms(walls[baseline.NeuPIMsMode]), ms(ours))
 		fmt.Printf("%-10s mnpusim %8.0fms  genesys %7.0fms  neupims %7.0fms  llmservingsim %6.1fms  (%.0fx / %.0fx / %.0fx)\n",
 			name, ms(walls[baseline.MNPUsimMode]), ms(walls[baseline.GeneSysMode]),
-			ms(walls[baseline.NeuPIMsMode]), ms(ours.Total()),
-			float64(walls[baseline.MNPUsimMode])/float64(ours.Total()),
-			float64(walls[baseline.GeneSysMode])/float64(ours.Total()),
-			float64(walls[baseline.NeuPIMsMode])/float64(ours.Total()))
+			ms(walls[baseline.NeuPIMsMode]), ms(ours),
+			float64(walls[baseline.MNPUsimMode])/float64(ours),
+			float64(walls[baseline.GeneSysMode])/float64(ours),
+			float64(walls[baseline.NeuPIMsMode])/float64(ours))
 	}
-	return writeFile("eval3-simulation-time.tsv", func(f *os.File) error {
-		_, err := f.WriteString(rows)
-		return err
-	})
+	return writeString("eval3-simulation-time.tsv", rows)
 }
 
 // eval4 reproduces the reuse on/off component breakdown (Fig. 9).
@@ -276,29 +293,39 @@ func eval4() error {
 	if *quick {
 		strategies = strategies[:2]
 	}
-	rows := "strategy\treuse\tscheduler_ms\tengine_ms\tconverter_ms\tastra_ms\ttotal_ms\n"
+	sw := timingSweep()
 	for _, s := range strategies {
 		for _, reuse := range []bool{false, true} {
-			ro := core.ReuseOptions{ModelRedundancy: reuse, ComputationReuse: reuse}
-			h, err := oneIteration("gpt3-30b", s.tp, s.pp, 64, 1024, ro)
-			if err != nil {
-				return err
-			}
+			name := fmt.Sprintf("TP%d PP%d reuse=%v", s.tp, s.pp, reuse)
+			sw.Add(iterationScenario(name, "gpt3-30b", s.tp, s.pp, 64, 1024, reuse, reuse))
+		}
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
+	rows := "strategy\treuse\tscheduler_ms\tengine_ms\tconverter_ms\tastra_ms\ttotal_ms\n"
+	i := 0
+	for _, s := range strategies {
+		for _, reuse := range []bool{false, true} {
+			h := rep.Results[i].Report.SimTime
+			i++
 			label := "w/o"
 			if reuse {
 				label = "w/"
 			}
 			rows += fmt.Sprintf("TP%d PP%d\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				s.tp, s.pp, label, ms(h.Scheduler), ms(h.ExecutionEngine),
-				ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total()))
+				ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total))
 			fmt.Printf("TP%-3d PP%-3d %-4s engine %7.0fms  convert %6.0fms  astra %6.0fms  total %7.0fms\n",
-				s.tp, s.pp, label, ms(h.ExecutionEngine), ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total()))
+				s.tp, s.pp, label, ms(h.ExecutionEngine), ms(h.GraphConverter), ms(h.AstraSim), ms(h.Total))
 		}
 	}
-	return writeFile("eval4-simulation-time.tsv", func(f *os.File) error {
-		_, err := f.WriteString(rows)
-		return err
-	})
+	return writeString("eval4-simulation-time.tsv", rows)
 }
 
 // eval5 sweeps NPU counts for simulation-time scalability (Fig. 10).
@@ -309,55 +336,69 @@ func eval5() error {
 		counts = []int{8, 64, 512}
 		models = models[:2]
 	}
+	sw := timingSweep()
+	for _, n := range counts {
+		for _, name := range models {
+			sw.Add(iterationScenario(fmt.Sprintf("%s-npus%d", name, n), name, n, 1, 64, 1024, true, false))
+		}
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+
 	rows := "npus"
 	for _, m := range models {
 		rows += "\t" + m + "_ms"
 	}
 	rows += "\n"
+	i := 0
 	for _, n := range counts {
 		rows += fmt.Sprintf("%d", n)
 		fmt.Printf("%5d NPUs:", n)
 		for _, name := range models {
-			h, err := oneIteration(name, n, 1, 64, 1024,
-				core.ReuseOptions{ModelRedundancy: true, ComputationReuse: false})
-			if err != nil {
-				return err
-			}
-			rows += fmt.Sprintf("\t%.1f", ms(h.Total()))
-			fmt.Printf("  %s %7.0fms", name, ms(h.Total()))
+			total := rep.Results[i].Report.SimTime.Total
+			i++
+			rows += fmt.Sprintf("\t%.1f", ms(total))
+			fmt.Printf("  %s %7.0fms", name, ms(total))
 		}
 		fmt.Println()
 		rows += "\n"
 	}
-	return writeFile("eval5-simulation-time.tsv", func(f *os.File) error {
-		_, err := f.WriteString(rows)
-		return err
-	})
+	return writeString("eval5-simulation-time.tsv", rows)
 }
 
-// oneIteration runs a single LLMServingSim iteration and returns the host
-// component breakdown.
-func oneIteration(modelName string, tp, pp, batch, seqLen int, reuse core.ReuseOptions) (metrics.ComponentTimes, error) {
-	topo, err := network.Build(network.Hybrid, tp*pp, pp, config.DefaultLink(), config.DefaultLink())
-	if err != nil {
-		return metrics.ComponentTimes{}, err
-	}
+// timingSweep returns a single-worker sweep: the simulation-time
+// experiments measure host wall-clock per component, and concurrent
+// scenarios would contend for cores and inflate the timings.
+func timingSweep() *llmservingsim.Sweep {
+	return &llmservingsim.Sweep{Workers: 1}
+}
+
+// iterationScenario builds a one-iteration scenario (the unit the
+// Fig. 8-10 experiments measure): a TPxPP hybrid system running a single
+// fixed-shape batch, with NPU memory grown to hold the weight shard.
+// One Step is the full Fig. 4 cycle including the scheduler's completion
+// feedback, so the timings carry a few extra microseconds of scheduler
+// time relative to measuring Next+Simulate alone.
+func iterationScenario(scenarioName, modelName string, tp, pp, batch, seqLen int, modelRedundancy, computationReuse bool) llmservingsim.Scenario {
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = modelName
+	cfg.NPUs = tp * pp
+	cfg.NPUGroups = pp
+	cfg.ModelRedundancyReuse = modelRedundancy
+	cfg.ComputationReuse = computationReuse
 	m := model.MustLookup(modelName)
-	npuCfg := config.DefaultNPU()
-	perDev := m.WeightBytes()/int64(topo.NPUNodes()) + 32*config.GB
-	if npuCfg.MemoryBytes < perDev {
-		npuCfg.MemoryBytes = perDev
+	perDev := m.WeightBytes()/int64(tp*pp) + 32*config.GB
+	if cfg.NPU.MemoryBytes < perDev {
+		cfg.NPU.MemoryBytes = perDev
 	}
-	sim, err := core.New(core.Options{
-		Model: m, Topo: topo, NPU: npuCfg, PIM: config.DefaultPIM(), Reuse: reuse,
-	}, workload.UniformBatch(batch, seqLen, 1))
-	if err != nil {
-		return metrics.ComponentTimes{}, err
-	}
-	if _, _, err := sim.FirstIteration(); err != nil {
-		return metrics.ComponentTimes{}, err
-	}
-	return sim.HostTimes(), nil
+	sc := llmservingsim.NewScenario(scenarioName, cfg, llmservingsim.UniformTrace(batch, seqLen, 1))
+	sc.MaxIterations = 1
+	return sc
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -10,13 +10,20 @@
 //	    -dataset trace.tsv -output run1
 //
 // writes run1-throughput.tsv and run1-simulation-time.tsv and prints a
-// summary to standard output.
+// summary to standard output. The enum-valued flags (-parallel,
+// -scheduling, -kv-manage, -pim-type) are parsed into the package's
+// typed policies, so invalid values fail at flag parsing. Interrupting
+// the run (Ctrl-C) cancels the simulation at the next iteration
+// boundary; -progress N prints a progress line every N iterations.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	llmservingsim "repro"
@@ -24,23 +31,13 @@ import (
 )
 
 func main() {
+	cfg := llmservingsim.DefaultConfig()
 	var (
-		modelName  = flag.String("model", "gpt2", "model name (see -list-models)")
 		listModels = flag.Bool("list-models", false, "print known models and exit")
-		npuNum     = flag.Int("npu-num", 16, "number of NPUs")
-		maxBatch   = flag.Int("max-batch", 0, "maximum batch size (0 = unlimited)")
-		batchDelay = flag.Duration("batch-delay", 0, "delay to accumulate arrivals before batching")
-		scheduling = flag.String("scheduling", "orca", "scheduling policy: orca|static")
-		parallel   = flag.String("parallel", "hybrid", "parallelism: tensor|pipeline|hybrid")
-		npuGroup   = flag.Int("npu-group", 1, "NPU group count for hybrid parallelism")
 		npuMem     = flag.Int("npu-mem", 0, "NPU local memory in GB (0 = Table I default)")
-		kvManage   = flag.String("kv-manage", "vllm", "KV cache management: vllm|maxlen")
-		pimType    = flag.String("pim-type", "none", "PIM usage: none|local|pool")
 		pimPool    = flag.Int("pim-pool", 0, "PIM pool size (pool mode; 0 = npu-num)")
 		subBatch   = flag.Bool("sub-batch", false, "enable NeuPIMs sub-batch interleaving")
-		selective  = flag.Bool("selective", false, "enable selective batching across TP workers")
 		noReuse    = flag.Bool("no-reuse", false, "disable all result-reuse optimisations")
-		gpuEngine  = flag.Bool("gpu", false, "use the GPU reference engine instead of the NPU")
 		networkCfg = flag.String("network", "", "JSON link config file (bandwidth/latency)")
 		npuCfgPath = flag.String("npu-config", "", "JSON NPU config file")
 		dataset    = flag.String("dataset", "", "TSV request trace (input/output tokens + arrival ms)")
@@ -48,9 +45,21 @@ func main() {
 		synthN     = flag.Int("synth-n", 128, "synthetic trace request count")
 		synthRate  = flag.Float64("synth-rate", 4, "synthetic Poisson arrival rate (req/s)")
 		seed       = flag.Int64("seed", 1, "synthetic trace random seed")
-		genOnly    = flag.Bool("gen", false, "skip the initiation phase (generation only)")
+		progress   = flag.Int("progress", 0, "print a progress line every N iterations (0 = off)")
 		output     = flag.String("output", "", "output file prefix for TSV results")
 	)
+	flag.StringVar(&cfg.Model, "model", cfg.Model, "model name (see -list-models)")
+	flag.IntVar(&cfg.NPUs, "npu-num", cfg.NPUs, "number of NPUs")
+	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "maximum batch size (0 = unlimited)")
+	flag.DurationVar(&cfg.BatchDelay, "batch-delay", 0, "delay to accumulate arrivals before batching")
+	flag.Var(&cfg.Scheduling, "scheduling", "scheduling policy: orca|static")
+	flag.Var(&cfg.Parallelism, "parallel", "parallelism: tensor|pipeline|hybrid")
+	flag.IntVar(&cfg.NPUGroups, "npu-group", cfg.NPUGroups, "NPU group count for hybrid parallelism")
+	flag.Var(&cfg.KVManage, "kv-manage", "KV cache management: vllm|maxlen")
+	flag.Var(&cfg.PIMType, "pim-type", "PIM usage: none|local|pool")
+	flag.BoolVar(&cfg.SelectiveBatching, "selective", false, "enable selective batching across TP workers")
+	flag.BoolVar(&cfg.UseGPUEngine, "gpu", false, "use the GPU reference engine instead of the NPU")
+	flag.BoolVar(&cfg.SkipInitiation, "gen", false, "skip the initiation phase (generation only)")
 	flag.Parse()
 
 	if *listModels {
@@ -60,20 +69,7 @@ func main() {
 		return
 	}
 
-	cfg := llmservingsim.DefaultConfig()
-	cfg.Model = *modelName
-	cfg.NPUs = *npuNum
-	cfg.MaxBatch = *maxBatch
-	cfg.BatchDelay = *batchDelay
-	cfg.Scheduling = *scheduling
-	cfg.Parallelism = *parallel
-	cfg.NPUGroups = *npuGroup
-	cfg.KVManage = *kvManage
-	cfg.PIMType = *pimType
 	cfg.PIMPoolSize = *pimPool
-	cfg.SelectiveBatching = *selective
-	cfg.SkipInitiation = *genOnly
-	cfg.UseGPUEngine = *gpuEngine
 	if *subBatch {
 		cfg.SubBatches = 2
 	}
@@ -94,6 +90,15 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *progress > 0 {
+		every := *progress
+		cfg.OnIteration = func(it llmservingsim.Iteration) {
+			if (it.Index+1)%every == 0 {
+				fmt.Fprintf(os.Stderr, "iteration %d  batch %d  sim clock %.2fs\n",
+					it.Index+1, it.BatchSize, it.ClockSec)
+			}
+		}
+	}
 
 	var trace []llmservingsim.Request
 	var err error
@@ -111,16 +116,33 @@ func main() {
 		fatal(err)
 	}
 
-	sim, err := llmservingsim.New(cfg, trace)
-	if err != nil {
-		fatal(err)
-	}
-	start := time.Now()
-	rep, err := sim.Run()
+	sim, err := llmservingsim.NewFromConfig(cfg, trace)
 	if err != nil {
 		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first interrupt starts the graceful stop, restore
+		// default SIGINT handling so a second Ctrl-C force-quits.
+		<-ctx.Done()
+		stop()
+	}()
+	start := time.Now()
+	rep, err := sim.RunContext(ctx)
+	interrupted := false
+	if errors.Is(err, context.Canceled) {
+		// Graceful interrupt: report the iterations completed so far.
+		interrupted = true
+		rep = sim.Report()
+	} else if err != nil {
+		fatal(err)
+	}
+
+	if interrupted {
+		fmt.Printf("interrupted      after %d iterations (partial results)\n", rep.Iterations)
+	}
 	fmt.Printf("model            %s\n", rep.Model)
 	fmt.Printf("topology         %s\n", rep.Topology)
 	fmt.Printf("requests         %d\n", rep.Latency.Count)

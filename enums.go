@@ -1,0 +1,265 @@
+package llmservingsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kvcache"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// The enum types below replace the artifact's stringly-typed simulation
+// parameters (parallel, scheduling, kv_manage, pim_type). Each has a
+// Parse function accepting the artifact's CLI spellings (the empty
+// string selects the artifact default) and a String method returning the
+// canonical spelling, so round-tripping through flags and TSV output is
+// lossless. All four implement flag.Value, so they can be bound to
+// command-line flags directly with flag.Var. The zero value of every
+// enum is the artifact default, making zero-valued Config fields safe.
+
+// Parallelism selects how the model is distributed across accelerators
+// (the artifact's "parallel" parameter). The zero value is
+// ParallelismHybrid, the artifact default.
+type Parallelism int
+
+const (
+	// ParallelismHybrid pipelines across NPU groups and shards tensors
+	// within each group (requires Config.NPUGroups).
+	ParallelismHybrid Parallelism = iota
+	// ParallelismTensor shards every weight matrix across all nodes.
+	ParallelismTensor
+	// ParallelismPipeline assigns contiguous layer ranges to nodes.
+	ParallelismPipeline
+)
+
+// ParseParallelism converts the artifact's CLI values ("tensor",
+// "pipeline", "hybrid"; "" selects the default, hybrid).
+func ParseParallelism(s string) (Parallelism, error) {
+	switch s {
+	case "hybrid", "":
+		return ParallelismHybrid, nil
+	case "tensor":
+		return ParallelismTensor, nil
+	case "pipeline":
+		return ParallelismPipeline, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown parallelism %q (want tensor|pipeline|hybrid)", s)
+	}
+}
+
+func (p Parallelism) String() string {
+	switch p {
+	case ParallelismHybrid:
+		return "hybrid"
+	case ParallelismTensor:
+		return "tensor"
+	case ParallelismPipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("Parallelism(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *Parallelism) Set(s string) error {
+	v, err := ParseParallelism(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p Parallelism) valid() bool {
+	return p >= ParallelismHybrid && p <= ParallelismPipeline
+}
+
+func (p Parallelism) internal() network.Parallelism {
+	switch p {
+	case ParallelismTensor:
+		return network.Tensor
+	case ParallelismPipeline:
+		return network.Pipeline
+	default:
+		return network.Hybrid
+	}
+}
+
+// SchedPolicy selects the batch scheduling policy (the artifact's
+// "scheduling" parameter). The zero value is SchedOrca, the artifact
+// default.
+type SchedPolicy int
+
+const (
+	// SchedOrca is Orca-style iteration-level scheduling: requests join
+	// and leave the running batch at iteration boundaries.
+	SchedOrca SchedPolicy = iota
+	// SchedStatic runs each admitted batch to full completion before
+	// admitting new requests.
+	SchedStatic
+)
+
+// ParseSchedPolicy converts the artifact's CLI values ("orca" or
+// "iteration", "static" or "batch"; "" selects the default, orca).
+func ParseSchedPolicy(s string) (SchedPolicy, error) {
+	switch s {
+	case "orca", "iteration", "":
+		return SchedOrca, nil
+	case "static", "batch":
+		return SchedStatic, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown scheduling policy %q (want orca|static)", s)
+	}
+}
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedOrca:
+		return "orca"
+	case SchedStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *SchedPolicy) Set(s string) error {
+	v, err := ParseSchedPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p SchedPolicy) valid() bool { return p == SchedOrca || p == SchedStatic }
+
+func (p SchedPolicy) internal() sched.Policy {
+	if p == SchedStatic {
+		return sched.Static
+	}
+	return sched.Orca
+}
+
+// KVPolicy selects KV-cache memory management (the artifact's
+// "kv_manage" parameter). The zero value is KVPaged, the artifact
+// default.
+type KVPolicy int
+
+const (
+	// KVPaged is vLLM-style paged allocation at KVPageTokens granularity.
+	KVPaged KVPolicy = iota
+	// KVMaxLen reserves each request's maximum sequence length up front.
+	KVMaxLen
+)
+
+// ParseKVPolicy converts the artifact's CLI values ("vllm" or "paged",
+// "maxlen" or "max"; "" selects the default, vllm).
+func ParseKVPolicy(s string) (KVPolicy, error) {
+	switch s {
+	case "vllm", "paged", "":
+		return KVPaged, nil
+	case "maxlen", "max":
+		return KVMaxLen, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown kv policy %q (want vllm|maxlen)", s)
+	}
+}
+
+func (p KVPolicy) String() string {
+	switch p {
+	case KVPaged:
+		return "vllm"
+	case KVMaxLen:
+		return "maxlen"
+	default:
+		return fmt.Sprintf("KVPolicy(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *KVPolicy) Set(s string) error {
+	v, err := ParseKVPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p KVPolicy) valid() bool { return p == KVPaged || p == KVMaxLen }
+
+func (p KVPolicy) internal() kvcache.Policy {
+	if p == KVMaxLen {
+		return kvcache.MaxLen
+	}
+	return kvcache.Paged
+}
+
+// PIMMode selects how PIM devices participate (the artifact's
+// "pim_type" parameter). The zero value is PIMNone.
+type PIMMode int
+
+const (
+	// PIMNone runs a homogeneous NPU system.
+	PIMNone PIMMode = iota
+	// PIMLocal pairs each NPU with a directly-attached PIM device
+	// (Fig. 5(a)).
+	PIMLocal
+	// PIMPool places PIM devices in a separate pool reached over the
+	// interconnect (Fig. 5(b)).
+	PIMPool
+)
+
+// ParsePIMMode converts the artifact's CLI values ("none", "local",
+// "pool"; "" selects the default, none).
+func ParsePIMMode(s string) (PIMMode, error) {
+	switch s {
+	case "none", "":
+		return PIMNone, nil
+	case "local":
+		return PIMLocal, nil
+	case "pool":
+		return PIMPool, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown pim mode %q (want none|local|pool)", s)
+	}
+}
+
+func (m PIMMode) String() string {
+	switch m {
+	case PIMNone:
+		return "none"
+	case PIMLocal:
+		return "local"
+	case PIMPool:
+		return "pool"
+	default:
+		return fmt.Sprintf("PIMMode(%d)", int(m))
+	}
+}
+
+// Set implements flag.Value.
+func (m *PIMMode) Set(s string) error {
+	v, err := ParsePIMMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+func (m PIMMode) valid() bool { return m >= PIMNone && m <= PIMPool }
+
+func (m PIMMode) internal() core.PIMMode {
+	switch m {
+	case PIMLocal:
+		return core.PIMLocal
+	case PIMPool:
+		return core.PIMPool
+	default:
+		return core.PIMNone
+	}
+}

@@ -1,0 +1,190 @@
+package llmservingsim
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestEnumRoundTrips: every enum value survives String -> Parse, and the
+// artifact's alias spellings parse to the same values.
+func TestEnumRoundTrips(t *testing.T) {
+	for _, p := range []Parallelism{ParallelismHybrid, ParallelismTensor, ParallelismPipeline} {
+		got, err := ParseParallelism(p.String())
+		if err != nil || got != p {
+			t.Errorf("Parallelism %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	for _, p := range []SchedPolicy{SchedOrca, SchedStatic} {
+		got, err := ParseSchedPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("SchedPolicy %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	for _, p := range []KVPolicy{KVPaged, KVMaxLen} {
+		got, err := ParseKVPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("KVPolicy %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	for _, m := range []PIMMode{PIMNone, PIMLocal, PIMPool} {
+		got, err := ParsePIMMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("PIMMode %v round-trip: got %v, %v", m, got, err)
+		}
+	}
+
+	if v, _ := ParseSchedPolicy("iteration"); v != SchedOrca {
+		t.Errorf("alias iteration: %v", v)
+	}
+	if v, _ := ParseSchedPolicy("batch"); v != SchedStatic {
+		t.Errorf("alias batch: %v", v)
+	}
+	if v, _ := ParseKVPolicy("paged"); v != KVPaged {
+		t.Errorf("alias paged: %v", v)
+	}
+	if v, _ := ParseKVPolicy("max"); v != KVMaxLen {
+		t.Errorf("alias max: %v", v)
+	}
+}
+
+// TestEnumDefaultsAndErrors: the empty string selects the artifact
+// default (matching the enums' zero values), and garbage is rejected.
+func TestEnumDefaultsAndErrors(t *testing.T) {
+	if v, err := ParseParallelism(""); err != nil || v != ParallelismHybrid {
+		t.Errorf("empty parallelism: %v, %v", v, err)
+	}
+	if v, err := ParseSchedPolicy(""); err != nil || v != SchedOrca {
+		t.Errorf("empty scheduling: %v, %v", v, err)
+	}
+	if v, err := ParseKVPolicy(""); err != nil || v != KVPaged {
+		t.Errorf("empty kv: %v, %v", v, err)
+	}
+	if v, err := ParsePIMMode(""); err != nil || v != PIMNone {
+		t.Errorf("empty pim: %v, %v", v, err)
+	}
+	if _, err := ParseParallelism("nope"); err == nil {
+		t.Error("bad parallelism accepted")
+	}
+	if _, err := ParseSchedPolicy("nope"); err == nil {
+		t.Error("bad scheduling accepted")
+	}
+	if _, err := ParseKVPolicy("nope"); err == nil {
+		t.Error("bad kv accepted")
+	}
+	if _, err := ParsePIMMode("nope"); err == nil {
+		t.Error("bad pim accepted")
+	}
+}
+
+// TestEnumFlagValues: the enums bind to command-line flags via flag.Var.
+func TestEnumFlagValues(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var (
+		par   Parallelism
+		sched SchedPolicy
+		kv    KVPolicy
+		pim   PIMMode
+	)
+	fs.Var(&par, "parallel", "")
+	fs.Var(&sched, "scheduling", "")
+	fs.Var(&kv, "kv-manage", "")
+	fs.Var(&pim, "pim-type", "")
+	err := fs.Parse([]string{"-parallel", "tensor", "-scheduling", "static", "-kv-manage", "maxlen", "-pim-type", "pool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != ParallelismTensor || sched != SchedStatic || kv != KVMaxLen || pim != PIMPool {
+		t.Fatalf("parsed %v %v %v %v", par, sched, kv, pim)
+	}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(&strings.Builder{})
+	fs2.Var(&par, "parallel", "")
+	if err := fs2.Parse([]string{"-parallel", "bogus"}); err == nil {
+		t.Fatal("bogus flag value accepted")
+	}
+}
+
+// TestConfigValidate: every constraint yields a *ConfigError naming the
+// offending field.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"unknown model", func(c *Config) { c.Model = "nope" }, "Model"},
+		{"zero npus", func(c *Config) { c.NPUs = 0 }, "NPUs"},
+		{"negative npus", func(c *Config) { c.NPUs = -4 }, "NPUs"},
+		{"bad parallelism", func(c *Config) { c.Parallelism = Parallelism(99) }, "Parallelism"},
+		{"negative groups", func(c *Config) { c.NPUGroups = -1 }, "NPUGroups"},
+		{"indivisible groups", func(c *Config) { c.NPUs = 10; c.NPUGroups = 3 }, "NPUGroups"},
+		{"bad scheduling", func(c *Config) { c.Scheduling = SchedPolicy(99) }, "Scheduling"},
+		{"bad kv", func(c *Config) { c.KVManage = KVPolicy(99) }, "KVManage"},
+		{"bad pim", func(c *Config) { c.PIMType = PIMMode(99) }, "PIMType"},
+		{"negative max batch", func(c *Config) { c.MaxBatch = -1 }, "MaxBatch"},
+		{"negative batch delay", func(c *Config) { c.BatchDelay = -1 }, "BatchDelay"},
+		{"negative page tokens", func(c *Config) { c.KVPageTokens = -16 }, "KVPageTokens"},
+		{"negative pim pool", func(c *Config) { c.PIMPoolSize = -2 }, "PIMPoolSize"},
+		{"negative sub batches", func(c *Config) { c.SubBatches = -2 }, "SubBatches"},
+		{"sub batch without pim", func(c *Config) { c.SubBatches = 2; c.PIMType = PIMNone }, "SubBatches"},
+		{"bad link bandwidth", func(c *Config) { c.Link.BandwidthBytes = -5 }, "Link"},
+		{"bad npu frequency", func(c *Config) { c.NPU.FrequencyHz = -1 }, "NPU"},
+		// A partially filled hardware block must fail loudly instead of
+		// being silently replaced by the Table I defaults.
+		{"partial npu block", func(c *Config) { c.NPU = config.NPUConfig{MemoryBytes: 8 << 30} }, "NPU"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			ce, ok := AsConfigError(err)
+			if !ok {
+				t.Fatalf("not a ConfigError: %v", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("field %q, want %q (%v)", ce.Field, tc.field, err)
+			}
+			// The constructor surfaces the same typed error.
+			if _, nerr := NewFromConfig(cfg, UniformTrace(2, 16, 2)); nerr == nil {
+				t.Fatal("constructor accepted invalid config")
+			} else if _, ok := AsConfigError(nerr); !ok {
+				t.Fatalf("constructor error not typed: %v", nerr)
+			}
+		})
+	}
+
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// A minimal config relies on enum zero values being the defaults.
+	minimal := Config{Model: "gpt2", NPUs: 4}
+	if err := minimal.Validate(); err != nil {
+		t.Fatalf("minimal config invalid: %v", err)
+	}
+	if _, err := NewFromConfig(minimal, UniformTrace(2, 16, 2)); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+}
+
+// TestConfigErrorUnwrap: wrapped causes (the model registry's error)
+// survive errors.Is/As chains.
+func TestConfigErrorUnwrap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = "nope"
+	err := cfg.Validate()
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As failed on %v", err)
+	}
+	if ce.Err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("cause not preserved: %+v", ce)
+	}
+}

@@ -6,17 +6,16 @@ import (
 	llmservingsim "repro"
 )
 
-// ExampleNew shows the minimal simulation flow: configure a system, build
-// a trace, run, and read the report. The workload here is fixed-shape so
-// the output is deterministic.
+// ExampleNew shows the minimal simulation flow: build a trace, configure
+// a system with functional options, run, and read the report. The
+// workload here is fixed-shape so the output is deterministic.
 func ExampleNew() {
-	cfg := llmservingsim.DefaultConfig()
-	cfg.Model = "gpt2"
-	cfg.NPUs = 2
-	cfg.Parallelism = "tensor"
-
 	trace := llmservingsim.UniformTrace(4, 64, 8) // 4 requests, 64->8 tokens
-	sim, err := llmservingsim.New(cfg, trace)
+	sim, err := llmservingsim.New(trace,
+		llmservingsim.WithModel("gpt2"),
+		llmservingsim.WithNPUs(2),
+		llmservingsim.WithParallelism(llmservingsim.ParallelismTensor),
+	)
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -31,17 +30,18 @@ func ExampleNew() {
 	// Output: model=gpt2 topology=TP2 PP1 requests=4 iterations=8
 }
 
-// ExampleConfig_heterogeneous configures the Fig. 5(a) NPU+PIM system
-// with NeuPIMs-style sub-batch interleaving.
-func ExampleConfig_heterogeneous() {
+// ExampleNewFromConfig configures the Fig. 5(a) NPU+PIM system with
+// NeuPIMs-style sub-batch interleaving via an explicit Config — the
+// artifact-style construction path.
+func ExampleNewFromConfig() {
 	cfg := llmservingsim.DefaultConfig()
 	cfg.Model = "gpt2"
 	cfg.NPUs = 2
-	cfg.Parallelism = "tensor"
-	cfg.PIMType = "local"
+	cfg.Parallelism = llmservingsim.ParallelismTensor
+	cfg.PIMType = llmservingsim.PIMLocal
 	cfg.SubBatches = 2
 
-	sim, err := llmservingsim.New(cfg, llmservingsim.UniformTrace(4, 64, 4))
+	sim, err := llmservingsim.NewFromConfig(cfg, llmservingsim.UniformTrace(4, 64, 4))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -53,4 +53,63 @@ func ExampleConfig_heterogeneous() {
 	}
 	fmt.Printf("completed %d requests on %s\n", rep.Latency.Count, rep.Topology)
 	// Output: completed 4 requests on TP2 PP1
+}
+
+// ExampleSimulator_Step drives the simulator one iteration at a time —
+// the run-control surface external drivers (servers, notebooks, tuners)
+// use to interleave simulation with their own control flow.
+func ExampleSimulator_Step() {
+	sim, err := llmservingsim.New(llmservingsim.UniformTrace(2, 32, 4),
+		llmservingsim.WithModel("gpt2"),
+		llmservingsim.WithNPUs(2),
+		llmservingsim.WithParallelism(llmservingsim.ParallelismTensor),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	steps := 0
+	for {
+		done, err := sim.Step()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if done {
+			break
+		}
+		steps++
+	}
+	fmt.Printf("stepped %d iterations, report shows %d\n", steps, sim.Report().Iterations)
+	// Output: stepped 4 iterations, report shows 4
+}
+
+// ExampleSweep fans a scenario grid out over the worker pool and reads
+// the comparative report — the design-space-exploration use case the
+// paper motivates the simulator with.
+func ExampleSweep() {
+	base := llmservingsim.DefaultConfig()
+	base.Model = "gpt2"
+	base.NPUs = 2
+	base.Parallelism = llmservingsim.ParallelismTensor
+	trace := llmservingsim.UniformTrace(4, 64, 8)
+
+	scenarios := llmservingsim.Variants(base, trace,
+		llmservingsim.Variant{Name: "npu-only"},
+		llmservingsim.Variant{Name: "pim-local", Apply: func(c *llmservingsim.Config) {
+			c.PIMType = llmservingsim.PIMLocal
+		}},
+	)
+	report, err := llmservingsim.NewSweep(scenarios...).Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, res := range report.Results {
+		fmt.Printf("%s: %d requests in %d iterations\n",
+			res.Name, res.Report.Latency.Count, res.Report.Iterations)
+	}
+	// Output:
+	// npu-only: 4 requests in 8 iterations
+	// pim-local: 4 requests in 8 iterations
 }

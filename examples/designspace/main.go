@@ -4,11 +4,16 @@
 // configuration serves it best. This is the hardware-exploration use case
 // the paper motivates LLMServingSim with: evaluating accelerator designs
 // at the serving-system level instead of per-kernel.
+//
+// The design points are expressed as Variants over a base Config and
+// fanned out concurrently by the Sweep worker pool, one simulation per
+// core.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	llmservingsim "repro"
 	"repro/internal/config"
@@ -20,51 +25,64 @@ func main() {
 		log.Fatal(err)
 	}
 
-	type design struct {
-		name string
-		mut  func(*config.NPUConfig)
+	base := llmservingsim.DefaultConfig()
+	base.Model = "gpt3-7b"
+	base.NPUs = 2
+	base.Parallelism = llmservingsim.ParallelismTensor
+
+	npu := func(mut func(*config.NPUConfig)) func(*llmservingsim.Config) {
+		return func(c *llmservingsim.Config) { mut(&c.NPU) }
 	}
-	designs := []design{
-		{"baseline 128x128, 936 GB/s", func(n *config.NPUConfig) {}},
-		{"wider array 256x256", func(n *config.NPUConfig) {
+	scenarios := llmservingsim.Variants(base, trace,
+		llmservingsim.Variant{Name: "baseline 128x128, 936 GB/s"},
+		llmservingsim.Variant{Name: "wider array 256x256", Apply: npu(func(n *config.NPUConfig) {
 			n.SystolicRows, n.SystolicCols = 256, 256
-		}},
-		{"narrow array 64x64", func(n *config.NPUConfig) {
+		})},
+		llmservingsim.Variant{Name: "narrow array 64x64", Apply: npu(func(n *config.NPUConfig) {
 			n.SystolicRows, n.SystolicCols = 64, 64
-		}},
-		{"double bandwidth 1.9 TB/s", func(n *config.NPUConfig) {
+		})},
+		llmservingsim.Variant{Name: "double bandwidth 1.9 TB/s", Apply: npu(func(n *config.NPUConfig) {
 			n.MemoryBWBytes = 2 * 936e9
-		}},
-		{"half bandwidth 468 GB/s", func(n *config.NPUConfig) {
+		})},
+		llmservingsim.Variant{Name: "half bandwidth 468 GB/s", Apply: npu(func(n *config.NPUConfig) {
 			n.MemoryBWBytes = 936e9 / 2
-		}},
-		{"big scratchpad 64 MiB", func(n *config.NPUConfig) {
+		})},
+		llmservingsim.Variant{Name: "big scratchpad 64 MiB", Apply: npu(func(n *config.NPUConfig) {
 			n.SRAMBytes = 64 << 20
-		}},
-		{"2 GHz clock", func(n *config.NPUConfig) {
+		})},
+		llmservingsim.Variant{Name: "2 GHz clock", Apply: npu(func(n *config.NPUConfig) {
 			n.FrequencyHz = 2e9
-		}},
+		})},
+	)
+
+	report, err := llmservingsim.NewSweep(scenarios...).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("design point                    gen tok/s   mean lat     p95 lat")
-	for _, d := range designs {
-		cfg := llmservingsim.DefaultConfig()
-		cfg.Model = "gpt3-7b"
-		cfg.NPUs = 2
-		cfg.Parallelism = "tensor"
-		d.mut(&cfg.NPU)
-
-		sim, err := llmservingsim.New(cfg, trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := sim.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range report.Results {
+		rep := res.Report
 		fmt.Printf("%-30s %10.1f %10.3fs %10.3fs\n",
-			d.name, rep.GenTPS, rep.Latency.MeanSec, rep.Latency.P95Sec)
+			res.Name, rep.GenTPS, rep.Latency.MeanSec, rep.Latency.P95Sec)
 	}
+	best := report.Best(func(r *llmservingsim.Report) float64 { return r.GenTPS })
+	fmt.Printf("\nbest design: %s (%.1f gen tok/s), swept %d points in %v\n",
+		best.Name, best.Report.GenTPS, len(report.Results), report.Wall.Round(1e6))
+
 	fmt.Println("\nDecode serving is bandwidth-bound: bandwidth changes move throughput,")
 	fmt.Println("while array geometry mostly moves the compute-bound initiation phase.")
+
+	f, err := os.Create("designspace-sweep.tsv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteTSV(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote designspace-sweep.tsv")
 }

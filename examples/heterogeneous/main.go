@@ -3,7 +3,7 @@
 // memory-bound attention core, connected by a high-bandwidth interconnect
 // — compared against the homogeneous all-NPU system and the Fig. 5(a)
 // directly-attached NPU+PIM system with NeuPIMs-style sub-batch
-// interleaving.
+// interleaving. The four systems run concurrently as one Sweep.
 package main
 
 import (
@@ -24,31 +24,35 @@ func main() {
 	base := llmservingsim.DefaultConfig()
 	base.Model = "gpt3-7b"
 	base.NPUs = 4
-	base.Parallelism = "tensor"
+	base.Parallelism = llmservingsim.ParallelismTensor
 
-	systems := []struct {
-		name string
-		mut  func(*llmservingsim.Config)
-	}{
-		{"NPU only (homogeneous)", func(c *llmservingsim.Config) {}},
-		{"NPU+PIM local (Fig 5a)", func(c *llmservingsim.Config) { c.PIMType = "local" }},
-		{"NPU+PIM local, sub-batched", func(c *llmservingsim.Config) { c.PIMType = "local"; c.SubBatches = 2 }},
-		{"NPU pool + PIM pool (Fig 5b)", func(c *llmservingsim.Config) { c.PIMType = "pool"; c.PIMPoolSize = 4 }},
+	scenarios := llmservingsim.Variants(base, trace,
+		llmservingsim.Variant{Name: "NPU only (homogeneous)"},
+		llmservingsim.Variant{Name: "NPU+PIM local (Fig 5a)", Apply: func(c *llmservingsim.Config) {
+			c.PIMType = llmservingsim.PIMLocal
+		}},
+		llmservingsim.Variant{Name: "NPU+PIM local, sub-batched", Apply: func(c *llmservingsim.Config) {
+			c.PIMType = llmservingsim.PIMLocal
+			c.SubBatches = 2
+		}},
+		llmservingsim.Variant{Name: "NPU pool + PIM pool (Fig 5b)", Apply: func(c *llmservingsim.Config) {
+			c.PIMType = llmservingsim.PIMPool
+			c.PIMPoolSize = 4
+		}},
+	)
+
+	report, err := llmservingsim.NewSweep(scenarios...).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("system                            iters   sim_end    gen tok/s   p95 lat")
-	for _, s := range systems {
-		cfg := base
-		s.mut(&cfg)
-		sim, err := llmservingsim.New(cfg, trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := sim.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range report.Results {
+		rep := res.Report
 		fmt.Printf("%-32s %6d  %7.2fs  %9.1f  %8.3fs\n",
-			s.name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.P95Sec)
+			res.Name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.P95Sec)
 	}
 }

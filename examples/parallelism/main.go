@@ -2,7 +2,7 @@
 // GPT3-30B on 16 NPUs (the Fig. 3 hybrid topology is TP4 x PP4) and
 // report how the strategy changes serving throughput and latency —
 // all-reduce-heavy tensor parallelism vs fill-latency-bound pipeline
-// parallelism.
+// parallelism. The five strategies run concurrently as one Sweep.
 package main
 
 import (
@@ -18,35 +18,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	type cfg struct {
-		name        string
-		parallelism string
-		groups      int
+	base := llmservingsim.DefaultConfig()
+	base.Model = "gpt3-30b"
+	base.NPUs = 16
+
+	strategy := func(p llmservingsim.Parallelism, groups int) func(*llmservingsim.Config) {
+		return func(c *llmservingsim.Config) { c.Parallelism = p; c.NPUGroups = groups }
 	}
-	sweeps := []cfg{
-		{"TP16 PP1 (tensor)", "tensor", 0},
-		{"TP8  PP2 (hybrid)", "hybrid", 2},
-		{"TP4  PP4 (hybrid, Fig 3)", "hybrid", 4},
-		{"TP2  PP8 (hybrid)", "hybrid", 8},
-		{"TP1  PP16 (pipeline)", "pipeline", 0},
+	scenarios := llmservingsim.Variants(base, trace,
+		llmservingsim.Variant{Name: "TP16 PP1 (tensor)", Apply: strategy(llmservingsim.ParallelismTensor, 0)},
+		llmservingsim.Variant{Name: "TP8  PP2 (hybrid)", Apply: strategy(llmservingsim.ParallelismHybrid, 2)},
+		llmservingsim.Variant{Name: "TP4  PP4 (hybrid, Fig 3)", Apply: strategy(llmservingsim.ParallelismHybrid, 4)},
+		llmservingsim.Variant{Name: "TP2  PP8 (hybrid)", Apply: strategy(llmservingsim.ParallelismHybrid, 8)},
+		llmservingsim.Variant{Name: "TP1  PP16 (pipeline)", Apply: strategy(llmservingsim.ParallelismPipeline, 0)},
+	)
+
+	report, err := llmservingsim.NewSweep(scenarios...).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("strategy                      iters   sim_end   gen tok/s   mean lat   ttft")
-	for _, s := range sweeps {
-		c := llmservingsim.DefaultConfig()
-		c.Model = "gpt3-30b"
-		c.NPUs = 16
-		c.Parallelism = s.parallelism
-		c.NPUGroups = s.groups
-		sim, err := llmservingsim.New(c, trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep, err := sim.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range report.Results {
+		rep := res.Report
 		fmt.Printf("%-28s %6d  %7.2fs  %9.1f  %8.3fs  %6.3fs\n",
-			s.name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.MeanSec, rep.Latency.TTFTSec)
+			res.Name, rep.Iterations, rep.SimEndSec, rep.GenTPS, rep.Latency.MeanSec, rep.Latency.TTFTSec)
 	}
 }

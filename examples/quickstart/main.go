@@ -1,5 +1,6 @@
 // Quickstart: simulate a small ShareGPT-like workload on a 4-NPU
-// tensor-parallel system and print the serving summary.
+// tensor-parallel system and print the serving summary, using the
+// functional-options constructor.
 package main
 
 import (
@@ -10,17 +11,16 @@ import (
 )
 
 func main() {
-	cfg := llmservingsim.DefaultConfig()
-	cfg.Model = "gpt3-7b"
-	cfg.NPUs = 4
-	cfg.Parallelism = "tensor"
-
 	trace, err := llmservingsim.ShareGPTTrace(64, 4.0, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sim, err := llmservingsim.New(cfg, trace)
+	sim, err := llmservingsim.New(trace,
+		llmservingsim.WithModel("gpt3-7b"),
+		llmservingsim.WithNPUs(4),
+		llmservingsim.WithParallelism(llmservingsim.ParallelismTensor),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

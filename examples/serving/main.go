@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	llmservingsim "repro"
 )
@@ -19,13 +20,13 @@ func main() {
 	}
 
 	run := func(useGPU bool) *llmservingsim.Report {
-		cfg := llmservingsim.DefaultConfig()
-		cfg.Model = "gpt3-7b"
-		cfg.NPUs = 1
-		cfg.Parallelism = "tensor"
-		cfg.UseGPUEngine = useGPU
-		cfg.ThroughputWindow = 5e9 // 5 simulated seconds
-		sim, err := llmservingsim.New(cfg, trace)
+		sim, err := llmservingsim.New(trace,
+			llmservingsim.WithModel("gpt3-7b"),
+			llmservingsim.WithNPUs(1),
+			llmservingsim.WithParallelism(llmservingsim.ParallelismTensor),
+			llmservingsim.WithGPUEngine(useGPU),
+			llmservingsim.WithThroughputWindow(5*time.Second),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,10 +41,7 @@ func main() {
 	sim := run(false) // LLMServingSim NPU model
 
 	fmt.Println("time_s   ref_prompt  sim_prompt   ref_gen   sim_gen   (tok/s)")
-	n := len(ref.Throughput)
-	if len(sim.Throughput) < n {
-		n = len(sim.Throughput)
-	}
+	n := min(len(ref.Throughput), len(sim.Throughput))
 	for i := 0; i < n; i++ {
 		r, s := ref.Throughput[i], sim.Throughput[i]
 		fmt.Printf("%6.0f   %10.1f  %10.1f  %8.1f  %8.1f\n",

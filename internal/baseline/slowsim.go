@@ -130,7 +130,7 @@ func SimulateIteration(mode SlowMode, m model.Config, npuCfg config.NPUConfig, p
 		case mode == NeuPIMsMode && op.Kind.IsAttention():
 			// NPU<->PIM co-simulation: the two simulators exchange and
 			// replay the PIM command stream at every layer boundary.
-			cmds := int64(op.Heads) * int64(op.M) * int64(maxI(op.N, op.K)) / pimCommandSample
+			cmds := int64(op.Heads) * int64(op.M) * int64(max(op.N, op.K)) / pimCommandSample
 			for i := int64(0); i < cmds; i++ {
 				sink = sink*2862933555777941757 + uint64(i)
 			}
@@ -163,11 +163,4 @@ func SimulateIteration(mode SlowMode, m model.Config, npuCfg config.NPUConfig, p
 	_ = sink
 	res.Wall = time.Since(start)
 	return res, nil
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

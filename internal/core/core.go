@@ -136,6 +136,10 @@ type Report struct {
 
 // Simulator is one configured LLMServingSim instance.
 type Simulator struct {
+	// OnIteration, when non-nil, is invoked synchronously after every
+	// completed iteration. Set it before the first Step/Run call.
+	OnIteration func(IterationStats)
+
 	opts Options
 
 	npu *engine.Stack
@@ -145,6 +149,7 @@ type Simulator struct {
 	scheduler *sched.Scheduler
 	collector metrics.Collector
 	host      metrics.ComponentTimes
+	wall      time.Duration // accumulated host wall-clock across Steps
 }
 
 // New validates options and assembles a simulator for the given trace.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,44 +21,94 @@ import (
 func newNPUEngine(cfg config.NPUConfig) (engine.Engine, error) { return npu.New(cfg) }
 func newPIMEngine(cfg config.PIMConfig) (engine.Engine, error) { return pim.New(cfg) }
 
+// IterationStats describes one completed scheduler iteration, delivered
+// to the OnIteration hook.
+type IterationStats struct {
+	Index        int // 0-based iteration index
+	BatchSize    int
+	PromptTokens int
+	Start        simtime.Time     // simulated batch start
+	Latency      simtime.Duration // simulated iteration latency
+}
+
 // Run drives the simulator until every request completes, executing the
 // Fig. 4 cycle each iteration: scheduler -> execution engine stack ->
 // graph converter -> system simulator -> scheduler feedback.
 func (s *Simulator) Run() (*Report, error) {
-	wallStart := time.Now()
-	for {
-		t0 := time.Now()
-		batch, ok := s.scheduler.Next()
-		s.host.Scheduler += time.Since(t0)
-		if !ok {
-			break
-		}
+	return s.RunContext(context.Background())
+}
 
-		latency, err := s.SimulateIteration(batch)
+// RunContext runs the simulation to completion, checking ctx between
+// iterations so long runs can be cancelled by external drivers.
+func (s *Simulator) RunContext(ctx context.Context) (*Report, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		done, err := s.Step()
 		if err != nil {
 			return nil, err
 		}
-
-		t0 = time.Now()
-		if err := s.scheduler.Complete(batch, latency); err != nil {
-			return nil, err
+		if done {
+			return s.Report(), nil
 		}
-		s.host.Scheduler += time.Since(t0)
-
-		s.collector.AddIteration(metrics.Iteration{
-			Start:        batch.Time,
-			End:          batch.Time.Add(latency),
-			PromptTokens: batch.PromptTokens,
-			GenTokens:    len(batch.Seqs),
-			BatchSize:    len(batch.Seqs),
-		})
 	}
-	return s.report(time.Since(wallStart)), nil
 }
 
+// Step executes one Fig. 4 iteration cycle: scheduler -> execution
+// engine stack -> graph converter -> system simulator -> scheduler
+// feedback. It returns done=true (and performs no work) once the trace
+// has drained. Step is the unit external drivers advance the simulation
+// by; Report may be called between steps for a snapshot.
+func (s *Simulator) Step() (done bool, err error) {
+	wallStart := time.Now()
+	defer func() { s.wall += time.Since(wallStart) }()
+
+	t0 := time.Now()
+	batch, ok := s.scheduler.Next()
+	s.host.Scheduler += time.Since(t0)
+	if !ok {
+		return true, nil
+	}
+
+	latency, err := s.SimulateIteration(batch)
+	if err != nil {
+		return false, err
+	}
+
+	t0 = time.Now()
+	if err := s.scheduler.Complete(batch, latency); err != nil {
+		return false, err
+	}
+	s.host.Scheduler += time.Since(t0)
+
+	s.collector.AddIteration(metrics.Iteration{
+		Start:        batch.Time,
+		End:          batch.Time.Add(latency),
+		PromptTokens: batch.PromptTokens,
+		GenTokens:    len(batch.Seqs),
+		BatchSize:    len(batch.Seqs),
+	})
+	if s.OnIteration != nil {
+		s.OnIteration(IterationStats{
+			Index:        s.scheduler.Iterations() - 1,
+			BatchSize:    len(batch.Seqs),
+			PromptTokens: batch.PromptTokens,
+			Start:        batch.Time,
+			Latency:      latency,
+		})
+	}
+	return false, nil
+}
+
+// Report assembles a report over the iterations completed so far. After
+// Run it is the full-trace report; between Steps it is a snapshot.
+func (s *Simulator) Report() *Report { return s.report(s.wall) }
+
 // SimulateIteration runs the hardware and system simulation of one batch
-// and returns the iteration latency. It is exported for single-iteration
-// experiments (Figs. 8-10 measure exactly this).
+// and returns the iteration latency. Single-iteration experiments (the
+// Figs. 8-10 simulation-time measurements) drive it via Step and read
+// HostTimes.
 func (s *Simulator) SimulateIteration(b *sched.Batch) (simtime.Duration, error) {
 	work, embedDur, headDur, totalNew, err := s.runEngines(b)
 	if err != nil {
@@ -78,23 +129,6 @@ func (s *Simulator) SimulateIteration(b *sched.Batch) (simtime.Duration, error) 
 		return 0, err
 	}
 	return res.Makespan, nil
-}
-
-// FirstIteration schedules and simulates exactly one iteration, returning
-// the batch and its simulated latency. The simulation-time experiments
-// (Figs. 2a, 8, 9, 10) measure the host cost of this call via HostTimes.
-func (s *Simulator) FirstIteration() (*sched.Batch, simtime.Duration, error) {
-	t0 := time.Now()
-	batch, ok := s.scheduler.Next()
-	s.host.Scheduler += time.Since(t0)
-	if !ok {
-		return nil, 0, fmt.Errorf("core: no schedulable work")
-	}
-	lat, err := s.SimulateIteration(batch)
-	if err != nil {
-		return nil, 0, err
-	}
-	return batch, lat, nil
 }
 
 // runEngines performs the execution-engine phase: build each sub-batch's

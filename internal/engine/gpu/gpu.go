@@ -75,11 +75,11 @@ func (e *Engine) Compile(op model.Op) (engine.Compiled, error) {
 	case op.Kind.IsAttention() && e.cfg.FlashAttention:
 		// FlashAttention fuses Score/Softmax/Attend and never writes the
 		// S matrix to HBM: traffic is Q, K, V and the output only.
-		heads := int64(maxInt(op.Heads, 1))
+		heads := int64(max(op.Heads, 1))
 		d := int64(dtypeBytes)
-		q := heads * int64(op.M) * int64(minInt(op.K, op.N)) * d
-		kv := 2 * heads * int64(op.Context) * int64(minInt(op.K, op.N)) * d
-		out := heads * int64(op.M) * int64(minInt(op.K, op.N)) * d
+		q := heads * int64(op.M) * int64(min(op.K, op.N)) * d
+		kv := 2 * heads * int64(op.Context) * int64(min(op.K, op.N)) * d
+		out := heads * int64(op.M) * int64(min(op.K, op.N)) * d
 		k.bytes = q + kv + out
 		k.eff = kernelEfficiency(op)
 	case op.Kind.IsAttention():
@@ -140,18 +140,4 @@ func (e *Engine) Simulate(c engine.Compiled) (engine.Result, error) {
 		BytesMoved: k.bytes,
 		Bound:      bound,
 	}, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -96,7 +96,7 @@ func (e *Engine) Compile(op model.Op) (engine.Compiled, error) {
 	s := &schedule{
 		op:      op,
 		key:     op.ShapeKey(),
-		repeats: maxInt(op.Heads, 1),
+		repeats: max(op.Heads, 1),
 	}
 	switch {
 	case op.Kind == model.OpEmbed:
@@ -123,8 +123,8 @@ func (e *Engine) Compile(op model.Op) (engine.Compiled, error) {
 // walks the resulting loop nest.
 func (e *Engine) tileGEMM(s *schedule) {
 	op := s.op
-	s.tileM = minInt(op.M, e.cfg.SystolicRows)
-	s.tileN = minInt(op.N, e.cfg.SystolicCols)
+	s.tileM = min(op.M, e.cfg.SystolicRows)
+	s.tileN = min(op.N, e.cfg.SystolicCols)
 
 	// Pick the largest tileK such that double-buffered A, B and C tiles
 	// fit in the scratchpad: 2*(tileM*tileK + tileK*tileN + tileM*tileN)
@@ -249,7 +249,7 @@ func (e *Engine) simulateGEMM(s *schedule) engine.Result {
 				// the fill, regardless of how many tiles are packed.
 				computeCycles := int64(curK) + fill
 
-				step := maxInt64(loadCycles, computeCycles)
+				step := max(loadCycles, computeCycles)
 				busyCycles += step
 				computeBusy += computeCycles
 				memoryBusy += loadCycles
@@ -270,9 +270,9 @@ func (e *Engine) simulateGEMM(s *schedule) engine.Result {
 	// Pipeline priming: the very first tile's load is exposed (nothing to
 	// overlap with). One tile, not a packed group — packed members stream
 	// in behind the first while it computes.
-	firstK := minInt(op.K, s.tileK)
-	firstBytes := int64(minInt(op.M, s.tileM))*int64(firstK)*dtypeBytes +
-		int64(firstK)*int64(minInt(op.N, s.tileN))*dtypeBytes
+	firstK := min(op.K, s.tileK)
+	firstBytes := int64(min(op.M, s.tileM))*int64(firstK)*dtypeBytes +
+		int64(firstK)*int64(min(op.N, s.tileN))*dtypeBytes
 	firstLoad := int64(math.Ceil(float64(firstBytes) / bytesPerCycle))
 	total := (busyCycles+firstLoad)*int64(s.repeats) + e.cfg.OpOverheadCycles
 
@@ -301,7 +301,7 @@ func (e *Engine) simulateVector(s *schedule) engine.Result {
 	bytes := s.elements * dtypeBytes * (passes + 1)
 	memoryCycles := int64(math.Ceil(float64(bytes) / bytesPerCycle))
 
-	total := maxInt64(computeCycles, memoryCycles) + e.cfg.OpOverheadCycles
+	total := max(computeCycles, memoryCycles) + e.cfg.OpOverheadCycles
 	bound := "compute"
 	if memoryCycles > computeCycles {
 		bound = "memory"
@@ -358,24 +358,3 @@ func tileSpan(dim, tile, i int) int {
 
 func ceilDiv(a, b int) int       { return (a + b - 1) / b }
 func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

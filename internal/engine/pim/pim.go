@@ -75,7 +75,7 @@ func (e *Engine) Compile(op model.Op) (engine.Compiled, error) {
 		return nil, fmt.Errorf("pim: operator %s has non-positive dims %dx%dx%d", op.Name, op.M, op.N, op.K)
 	}
 	p := &program{op: op, key: op.ShapeKey()}
-	heads := int64(maxInt(op.Heads, 1))
+	heads := int64(max(op.Heads, 1))
 
 	switch op.Kind {
 	case model.OpScore, model.OpAttend:
@@ -125,7 +125,7 @@ func (e *Engine) Simulate(c engine.Compiled) (engine.Result, error) {
 	bytesPerCycle := e.cfg.MemoryBWBytes / e.cfg.FrequencyHz
 	memoryCycles := int64(math.Ceil(float64(p.bytesStreamed+p.bytesToHost) / bytesPerCycle))
 
-	total := maxInt64(computeCycles, memoryCycles) + e.cfg.CommandCycles
+	total := max(computeCycles, memoryCycles) + e.cfg.CommandCycles
 	bound := "compute"
 	if memoryCycles > computeCycles {
 		bound = "memory"
@@ -142,17 +142,3 @@ func (e *Engine) Simulate(c engine.Compiled) (engine.Result, error) {
 
 func ceilDiv(a, b int) int       { return (a + b - 1) / b }
 func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

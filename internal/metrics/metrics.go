@@ -260,10 +260,3 @@ func Latency(arrivals, firstTokens, completions []simtime.Time) LatencyStats {
 		MeanTTFTSec: ttft / float64(n),
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

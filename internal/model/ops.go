@@ -170,10 +170,3 @@ func (o Op) ArithmeticIntensity(dtypeBytes int) float64 {
 func (o Op) ShapeKey() string {
 	return fmt.Sprintf("%s/p%d/m%d.n%d.k%d.h%d.c%d", o.Kind, o.Phase, o.M, o.N, o.K, o.Heads, o.Context)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

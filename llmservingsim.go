@@ -14,19 +14,40 @@
 // network topology, feeding the iteration latency back into the
 // scheduler's clock.
 //
-// Quick start:
+// Quick start, using the functional-options constructor:
+//
+//	trace, _ := llmservingsim.ShareGPTTrace(128, 4.0, 1)
+//	sim, _ := llmservingsim.New(trace,
+//		llmservingsim.WithModel("gpt3-7b"),
+//		llmservingsim.WithNPUs(4),
+//		llmservingsim.WithParallelism(llmservingsim.ParallelismTensor),
+//	)
+//	report, _ := sim.Run()
+//	fmt.Println(report.GenTPS)
+//
+// The equivalent explicit-Config path remains available:
 //
 //	cfg := llmservingsim.DefaultConfig()
 //	cfg.Model = "gpt3-7b"
 //	cfg.NPUs = 4
-//	cfg.Parallelism = "tensor"
-//	trace, _ := llmservingsim.ShareGPTTrace(128, 4.0, 1)
-//	sim, _ := llmservingsim.New(cfg, trace)
-//	report, _ := sim.Run()
-//	fmt.Println(report.GenTPS)
+//	cfg.Parallelism = llmservingsim.ParallelismTensor
+//	sim, _ := llmservingsim.NewFromConfig(cfg, trace)
+//
+// External drivers can run the simulator incrementally with Step, cancel
+// long runs with RunContext, and observe progress with the OnIteration
+// hook. Design-space exploration fans whole configuration grids out over
+// a worker pool with the Scenario/Sweep layer:
+//
+//	sw := llmservingsim.NewSweep(scenarios...)
+//	report, _ := sw.Run()
+//	report.WriteTSV(os.Stdout)
 package llmservingsim
 
 import (
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
 	"io"
 	"time"
 
@@ -34,7 +55,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/engine/gpu"
-	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/network"
@@ -51,33 +71,45 @@ type Request struct {
 	Arrival   time.Duration
 }
 
-// Config mirrors the artifact's simulation parameters.
+// Iteration is one completed simulation iteration, delivered to the
+// OnIteration progress hook.
+type Iteration struct {
+	Index        int // 0-based iteration index
+	BatchSize    int // requests in the batch
+	PromptTokens int // prompt tokens processed this iteration
+	LatencySec   float64
+	ClockSec     float64 // simulated clock at iteration end
+}
+
+// Config mirrors the artifact's simulation parameters. The zero value of
+// every enum field is the artifact default, so a Config built from
+// scratch only needs Model and NPUs set; DefaultConfig spells the
+// defaults out explicitly.
 type Config struct {
 	// Model names the LLM architecture: gpt2, gpt3-7b, gpt3-13b,
-	// gpt3-30b, gpt3-175b, llama-7b, llama-13b, llama-30b.
+	// gpt3-30b, gpt3-175b, llama-7b, llama-13b, llama-30b, moe-8x7b.
 	Model string
 
-	// NPUs is the accelerator count; Parallelism is "tensor", "pipeline"
-	// or "hybrid"; NPUGroups is the hybrid group count (pipeline stages).
+	// NPUs is the accelerator count; NPUGroups is the hybrid group count
+	// (pipeline stages), defaulting to 1.
 	NPUs        int
-	Parallelism string
+	Parallelism Parallelism
 	NPUGroups   int
 
 	// MaxBatch caps requests per iteration (0 = unlimited); BatchDelay
-	// waits to accumulate arrivals; Scheduling is "orca" or "static".
+	// waits to accumulate arrivals.
 	MaxBatch   int
 	BatchDelay time.Duration
-	Scheduling string
+	Scheduling SchedPolicy
 
-	// KVManage is "vllm" (paged) or "maxlen"; KVPageTokens is the page
-	// size in tokens (default 16).
-	KVManage     string
+	// KVPageTokens is the paged-allocation page size in tokens
+	// (default 16).
+	KVManage     KVPolicy
 	KVPageTokens int
 
-	// PIMType is "none", "local" (NPU+PIM device pairs) or "pool"
-	// (separate PIM pool); PIMPoolSize sizes the pool; SubBatches > 1
+	// PIMPoolSize sizes the PIMPool-mode pool (0 = NPUs); SubBatches > 1
 	// enables NeuPIMs-style sub-batch interleaving.
-	PIMType     string
+	PIMType     PIMMode
 	PIMPoolSize int
 	SubBatches  int
 
@@ -98,7 +130,10 @@ type Config struct {
 	// (vLLM-like kernels), used by the validation experiments.
 	UseGPUEngine bool
 
-	// Hardware overrides; zero values use the Table I defaults.
+	// Hardware overrides. An entirely zero-valued block uses the Table I
+	// defaults; to override individual fields, start from DefaultConfig
+	// (which pre-fills every block) and mutate — a partially filled
+	// block fails Validate rather than being silently completed.
 	NPU  config.NPUConfig
 	PIM  config.PIMConfig
 	GPU  config.GPUConfig
@@ -107,6 +142,11 @@ type Config struct {
 	// ThroughputWindow is the bucket width of throughput-over-time
 	// series (default 10s of simulated time).
 	ThroughputWindow time.Duration
+
+	// OnIteration, when non-nil, receives a progress event after every
+	// simulated iteration. It runs synchronously on the goroutine
+	// driving the simulation (inside a Sweep, a worker goroutine).
+	OnIteration func(Iteration)
 }
 
 // DefaultConfig returns the artifact's default parameters: gpt2, 16 NPUs,
@@ -116,12 +156,12 @@ func DefaultConfig() Config {
 	return Config{
 		Model:                "gpt2",
 		NPUs:                 16,
-		Parallelism:          "hybrid",
+		Parallelism:          ParallelismHybrid,
 		NPUGroups:            1,
-		Scheduling:           "orca",
-		KVManage:             "vllm",
+		Scheduling:           SchedOrca,
+		KVManage:             KVPaged,
 		KVPageTokens:         16,
-		PIMType:              "none",
+		PIMType:              PIMNone,
 		SubBatches:           1,
 		ModelRedundancyReuse: true,
 		ComputationReuse:     true,
@@ -130,6 +170,121 @@ func DefaultConfig() Config {
 		GPU:                  config.DefaultGPU(),
 		Link:                 config.DefaultLink(),
 	}
+}
+
+// ConfigError reports an invalid Config field. Validate — and the
+// constructors, for every problem Validate detects — return
+// *ConfigError so callers can programmatically identify the field at
+// fault. Deeper construction failures that depend on the combination of
+// model and hardware (e.g. model weights exceeding aggregate device
+// memory) surface as plain errors from the constructors.
+type ConfigError struct {
+	Field  string // Config field name, e.g. "NPUs"
+	Value  any    // the offending value
+	Reason string // human-readable constraint
+	Err    error  // underlying cause, when wrapping another error
+}
+
+func (e *ConfigError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("llmservingsim: config %s=%v: %v", e.Field, e.Value, e.Err)
+	}
+	return fmt.Sprintf("llmservingsim: config %s=%v: %s", e.Field, e.Value, e.Reason)
+}
+
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// AsConfigError unwraps err to a *ConfigError if one is in its chain.
+func AsConfigError(err error) (*ConfigError, bool) {
+	var ce *ConfigError
+	ok := errors.As(err, &ce)
+	return ce, ok
+}
+
+// Validate checks the configuration without building a simulator. It
+// returns nil or a *ConfigError naming the first offending field.
+func (c Config) Validate() error {
+	if _, err := model.Lookup(c.Model); err != nil {
+		return &ConfigError{Field: "Model", Value: c.Model, Reason: "unknown model", Err: err}
+	}
+	if c.NPUs <= 0 {
+		return &ConfigError{Field: "NPUs", Value: c.NPUs, Reason: "must be positive"}
+	}
+	if !c.Parallelism.valid() {
+		return &ConfigError{Field: "Parallelism", Value: c.Parallelism, Reason: "unknown parallelism"}
+	}
+	if c.NPUGroups < 0 {
+		return &ConfigError{Field: "NPUGroups", Value: c.NPUGroups, Reason: "must not be negative"}
+	}
+	if c.Parallelism == ParallelismHybrid {
+		groups := cmp.Or(c.NPUGroups, 1)
+		if c.NPUs%groups != 0 {
+			return &ConfigError{Field: "NPUGroups", Value: c.NPUGroups,
+				Reason: fmt.Sprintf("%d NPUs not divisible into %d groups", c.NPUs, groups)}
+		}
+	}
+	if !c.Scheduling.valid() {
+		return &ConfigError{Field: "Scheduling", Value: c.Scheduling, Reason: "unknown scheduling policy"}
+	}
+	if !c.KVManage.valid() {
+		return &ConfigError{Field: "KVManage", Value: c.KVManage, Reason: "unknown kv policy"}
+	}
+	if !c.PIMType.valid() {
+		return &ConfigError{Field: "PIMType", Value: c.PIMType, Reason: "unknown pim mode"}
+	}
+	if c.MaxBatch < 0 {
+		return &ConfigError{Field: "MaxBatch", Value: c.MaxBatch, Reason: "must not be negative"}
+	}
+	if c.BatchDelay < 0 {
+		return &ConfigError{Field: "BatchDelay", Value: c.BatchDelay, Reason: "must not be negative"}
+	}
+	if c.KVPageTokens < 0 {
+		return &ConfigError{Field: "KVPageTokens", Value: c.KVPageTokens, Reason: "must not be negative"}
+	}
+	if c.PIMPoolSize < 0 {
+		return &ConfigError{Field: "PIMPoolSize", Value: c.PIMPoolSize, Reason: "must not be negative"}
+	}
+	if c.SubBatches < 0 {
+		return &ConfigError{Field: "SubBatches", Value: c.SubBatches, Reason: "must not be negative"}
+	}
+	if c.SubBatches > 1 && c.PIMType == PIMNone {
+		return &ConfigError{Field: "SubBatches", Value: c.SubBatches,
+			Reason: "sub-batch interleaving requires a PIM configuration"}
+	}
+	hw := c.withHardwareDefaults()
+	if err := hw.NPU.Validate(); err != nil {
+		return &ConfigError{Field: "NPU", Value: hw.NPU.Name, Reason: "invalid NPU hardware config", Err: err}
+	}
+	if err := hw.PIM.Validate(); err != nil {
+		return &ConfigError{Field: "PIM", Value: hw.PIM.Name, Reason: "invalid PIM hardware config", Err: err}
+	}
+	if err := hw.GPU.Validate(); err != nil {
+		return &ConfigError{Field: "GPU", Value: hw.GPU.Name, Reason: "invalid GPU hardware config", Err: err}
+	}
+	if err := hw.Link.Validate(); err != nil {
+		return &ConfigError{Field: "Link", Value: hw.Link, Reason: "invalid link config", Err: err}
+	}
+	return nil
+}
+
+// withHardwareDefaults fills entirely zero-valued hardware blocks with
+// the Table I defaults, uniformly across NPU, PIM, GPU, and link
+// configs. A partially set block is kept as-is so Validate can reject
+// it explicitly instead of silently discarding the override.
+func (c Config) withHardwareDefaults() Config {
+	if c.NPU == (config.NPUConfig{}) {
+		c.NPU = config.DefaultNPU()
+	}
+	if c.PIM == (config.PIMConfig{}) {
+		c.PIM = config.DefaultPIM()
+	}
+	if c.GPU == (config.GPUConfig{}) {
+		c.GPU = config.DefaultGPU()
+	}
+	if c.Link == (config.LinkConfig{}) {
+		c.Link = config.DefaultLink()
+	}
+	return c
 }
 
 // ThroughputPoint is one sample of the throughput-over-time series.
@@ -199,36 +354,65 @@ type Simulator struct {
 	inner *core.Simulator
 }
 
-// New builds a simulator from the configuration and trace.
-func New(cfg Config, trace []Request) (*Simulator, error) {
+// New builds a simulator for the trace, starting from DefaultConfig and
+// applying the options in order.
+func New(trace []Request, opts ...Option) (*Simulator, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return NewFromConfig(cfg, trace)
+}
+
+// NewFromConfig builds a simulator from an explicit configuration — the
+// artifact-style construction path.
+func NewFromConfig(cfg Config, trace []Request) (*Simulator, error) {
 	opts, err := buildOptions(cfg)
 	if err != nil {
 		return nil, err
 	}
-	reqs := make([]workload.Request, len(trace))
-	for i, r := range trace {
-		reqs[i] = workload.Request{
-			ID:        i,
-			InputLen:  r.InputLen,
-			OutputLen: r.OutputLen,
-			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
-		}
-	}
-	inner, err := core.New(opts, reqs)
+	inner, err := core.New(opts, toWorkload(trace))
 	if err != nil {
 		return nil, err
+	}
+	if hook := cfg.OnIteration; hook != nil {
+		inner.OnIteration = func(it core.IterationStats) {
+			hook(Iteration{
+				Index:        it.Index,
+				BatchSize:    it.BatchSize,
+				PromptTokens: it.PromptTokens,
+				LatencySec:   it.Latency.Std().Seconds(),
+				ClockSec:     it.Start.Add(it.Latency).Seconds(),
+			})
+		}
 	}
 	return &Simulator{inner: inner}, nil
 }
 
 // Run simulates the trace to completion.
 func (s *Simulator) Run() (*Report, error) {
-	rep, err := s.inner.Run()
+	return s.RunContext(context.Background())
+}
+
+// RunContext simulates the trace to completion, checking ctx between
+// iterations; it returns ctx.Err() if the context is cancelled first.
+func (s *Simulator) RunContext(ctx context.Context) (*Report, error) {
+	rep, err := s.inner.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return wrapReport(rep), nil
 }
+
+// Step advances the simulation by exactly one scheduler iteration,
+// returning done=true once the trace has drained. It lets external
+// drivers — servers, notebooks, tuners — interleave simulation with
+// their own control flow; call Report between steps for a snapshot.
+func (s *Simulator) Step() (done bool, err error) { return s.inner.Step() }
+
+// Report returns the report over the iterations completed so far. After
+// Run it equals the run's report; between Steps it is a snapshot.
+func (s *Simulator) Report() *Report { return wrapReport(s.inner.Report()) }
 
 func wrapReport(rep *core.Report) *Report {
 	out := &Report{
@@ -272,69 +456,39 @@ func wrapReport(rep *core.Report) *Report {
 func buildOptions(cfg Config) (core.Options, error) {
 	var opts core.Options
 
-	m, err := model.Lookup(cfg.Model)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return opts, err
 	}
-	par, err := network.ParseParallelism(cfg.Parallelism)
-	if err != nil {
-		return opts, err
-	}
-	link := cfg.Link
-	if link.BandwidthBytes == 0 {
-		link = config.DefaultLink()
-	}
-	topo, err := network.Build(par, cfg.NPUs, cfg.NPUGroups, link, link)
+	cfg = cfg.withHardwareDefaults()
+
+	m := model.MustLookup(cfg.Model) // Validate checked the name
+	topo, err := network.Build(cfg.Parallelism.internal(), cfg.NPUs,
+		cmp.Or(cfg.NPUGroups, 1), cfg.Link, cfg.Link)
 	if err != nil {
 		return opts, err
 	}
 
-	pimMode, err := core.ParsePIMMode(cfg.PIMType)
-	if err != nil {
-		return opts, err
-	}
+	pimMode := cfg.PIMType.internal()
 	if pimMode == core.PIMPool {
-		n := cfg.PIMPoolSize
-		if n <= 0 {
-			n = cfg.NPUs
-		}
-		topo.PIMPool = n
-	}
-
-	schedPolicy, err := sched.ParsePolicy(orDefault(cfg.Scheduling, "orca"))
-	if err != nil {
-		return opts, err
-	}
-	kvPolicy, err := kvcache.ParsePolicy(orDefault(cfg.KVManage, "vllm"))
-	if err != nil {
-		return opts, err
-	}
-
-	npuCfg := cfg.NPU
-	if npuCfg.FrequencyHz == 0 {
-		npuCfg = config.DefaultNPU()
-	}
-	pimCfg := cfg.PIM
-	if pimCfg.FrequencyHz == 0 {
-		pimCfg = config.DefaultPIM()
+		topo.PIMPool = cmp.Or(cfg.PIMPoolSize, cfg.NPUs)
 	}
 
 	opts = core.Options{
 		Model:   m,
 		Topo:    topo,
-		NPU:     npuCfg,
-		PIM:     pimCfg,
+		NPU:     cfg.NPU,
+		PIM:     cfg.PIM,
 		PIMMode: pimMode,
 		Sched: sched.Config{
-			Policy:      schedPolicy,
+			Policy:      cfg.Scheduling.internal(),
 			MaxBatch:    cfg.MaxBatch,
 			BatchDelay:  simtime.FromStd(cfg.BatchDelay),
-			SubBatches:  maxInt(cfg.SubBatches, 1),
+			SubBatches:  max(cfg.SubBatches, 1),
 			SkipPrefill: cfg.SkipInitiation,
 		},
 		SelectiveBatching: cfg.SelectiveBatching,
-		KVPolicy:          kvPolicy,
-		KVPageTokens:      cfg.KVPageTokens,
+		KVPolicy:          cfg.KVManage.internal(),
+		KVPageTokens:      cfg.KVPageTokens, // core.New applies the default of 16
 		Reuse: core.ReuseOptions{
 			ModelRedundancy:  cfg.ModelRedundancyReuse,
 			ComputationReuse: cfg.ComputationReuse,
@@ -343,26 +497,9 @@ func buildOptions(cfg Config) (core.Options, error) {
 	}
 	if cfg.UseGPUEngine {
 		gpuCfg := cfg.GPU
-		if gpuCfg.PeakFLOPs == 0 {
-			gpuCfg = config.DefaultGPU()
-		}
 		opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(gpuCfg) }
 	}
 	return opts, nil
-}
-
-func orDefault(s, def string) string {
-	if s == "" {
-		return def
-	}
-	return s
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ShareGPTTrace synthesises n requests with ShareGPT-like length
@@ -402,14 +539,23 @@ func LoadTrace(path string) ([]Request, error) {
 
 // SaveTrace writes a trace to an artifact-format TSV file.
 func SaveTrace(path string, trace []Request) error {
-	reqs := make([]workload.Request, len(trace))
+	return workload.SaveTSVFile(path, toWorkload(trace))
+}
+
+// toWorkload converts a public trace into the internal request form —
+// the single canonical conversion (IDs are trace indices, arrivals at
+// simtime resolution).
+func toWorkload(trace []Request) []workload.Request {
+	out := make([]workload.Request, len(trace))
 	for i, r := range trace {
-		reqs[i] = workload.Request{
-			ID: i, InputLen: r.InputLen, OutputLen: r.OutputLen,
-			Arrival: simtime.Time(simtime.FromStd(r.Arrival)),
+		out[i] = workload.Request{
+			ID:        i,
+			InputLen:  r.InputLen,
+			OutputLen: r.OutputLen,
+			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
 		}
 	}
-	return workload.SaveTSVFile(path, reqs)
+	return out
 }
 
 func fromWorkload(reqs []workload.Request) []Request {
@@ -427,5 +573,8 @@ func fromWorkload(reqs []workload.Request) []Request {
 // Models returns the registered model names.
 func Models() []string { return model.Names() }
 
-// Version identifies the reproduction release.
-const Version = "1.0.0"
+// Version identifies the reproduction release. 2.0.0 reflects the
+// incompatible API redesign: New became the functional-options
+// constructor (the 1.x New(cfg, trace) signature lives on as
+// NewFromConfig) and the stringly-typed Config fields became enums.
+const Version = "2.0.0"

@@ -2,6 +2,7 @@ package llmservingsim
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,12 +13,12 @@ func TestQuickstart(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Model = "gpt3-7b"
 	cfg.NPUs = 4
-	cfg.Parallelism = "tensor"
+	cfg.Parallelism = ParallelismTensor
 	trace, err := ShareGPTTrace(16, 4.0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := New(cfg, trace)
+	sim, err := NewFromConfig(cfg, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +37,44 @@ func TestQuickstart(t *testing.T) {
 	}
 }
 
+// TestOptionsConstructor: the functional-options path produces the same
+// simulation as the explicit-Config path.
+func TestOptionsConstructor(t *testing.T) {
+	trace, err := ShareGPTTrace(12, 4.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromOpts, err := New(trace,
+		WithModel("gpt3-7b"),
+		WithNPUs(4),
+		WithParallelism(ParallelismTensor),
+		WithScheduling(SchedOrca),
+		WithKVPolicy(KVPaged),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Model = "gpt3-7b"
+	cfg.NPUs = 4
+	cfg.Parallelism = ParallelismTensor
+	fromCfg, err := NewFromConfig(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fromOpts.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromCfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimEndSec != b.SimEndSec || a.Iterations != b.Iterations || a.GenTPS != b.GenTPS {
+		t.Fatalf("options path diverged: %+v vs %+v", a, b)
+	}
+}
+
 func TestConfigurationsEndToEnd(t *testing.T) {
 	trace, err := AlpacaTrace(10, 8.0, 2)
 	if err != nil {
@@ -45,25 +84,30 @@ func TestConfigurationsEndToEnd(t *testing.T) {
 		name string
 		mut  func(*Config)
 	}{
-		{"pipeline", func(c *Config) { c.Parallelism = "pipeline"; c.NPUs = 4 }},
-		{"hybrid", func(c *Config) { c.Parallelism = "hybrid"; c.NPUs = 8; c.NPUGroups = 2 }},
-		{"pim-local", func(c *Config) { c.PIMType = "local"; c.NPUs = 4; c.Parallelism = "tensor" }},
-		{"pim-local-subbatch", func(c *Config) { c.PIMType = "local"; c.SubBatches = 2; c.NPUs = 4; c.Parallelism = "tensor" }},
-		{"pim-pool", func(c *Config) { c.PIMType = "pool"; c.PIMPoolSize = 2; c.NPUs = 4; c.Parallelism = "tensor" }},
-		{"selective", func(c *Config) { c.SelectiveBatching = true; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"pipeline", func(c *Config) { c.Parallelism = ParallelismPipeline; c.NPUs = 4 }},
+		{"hybrid", func(c *Config) { c.Parallelism = ParallelismHybrid; c.NPUs = 8; c.NPUGroups = 2 }},
+		{"pim-local", func(c *Config) { c.PIMType = PIMLocal; c.NPUs = 4; c.Parallelism = ParallelismTensor }},
+		{"pim-local-subbatch", func(c *Config) { c.PIMType = PIMLocal; c.SubBatches = 2; c.NPUs = 4; c.Parallelism = ParallelismTensor }},
+		{"pim-pool", func(c *Config) { c.PIMType = PIMPool; c.PIMPoolSize = 2; c.NPUs = 4; c.Parallelism = ParallelismTensor }},
+		{"selective", func(c *Config) { c.SelectiveBatching = true; c.NPUs = 4; c.Parallelism = ParallelismTensor }},
 		{"no-reuse", func(c *Config) {
 			c.ModelRedundancyReuse = false
 			c.ComputationReuse = false
 			c.NPUs = 4
-			c.Parallelism = "tensor"
+			c.Parallelism = ParallelismTensor
 		}},
-		{"gpu-engine", func(c *Config) { c.UseGPUEngine = true; c.NPUs = 4; c.Parallelism = "tensor" }},
-		{"static-maxlen", func(c *Config) { c.Scheduling = "static"; c.KVManage = "maxlen"; c.NPUs = 4; c.Parallelism = "tensor" }},
+		{"gpu-engine", func(c *Config) { c.UseGPUEngine = true; c.NPUs = 4; c.Parallelism = ParallelismTensor }},
+		{"static-maxlen", func(c *Config) {
+			c.Scheduling = SchedStatic
+			c.KVManage = KVMaxLen
+			c.NPUs = 4
+			c.Parallelism = ParallelismTensor
+		}},
 		{"max-batch-delay", func(c *Config) {
 			c.MaxBatch = 4
 			c.BatchDelay = 50 * time.Millisecond
 			c.NPUs = 4
-			c.Parallelism = "tensor"
+			c.Parallelism = ParallelismTensor
 		}},
 	}
 	for _, tc := range cases {
@@ -71,7 +115,7 @@ func TestConfigurationsEndToEnd(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Model = "gpt3-7b"
 			tc.mut(&cfg)
-			sim, err := New(cfg, trace)
+			sim, err := NewFromConfig(cfg, trace)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -86,20 +130,104 @@ func TestConfigurationsEndToEnd(t *testing.T) {
 	}
 }
 
-func TestConfigErrors(t *testing.T) {
-	trace := UniformTrace(2, 16, 2)
-	for name, mut := range map[string]func(*Config){
-		"bad model":       func(c *Config) { c.Model = "nope" },
-		"bad parallelism": func(c *Config) { c.Parallelism = "nope" },
-		"bad scheduling":  func(c *Config) { c.Scheduling = "nope" },
-		"bad kv":          func(c *Config) { c.KVManage = "nope" },
-		"bad pim":         func(c *Config) { c.PIMType = "nope" },
-		"zero npus":       func(c *Config) { c.NPUs = 0 },
-	} {
-		cfg := DefaultConfig()
-		mut(&cfg)
-		if _, err := New(cfg, trace); err == nil {
-			t.Errorf("%s: expected error", name)
+// TestStepMatchesRun: stepping the simulator to completion produces the
+// same report as a blocking Run.
+func TestStepMatchesRun(t *testing.T) {
+	trace, _ := AlpacaTrace(8, 10, 5)
+	build := func() *Simulator {
+		sim, err := New(trace, WithNPUs(2), WithParallelism(ParallelismTensor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+
+	ran, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stepped := build()
+	steps := 0
+	for {
+		done, err := stepped.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		steps++
+		// A mid-run snapshot must reflect exactly the completed steps.
+		if got := stepped.Report().Iterations; got != steps {
+			t.Fatalf("snapshot after %d steps reported %d iterations", steps, got)
+		}
+	}
+	rep := stepped.Report()
+	if steps != ran.Iterations {
+		t.Fatalf("stepped %d iterations, Run did %d", steps, ran.Iterations)
+	}
+	if rep.SimEndSec != ran.SimEndSec || rep.GenTPS != ran.GenTPS || rep.Latency.Count != ran.Latency.Count {
+		t.Fatalf("step-driven report diverged: %+v vs %+v", rep, ran)
+	}
+	// Once drained, further steps are no-ops.
+	if done, err := stepped.Step(); err != nil || !done {
+		t.Fatalf("drained simulator: done=%v err=%v", done, err)
+	}
+}
+
+// TestRunContextCancel: a cancelled context stops the run at the next
+// iteration boundary with the context's error.
+func TestRunContextCancel(t *testing.T) {
+	trace, _ := ShareGPTTrace(64, 50, 1)
+	sim, err := New(trace, WithModel("gpt3-7b"), WithNPUs(2), WithParallelism(ParallelismTensor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunContext(ctx); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The simulator remains usable: resume without the cancelled context.
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Latency.Count != len(trace) {
+		t.Fatalf("resume finished %d of %d", rep.Latency.Count, len(trace))
+	}
+}
+
+// TestOnIteration: the progress hook fires once per iteration, in order,
+// with a monotonically advancing simulated clock.
+func TestOnIteration(t *testing.T) {
+	trace := UniformTrace(4, 32, 4)
+	var events []Iteration
+	sim, err := New(trace,
+		WithNPUs(2),
+		WithParallelism(ParallelismTensor),
+		WithOnIteration(func(it Iteration) { events = append(events, it) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != rep.Iterations {
+		t.Fatalf("hook fired %d times for %d iterations", len(events), rep.Iterations)
+	}
+	for i, it := range events {
+		if it.Index != i {
+			t.Fatalf("event %d has index %d", i, it.Index)
+		}
+		if it.BatchSize <= 0 || it.LatencySec <= 0 {
+			t.Fatalf("event %d incomplete: %+v", i, it)
+		}
+		if i > 0 && it.ClockSec < events[i-1].ClockSec {
+			t.Fatalf("clock regressed at event %d: %v < %v", i, it.ClockSec, events[i-1].ClockSec)
 		}
 	}
 }
@@ -145,15 +273,19 @@ func TestTraceFileRoundTrip(t *testing.T) {
 		if got[i].InputLen != orig[i].InputLen || got[i].OutputLen != orig[i].OutputLen {
 			t.Fatalf("row %d mismatch", i)
 		}
+		// The TSV format stores arrivals at millisecond resolution.
+		if d := (got[i].Arrival - orig[i].Arrival).Abs(); d > time.Millisecond {
+			t.Fatalf("row %d arrival drifted %v (%v vs %v)", i, d, got[i].Arrival, orig[i].Arrival)
+		}
 	}
 }
 
 func TestReportTSVOutputs(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NPUs = 2
-	cfg.Parallelism = "tensor"
+	cfg.Parallelism = ParallelismTensor
 	trace := UniformTrace(4, 32, 4)
-	sim, err := New(cfg, trace)
+	sim, err := NewFromConfig(cfg, trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +329,10 @@ func TestModels(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NPUs = 2
-	cfg.Parallelism = "tensor"
+	cfg.Parallelism = ParallelismTensor
 	trace, _ := AlpacaTrace(8, 10, 5)
 	run := func() *Report {
-		sim, err := New(cfg, trace)
+		sim, err := NewFromConfig(cfg, trace)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,9 +358,9 @@ func TestMoEServing(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Model = model
 		cfg.NPUs = npus
-		cfg.Parallelism = "tensor"
+		cfg.Parallelism = ParallelismTensor
 		cfg.NPU.MemoryBytes = 64 << 30 // fit the 47B expert weights
-		sim, err := New(cfg, trace)
+		sim, err := NewFromConfig(cfg, trace)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -253,10 +385,10 @@ func TestMoEServing(t *testing.T) {
 func TestSkipInitiationConfig(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NPUs = 2
-	cfg.Parallelism = "tensor"
+	cfg.Parallelism = ParallelismTensor
 	cfg.SkipInitiation = true
 	trace := UniformTrace(4, 128, 8)
-	sim, err := New(cfg, trace)
+	sim, err := NewFromConfig(cfg, trace)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package llmservingsim
+
+import "time"
+
+// Option mutates a Config inside New. Options are applied in order on
+// top of DefaultConfig, so later options override earlier ones.
+type Option func(*Config)
+
+// WithConfig replaces the whole configuration, letting later options
+// patch an explicit base.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithModel selects the LLM architecture by name (see Models).
+func WithModel(name string) Option { return func(c *Config) { c.Model = name } }
+
+// WithNPUs sets the accelerator count.
+func WithNPUs(n int) Option { return func(c *Config) { c.NPUs = n } }
+
+// WithParallelism selects the parallelisation strategy.
+func WithParallelism(p Parallelism) Option { return func(c *Config) { c.Parallelism = p } }
+
+// WithNPUGroups sets the hybrid-parallelism group count (pipeline
+// stages).
+func WithNPUGroups(n int) Option { return func(c *Config) { c.NPUGroups = n } }
+
+// WithScheduling selects the batch scheduling policy.
+func WithScheduling(p SchedPolicy) Option { return func(c *Config) { c.Scheduling = p } }
+
+// WithMaxBatch caps requests per iteration (0 = unlimited).
+func WithMaxBatch(n int) Option { return func(c *Config) { c.MaxBatch = n } }
+
+// WithBatchDelay waits to accumulate arrivals before batching.
+func WithBatchDelay(d time.Duration) Option { return func(c *Config) { c.BatchDelay = d } }
+
+// WithKVPolicy selects KV-cache memory management.
+func WithKVPolicy(p KVPolicy) Option { return func(c *Config) { c.KVManage = p } }
+
+// WithKVPageTokens sets the paged-allocation page size in tokens.
+func WithKVPageTokens(n int) Option { return func(c *Config) { c.KVPageTokens = n } }
+
+// WithPIM selects how PIM devices participate.
+func WithPIM(mode PIMMode) Option { return func(c *Config) { c.PIMType = mode } }
+
+// WithPIMPoolSize sizes the PIMPool-mode pool (0 = NPUs).
+func WithPIMPoolSize(n int) Option { return func(c *Config) { c.PIMPoolSize = n } }
+
+// WithSubBatches enables NeuPIMs-style sub-batch interleaving when
+// n > 1 (requires a PIM configuration).
+func WithSubBatches(n int) Option { return func(c *Config) { c.SubBatches = n } }
+
+// WithSelectiveBatching toggles Orca-style selective batching across
+// tensor-parallel workers.
+func WithSelectiveBatching(on bool) Option { return func(c *Config) { c.SelectiveBatching = on } }
+
+// WithSkipInitiation admits requests directly into the generation phase
+// (the artifact's "gen" flag).
+func WithSkipInitiation(on bool) Option { return func(c *Config) { c.SkipInitiation = on } }
+
+// WithReuse toggles the paper's two result-reusing techniques.
+func WithReuse(modelRedundancy, computation bool) Option {
+	return func(c *Config) {
+		c.ModelRedundancyReuse = modelRedundancy
+		c.ComputationReuse = computation
+	}
+}
+
+// WithGPUEngine swaps the NPU engine for the GPU reference model.
+func WithGPUEngine(on bool) Option { return func(c *Config) { c.UseGPUEngine = on } }
+
+// WithNPUMemory overrides the per-NPU device memory in bytes.
+func WithNPUMemory(bytes int64) Option { return func(c *Config) { c.NPU.MemoryBytes = bytes } }
+
+// WithThroughputWindow sets the bucket width of the throughput-over-time
+// series.
+func WithThroughputWindow(d time.Duration) Option { return func(c *Config) { c.ThroughputWindow = d } }
+
+// WithOnIteration installs a progress hook invoked after every simulated
+// iteration.
+func WithOnIteration(hook func(Iteration)) Option { return func(c *Config) { c.OnIteration = hook } }

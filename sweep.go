@@ -1,0 +1,251 @@
+package llmservingsim
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Scenario is a named configuration + trace bundle — one point of a
+// design-space exploration.
+type Scenario struct {
+	Name   string
+	Config Config
+	Trace  []Request
+
+	// MaxIterations, when positive, stops the scenario after that many
+	// scheduler iterations instead of draining the trace. The
+	// simulation-time experiments (Figs. 8-10) measure exactly one
+	// iteration this way.
+	MaxIterations int
+}
+
+// NewScenario bundles a name, configuration, and trace.
+func NewScenario(name string, cfg Config, trace []Request) Scenario {
+	return Scenario{Name: name, Config: cfg, Trace: trace}
+}
+
+// Variant names a configuration mutation for Variants.
+type Variant struct {
+	Name  string
+	Apply func(*Config)
+}
+
+// Variants builds one scenario per variant by applying each mutation to
+// a copy of the base configuration, all sharing the same trace — the
+// common "sweep one axis" pattern of the paper's design-space studies.
+func Variants(base Config, trace []Request, vs ...Variant) []Scenario {
+	out := make([]Scenario, len(vs))
+	for i, v := range vs {
+		cfg := base
+		if v.Apply != nil {
+			v.Apply(&cfg)
+		}
+		out[i] = Scenario{Name: v.Name, Config: cfg, Trace: trace}
+	}
+	return out
+}
+
+// Sweep runs a set of scenarios over a bounded worker pool and collects
+// their reports for comparison. Simulations are deterministic, so a
+// parallel sweep produces bit-identical per-scenario reports to
+// sequential runs, several times faster on multicore hosts.
+type Sweep struct {
+	Scenarios []Scenario
+
+	// Workers bounds the worker pool; 0 means GOMAXPROCS, and values
+	// below 1 are clamped to 1. Use 1 when host-side timing fidelity
+	// matters more than wall-clock (the simulation-time experiments),
+	// since concurrent scenarios contend for cores.
+	Workers int
+}
+
+// NewSweep builds a sweep over the given scenarios.
+func NewSweep(scenarios ...Scenario) *Sweep {
+	return &Sweep{Scenarios: scenarios}
+}
+
+// Add appends scenarios and returns the sweep for chaining.
+func (sw *Sweep) Add(scenarios ...Scenario) *Sweep {
+	sw.Scenarios = append(sw.Scenarios, scenarios...)
+	return sw
+}
+
+// SweepResult is the outcome of one scenario.
+type SweepResult struct {
+	Name   string
+	Report *Report       // nil when Err is set
+	Err    error         // configuration or simulation failure
+	Wall   time.Duration // host wall-clock spent on this scenario
+}
+
+// SweepReport aggregates a sweep's per-scenario outcomes, in scenario
+// order.
+type SweepReport struct {
+	Results []SweepResult
+	Wall    time.Duration // host wall-clock of the whole sweep
+}
+
+// Run executes the sweep to completion.
+func (sw *Sweep) Run() (*SweepReport, error) {
+	return sw.RunContext(context.Background())
+}
+
+// RunContext executes every scenario over the worker pool, returning
+// when all have finished. Cancelling ctx stops in-flight simulations at
+// their next iteration boundary and skips unstarted scenarios; the
+// returned error is then ctx.Err(), with per-scenario states recorded in
+// the report. Individual scenario failures do not abort the sweep — they
+// are reported in the corresponding SweepResult.Err.
+func (sw *Sweep) RunContext(ctx context.Context) (*SweepReport, error) {
+	n := len(sw.Scenarios)
+	rep := &SweepReport{Results: make([]SweepResult, n)}
+	if n == 0 {
+		return rep, nil
+	}
+	workers := max(min(cmp.Or(sw.Workers, runtime.GOMAXPROCS(0)), n), 1)
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep.Results[i] = runScenario(ctx, sw.Scenarios[i], i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Scenarios from i on were never dispatched; record the cause.
+			for j := i; j < n; j++ {
+				rep.Results[j] = SweepResult{Name: scenarioName(sw.Scenarios[j], j), Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	return rep, ctx.Err()
+}
+
+func scenarioName(sc Scenario, i int) string {
+	return cmp.Or(sc.Name, fmt.Sprintf("scenario-%d", i))
+}
+
+// runScenario builds and runs one scenario, honouring its iteration cap.
+func runScenario(ctx context.Context, sc Scenario, i int) SweepResult {
+	res := SweepResult{Name: scenarioName(sc, i)}
+	t0 := time.Now()
+	defer func() { res.Wall = time.Since(t0) }()
+
+	sim, err := NewFromConfig(sc.Config, sc.Trace)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if sc.MaxIterations > 0 {
+		for it := 0; it < sc.MaxIterations; it++ {
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return res
+			}
+			done, err := sim.Step()
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			if done {
+				break
+			}
+		}
+		res.Report = sim.Report()
+		return res
+	}
+	res.Report, res.Err = sim.RunContext(ctx)
+	return res
+}
+
+// Result returns the named scenario's result, or nil if absent.
+func (r *SweepReport) Result(name string) *SweepResult {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Err returns the first per-scenario error, or nil if every scenario
+// succeeded.
+func (r *SweepReport) Err() error {
+	for i := range r.Results {
+		if err := r.Results[i].Err; err != nil {
+			return fmt.Errorf("scenario %s: %w", r.Results[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// Best returns the successful scenario maximising the metric, or nil if
+// none succeeded.
+func (r *SweepReport) Best(metric func(*Report) float64) *SweepResult {
+	var best *SweepResult
+	var bestVal float64
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Report == nil {
+			continue
+		}
+		if v := metric(res.Report); best == nil || v > bestVal {
+			best, bestVal = res, v
+		}
+	}
+	return best
+}
+
+// WriteTSV writes the comparative sweep table: one row per scenario with
+// throughput, latency, KV, and host simulation-time columns.
+func (r *SweepReport) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "scenario\tmodel\ttopology\titerations\tsim_end_s\t"+
+		"prompt_tps\tgen_tps\tmean_latency_s\tp50_latency_s\tp95_latency_s\tttft_s\t"+
+		"kv_evictions\tkv_reloads\tcache_hit_rate\tsim_time_ms\twall_ms\terror"); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		if res.Report == nil {
+			errMsg := "-"
+			if res.Err != nil {
+				errMsg = res.Err.Error()
+			}
+			if _, err := fmt.Fprintf(w, "%s\t-\t-\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t%.1f\t%s\n",
+				res.Name, ms(res.Wall), errMsg); err != nil {
+				return err
+			}
+			continue
+		}
+		rep := res.Report
+		if _, err := fmt.Fprintf(w,
+			"%s\t%s\t%s\t%d\t%.3f\t%.1f\t%.1f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\t%.3f\t%.1f\t%.1f\t-\n",
+			res.Name, rep.Model, rep.Topology, rep.Iterations, rep.SimEndSec,
+			rep.PromptTPS, rep.GenTPS,
+			rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.TTFTSec,
+			rep.KV.Evictions, rep.KV.Reloads, rep.EngineCacheHitRate,
+			ms(rep.SimTime.Total), ms(res.Wall)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

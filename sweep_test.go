@@ -1,0 +1,266 @@
+package llmservingsim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fourScenarios builds four materially different configurations over one
+// trace — the minimal design-space grid the sweep layer must fan out.
+func fourScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	trace, err := AlpacaTrace(8, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig()
+	base.Model = "gpt3-7b"
+	base.NPUs = 4
+	base.Parallelism = ParallelismTensor
+	return Variants(base, trace,
+		Variant{Name: "npu-only"},
+		Variant{Name: "pim-local", Apply: func(c *Config) { c.PIMType = PIMLocal }},
+		Variant{Name: "pipeline", Apply: func(c *Config) { c.Parallelism = ParallelismPipeline }},
+		Variant{Name: "static-maxlen", Apply: func(c *Config) { c.Scheduling = SchedStatic; c.KVManage = KVMaxLen }},
+	)
+}
+
+// TestSweepMatchesSequential: a parallel sweep produces the same
+// per-scenario reports as running each scenario alone — simulated
+// results must be independent of worker count.
+func TestSweepMatchesSequential(t *testing.T) {
+	scenarios := fourScenarios(t)
+
+	parallel, err := (&Sweep{Scenarios: scenarios, Workers: 4}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel.Results) != len(scenarios) {
+		t.Fatalf("got %d results", len(parallel.Results))
+	}
+
+	for i, sc := range scenarios {
+		sim, err := NewFromConfig(sc.Config, sc.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parallel.Results[i]
+		if got.Name != sc.Name {
+			t.Fatalf("result %d named %q, want %q (order must be preserved)", i, got.Name, sc.Name)
+		}
+		rep := got.Report
+		if rep.SimEndSec != seq.SimEndSec || rep.Iterations != seq.Iterations ||
+			rep.GenTPS != seq.GenTPS || rep.PromptTPS != seq.PromptTPS ||
+			rep.Latency.P95Sec != seq.Latency.P95Sec {
+			t.Fatalf("scenario %s diverged under parallel sweep:\nparallel %+v\nsequential %+v", sc.Name, rep, seq)
+		}
+	}
+}
+
+// TestSweepFanOut asserts genuine worker-pool concurrency: each of the
+// four scenarios blocks its first iteration until all four have started,
+// which can only resolve if the pool runs them simultaneously. A
+// sequential pool would deadlock here (bounded by the timeout).
+func TestSweepFanOut(t *testing.T) {
+	scenarios := fourScenarios(t)
+	const n = 4
+
+	var started atomic.Int32
+	allStarted := make(chan struct{})
+	stalled := make(chan struct{})
+	// A closed channel broadcasts to every waiter, unlike time.After
+	// whose single value only one blocked scenario would consume.
+	timeout := time.AfterFunc(30*time.Second, func() { close(stalled) })
+	defer timeout.Stop()
+
+	for i := range scenarios {
+		var once sync.Once
+		scenarios[i].Config.OnIteration = func(Iteration) {
+			once.Do(func() {
+				if started.Add(1) == n {
+					close(allStarted)
+				}
+				select {
+				case <-allStarted:
+				case <-stalled:
+				}
+			})
+		}
+	}
+
+	rep, err := (&Sweep{Scenarios: scenarios, Workers: n}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-stalled:
+		t.Fatal("sweep did not run the 4 scenarios concurrently: first iterations never overlapped")
+	default:
+	}
+	if got := started.Load(); got != n {
+		t.Fatalf("%d of %d scenarios started", got, n)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepWorkerBound: a sweep never runs more scenarios at once than
+// its worker budget — with Workers=1 the scenarios run strictly one at
+// a time.
+func TestSweepWorkerBound(t *testing.T) {
+	scenarios := fourScenarios(t)
+	var running atomic.Int32
+	for i := range scenarios {
+		scenarios[i].Config.OnIteration = func(Iteration) {
+			if v := running.Add(1); v > 1 {
+				t.Errorf("two scenarios active under Workers=1")
+			}
+			// Hold the counter briefly so concurrent scenarios would
+			// overlap inside the hook with near certainty.
+			time.Sleep(100 * time.Microsecond)
+			running.Add(-1)
+		}
+	}
+	rep, err := (&Sweep{Scenarios: scenarios, Workers: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Negative worker counts are clamped to 1 rather than deadlocking.
+	rep, err = (&Sweep{Scenarios: scenarios[:1], Workers: -3}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepCancel: cancelling the context aborts in-flight and pending
+// scenarios, recording the cause per scenario.
+func TestSweepCancel(t *testing.T) {
+	scenarios := fourScenarios(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := NewSweep(scenarios...).RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for _, res := range rep.Results {
+		if res.Err == nil {
+			t.Fatalf("scenario %s reported success under cancelled context", res.Name)
+		}
+	}
+}
+
+// TestSweepScenarioError: one bad scenario doesn't poison the rest.
+func TestSweepScenarioError(t *testing.T) {
+	scenarios := fourScenarios(t)
+	scenarios[1].Config.Model = "nope"
+	rep, err := NewSweep(scenarios...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[1].Err == nil {
+		t.Fatal("bad scenario succeeded")
+	}
+	if _, ok := AsConfigError(rep.Results[1].Err); !ok {
+		t.Fatalf("scenario error not typed: %v", rep.Results[1].Err)
+	}
+	for i, res := range rep.Results {
+		if i == 1 {
+			continue
+		}
+		if res.Err != nil || res.Report == nil {
+			t.Fatalf("scenario %s poisoned: %v", res.Name, res.Err)
+		}
+	}
+	if rep.Err() == nil {
+		t.Fatal("aggregate Err missed the failure")
+	}
+}
+
+// TestSweepMaxIterations: an iteration-capped scenario stops after the
+// cap with a usable snapshot report (the Fig. 8-10 measurement mode).
+func TestSweepMaxIterations(t *testing.T) {
+	trace := UniformTrace(8, 64, 8)
+	cfg := DefaultConfig()
+	cfg.Model = "gpt3-7b"
+	cfg.NPUs = 2
+	cfg.Parallelism = ParallelismTensor
+	sc := NewScenario("one-iter", cfg, trace)
+	sc.MaxIterations = 1
+	rep, err := NewSweep(sc).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0].Report
+	if r.Iterations != 1 {
+		t.Fatalf("ran %d iterations, want 1", r.Iterations)
+	}
+	if r.SimTime.Total <= 0 {
+		t.Fatal("simulation-time instrumentation missing")
+	}
+}
+
+// TestSweepReportHelpers: Result lookup, Best selection, and the TSV
+// writer.
+func TestSweepReportHelpers(t *testing.T) {
+	scenarios := fourScenarios(t)
+	rep, err := NewSweep(scenarios...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result("pim-local") == nil || rep.Result("missing") != nil {
+		t.Fatal("Result lookup broken")
+	}
+	best := rep.Best(func(r *Report) float64 { return r.GenTPS })
+	if best == nil {
+		t.Fatal("no best scenario")
+	}
+	for _, res := range rep.Results {
+		if res.Report.GenTPS > best.Report.GenTPS {
+			t.Fatalf("Best returned %s (%.1f) but %s has %.1f",
+				best.Name, best.Report.GenTPS, res.Name, res.Report.GenTPS)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(scenarios) {
+		t.Fatalf("TSV has %d lines, want %d", len(lines), 1+len(scenarios))
+	}
+	if !strings.HasPrefix(lines[0], "scenario\tmodel\ttopology") {
+		t.Fatalf("TSV header malformed: %q", lines[0])
+	}
+	for _, line := range lines {
+		if got := strings.Count(line, "\t"); got != strings.Count(lines[0], "\t") {
+			t.Fatalf("ragged TSV row: %q", line)
+		}
+	}
+}
