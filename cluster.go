@@ -1,0 +1,399 @@
+package llmservingsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// TrafficClass describes one class of a mixed workload for cluster
+// simulation: a named length distribution, an arrival rate, and
+// optional per-request SLO targets that drive goodput accounting.
+type TrafficClass struct {
+	Name string
+
+	// Dist selects the length distribution: "sharegpt", "alpaca", or
+	// "fixed-IN-OUT" (e.g. "fixed-512-128").
+	Dist string
+
+	// RatePerSec is the class's mean Poisson arrival rate.
+	RatePerSec float64
+
+	// SLO targets; zero means "no target" (always attained).
+	TTFT time.Duration // time to first token
+	TPOT time.Duration // time per output token after the first
+}
+
+func (tc TrafficClass) internal() (workload.Class, error) {
+	dist, err := workload.ParseDist(tc.Dist)
+	if err != nil {
+		return workload.Class{}, err
+	}
+	c := workload.Class{
+		Name: tc.Name,
+		Dist: dist,
+		Rate: tc.RatePerSec,
+		TTFT: simtime.FromStd(tc.TTFT),
+		TPOT: simtime.FromStd(tc.TPOT),
+	}
+	return c, c.Validate()
+}
+
+// Ramp scales arrival rates over simulated time: the rate multiplier
+// moves linearly from From at trace start to To at the end of the Over
+// window and holds there. The zero value is the identity ramp. Ramps
+// turn one trace into a saturation scan from under- to over-load.
+type Ramp struct {
+	From, To float64
+	Over     time.Duration // 0 = the trace's expected span
+}
+
+func (r Ramp) internal() workload.Ramp {
+	return workload.Ramp{From: r.From, To: r.To, Over: simtime.FromStd(r.Over)}
+}
+
+// MultiClassTrace synthesises n requests mixing the given traffic
+// classes: a merged Poisson arrival process at the sum of the class
+// rates (scaled by the ramp), each request tagged with its class name.
+// Deterministic for a given (classes, n, ramp, seed).
+func MultiClassTrace(classes []TrafficClass, n int, ramp Ramp, seed int64) ([]Request, error) {
+	wc, err := internalClasses(classes)
+	if err != nil {
+		return nil, err
+	}
+	reqs, err := workload.MultiClassTrace(wc, n, ramp.internal(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return fromWorkload(reqs), nil
+}
+
+func internalClasses(classes []TrafficClass) ([]workload.Class, error) {
+	out := make([]workload.Class, len(classes))
+	seen := make(map[string]bool, len(classes))
+	for i, tc := range classes {
+		c, err := tc.internal()
+		if err != nil {
+			return nil, err
+		}
+		// Duplicate names would silently collapse into one SLO map
+		// entry; reject them here like MultiClassTrace does.
+		if seen[c.Name] {
+			return nil, fmt.Errorf("llmservingsim: duplicate traffic class %q", c.Name)
+		}
+		seen[c.Name] = true
+		out[i] = c
+	}
+	return out, nil
+}
+
+// ParseTrafficClasses converts a comma-separated list of class specs of
+// the form "name:dist:rate[:ttft_ms[:tpot_ms]]" — the grammar shared by
+// the llmservingsim and tracegen CLIs. Example:
+// "chat:sharegpt:3:1000:80,api:alpaca:9:500:50".
+func ParseTrafficClasses(spec string) ([]TrafficClass, error) {
+	wcs, err := workload.ParseClasses(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TrafficClass, len(wcs))
+	for i, wc := range wcs {
+		out[i] = TrafficClass{
+			Name:       wc.Name,
+			Dist:       wc.Dist.Name,
+			RatePerSec: wc.Rate,
+			TTFT:       wc.TTFT.Std(),
+			TPOT:       wc.TPOT.Std(),
+		}
+	}
+	return out, nil
+}
+
+// ParseRamp converts a ramp spec "from:to[:over_s]", e.g. "0.5:2:60".
+func ParseRamp(spec string) (Ramp, error) {
+	wr, err := workload.ParseRamp(spec)
+	if err != nil {
+		return Ramp{}, err
+	}
+	return Ramp{From: wr.From, To: wr.To, Over: wr.Over.Std()}, nil
+}
+
+// ClusterScenario is a multi-replica serving simulation: one arrival
+// stream fanned out over Replicas identical simulator instances through
+// an admission gate and a routing policy. Scenarios run standalone via
+// Run, or alongside single-instance Scenarios inside a Sweep.
+type ClusterScenario struct {
+	Name string
+
+	// Config parameterises each replica (model, NPUs, scheduling, ...);
+	// replicas are homogeneous.
+	Config Config
+
+	// Replicas is the serving instance count (>= 1).
+	Replicas int
+
+	Router    RouterPolicy
+	Admission AdmissionPolicy
+
+	// AdmissionLimit bounds the admission policy: queued requests per
+	// replica for AdmitQueueCap, total in-flight cluster tokens for
+	// AdmitTokenBudget. Ignored by AdmitAll.
+	AdmissionLimit int64
+
+	// Classes supplies per-class SLO targets (matched to Request.Class
+	// by name). Classes are optional: requests of unknown or empty
+	// class get no SLO and always attain.
+	Classes []TrafficClass
+
+	// Trace is the arrival stream, typically from MultiClassTrace or
+	// LoadTrace. Requests are processed in arrival order.
+	Trace []Request
+}
+
+// Validate checks the scenario without building it.
+func (sc ClusterScenario) Validate() error {
+	if sc.Replicas < 1 {
+		return &ConfigError{Field: "Replicas", Value: sc.Replicas, Reason: "must be >= 1"}
+	}
+	if !sc.Router.valid() {
+		return &ConfigError{Field: "Router", Value: sc.Router, Reason: "unknown router policy"}
+	}
+	if !sc.Admission.valid() {
+		return &ConfigError{Field: "Admission", Value: sc.Admission, Reason: "unknown admission policy"}
+	}
+	if len(sc.Trace) == 0 {
+		return &ConfigError{Field: "Trace", Value: len(sc.Trace), Reason: "cluster scenario needs a trace"}
+	}
+	if _, err := internalClasses(sc.Classes); err != nil {
+		return &ConfigError{Field: "Classes", Value: len(sc.Classes), Reason: "invalid traffic class", Err: err}
+	}
+	return sc.Config.Validate()
+}
+
+// build assembles the internal cluster.
+func (sc ClusterScenario) build() (*cluster.Cluster, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := buildOptions(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	router, err := cluster.NewRouter(sc.Router.internal())
+	if err != nil {
+		return nil, err
+	}
+	admission, err := cluster.NewAdmission(sc.Admission.internal(), sc.AdmissionLimit)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := internalClasses(sc.Classes)
+	if err != nil {
+		return nil, err
+	}
+	hook := sc.Config.OnIteration
+	return cluster.New(cluster.Config{
+		Replicas: sc.Replicas,
+		NewReplica: func(int) (*core.Simulator, error) {
+			inner, err := core.New(opts, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Iteration indices are per replica; events from all
+			// replicas interleave on the goroutine driving the cluster.
+			attachIterationHook(inner, hook)
+			return inner, nil
+		},
+		Router:    router,
+		Admission: admission,
+		Classes:   classes,
+	})
+}
+
+// Run simulates the cluster scenario to completion.
+func (sc ClusterScenario) Run() (*ClusterReport, error) {
+	return sc.RunContext(context.Background())
+}
+
+// RunContext simulates the cluster scenario, checking ctx at arrival
+// and iteration boundaries.
+func (sc ClusterScenario) RunContext(ctx context.Context) (*ClusterReport, error) {
+	c, err := sc.build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := c.RunContext(ctx, toWorkload(sc.Trace))
+	if err != nil {
+		return nil, err
+	}
+	out := wrapClusterReport(rep)
+	out.Model = sc.Config.Model
+	out.Topology = fmt.Sprintf("%dx(%d-npu %s)", sc.Replicas, sc.Config.NPUs, sc.Config.Parallelism)
+	return out, nil
+}
+
+// DistStats summarises one latency component's distribution in seconds
+// (nearest-rank percentiles).
+type DistStats struct {
+	MeanSec, P50Sec, P95Sec, P99Sec float64
+}
+
+// ClassStats is one traffic class's outcome in a cluster run.
+type ClassStats struct {
+	Class string
+
+	Requests    int // arrivals (admitted + rejected)
+	Rejected    int // dropped at admission
+	Completed   int // finished serving
+	SLOAttained int // completed within both SLO targets
+
+	TTFT    DistStats // time to first token, over completed requests
+	TPOT    DistStats // time per output token, over multi-token requests
+	Latency DistStats // end-to-end
+
+	// GoodputTPS is the SLO-attained generation throughput in output
+	// tokens/second; ThroughputTPS counts all completed output tokens.
+	GoodputTPS    float64
+	ThroughputTPS float64
+}
+
+// ReplicaStats summarises one replica's share of a cluster run.
+type ReplicaStats struct {
+	Index      int
+	Requests   int
+	Iterations int
+	SimEndSec  float64
+	PromptTPS  float64
+	GenTPS     float64
+	Evictions  int64
+	Reloads    int64
+}
+
+// ClusterReport is the outcome of a cluster scenario.
+type ClusterReport struct {
+	Model     string // per-replica model name
+	Topology  string // e.g. "4x(16-npu hybrid)"
+	Replicas  int
+	Router    string
+	Admission string
+
+	Requests int
+	Admitted int
+	Rejected int
+
+	SimEndSec float64
+
+	// Latency aggregates all classes; Classes breaks the run down per
+	// traffic class, ordered by name.
+	Latency    LatencyStats
+	Classes    []ClassStats
+	PerReplica []ReplicaStats
+
+	PromptTPS     float64
+	ThroughputTPS float64 // completed output tokens/second
+	GoodputTPS    float64 // SLO-attained output tokens/second
+
+	inner *cluster.Report
+}
+
+func wrapClusterReport(rep *cluster.Report) *ClusterReport {
+	out := &ClusterReport{
+		Replicas:  rep.Replicas,
+		Router:    rep.Router,
+		Admission: rep.Admission,
+		Requests:  rep.Requests,
+		Admitted:  rep.Admitted,
+		Rejected:  rep.Rejected,
+		SimEndSec: rep.SimEnd.Seconds(),
+		Latency: LatencyStats{
+			Count:   rep.Latency.Count,
+			MeanSec: rep.Latency.MeanSec,
+			P50Sec:  rep.Latency.P50Sec,
+			P95Sec:  rep.Latency.P95Sec,
+			P99Sec:  rep.Latency.P99Sec,
+			TTFTSec: rep.Latency.MeanTTFTSec,
+			TPOTSec: rep.Latency.MeanTPOTSec,
+		},
+		PromptTPS:     rep.PromptTPS,
+		ThroughputTPS: rep.ThroughputTPS,
+		GoodputTPS:    rep.GoodputTPS,
+		inner:         rep,
+	}
+	for _, cs := range rep.Classes {
+		out.Classes = append(out.Classes, ClassStats{
+			Class:         cs.Class,
+			Requests:      cs.Requests,
+			Rejected:      cs.Rejected,
+			Completed:     cs.Completed,
+			SLOAttained:   cs.SLOAttained,
+			TTFT:          DistStats(cs.TTFT),
+			TPOT:          DistStats(cs.TPOT),
+			Latency:       DistStats(cs.Latency),
+			GoodputTPS:    cs.GoodputTPS,
+			ThroughputTPS: cs.ThroughputTPS,
+		})
+	}
+	for _, p := range rep.PerReplica {
+		out.PerReplica = append(out.PerReplica, ReplicaStats{
+			Index:      p.Index,
+			Requests:   p.Requests,
+			Iterations: p.Iterations,
+			SimEndSec:  p.SimEnd.Seconds(),
+			PromptTPS:  p.PromptTPS,
+			GenTPS:     p.GenTPS,
+			Evictions:  p.Evictions,
+			Reloads:    p.Reloads,
+		})
+	}
+	return out
+}
+
+// Class returns the named class's stats, or nil if absent.
+func (r *ClusterReport) Class(name string) *ClassStats {
+	for i := range r.Classes {
+		if r.Classes[i].Class == name {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// TotalIterations sums scheduler iterations across replicas.
+func (r *ClusterReport) TotalIterations() int {
+	n := 0
+	for _, p := range r.PerReplica {
+		n += p.Iterations
+	}
+	return n
+}
+
+// KVEvictions sums KV-cache evictions across replicas.
+func (r *ClusterReport) KVEvictions() (evictions, reloads int64) {
+	for _, p := range r.PerReplica {
+		evictions += p.Evictions
+		reloads += p.Reloads
+	}
+	return evictions, reloads
+}
+
+// WriteClassTSV writes the per-class summary table (*-classes.tsv).
+func (r *ClusterReport) WriteClassTSV(w io.Writer) error { return r.inner.WriteClassTSV(w) }
+
+// WriteRequestsTSV writes the per-request record table (*-requests.tsv).
+func (r *ClusterReport) WriteRequestsTSV(w io.Writer) error { return r.inner.WriteRequestsTSV(w) }
+
+// WriteReplicaTSV writes the per-replica placement table
+// (*-replicas.tsv).
+func (r *ClusterReport) WriteReplicaTSV(w io.Writer) error { return r.inner.WriteReplicaTSV(w) }
+
+// Routers lists the available routing policies.
+func Routers() []string { return cluster.Routers() }
+
+// Admissions lists the available admission policies.
+func Admissions() []string { return cluster.Admissions() }

@@ -1,0 +1,250 @@
+package llmservingsim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func apiClasses() []TrafficClass {
+	return []TrafficClass{
+		{Name: "chat", Dist: "alpaca", RatePerSec: 4,
+			TTFT: 2 * time.Second, TPOT: 200 * time.Millisecond},
+		{Name: "api", Dist: "fixed-64-32", RatePerSec: 8,
+			TTFT: time.Second, TPOT: 100 * time.Millisecond},
+	}
+}
+
+func apiClusterScenario(t *testing.T, name string, router RouterPolicy) ClusterScenario {
+	t.Helper()
+	trace, err := MultiClassTrace(apiClasses(), 40, Ramp{}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = ParallelismTensor
+	return ClusterScenario{
+		Name:     name,
+		Config:   cfg,
+		Replicas: 4,
+		Router:   router,
+		Classes:  apiClasses(),
+		Trace:    trace,
+	}
+}
+
+func TestMultiClassTracePublic(t *testing.T) {
+	trace, err := MultiClassTrace(apiClasses(), 50, Ramp{From: 1, To: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	for _, r := range trace {
+		classes[r.Class]++
+	}
+	if classes["chat"] == 0 || classes["api"] == 0 {
+		t.Fatalf("class mix %v", classes)
+	}
+	if _, err := MultiClassTrace([]TrafficClass{{Name: "x", Dist: "bogus", RatePerSec: 1}}, 5, Ramp{}, 1); err == nil {
+		t.Fatal("bad dist must fail")
+	}
+}
+
+func TestClusterScenarioRun(t *testing.T) {
+	sc := apiClusterScenario(t, "rr", RouterRoundRobin)
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas != 4 || rep.Router != "round-robin" || rep.Admission != "all" {
+		t.Fatalf("report header %+v", rep)
+	}
+	if rep.Requests != 40 || rep.Admitted != 40 || rep.Rejected != 0 {
+		t.Fatalf("counts %+v", rep)
+	}
+	if len(rep.Classes) != 2 || rep.Class("chat") == nil || rep.Class("api") == nil {
+		t.Fatalf("classes %+v", rep.Classes)
+	}
+	if rep.Class("chat").TTFT.P99Sec <= 0 {
+		t.Fatalf("chat P99 TTFT missing: %+v", rep.Class("chat"))
+	}
+	if rep.GoodputTPS <= 0 || rep.GoodputTPS > rep.ThroughputTPS {
+		t.Fatalf("goodput %v vs throughput %v", rep.GoodputTPS, rep.ThroughputTPS)
+	}
+	if len(rep.PerReplica) != 4 {
+		t.Fatalf("per-replica %+v", rep.PerReplica)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteClassTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("class TSV lines %d:\n%s", lines, buf.String())
+	}
+}
+
+func TestClusterScenarioValidate(t *testing.T) {
+	good := apiClusterScenario(t, "v", RouterRoundRobin)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*ClusterScenario){
+		func(sc *ClusterScenario) { sc.Replicas = 0 },
+		func(sc *ClusterScenario) { sc.Router = RouterPolicy(99) },
+		func(sc *ClusterScenario) { sc.Admission = AdmissionPolicy(99) },
+		func(sc *ClusterScenario) { sc.Trace = nil },
+		func(sc *ClusterScenario) { sc.Classes = []TrafficClass{{Name: "x", Dist: "bogus", RatePerSec: 1}} },
+		func(sc *ClusterScenario) {
+			// Duplicate names would silently collapse into one SLO entry.
+			sc.Classes = []TrafficClass{
+				{Name: "x", Dist: "alpaca", RatePerSec: 1},
+				{Name: "x", Dist: "alpaca", RatePerSec: 2},
+			}
+		},
+		func(sc *ClusterScenario) { sc.Config.Model = "bogus" },
+	}
+	for i, mutate := range cases {
+		sc := apiClusterScenario(t, "v", RouterRoundRobin)
+		mutate(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Fatalf("case %d must fail validation", i)
+		}
+		if _, ok := AsConfigError(err); !ok {
+			t.Fatalf("case %d: want *ConfigError, got %T %v", i, err, err)
+		}
+	}
+	// Admission limits are enforced at build time.
+	sc := apiClusterScenario(t, "v", RouterRoundRobin)
+	sc.Admission = AdmitQueueCap
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("queue-cap without AdmissionLimit must fail")
+	}
+}
+
+// TestClusterOnIteration pins that the per-replica progress hook — the
+// CLI's -progress flag — fires in cluster mode too.
+func TestClusterOnIteration(t *testing.T) {
+	sc := apiClusterScenario(t, "hook", RouterRoundRobin)
+	iterations := 0
+	sc.Config.OnIteration = func(Iteration) { iterations++ }
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iterations != rep.TotalIterations() {
+		t.Fatalf("hook saw %d iterations, report counts %d", iterations, rep.TotalIterations())
+	}
+}
+
+// TestClusterDeterministicAcrossSweeps is the acceptance pin: the same
+// seed produces a bit-identical cluster report across two runs and
+// across sequential-vs-parallel Sweep execution.
+func TestClusterDeterministicAcrossSweeps(t *testing.T) {
+	scenarios := []ClusterScenario{
+		apiClusterScenario(t, "round-robin", RouterRoundRobin),
+		apiClusterScenario(t, "least-loaded", RouterLeastLoaded),
+		apiClusterScenario(t, "affinity", RouterAffinity),
+	}
+
+	render := func(rep *ClusterReport) string {
+		var buf bytes.Buffer
+		if err := rep.WriteClassTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteRequestsTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteReplicaTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	runSweep := func(workers int) []string {
+		sw := &Sweep{ClusterScenarios: scenarios, Workers: workers}
+		rep, err := sw.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(rep.Results))
+		for i, res := range rep.Results {
+			if res.Cluster == nil {
+				t.Fatalf("result %d missing cluster report", i)
+			}
+			out[i] = render(res.Cluster)
+		}
+		return out
+	}
+
+	sequential := runSweep(1)
+	parallel := runSweep(4)
+	repeat := runSweep(1)
+
+	if !reflect.DeepEqual(sequential, repeat) {
+		t.Fatal("same seed must produce bit-identical reports across runs")
+	}
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatal("parallel sweep must produce bit-identical reports to sequential")
+	}
+	// Distinct routers must actually exercise distinct placements.
+	if sequential[0] == sequential[1] {
+		t.Fatal("round-robin and least-loaded produced identical reports; routing is inert")
+	}
+}
+
+func TestSweepMixedScenarioKinds(t *testing.T) {
+	trace, err := MultiClassTrace(apiClasses(), 20, Ramp{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = ParallelismTensor
+
+	sw := NewSweep(NewScenario("single", cfg, trace)).
+		AddCluster(apiClusterScenario(t, "cluster", RouterLeastLoaded))
+	rep, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results %d", len(rep.Results))
+	}
+	if rep.Results[0].Report == nil || rep.Results[0].Cluster != nil {
+		t.Fatalf("first row must be single-instance: %+v", rep.Results[0])
+	}
+	if rep.Results[1].Cluster == nil || rep.Results[1].Report != nil {
+		t.Fatalf("second row must be cluster: %+v", rep.Results[1])
+	}
+	if best := rep.BestCluster(func(r *ClusterReport) float64 { return r.GoodputTPS }); best == nil ||
+		best.Name != "cluster" {
+		t.Fatalf("best cluster %+v", best)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sweep TSV rows:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[0], "goodput_tps") || !strings.Contains(lines[0], "p99_latency_s") {
+		t.Fatalf("sweep TSV header missing cluster columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "4x(2-npu tensor)") {
+		t.Fatalf("cluster row topology: %q", lines[2])
+	}
+}

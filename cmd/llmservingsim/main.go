@@ -15,6 +15,17 @@
 // typed policies, so invalid values fail at flag parsing. Interrupting
 // the run (Ctrl-C) cancels the simulation at the next iteration
 // boundary; -progress N prints a progress line every N iterations.
+//
+// Cluster mode (-replicas N with N > 1) fans the arrival stream out
+// over N identical replicas through an admission gate (-admission,
+// -admission-limit) and a routing policy (-router), printing per-class
+// latency/SLO tables. Mixed traffic comes from -classes (optionally
+// ramped with -ramp) or from a -dataset TSV with a class column:
+//
+//	llmservingsim -model gpt3-7b -npu-num 4 -replicas 8 \
+//	    -router least-loaded -admission queue-cap -admission-limit 32 \
+//	    -classes "chat:sharegpt:3:1000:80,api:alpaca:9:500:50" \
+//	    -synth-n 512 -output cap
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -47,7 +59,16 @@ func main() {
 		seed       = flag.Int64("seed", 1, "synthetic trace random seed")
 		progress   = flag.Int("progress", 0, "print a progress line every N iterations (0 = off)")
 		output     = flag.String("output", "", "output file prefix for TSV results")
+
+		replicas   = flag.Int("replicas", 1, "cluster mode: number of serving replicas (>1 enables the cluster layer)")
+		router     llmservingsim.RouterPolicy
+		admission  llmservingsim.AdmissionPolicy
+		admitLimit = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
+		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms]],... (synthesises a mixed trace)")
+		rampSpec   = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
 	)
+	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity")
+	flag.Var(&admission, "admission", "cluster admission policy: all|queue-cap|token-budget")
 	flag.StringVar(&cfg.Model, "model", cfg.Model, "model name (see -list-models)")
 	flag.IntVar(&cfg.NPUs, "npu-num", cfg.NPUs, "number of NPUs")
 	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "maximum batch size (0 = unlimited)")
@@ -100,23 +121,34 @@ func main() {
 		}
 	}
 
+	var classes []llmservingsim.TrafficClass
+	if *classSpec != "" {
+		var err error
+		if classes, err = llmservingsim.ParseTrafficClasses(*classSpec); err != nil {
+			fatal(err)
+		}
+	}
+
 	var trace []llmservingsim.Request
 	var err error
 	switch {
 	case *dataset != "":
 		trace, err = llmservingsim.LoadTrace(*dataset)
+	case *classSpec != "":
+		var ramp llmservingsim.Ramp
+		if *rampSpec != "" {
+			if ramp, err = llmservingsim.ParseRamp(*rampSpec); err != nil {
+				fatal(err)
+			}
+		}
+		trace, err = llmservingsim.MultiClassTrace(classes, *synthN, ramp, *seed)
 	case *synth == "sharegpt":
 		trace, err = llmservingsim.ShareGPTTrace(*synthN, *synthRate, *seed)
 	case *synth == "alpaca":
 		trace, err = llmservingsim.AlpacaTrace(*synthN, *synthRate, *seed)
 	default:
-		err = fmt.Errorf("provide -dataset FILE or -synth sharegpt|alpaca")
+		err = fmt.Errorf("provide -dataset FILE, -classes SPEC, or -synth sharegpt|alpaca")
 	}
-	if err != nil {
-		fatal(err)
-	}
-
-	sim, err := llmservingsim.NewFromConfig(cfg, trace)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,6 +161,26 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+
+	if *replicas > 1 {
+		runCluster(ctx, llmservingsim.ClusterScenario{
+			Name:           "cli",
+			Config:         cfg,
+			Replicas:       *replicas,
+			Router:         router,
+			Admission:      admission,
+			AdmissionLimit: *admitLimit,
+			Classes:        classes,
+			Trace:          trace,
+		}, *output)
+		return
+	}
+
+	sim, err := llmservingsim.NewFromConfig(cfg, trace)
+	if err != nil {
+		fatal(err)
+	}
+
 	start := time.Now()
 	rep, err := sim.RunContext(ctx)
 	interrupted := false
@@ -150,8 +202,9 @@ func main() {
 	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
 	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
 	fmt.Printf("gen tput         %.1f tok/s\n", rep.GenTPS)
-	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, ttft %.3f)\n",
-		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.TTFTSec)
+	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, p99 %.3f, ttft %.3f, tpot %.4f)\n",
+		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
+		rep.Latency.TTFTSec, rep.Latency.TPOTSec)
 	fmt.Printf("kv evict/reload  %d / %d\n", rep.KV.Evictions, rep.KV.Reloads)
 	fmt.Printf("cache hit rate   %.1f %%\n", 100*rep.EngineCacheHitRate)
 	fmt.Printf("simulation time  %v (sched %v, engine %v, convert %v, astra %v)\n",
@@ -166,6 +219,70 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s-throughput.tsv, %s-simulation-time.tsv\n", *output, *output)
+	}
+}
+
+// runCluster executes the multi-replica path and prints the cluster
+// summary with a per-class SLO table.
+func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output string) {
+	start := time.Now()
+	rep, err := sc.RunContext(ctx)
+	if errors.Is(err, context.Canceled) {
+		fatal(fmt.Errorf("interrupted before the cluster run completed"))
+	} else if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model            %s\n", rep.Model)
+	fmt.Printf("topology         %s\n", rep.Topology)
+	fmt.Printf("router           %s\n", rep.Router)
+	fmt.Printf("admission        %s\n", rep.Admission)
+	fmt.Printf("requests         %d (admitted %d, rejected %d)\n", rep.Requests, rep.Admitted, rep.Rejected)
+	fmt.Printf("iterations       %d across %d replicas\n", rep.TotalIterations(), rep.Replicas)
+	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
+	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
+	fmt.Printf("gen tput         %.1f tok/s (goodput %.1f tok/s)\n", rep.ThroughputTPS, rep.GoodputTPS)
+	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, p99 %.3f, ttft %.3f, tpot %.4f)\n",
+		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
+		rep.Latency.TTFTSec, rep.Latency.TPOTSec)
+	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
+	if len(rep.Classes) > 0 {
+		fmt.Printf("\n%-12s %9s %9s %9s %12s %12s %12s %12s\n",
+			"class", "requests", "rejected", "attained", "p50 ttft", "p99 ttft", "mean tpot", "goodput t/s")
+		for _, cs := range rep.Classes {
+			name := cs.Class
+			if name == "" {
+				name = "-"
+			}
+			fmt.Printf("%-12s %9d %9d %9d %11.3fs %11.3fs %11.4fs %12.1f\n",
+				name, cs.Requests, cs.Rejected, cs.SLOAttained,
+				cs.TTFT.P50Sec, cs.TTFT.P99Sec, cs.TPOT.MeanSec, cs.GoodputTPS)
+		}
+	}
+
+	if output != "" {
+		files := []struct {
+			suffix string
+			write  func(io.Writer) error
+		}{
+			{"-classes.tsv", rep.WriteClassTSV},
+			{"-requests.tsv", rep.WriteRequestsTSV},
+			{"-replicas.tsv", rep.WriteReplicaTSV},
+		}
+		for _, f := range files {
+			out, err := os.Create(output + f.suffix)
+			if err != nil {
+				fatal(err)
+			}
+			if err := f.write(out); err != nil {
+				out.Close()
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %s-classes.tsv, %s-requests.tsv, %s-replicas.tsv\n", output, output, output)
 	}
 }
 

@@ -1,10 +1,14 @@
 // Command tracegen synthesises request traces in the artifact's TSV
 // format: ShareGPT-like conversational traffic, Alpaca-like instruction
 // traffic, or fixed-shape batches, with Poisson or burst arrivals.
+// Multi-class traffic mixes several classes into one trace (adding a
+// "class" column) and can ramp the arrival rate for saturation scans.
 //
-// Example:
+// Examples:
 //
 //	tracegen -dist sharegpt -n 256 -rate 5 -seed 7 -o trace.tsv
+//	tracegen -classes "chat:sharegpt:3:1000:80,api:alpaca:9:500:50" \
+//	    -ramp 0.5:2:120 -n 1024 -o mixed.tsv
 package main
 
 import (
@@ -17,35 +21,28 @@ import (
 
 func main() {
 	var (
-		dist = flag.String("dist", "sharegpt", "length distribution: sharegpt|alpaca|fixed")
-		n    = flag.Int("n", 256, "request count")
-		rate = flag.Float64("rate", 4, "Poisson arrival rate in requests/second (0 = burst at t=0)")
-		seed = flag.Int64("seed", 1, "random seed")
-		in   = flag.Int("in", 512, "input tokens (fixed distribution)")
-		out  = flag.Int("out", 128, "output tokens (fixed distribution)")
-		o    = flag.String("o", "", "output TSV path (default stdout)")
-		show = flag.Bool("stats", false, "print trace statistics to stderr")
+		dist    = flag.String("dist", "sharegpt", "length distribution: sharegpt|alpaca|fixed")
+		classes = flag.String("classes", "", "multi-class spec name:dist:rate[:ttft_ms[:tpot_ms]],... (overrides -dist/-rate)")
+		ramp    = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] (multi-class only)")
+		n       = flag.Int("n", 256, "request count")
+		rate    = flag.Float64("rate", 4, "Poisson arrival rate in requests/second (0 = burst at t=0)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		in      = flag.Int("in", 512, "input tokens (fixed distribution)")
+		out     = flag.Int("out", 128, "output tokens (fixed distribution)")
+		o       = flag.String("o", "", "output TSV path (default stdout)")
+		show    = flag.Bool("stats", false, "print trace statistics to stderr")
 	)
 	flag.Parse()
 
-	var d workload.LengthDist
-	switch *dist {
-	case "sharegpt":
-		d = workload.ShareGPT()
-	case "alpaca":
-		d = workload.Alpaca()
-	case "fixed":
-		d = workload.Fixed(*in, *out)
-	default:
-		fatal(fmt.Errorf("unknown distribution %q", *dist))
-	}
-
 	var reqs []workload.Request
 	var err error
-	if *rate > 0 {
-		reqs, err = workload.PoissonTrace(d, *n, *rate, *seed)
-	} else {
-		reqs, err = workload.BurstTrace(d, *n, *seed)
+	switch {
+	case *classes != "":
+		reqs, err = multiClassTrace(*classes, *ramp, *n, *seed)
+	case *ramp != "":
+		err = fmt.Errorf("-ramp requires -classes")
+	default:
+		reqs, err = singleClassTrace(*dist, *n, *rate, *seed, *in, *out)
 	}
 	if err != nil {
 		fatal(err)
@@ -55,6 +52,15 @@ func main() {
 		s := workload.Summarize(reqs)
 		fmt.Fprintf(os.Stderr, "requests %d, mean in/out %.1f/%.1f, p50 %d/%d, p95 %d/%d, span %v\n",
 			s.Count, s.MeanInput, s.MeanOutput, s.P50Input, s.P50Output, s.P95Input, s.P95Output, s.Span)
+		if names := workload.ClassNames(reqs); len(names) > 1 || (len(names) == 1 && names[0] != "") {
+			counts := map[string]int{}
+			for _, r := range reqs {
+				counts[r.Class]++
+			}
+			for _, name := range names {
+				fmt.Fprintf(os.Stderr, "class %-12s %d requests\n", name, counts[name])
+			}
+		}
 	}
 
 	w := os.Stdout
@@ -69,6 +75,41 @@ func main() {
 	if err := workload.WriteTSV(w, reqs); err != nil {
 		fatal(err)
 	}
+}
+
+// multiClassTrace mixes the spec'd classes, optionally under a rate
+// ramp — the same generator cluster simulations use, so generated TSV
+// traces express mixed traffic without the cluster API.
+func multiClassTrace(classSpec, rampSpec string, n int, seed int64) ([]workload.Request, error) {
+	cs, err := workload.ParseClasses(classSpec)
+	if err != nil {
+		return nil, err
+	}
+	var r workload.Ramp
+	if rampSpec != "" {
+		if r, err = workload.ParseRamp(rampSpec); err != nil {
+			return nil, err
+		}
+	}
+	return workload.MultiClassTrace(cs, n, r, seed)
+}
+
+func singleClassTrace(dist string, n int, rate float64, seed int64, in, out int) ([]workload.Request, error) {
+	var d workload.LengthDist
+	switch dist {
+	case "sharegpt":
+		d = workload.ShareGPT()
+	case "alpaca":
+		d = workload.Alpaca()
+	case "fixed":
+		d = workload.Fixed(in, out)
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+	if rate > 0 {
+		return workload.PoissonTrace(d, n, rate, seed)
+	}
+	return workload.BurstTrace(d, n, seed)
 }
 
 func fatal(err error) {

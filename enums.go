@@ -3,6 +3,7 @@ package llmservingsim
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kvcache"
 	"repro/internal/network"
@@ -261,5 +262,146 @@ func (m PIMMode) internal() core.PIMMode {
 		return core.PIMPool
 	default:
 		return core.PIMNone
+	}
+}
+
+// RouterPolicy selects how a cluster routes admitted requests across
+// replicas. The zero value is RouterRoundRobin.
+type RouterPolicy int
+
+const (
+	// RouterRoundRobin cycles through replicas in index order.
+	RouterRoundRobin RouterPolicy = iota
+	// RouterLeastLoaded places each request on the replica with the
+	// fewest queued tokens (join-shortest-queue).
+	RouterLeastLoaded
+	// RouterAffinity hashes the request's traffic class to a fixed
+	// replica, keeping shared-prefix traffic on one instance.
+	RouterAffinity
+)
+
+// ParseRouterPolicy converts CLI values ("round-robin" or "rr",
+// "least-loaded" or "least", "affinity" or "session"; "" selects the
+// default, round-robin).
+func ParseRouterPolicy(s string) (RouterPolicy, error) {
+	switch s {
+	case "round-robin", "rr", "":
+		return RouterRoundRobin, nil
+	case "least-loaded", "least":
+		return RouterLeastLoaded, nil
+	case "affinity", "session":
+		return RouterAffinity, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown router %q (want round-robin|least-loaded|affinity)", s)
+	}
+}
+
+func (p RouterPolicy) String() string {
+	switch p {
+	case RouterRoundRobin:
+		return "round-robin"
+	case RouterLeastLoaded:
+		return "least-loaded"
+	case RouterAffinity:
+		return "affinity"
+	default:
+		return fmt.Sprintf("RouterPolicy(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *RouterPolicy) Set(s string) error {
+	v, err := ParseRouterPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p RouterPolicy) valid() bool {
+	return p >= RouterRoundRobin && p <= RouterAffinity
+}
+
+// internal returns the internal/cluster registry name.
+func (p RouterPolicy) internal() string {
+	switch p {
+	case RouterLeastLoaded:
+		return cluster.RouterLeastLoad
+	case RouterAffinity:
+		return cluster.RouterAffinity
+	default:
+		return cluster.RouterRoundRobin
+	}
+}
+
+// AdmissionPolicy selects how a cluster gates arrivals before routing.
+// The zero value is AdmitAll.
+type AdmissionPolicy int
+
+const (
+	// AdmitAll admits every arrival (unbounded queues).
+	AdmitAll AdmissionPolicy = iota
+	// AdmitQueueCap rejects arrivals once the cluster holds
+	// AdmissionLimit*Replicas queued requests (aggregate back-pressure;
+	// per-replica balance is the router's job).
+	AdmitQueueCap
+	// AdmitTokenBudget rejects arrivals that would push the cluster's
+	// queued token total past AdmissionLimit.
+	AdmitTokenBudget
+)
+
+// ParseAdmissionPolicy converts CLI values ("all" or "unbounded",
+// "queue-cap" or "queue", "token-budget" or "tokens"; "" selects the
+// default, all).
+func ParseAdmissionPolicy(s string) (AdmissionPolicy, error) {
+	switch s {
+	case "all", "unbounded", "":
+		return AdmitAll, nil
+	case "queue-cap", "queue":
+		return AdmitQueueCap, nil
+	case "token-budget", "tokens":
+		return AdmitTokenBudget, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown admission policy %q (want all|queue-cap|token-budget)", s)
+	}
+}
+
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitAll:
+		return "all"
+	case AdmitQueueCap:
+		return "queue-cap"
+	case AdmitTokenBudget:
+		return "token-budget"
+	default:
+		return fmt.Sprintf("AdmissionPolicy(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *AdmissionPolicy) Set(s string) error {
+	v, err := ParseAdmissionPolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p AdmissionPolicy) valid() bool {
+	return p >= AdmitAll && p <= AdmitTokenBudget
+}
+
+// internal returns the internal/cluster registry name.
+func (p AdmissionPolicy) internal() string {
+	switch p {
+	case AdmitQueueCap:
+		return cluster.AdmitQueueCap
+	case AdmitTokenBudget:
+		return cluster.AdmitTokenBudget
+	default:
+		return cluster.AdmitAll
 	}
 }

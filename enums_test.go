@@ -3,6 +3,7 @@ package llmservingsim
 import (
 	"errors"
 	"flag"
+	"io"
 	"strings"
 	"testing"
 
@@ -48,6 +49,74 @@ func TestEnumRoundTrips(t *testing.T) {
 	}
 	if v, _ := ParseKVPolicy("max"); v != KVMaxLen {
 		t.Errorf("alias max: %v", v)
+	}
+}
+
+// TestClusterEnumRoundTrips covers the cluster routing and admission
+// enums: String -> Parse round-trips, aliases, empty-string defaults,
+// invalid values, and the flag.Value contract.
+func TestClusterEnumRoundTrips(t *testing.T) {
+	for _, p := range []RouterPolicy{RouterRoundRobin, RouterLeastLoaded, RouterAffinity} {
+		got, err := ParseRouterPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("RouterPolicy %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	for _, p := range []AdmissionPolicy{AdmitAll, AdmitQueueCap, AdmitTokenBudget} {
+		got, err := ParseAdmissionPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("AdmissionPolicy %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	if v, _ := ParseRouterPolicy("rr"); v != RouterRoundRobin {
+		t.Errorf("alias rr: %v", v)
+	}
+	if v, _ := ParseRouterPolicy("least"); v != RouterLeastLoaded {
+		t.Errorf("alias least: %v", v)
+	}
+	if v, _ := ParseRouterPolicy("session"); v != RouterAffinity {
+		t.Errorf("alias session: %v", v)
+	}
+	if v, _ := ParseAdmissionPolicy("unbounded"); v != AdmitAll {
+		t.Errorf("alias unbounded: %v", v)
+	}
+	if v, _ := ParseAdmissionPolicy("queue"); v != AdmitQueueCap {
+		t.Errorf("alias queue: %v", v)
+	}
+	if v, _ := ParseAdmissionPolicy("tokens"); v != AdmitTokenBudget {
+		t.Errorf("alias tokens: %v", v)
+	}
+	if v, err := ParseRouterPolicy(""); err != nil || v != RouterRoundRobin {
+		t.Errorf("empty router: %v, %v", v, err)
+	}
+	if v, err := ParseAdmissionPolicy(""); err != nil || v != AdmitAll {
+		t.Errorf("empty admission: %v, %v", v, err)
+	}
+	if _, err := ParseRouterPolicy("bogus"); err == nil {
+		t.Error("bogus router must fail")
+	}
+	if _, err := ParseAdmissionPolicy("bogus"); err == nil {
+		t.Error("bogus admission must fail")
+	}
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var r RouterPolicy
+	var a AdmissionPolicy
+	fs.Var(&r, "router", "")
+	fs.Var(&a, "admission", "")
+	if err := fs.Parse([]string{"-router", "least-loaded", "-admission", "token-budget"}); err != nil {
+		t.Fatal(err)
+	}
+	if r != RouterLeastLoaded || a != AdmitTokenBudget {
+		t.Errorf("flag parse: %v, %v", r, a)
+	}
+	if err := fs.Parse([]string{"-router", "bogus"}); err == nil {
+		t.Error("bogus router flag must fail")
+	}
+	// The registry-facing names resolve for every enum value.
+	if Routers() == nil || Admissions() == nil {
+		t.Error("registry listings must be non-empty")
 	}
 }
 

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// BenchmarkClusterRun measures the cluster hot path end to end: the
+// advance-to-arrival event loop, routing snapshots, and the record
+// pipeline, over 4 replicas and a 60-request mixed trace.
+func BenchmarkClusterRun(b *testing.B) {
+	for _, router := range []string{RouterRoundRobin, RouterLeastLoad, RouterAffinity} {
+		b.Run(router, func(b *testing.B) {
+			trace := testTrace(b, 60)
+			factory := newReplicaFactory(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, _ := NewRouter(router)
+				c, err := New(Config{
+					Replicas:   4,
+					NewReplica: factory,
+					Router:     r,
+					Classes:    testClasses(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Run(trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouterRoute isolates the per-arrival routing decision.
+func BenchmarkRouterRoute(b *testing.B) {
+	states := make([]ReplicaState, 16)
+	for i := range states {
+		states[i] = ReplicaState{Index: i, QueuedTokens: int64(1000 - i*7), QueuedRequests: 16 - i}
+	}
+	reqs := testTrace(b, 64)
+	for _, name := range Routers() {
+		b.Run(name, func(b *testing.B) {
+			r, err := NewRouter(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				idx := r.Route(reqs[i%len(reqs)], states)
+				if idx < 0 || idx >= len(states) {
+					b.Fatal("out of range")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+// Package cluster simulates a multi-replica LLM serving deployment: a
+// shared-clock, discrete-event layer that fans one arrival stream out
+// over N independent single-instance simulators (internal/core) through
+// an admission gate and a pluggable router.
+//
+// The pipeline per arrival is
+//
+//	arrival -> admission -> routing -> replica -> per-request record
+//
+// Every replica is advanced only as far as the next arrival's timestamp
+// before the routing decision is taken, so load signals (queued tokens,
+// queued requests) are exact at the routing instant and the whole
+// cluster behaves as one discrete-event simulation over a shared clock.
+// Runs are deterministic: the same configuration, trace, and seed
+// produce a bit-identical report.
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Replicas is the serving instance count (>= 1).
+	Replicas int
+
+	// NewReplica builds the i-th replica's simulator with an empty
+	// trace; requests are fed incrementally as the cluster routes them.
+	// Replicas are homogeneous in every capacity-planning study shipped
+	// here, but the factory may differentiate on the index.
+	NewReplica func(i int) (*core.Simulator, error)
+
+	// Router places admitted requests; nil defaults to round-robin.
+	Router Router
+
+	// Admission gates arrivals; nil defaults to admit-all.
+	Admission Admission
+
+	// Classes supplies per-class SLO targets for goodput accounting.
+	// Classes absent from the trace are ignored; trace classes absent
+	// here get no SLO (always attained).
+	Classes []workload.Class
+}
+
+// Cluster is one configured multi-replica serving simulation.
+type Cluster struct {
+	cfg       Config
+	replicas  []*core.Simulator
+	router    Router
+	admission Admission
+	slos      map[string]metrics.SLO
+	records   []metrics.RequestRecord
+}
+
+// New validates the configuration and builds the replicas.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("cluster: replica count must be >= 1, got %d", cfg.Replicas)
+	}
+	if cfg.NewReplica == nil {
+		return nil, fmt.Errorf("cluster: nil replica factory")
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		router:    cfg.Router,
+		admission: cfg.Admission,
+		slos:      map[string]metrics.SLO{},
+	}
+	if c.router == nil {
+		c.router = &roundRobin{}
+	}
+	if c.admission == nil {
+		c.admission = admitAll{}
+	}
+	for _, cl := range cfg.Classes {
+		c.slos[cl.Name] = metrics.SLO{TTFT: cl.TTFT, TPOT: cl.TPOT}
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		sim, err := cfg.NewReplica(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		sim.OnRequestComplete = c.complete
+		c.replicas = append(c.replicas, sim)
+	}
+	return c, nil
+}
+
+// complete records one request finishing on its replica (placement was
+// already recorded at routing time).
+func (c *Cluster) complete(f sched.Finished) {
+	id := f.Req.ID
+	if id < 0 || id >= len(c.records) {
+		return
+	}
+	c.records[id].FirstToken = f.FirstToken
+	c.records[id].Completed = f.Completed
+}
+
+// Run simulates the arrival stream to completion over the cluster.
+func (c *Cluster) Run(reqs []workload.Request) (*Report, error) {
+	return c.RunContext(context.Background(), reqs)
+}
+
+// RunContext simulates the arrival stream, checking ctx at arrival and
+// iteration boundaries. Request IDs are reassigned to arrival order
+// (the cluster-global ID space).
+func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Report, error) {
+	arrivals := append([]workload.Request(nil), reqs...)
+	workload.SortByArrival(arrivals)
+
+	c.records = make([]metrics.RequestRecord, len(arrivals))
+	states := make([]ReplicaState, len(c.replicas))
+
+	for _, r := range arrivals {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Advance every replica to the arrival instant so the routing
+		// and admission signals are exact at time r.Arrival.
+		if err := c.advanceTo(ctx, r.Arrival); err != nil {
+			return nil, err
+		}
+		c.snapshot(states)
+
+		rec := &c.records[r.ID]
+		*rec = metrics.RequestRecord{
+			ID: r.ID, Class: r.Class, Replica: -1,
+			InputLen: r.InputLen, OutputLen: r.OutputLen,
+			Arrival: r.Arrival,
+		}
+		if !c.admission.Admit(r, states) {
+			rec.Rejected = true
+			continue
+		}
+		idx := c.router.Route(r, states)
+		if idx < 0 || idx >= len(c.replicas) {
+			return nil, fmt.Errorf("cluster: router %s returned replica %d of %d",
+				c.router.Name(), idx, len(c.replicas))
+		}
+		rec.Replica = idx
+		if err := c.replicas[idx].Push(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// All arrivals placed: drain every replica.
+	for _, sim := range c.replicas {
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			done, err := sim.Step()
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				break
+			}
+		}
+	}
+	return c.report(), nil
+}
+
+// advanceTo steps every replica whose next event precedes t.
+func (c *Cluster) advanceTo(ctx context.Context, t simtime.Time) error {
+	for _, sim := range c.replicas {
+		for {
+			ev, ok := sim.NextEventTime()
+			if !ok || !ev.Before(t) {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if _, err := sim.Step(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot fills states with each replica's current routing signals.
+func (c *Cluster) snapshot(states []ReplicaState) {
+	for i, sim := range c.replicas {
+		states[i] = ReplicaState{
+			Index:          i,
+			QueuedTokens:   sim.QueuedTokens(),
+			QueuedRequests: sim.QueuedRequests(),
+			Clock:          sim.Clock(),
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// ReplicaSummary is one replica's contribution to a cluster run.
+type ReplicaSummary struct {
+	Index      int
+	Requests   int // requests routed to this replica
+	Iterations int
+	SimEnd     simtime.Time
+	PromptTPS  float64 // over this replica's own active span
+	GenTPS     float64
+	Evictions  int64
+	Reloads    int64
+}
+
+// Report is the outcome of one cluster simulation.
+type Report struct {
+	Replicas  int
+	Router    string
+	Admission string
+
+	Requests int // arrivals
+	Admitted int
+	Rejected int
+
+	SimEnd simtime.Time // latest replica completion
+
+	// Classes holds per-class latency/SLO aggregates, ordered by name.
+	Classes []metrics.ClassSummary
+	// Records is the full per-request pipeline, in cluster ID
+	// (arrival) order.
+	Records []metrics.RequestRecord
+	// PerReplica summarises placement and replica-level counters.
+	PerReplica []ReplicaSummary
+
+	// Cluster-level rates over SimEnd: all completed output tokens per
+	// second, the SLO-attained subset, and the prompt-token rate.
+	ThroughputTPS float64
+	GoodputTPS    float64
+	PromptTPS     float64
+
+	// Latency aggregates end-to-end timing over all completed requests,
+	// classes combined.
+	Latency metrics.LatencyStats
+}
+
+// report assembles the final Report from the records and replicas.
+func (c *Cluster) report() *Report {
+	r := &Report{
+		Replicas:  len(c.replicas),
+		Router:    c.router.Name(),
+		Admission: c.admission.Name(),
+		Requests:  len(c.records),
+		Records:   c.records,
+	}
+
+	perReplica := make([]ReplicaSummary, len(c.replicas))
+	for i, sim := range c.replicas {
+		rep := sim.Report()
+		perReplica[i] = ReplicaSummary{
+			Index:      i,
+			Iterations: rep.Iterations,
+			SimEnd:     rep.SimEnd,
+			PromptTPS:  rep.PromptTPS,
+			GenTPS:     rep.GenTPS,
+			Evictions:  rep.KV.Evictions,
+			Reloads:    rep.KV.Reloads,
+		}
+		if rep.SimEnd.After(r.SimEnd) {
+			r.SimEnd = rep.SimEnd
+		}
+	}
+	var samples []metrics.LatencySample
+	var promptTokens int64
+	for _, rec := range c.records {
+		if rec.Rejected {
+			r.Rejected++
+			continue
+		}
+		r.Admitted++
+		perReplica[rec.Replica].Requests++
+		promptTokens += int64(rec.InputLen)
+		samples = append(samples, metrics.LatencySample{
+			Arrival: rec.Arrival, FirstToken: rec.FirstToken,
+			Completed: rec.Completed, OutputTokens: rec.OutputLen,
+		})
+	}
+	r.PerReplica = perReplica
+	r.Latency = metrics.Latency(samples)
+	if end := r.SimEnd.Seconds(); end > 0 {
+		r.PromptTPS = float64(promptTokens) / end
+	}
+
+	r.Classes = metrics.SummarizeRequests(c.records, c.slos, r.SimEnd)
+	for _, cs := range r.Classes {
+		r.ThroughputTPS += cs.ThroughputTPS
+		r.GoodputTPS += cs.GoodputTPS
+	}
+	return r
+}
+
+// TotalIterations sums scheduler iterations across replicas.
+func (r *Report) TotalIterations() int {
+	n := 0
+	for _, p := range r.PerReplica {
+		n += p.Iterations
+	}
+	return n
+}
+
+// Class returns the named class's summary, or nil if absent.
+func (r *Report) Class(name string) *metrics.ClassSummary {
+	for i := range r.Classes {
+		if r.Classes[i].Class == name {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// WriteClassTSV writes the per-class summary table.
+func (r *Report) WriteClassTSV(w io.Writer) error {
+	return metrics.WriteClassSummaryTSV(w, r.Classes)
+}
+
+// WriteRequestsTSV writes the full per-request record table.
+func (r *Report) WriteRequestsTSV(w io.Writer) error {
+	return metrics.WriteRequestsTSV(w, r.Records)
+}
+
+// WriteReplicaTSV writes the per-replica placement/utilisation table.
+func (r *Report) WriteReplicaTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "replica\trequests\titerations\tsim_end_s\t"+
+		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads"); err != nil {
+		return err
+	}
+	for _, p := range r.PerReplica {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\n",
+			p.Index, p.Requests, p.Iterations, p.SimEnd.Seconds(),
+			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -140,6 +140,13 @@ type Simulator struct {
 	// completed iteration. Set it before the first Step/Run call.
 	OnIteration func(IterationStats)
 
+	// OnRequestComplete, when non-nil, is invoked synchronously for each
+	// request that finishes serving, in completion order — the
+	// per-request record pipeline cluster simulations aggregate over.
+	// Set it before the first Step/Run call.
+	OnRequestComplete func(sched.Finished)
+	emittedFinished   int
+
 	opts Options
 
 	npu *engine.Stack

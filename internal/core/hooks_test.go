@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestOnRequestCompleteHook(t *testing.T) {
+	reqs := smallTrace(t, 12)
+	sim, err := New(baseOpts(t), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finished []sched.Finished
+	sim.OnRequestComplete = func(f sched.Finished) { finished = append(finished, f) }
+	rep, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finished) != len(reqs) {
+		t.Fatalf("hook saw %d completions, want %d", len(finished), len(reqs))
+	}
+	// The hook stream is exactly the report's completion-ordered list.
+	for i, f := range rep.Finished {
+		if finished[i] != f {
+			t.Fatalf("completion %d: hook %+v vs report %+v", i, finished[i], f)
+		}
+	}
+	for i := 1; i < len(finished); i++ {
+		if finished[i].Completed.Before(finished[i-1].Completed) {
+			t.Fatal("completions must be delivered in completion order")
+		}
+	}
+}
+
+// TestIncrementalPushMatchesUpfrontTrace pins the cluster feeding
+// pattern: a simulator started empty and fed requests by Push (before
+// stepping past their arrivals) completes the same work as one given
+// the whole trace up front.
+func TestIncrementalPushMatchesUpfrontTrace(t *testing.T) {
+	reqs := smallTrace(t, 10)
+
+	up, err := New(baseOpts(t), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upRep, err := up.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc, err := New(baseOpts(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed arrivals in order, advancing the replica only up to each
+	// arrival first — the cluster's advance-then-route loop.
+	sorted := append([]workload.Request(nil), reqs...)
+	workload.SortByArrival(sorted)
+	for _, r := range sorted {
+		for {
+			ev, ok := inc.NextEventTime()
+			if !ok || !ev.Before(r.Arrival) {
+				break
+			}
+			if _, err := inc.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := inc.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incRep, err := inc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if incRep.SimEnd != upRep.SimEnd || incRep.Iterations != upRep.Iterations {
+		t.Fatalf("incremental run diverged: end %v/%v iters %d/%d",
+			incRep.SimEnd, upRep.SimEnd, incRep.Iterations, upRep.Iterations)
+	}
+	if incRep.Latency != upRep.Latency {
+		t.Fatalf("latency diverged: %+v vs %+v", incRep.Latency, upRep.Latency)
+	}
+}

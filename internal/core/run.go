@@ -16,6 +16,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func newNPUEngine(cfg config.NPUConfig) (engine.Engine, error) { return npu.New(cfg) }
@@ -81,6 +82,13 @@ func (s *Simulator) Step() (done bool, err error) {
 		return false, err
 	}
 	s.host.Scheduler += time.Since(t0)
+
+	if s.OnRequestComplete != nil {
+		fin := s.scheduler.Finished()
+		for ; s.emittedFinished < len(fin); s.emittedFinished++ {
+			s.OnRequestComplete(fin[s.emittedFinished])
+		}
+	}
 
 	s.collector.AddIteration(metrics.Iteration{
 		Start:        batch.Time,
@@ -301,11 +309,12 @@ func (s *Simulator) report(wall time.Duration) *Report {
 	prompt, gen := s.collector.MeanThroughput()
 	fin := s.scheduler.Finished()
 
-	arr := make([]simtime.Time, len(fin))
-	first := make([]simtime.Time, len(fin))
-	comp := make([]simtime.Time, len(fin))
+	samples := make([]metrics.LatencySample, len(fin))
 	for i, f := range fin {
-		arr[i], first[i], comp[i] = f.Req.Arrival, f.FirstToken, f.Completed
+		samples[i] = metrics.LatencySample{
+			Arrival: f.Req.Arrival, FirstToken: f.FirstToken,
+			Completed: f.Completed, OutputTokens: f.Req.OutputLen,
+		}
 	}
 
 	r := &Report{
@@ -317,7 +326,7 @@ func (s *Simulator) report(wall time.Duration) *Report {
 		GenTPS:     gen,
 		Buckets:    s.collector.Buckets(s.opts.ThroughputWindow),
 		Finished:   fin,
-		Latency:    metrics.Latency(arr, first, comp),
+		Latency:    metrics.Latency(samples),
 		KV:         s.kv.Stats(),
 		Host:       s.host,
 		WallClock:  wall,
@@ -332,6 +341,34 @@ func (s *Simulator) report(wall time.Duration) *Report {
 // HostTimes returns the accumulated per-component host wall-clock
 // breakdown (the Fig. 9 stack).
 func (s *Simulator) HostTimes() metrics.ComponentTimes { return s.host }
+
+// Push adds requests to the simulator mid-run, preserving their IDs —
+// the incremental path cluster routing feeds replicas by. The caller is
+// responsible for ID uniqueness within this simulator.
+func (s *Simulator) Push(reqs ...workload.Request) error {
+	for _, r := range reqs {
+		if err := s.scheduler.Push(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextEventTime returns when this simulator next has work to do (see
+// sched.Scheduler.NextEventTime); ok is false once it has drained.
+func (s *Simulator) NextEventTime() (simtime.Time, bool) {
+	return s.scheduler.NextEventTime()
+}
+
+// Clock returns the simulator's scheduler clock.
+func (s *Simulator) Clock() simtime.Time { return s.scheduler.Clock() }
+
+// QueuedTokens returns the total tokens still to be processed — the
+// load signal least-loaded cluster routing balances on.
+func (s *Simulator) QueuedTokens() int64 { return s.scheduler.QueuedTokens() }
+
+// QueuedRequests returns how many requests are waiting or in flight.
+func (s *Simulator) QueuedRequests() int { return s.scheduler.QueuedRequests() }
 
 // groupSeqs splits the batch into sub-batch sequence groups in index
 // order.

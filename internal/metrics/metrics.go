@@ -232,31 +232,78 @@ func GeomeanError(a, b []float64) float64 {
 
 // LatencyStats summarises request completion latencies.
 type LatencyStats struct {
-	Count                   int
-	MeanSec, P50Sec, P95Sec float64
-	MeanTTFTSec             float64 // time to first token
+	Count                           int
+	MeanSec, P50Sec, P95Sec, P99Sec float64
+	MeanTTFTSec                     float64 // time to first token
+	MeanTPOTSec                     float64 // time per output token after the first
 }
 
-// Latency computes statistics from (arrival, firstToken, completed)
-// triples expressed as simulated times.
-func Latency(arrivals, firstTokens, completions []simtime.Time) LatencyStats {
-	n := len(arrivals)
-	if n == 0 || len(firstTokens) != n || len(completions) != n {
+// LatencySample is one completed request's timing, the input to Latency.
+type LatencySample struct {
+	Arrival, FirstToken, Completed simtime.Time
+	OutputTokens                   int
+}
+
+// TPOT returns the sample's time per output token: the generation span
+// (completion minus first token) divided over the tokens after the
+// first. Single-token outputs have no inter-token gap and report zero.
+func (s LatencySample) TPOT() simtime.Duration {
+	if s.OutputTokens <= 1 {
+		return 0
+	}
+	return s.Completed.Sub(s.FirstToken) / simtime.Duration(s.OutputTokens-1)
+}
+
+// Latency computes end-to-end latency statistics over completed
+// requests. Percentiles use the nearest-rank definition (see
+// PercentileSorted). Mean TPOT averages over samples with more than one
+// output token.
+func Latency(samples []LatencySample) LatencyStats {
+	n := len(samples)
+	if n == 0 {
 		return LatencyStats{}
 	}
 	lat := make([]float64, n)
-	var sum, ttft float64
-	for i := 0; i < n; i++ {
-		lat[i] = completions[i].Sub(arrivals[i]).Seconds()
+	var sum, ttft, tpot float64
+	tpotN := 0
+	for i, s := range samples {
+		lat[i] = s.Completed.Sub(s.Arrival).Seconds()
 		sum += lat[i]
-		ttft += firstTokens[i].Sub(arrivals[i]).Seconds()
+		ttft += s.FirstToken.Sub(s.Arrival).Seconds()
+		if s.OutputTokens > 1 {
+			tpot += s.TPOT().Seconds()
+			tpotN++
+		}
 	}
 	sort.Float64s(lat)
-	return LatencyStats{
+	stats := LatencyStats{
 		Count:       n,
 		MeanSec:     sum / float64(n),
-		P50Sec:      lat[n/2],
-		P95Sec:      lat[min(n-1, n*95/100)],
+		P50Sec:      PercentileSorted(lat, 0.50),
+		P95Sec:      PercentileSorted(lat, 0.95),
+		P99Sec:      PercentileSorted(lat, 0.99),
 		MeanTTFTSec: ttft / float64(n),
 	}
+	if tpotN > 0 {
+		stats.MeanTPOTSec = tpot / float64(tpotN)
+	}
+	return stats
+}
+
+// PercentileSorted returns the p-th percentile (0 < p <= 1) of an
+// ascending-sorted slice using the standard nearest-rank definition:
+// the value at 1-based rank ceil(p*n). An empty slice yields zero.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
 }

@@ -135,20 +135,73 @@ func TestGeomeanError(t *testing.T) {
 }
 
 func TestLatency(t *testing.T) {
-	arr := []simtime.Time{0, 0}
-	first := []simtime.Time{simtime.AtSeconds(1), simtime.AtSeconds(2)}
-	comp := []simtime.Time{simtime.AtSeconds(3), simtime.AtSeconds(5)}
-	s := Latency(arr, first, comp)
+	samples := []LatencySample{
+		{Arrival: 0, FirstToken: simtime.AtSeconds(1), Completed: simtime.AtSeconds(3), OutputTokens: 5},
+		{Arrival: 0, FirstToken: simtime.AtSeconds(2), Completed: simtime.AtSeconds(5), OutputTokens: 1},
+	}
+	s := Latency(samples)
 	if s.Count != 2 || s.MeanSec != 4 || s.MeanTTFTSec != 1.5 {
 		t.Fatalf("latency %+v", s)
 	}
-	if s.P50Sec != 5 || s.P95Sec != 5 {
+	// Nearest-rank over {3, 5}: P50 = rank ceil(0.5*2) = 1 -> 3;
+	// P95/P99 = rank 2 -> 5.
+	if s.P50Sec != 3 || s.P95Sec != 5 || s.P99Sec != 5 {
 		t.Fatalf("percentiles %+v", s)
 	}
-	if Latency(nil, nil, nil).Count != 0 {
+	// TPOT: only the 5-token sample counts: (3-1)/(5-1) = 0.5s.
+	if s.MeanTPOTSec != 0.5 {
+		t.Fatalf("tpot %+v", s)
+	}
+	if Latency(nil).Count != 0 {
 		t.Fatal("empty")
 	}
-	if Latency(arr, first, comp[:1]).Count != 0 {
-		t.Fatal("mismatched lengths must yield zero")
+}
+
+// TestLatencyPercentilesPinned pins exact nearest-rank values on sizes
+// where the old lat[n/2] / lat[n*95/100] indexing was off by one.
+func TestLatencyPercentilesPinned(t *testing.T) {
+	mk := func(n int) []LatencySample {
+		out := make([]LatencySample, n)
+		for i := range out {
+			// Latencies 1..n seconds, in reverse order to exercise sorting.
+			out[i] = LatencySample{Completed: simtime.AtSeconds(float64(n - i)), OutputTokens: 1}
+		}
+		return out
+	}
+	cases := []struct {
+		n             int
+		p50, p95, p99 float64
+	}{
+		{1, 1, 1, 1},
+		{2, 1, 2, 2},       // old code: P50 = lat[1] = 2
+		{4, 2, 4, 4},       // old code: P50 = lat[2] = 3
+		{20, 10, 19, 20},   // old code: P95 = lat[19] = 20
+		{100, 50, 95, 99},  // old code: P95 = lat[95] = 96
+		{101, 51, 96, 100}, // ceil(95.95)=96, ceil(99.99)=100
+	}
+	for _, c := range cases {
+		s := Latency(mk(c.n))
+		if s.P50Sec != c.p50 || s.P95Sec != c.p95 || s.P99Sec != c.p99 {
+			t.Errorf("n=%d: got p50/p95/p99 = %v/%v/%v, want %v/%v/%v",
+				c.n, s.P50Sec, s.P95Sec, s.P99Sec, c.p50, c.p95, c.p99)
+		}
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	if PercentileSorted(nil, 0.5) != 0 {
+		t.Fatal("empty must be zero")
+	}
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 30}, {0.95, 50}, {0.99, 50}, {0.20, 10}, {0.21, 20}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := PercentileSorted(sorted, c.p); got != c.want {
+			t.Errorf("p=%v: got %v, want %v", c.p, got, c.want)
+		}
 	}
 }

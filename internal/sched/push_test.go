@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func TestPushPreservesIDsAndOrder(t *testing.T) {
+	s := newSched(t, Config{}, 1000)
+	// Push out of ID order, in arrival order (the cluster pattern).
+	for _, r := range []workload.Request{req(7, 16, 2, 0), req(3, 16, 2, 1), req(9, 16, 2, 2)} {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueuedRequests() != 3 {
+		t.Fatalf("queued %d", s.QueuedRequests())
+	}
+	drain(t, s, 10*simtime.Millisecond)
+	ids := map[int]bool{}
+	for _, f := range s.Finished() {
+		ids[f.Req.ID] = true
+	}
+	if !ids[7] || !ids[3] || !ids[9] {
+		t.Fatalf("push renumbered IDs: finished %v", ids)
+	}
+}
+
+func TestPushOutOfOrderArrivals(t *testing.T) {
+	s := newSched(t, Config{}, 1000)
+	for _, r := range []workload.Request{req(0, 16, 2, 5), req(1, 16, 2, 1)} {
+		if err := s.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The earlier arrival must be served first.
+	b, ok := s.Next()
+	if !ok || b.Seqs[0].ReqID != 1 {
+		t.Fatalf("first batch %+v", b)
+	}
+	if err := s.Push(workload.Request{ID: 2, InputLen: 0, OutputLen: 1}); err == nil {
+		t.Fatal("invalid request must be rejected")
+	}
+}
+
+func TestPushRevivesDrainedScheduler(t *testing.T) {
+	s := newSched(t, Config{}, 1000, req(0, 16, 2, 0))
+	drain(t, s, 10*simtime.Millisecond)
+	if !s.Done() {
+		t.Fatal("not drained")
+	}
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("drained scheduler must have no next event")
+	}
+	if err := s.Push(req(1, 16, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatal("push must revive the scheduler")
+	}
+	drain(t, s, 10*simtime.Millisecond)
+	if len(s.Finished()) != 2 {
+		t.Fatalf("finished %d", len(s.Finished()))
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	s := newSched(t, Config{BatchDelay: 100 * simtime.Millisecond}, 1000, req(0, 16, 4, 2))
+	// Idle: next event at arrival + batch delay.
+	ev, ok := s.NextEventTime()
+	if !ok || ev != simtime.AtSeconds(2.1) {
+		t.Fatalf("idle next event %v, %v", ev, ok)
+	}
+	b, _ := s.Next()
+	if err := s.Complete(b, 50*simtime.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// In flight: next event is the clock.
+	ev, ok = s.NextEventTime()
+	if !ok || ev != s.Clock() {
+		t.Fatalf("busy next event %v vs clock %v", ev, s.Clock())
+	}
+}
+
+func TestQueuedTokens(t *testing.T) {
+	s := newSched(t, Config{}, 1000, req(0, 16, 4, 0), req(1, 32, 8, 50))
+	// Both pending: all prompt+output tokens queued.
+	if got := s.QueuedTokens(); got != 16+4+32+8 {
+		t.Fatalf("queued tokens %d", got)
+	}
+	// Run the prefill iteration of request 0 (request 1 arrives at t=50s).
+	b, _ := s.Next()
+	if err := s.Complete(b, 10*simtime.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Request 0 has produced its first token: 3 outputs remain.
+	if got := s.QueuedTokens(); got != 3+32+8 {
+		t.Fatalf("after prefill: queued tokens %d", got)
+	}
+	drain(t, s, 10*simtime.Millisecond)
+	if got := s.QueuedTokens(); got != 0 {
+		t.Fatalf("drained: queued tokens %d", got)
+	}
+	if s.QueuedRequests() != 0 {
+		t.Fatalf("drained: queued requests %d", s.QueuedRequests())
+	}
+}

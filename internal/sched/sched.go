@@ -102,10 +102,11 @@ type Scheduler struct {
 	cfg Config
 	kv  *kvcache.Manager
 
-	pending []workload.Request // arrival-sorted, not yet admitted
-	cursor  int
-	active  []*reqState // admission order
-	clock   simtime.Time
+	pending       []workload.Request // arrival-sorted, not yet admitted
+	cursor        int
+	pendingTokens int64       // total tokens of pending[cursor:]
+	active        []*reqState // admission order
+	clock         simtime.Time
 
 	finished   []Finished
 	iterations int
@@ -130,11 +131,73 @@ func New(cfg Config, kv *kvcache.Manager, reqs []workload.Request) (*Scheduler, 
 	}
 	sorted := append([]workload.Request(nil), reqs...)
 	workload.SortByArrival(sorted)
-	return &Scheduler{cfg: cfg, kv: kv, pending: sorted}, nil
+	s := &Scheduler{cfg: cfg, kv: kv, pending: sorted}
+	for _, r := range sorted {
+		s.pendingTokens += int64(r.TotalLen())
+	}
+	return s, nil
 }
 
 // Clock returns the scheduler's current simulated time.
 func (s *Scheduler) Clock() simtime.Time { return s.clock }
+
+// Push adds one request to the pending queue mid-run, preserving its ID —
+// the incremental admission path used by cluster routing, where requests
+// are assigned to a scheduler only when they arrive. The caller is
+// responsible for ID uniqueness within this scheduler. Unlike New, Push
+// never renumbers.
+func (s *Scheduler) Push(r workload.Request) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	// Insert in arrival order within the not-yet-admitted tail.
+	i := s.cursor + sort.Search(len(s.pending)-s.cursor, func(k int) bool {
+		return s.pending[s.cursor+k].Arrival.After(r.Arrival)
+	})
+	s.pending = append(s.pending, workload.Request{})
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = r
+	s.pendingTokens += int64(r.TotalLen())
+	return nil
+}
+
+// NextEventTime returns the simulated time at which this scheduler next
+// has work to do: its clock while requests are in flight (or evicted
+// sequences await reload), otherwise the earliest pending arrival plus
+// the batching delay. ok is false when the scheduler has fully drained —
+// though a later Push can revive it.
+func (s *Scheduler) NextEventTime() (t simtime.Time, ok bool) {
+	if s.Done() {
+		return 0, false
+	}
+	if len(s.active) > 0 || s.anyEvicted() {
+		return s.clock, true
+	}
+	return simtime.Later(s.clock, s.pending[s.cursor].Arrival.Add(s.cfg.BatchDelay)), true
+}
+
+// QueuedTokens returns the total tokens still to be processed by this
+// scheduler: prompt plus output tokens of pending requests, and the
+// remaining work of active ones. It is the load signal least-loaded
+// cluster routing balances on — called once per replica per arrival,
+// so the pending side (which grows without bound under saturation) is
+// tracked incrementally and only the KV-bounded active set is scanned.
+func (s *Scheduler) QueuedTokens() int64 {
+	n := s.pendingTokens
+	for _, st := range s.active {
+		if st.prefilled {
+			n += int64(st.req.OutputLen - st.generated)
+		} else {
+			n += int64(st.req.TotalLen())
+		}
+	}
+	return n
+}
+
+// QueuedRequests returns how many requests are waiting or in flight.
+func (s *Scheduler) QueuedRequests() int {
+	return len(s.pending) - s.cursor + len(s.active)
+}
 
 // Iterations returns how many batches have completed.
 func (s *Scheduler) Iterations() int { return s.iterations }
@@ -322,6 +385,7 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 		}
 		s.active = append(s.active, st)
 		s.cursor++
+		s.pendingTokens -= int64(r.TotalLen())
 		_ = ops // admissions allocate fresh pages; no transfer needed
 	}
 }

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Class describes one traffic class of a mixed workload: a length
+// distribution, a mean arrival rate, and optional per-request SLO
+// targets. Classes are the unit of per-class latency/goodput accounting
+// in cluster simulations and the unit of mixing in MultiClassTrace.
+type Class struct {
+	Name string
+	Dist LengthDist
+	Rate float64 // mean arrival rate in requests/second
+
+	// SLO targets; zero means "no target" (always attained).
+	TTFT simtime.Duration // time to first token
+	TPOT simtime.Duration // time per output token after the first
+}
+
+// Validate reports an error if the class is malformed.
+func (c Class) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: class with empty name")
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("workload: class %s: rate must be positive, got %g", c.Name, c.Rate)
+	}
+	if c.TTFT < 0 || c.TPOT < 0 {
+		return fmt.Errorf("workload: class %s: negative SLO target", c.Name)
+	}
+	return nil
+}
+
+// Ramp scales arrival rates over time: the instantaneous rate multiplier
+// moves linearly from From at trace start to To at the end of the Over
+// window and holds at To afterwards. The zero value is the identity ramp.
+// Ramps drive saturation scans: a single trace sweeps the cluster from
+// under- to over-load.
+type Ramp struct {
+	From, To float64
+	// Over is the ramp window; 0 means the trace's expected span
+	// (n / total rate).
+	Over simtime.Duration
+}
+
+// identity reports whether the ramp leaves rates unscaled.
+func (r Ramp) identity() bool {
+	return (r.From == 0 && r.To == 0) || (r.From == 1 && r.To == 1)
+}
+
+// Validate reports an error if the ramp is malformed.
+func (r Ramp) Validate() error {
+	if r.identity() {
+		return nil
+	}
+	if r.From <= 0 || r.To <= 0 {
+		return fmt.Errorf("workload: ramp multipliers must be positive, got %g:%g", r.From, r.To)
+	}
+	if r.Over < 0 {
+		return fmt.Errorf("workload: negative ramp window %v", r.Over)
+	}
+	return nil
+}
+
+// factor returns the rate multiplier at time t for a ramp window of the
+// given length.
+func (r Ramp) factor(t, over float64) float64 {
+	if r.identity() {
+		return 1
+	}
+	if over <= 0 || t >= over {
+		return r.To
+	}
+	if t < 0 {
+		t = 0
+	}
+	return r.From + (r.To-r.From)*t/over
+}
+
+// MultiClassTrace draws n requests from a mix of traffic classes. The
+// merged arrival process is Poisson at the sum of the class rates (scaled
+// by the ramp's instantaneous multiplier); each arrival is assigned to a
+// class with probability proportional to its rate and draws lengths from
+// that class's distribution. The result is in arrival order with IDs
+// 0..n-1, and is deterministic for a given (classes, n, ramp, seed).
+func MultiClassTrace(classes []Class, n int, ramp Ramp, seed int64) ([]Request, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: no traffic classes")
+	}
+	seen := map[string]bool{}
+	total := 0.0
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("workload: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		total += c.Rate
+	}
+	if err := ramp.Validate(); err != nil {
+		return nil, err
+	}
+	over := float64(ramp.Over) / float64(simtime.Second)
+	if over == 0 {
+		over = float64(n) / total // expected unramped span
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		rate := total * ramp.factor(t, over)
+		t += rng.ExpFloat64() / rate
+
+		// Pick the class in declaration order by cumulative rate.
+		u := rng.Float64() * total
+		cls := classes[len(classes)-1]
+		for _, c := range classes {
+			if u < c.Rate {
+				cls = c
+				break
+			}
+			u -= c.Rate
+		}
+		in, out := cls.Dist.Sample(rng)
+		reqs[i] = Request{
+			ID: i, Class: cls.Name,
+			InputLen: in, OutputLen: out,
+			Arrival: simtime.AtSeconds(t),
+		}
+	}
+	return reqs, nil
+}
+
+// ClassNames returns the distinct class names present in the trace, in
+// sorted order. Requests without a class contribute the empty string.
+func ClassNames(reqs []Request) []string {
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		seen[r.Class] = true
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseDist converts a distribution spec: "sharegpt", "alpaca", or
+// "fixed-IN-OUT" (e.g. "fixed-512-128").
+func ParseDist(s string) (LengthDist, error) {
+	switch {
+	case s == "sharegpt":
+		return ShareGPT(), nil
+	case s == "alpaca":
+		return Alpaca(), nil
+	case strings.HasPrefix(s, "fixed-"):
+		parts := strings.Split(strings.TrimPrefix(s, "fixed-"), "-")
+		if len(parts) != 2 {
+			return LengthDist{}, fmt.Errorf("workload: fixed distribution wants fixed-IN-OUT, got %q", s)
+		}
+		in, err1 := strconv.Atoi(parts[0])
+		out, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || in <= 0 || out <= 0 {
+			return LengthDist{}, fmt.Errorf("workload: fixed distribution wants positive fixed-IN-OUT, got %q", s)
+		}
+		return Fixed(in, out), nil
+	default:
+		return LengthDist{}, fmt.Errorf("workload: unknown distribution %q (want sharegpt|alpaca|fixed-IN-OUT)", s)
+	}
+}
+
+// ParseClass converts one class spec of the form
+// "name:dist:rate[:ttft_ms[:tpot_ms]]", e.g. "chat:sharegpt:4:1000:80".
+// dist follows ParseDist; rate is requests/second; the optional SLO
+// targets are in milliseconds (omitted or 0 = no target).
+func ParseClass(spec string) (Class, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 || len(parts) > 5 {
+		return Class{}, fmt.Errorf("workload: class spec %q: want name:dist:rate[:ttft_ms[:tpot_ms]]", spec)
+	}
+	c := Class{Name: strings.TrimSpace(parts[0])}
+	dist, err := ParseDist(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Class{}, fmt.Errorf("workload: class spec %q: %w", spec, err)
+	}
+	c.Dist = dist
+	c.Rate, err = strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		return Class{}, fmt.Errorf("workload: class spec %q: rate: %w", spec, err)
+	}
+	slos := []*simtime.Duration{&c.TTFT, &c.TPOT}
+	for i, p := range parts[3:] {
+		ms, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Class{}, fmt.Errorf("workload: class spec %q: SLO target: %w", spec, err)
+		}
+		*slos[i] = simtime.Duration(ms * float64(simtime.Millisecond))
+	}
+	if err := c.Validate(); err != nil {
+		return Class{}, err
+	}
+	return c, nil
+}
+
+// ParseClasses converts a comma-separated list of class specs (see
+// ParseClass), e.g. "chat:sharegpt:3:1000:80,api:alpaca:5:500:50".
+func ParseClasses(spec string) ([]Class, error) {
+	var out []Class
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := ParseClass(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty class list %q", spec)
+	}
+	return out, nil
+}
+
+// ParseRamp converts a ramp spec "from:to[:over_s]", e.g. "0.5:2:60"
+// ramps from half to double rate over 60 simulated seconds.
+func ParseRamp(spec string) (Ramp, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Ramp{}, fmt.Errorf("workload: ramp spec %q: want from:to[:over_s]", spec)
+	}
+	var r Ramp
+	var err error
+	if r.From, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return Ramp{}, fmt.Errorf("workload: ramp spec %q: %w", spec, err)
+	}
+	if r.To, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return Ramp{}, fmt.Errorf("workload: ramp spec %q: %w", spec, err)
+	}
+	if len(parts) == 3 {
+		over, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return Ramp{}, fmt.Errorf("workload: ramp spec %q: %w", spec, err)
+		}
+		if over < 0 {
+			return Ramp{}, fmt.Errorf("workload: ramp spec %q: negative window", spec)
+		}
+		r.Over = simtime.Duration(over * float64(simtime.Second))
+	}
+	if err := r.Validate(); err != nil {
+		return Ramp{}, err
+	}
+	return r, nil
+}

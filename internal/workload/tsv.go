@@ -13,13 +13,31 @@ import (
 
 // The TSV trace format matches the artifact's dataset files: a header line
 // followed by one request per line with input token count, output token
-// count, and arrival time in milliseconds.
-const tsvHeader = "input_toks\toutput_toks\tarrival_time_ms"
+// count, and arrival time in milliseconds. Multi-class traces carry a
+// fourth "class" column naming each request's traffic class; traces
+// without classes keep the artifact's exact three-column format.
+const (
+	tsvHeader      = "input_toks\toutput_toks\tarrival_time_ms"
+	tsvClassHeader = tsvHeader + "\tclass"
+)
 
-// WriteTSV writes a trace in the artifact's TSV format.
+// WriteTSV writes a trace in the artifact's TSV format. The class column
+// is emitted only when at least one request carries a class name, so
+// single-class traces stay byte-compatible with the artifact files.
 func WriteTSV(w io.Writer, reqs []Request) error {
+	classes := false
+	for _, r := range reqs {
+		if r.Class != "" {
+			classes = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, tsvHeader); err != nil {
+	header := tsvHeader
+	if classes {
+		header = tsvClassHeader
+	}
+	if _, err := fmt.Fprintln(bw, header); err != nil {
 		return fmt.Errorf("workload: writing trace: %w", err)
 	}
 	for _, r := range reqs {
@@ -27,7 +45,13 @@ func WriteTSV(w io.Writer, reqs []Request) error {
 			return err
 		}
 		ms := simtime.Duration(r.Arrival).Milliseconds()
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%.3f\n", r.InputLen, r.OutputLen, ms); err != nil {
+		var err error
+		if classes {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%.3f\t%s\n", r.InputLen, r.OutputLen, ms, r.Class)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%.3f\n", r.InputLen, r.OutputLen, ms)
+		}
+		if err != nil {
 			return fmt.Errorf("workload: writing trace: %w", err)
 		}
 	}
@@ -69,11 +93,16 @@ func ReadTSV(r io.Reader) ([]Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: line %d: arrival time: %w", lineNo, err)
 		}
+		class := ""
+		if len(fields) > 3 {
+			class = strings.TrimSpace(fields[3])
+		}
 		req := Request{
 			ID:        len(reqs),
 			InputLen:  in,
 			OutputLen: out,
 			Arrival:   simtime.Time(ms * float64(simtime.Millisecond)),
+			Class:     class,
 		}
 		if err := req.Validate(); err != nil {
 			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)

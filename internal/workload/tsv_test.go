@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTSVClassColumnRoundTrip(t *testing.T) {
+	orig, err := MultiClassTrace(testClasses(), 30, Ramp{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), tsvClassHeader+"\n") {
+		t.Fatalf("classful trace must carry the class header, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("count %d vs %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].Class != orig[i].Class || got[i].InputLen != orig[i].InputLen || got[i].OutputLen != orig[i].OutputLen {
+			t.Fatalf("row %d: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTSVClasslessStaysThreeColumn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, UniformBatch(3, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), tsvHeader+"\n") {
+		t.Fatal("classless trace must keep the artifact's three-column header")
+	}
+	if strings.Contains(buf.String(), "class") {
+		t.Fatal("classless trace must not mention a class column")
+	}
+}
+
+func TestReadTSVCRLF(t *testing.T) {
+	in := "input_toks\toutput_toks\tarrival_time_ms\r\n100\t50\t0.000\r\n200\t60\t1500.000\r\n"
+	reqs, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[1].InputLen != 200 || reqs[1].Arrival != simtime.Time(1500*simtime.Millisecond) {
+		t.Fatalf("parsed %+v", reqs)
+	}
+}
+
+func TestReadTSVCRLFWithClass(t *testing.T) {
+	in := "10\t5\t0\tchat\r\n20\t6\t100\tapi\r\n"
+	reqs, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].Class != "chat" || reqs[1].Class != "api" {
+		t.Fatalf("parsed %+v", reqs)
+	}
+}
+
+func TestReadTSVBlankAndCommentLines(t *testing.T) {
+	in := "\n\n# leading comment\n\ninput_toks\toutput_toks\tarrival_time_ms\n\n10\t5\t0\n# trailing comment\n\n20\t6\t5\n\n"
+	reqs, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 || reqs[0].InputLen != 10 || reqs[1].InputLen != 20 {
+		t.Fatalf("parsed %+v", reqs)
+	}
+}
+
+// TestReadTSVErrorNamesLine pins the error contract: malformed rows are
+// rejected with the 1-based physical line number, counting blank and
+// comment lines.
+func TestReadTSVErrorNamesLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		line string
+	}{
+		{"10\t5\n", "line 1"},                                           // too few fields
+		{"# c\n\n10\t5\t0\nx\t5\t0\n", "line 4"},                        // bad input tokens after comments
+		{"10\t5\t0\n10\ty\t0\n", "line 2"},                              // bad output tokens
+		{"10\t5\t0\r\n10\t5\tz\r\n", "line 2"},                          // bad arrival, CRLF
+		{"10\t5\t0\n\n# note\n10\t0\t0\n", "line 4"},                    // zero output length
+		{"10\t5\t0\n10\t5\t-3\n", "line 2"},                             // negative arrival
+		{"input_toks\toutput_toks\tarrival_time_ms\n10\t5\n", "line 2"}, // short row after header
+	}
+	for _, c := range cases {
+		_, err := ReadTSV(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("input %q must fail", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.line) {
+			t.Errorf("input %q: error %q must name %s", c.in, err, c.line)
+		}
+	}
+}
+
+func TestWriteTSVRejectsInvalidRequest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, []Request{{InputLen: 0, OutputLen: 5}}); err == nil {
+		t.Fatal("invalid request must fail to serialise")
+	}
+}

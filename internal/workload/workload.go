@@ -24,6 +24,7 @@ type Request struct {
 	InputLen  int          // prompt tokens
 	OutputLen int          // tokens to generate
 	Arrival   simtime.Time // arrival time relative to trace start
+	Class     string       // traffic class name; empty for single-class traces
 }
 
 // TotalLen returns the final sequence length of the request.

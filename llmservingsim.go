@@ -65,10 +65,14 @@ import (
 
 // Request is one inference request: a prompt of InputLen tokens arriving
 // at Arrival (relative to trace start) that generates OutputLen tokens.
+// Class optionally names the request's traffic class — the unit of
+// per-class SLO accounting in cluster simulations; single-class traces
+// leave it empty.
 type Request struct {
 	InputLen  int
 	OutputLen int
 	Arrival   time.Duration
+	Class     string
 }
 
 // Iteration is one completed simulation iteration, delivered to the
@@ -294,13 +298,17 @@ type ThroughputPoint struct {
 	GenTPS    float64
 }
 
-// LatencyStats summarises request latencies in seconds.
+// LatencyStats summarises request latencies in seconds. Percentiles use
+// the standard nearest-rank definition (the value at 1-based rank
+// ceil(p*n) of the sorted latencies).
 type LatencyStats struct {
 	Count   int
 	MeanSec float64
 	P50Sec  float64
 	P95Sec  float64
+	P99Sec  float64
 	TTFTSec float64 // mean time to first token
+	TPOTSec float64 // mean time per output token after the first
 }
 
 // SimulationTime is the host wall-clock breakdown across simulator
@@ -375,18 +383,26 @@ func NewFromConfig(cfg Config, trace []Request) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if hook := cfg.OnIteration; hook != nil {
-		inner.OnIteration = func(it core.IterationStats) {
-			hook(Iteration{
-				Index:        it.Index,
-				BatchSize:    it.BatchSize,
-				PromptTokens: it.PromptTokens,
-				LatencySec:   it.Latency.Std().Seconds(),
-				ClockSec:     it.Start.Add(it.Latency).Seconds(),
-			})
-		}
-	}
+	attachIterationHook(inner, cfg.OnIteration)
 	return &Simulator{inner: inner}, nil
+}
+
+// attachIterationHook forwards core iteration events to the public
+// OnIteration hook; it is shared by the single-instance constructors
+// and the cluster replica factory.
+func attachIterationHook(inner *core.Simulator, hook func(Iteration)) {
+	if hook == nil {
+		return
+	}
+	inner.OnIteration = func(it core.IterationStats) {
+		hook(Iteration{
+			Index:        it.Index,
+			BatchSize:    it.BatchSize,
+			PromptTokens: it.PromptTokens,
+			LatencySec:   it.Latency.Std().Seconds(),
+			ClockSec:     it.Start.Add(it.Latency).Seconds(),
+		})
+	}
 }
 
 // Run simulates the trace to completion.
@@ -427,7 +443,9 @@ func wrapReport(rep *core.Report) *Report {
 			MeanSec: rep.Latency.MeanSec,
 			P50Sec:  rep.Latency.P50Sec,
 			P95Sec:  rep.Latency.P95Sec,
+			P99Sec:  rep.Latency.P99Sec,
 			TTFTSec: rep.Latency.MeanTTFTSec,
+			TPOTSec: rep.Latency.MeanTPOTSec,
 		},
 		KV: KVStats{
 			TotalPages: rep.KV.TotalPages,
@@ -553,6 +571,7 @@ func toWorkload(trace []Request) []workload.Request {
 			InputLen:  r.InputLen,
 			OutputLen: r.OutputLen,
 			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
+			Class:     r.Class,
 		}
 	}
 	return out
@@ -565,6 +584,7 @@ func fromWorkload(reqs []workload.Request) []Request {
 			InputLen:  r.InputLen,
 			OutputLen: r.OutputLen,
 			Arrival:   simtime.Duration(r.Arrival).Std(),
+			Class:     r.Class,
 		}
 	}
 	return out

@@ -50,12 +50,18 @@ func Variants(base Config, trace []Request, vs ...Variant) []Scenario {
 	return out
 }
 
-// Sweep runs a set of scenarios over a bounded worker pool and collects
-// their reports for comparison. Simulations are deterministic, so a
-// parallel sweep produces bit-identical per-scenario reports to
-// sequential runs, several times faster on multicore hosts.
+// Sweep runs a set of scenarios — single-instance and cluster — over a
+// bounded worker pool and collects their reports for comparison.
+// Simulations are deterministic, so a parallel sweep produces
+// bit-identical per-scenario reports to sequential runs, several times
+// faster on multicore hosts.
 type Sweep struct {
 	Scenarios []Scenario
+
+	// ClusterScenarios are multi-replica scenarios run through the same
+	// worker pool; their results follow the single-instance ones in
+	// SweepReport.Results, carried in SweepResult.Cluster.
+	ClusterScenarios []ClusterScenario
 
 	// Workers bounds the worker pool; 0 means GOMAXPROCS, and values
 	// below 1 are clamped to 1. Use 1 when host-side timing fidelity
@@ -75,12 +81,21 @@ func (sw *Sweep) Add(scenarios ...Scenario) *Sweep {
 	return sw
 }
 
-// SweepResult is the outcome of one scenario.
+// AddCluster appends cluster scenarios and returns the sweep for
+// chaining.
+func (sw *Sweep) AddCluster(scenarios ...ClusterScenario) *Sweep {
+	sw.ClusterScenarios = append(sw.ClusterScenarios, scenarios...)
+	return sw
+}
+
+// SweepResult is the outcome of one scenario. Exactly one of Report
+// (single-instance) and Cluster (cluster scenario) is set on success.
 type SweepResult struct {
-	Name   string
-	Report *Report       // nil when Err is set
-	Err    error         // configuration or simulation failure
-	Wall   time.Duration // host wall-clock spent on this scenario
+	Name    string
+	Report  *Report        // single-instance outcome; nil for cluster rows
+	Cluster *ClusterReport // cluster outcome; nil for single-instance rows
+	Err     error          // configuration or simulation failure
+	Wall    time.Duration  // host wall-clock spent on this scenario
 }
 
 // SweepReport aggregates a sweep's per-scenario outcomes, in scenario
@@ -102,12 +117,26 @@ func (sw *Sweep) Run() (*SweepReport, error) {
 // the report. Individual scenario failures do not abort the sweep — they
 // are reported in the corresponding SweepResult.Err.
 func (sw *Sweep) RunContext(ctx context.Context) (*SweepReport, error) {
-	n := len(sw.Scenarios)
+	plain := len(sw.Scenarios)
+	n := plain + len(sw.ClusterScenarios)
 	rep := &SweepReport{Results: make([]SweepResult, n)}
 	if n == 0 {
 		return rep, nil
 	}
 	workers := max(min(cmp.Or(sw.Workers, runtime.GOMAXPROCS(0)), n), 1)
+
+	run := func(ctx context.Context, i int) SweepResult {
+		if i < plain {
+			return runScenario(ctx, sw.Scenarios[i], i)
+		}
+		return runClusterScenario(ctx, sw.ClusterScenarios[i-plain], i)
+	}
+	name := func(i int) string {
+		if i < plain {
+			return scenarioName(sw.Scenarios[i].Name, i)
+		}
+		return scenarioName(sw.ClusterScenarios[i-plain].Name, i)
+	}
 
 	start := time.Now()
 	idx := make(chan int)
@@ -117,7 +146,7 @@ func (sw *Sweep) RunContext(ctx context.Context) (*SweepReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rep.Results[i] = runScenario(ctx, sw.Scenarios[i], i)
+				rep.Results[i] = run(ctx, i)
 			}
 		}()
 	}
@@ -128,7 +157,7 @@ feed:
 		case <-ctx.Done():
 			// Scenarios from i on were never dispatched; record the cause.
 			for j := i; j < n; j++ {
-				rep.Results[j] = SweepResult{Name: scenarioName(sw.Scenarios[j], j), Err: ctx.Err()}
+				rep.Results[j] = SweepResult{Name: name(j), Err: ctx.Err()}
 			}
 			break feed
 		}
@@ -139,13 +168,25 @@ feed:
 	return rep, ctx.Err()
 }
 
-func scenarioName(sc Scenario, i int) string {
-	return cmp.Or(sc.Name, fmt.Sprintf("scenario-%d", i))
+func scenarioName(name string, i int) string {
+	return cmp.Or(name, fmt.Sprintf("scenario-%d", i))
+}
+
+// runClusterScenario builds and runs one cluster scenario. The result
+// is a named return so the deferred wall-clock stamp survives it.
+func runClusterScenario(ctx context.Context, sc ClusterScenario, i int) (res SweepResult) {
+	res = SweepResult{Name: scenarioName(sc.Name, i)}
+	t0 := time.Now()
+	defer func() { res.Wall = time.Since(t0) }()
+	res.Cluster, res.Err = sc.RunContext(ctx)
+	return res
 }
 
 // runScenario builds and runs one scenario, honouring its iteration cap.
-func runScenario(ctx context.Context, sc Scenario, i int) SweepResult {
-	res := SweepResult{Name: scenarioName(sc, i)}
+// The result is a named return so the deferred wall-clock stamp
+// survives it.
+func runScenario(ctx context.Context, sc Scenario, i int) (res SweepResult) {
+	res = SweepResult{Name: scenarioName(sc.Name, i)}
 	t0 := time.Now()
 	defer func() { res.Wall = time.Since(t0) }()
 
@@ -197,8 +238,8 @@ func (r *SweepReport) Err() error {
 	return nil
 }
 
-// Best returns the successful scenario maximising the metric, or nil if
-// none succeeded.
+// Best returns the successful single-instance scenario maximising the
+// metric, or nil if none succeeded.
 func (r *SweepReport) Best(metric func(*Report) float64) *SweepResult {
 	var best *SweepResult
 	var bestVal float64
@@ -214,35 +255,71 @@ func (r *SweepReport) Best(metric func(*Report) float64) *SweepResult {
 	return best
 }
 
+// BestCluster returns the successful cluster scenario maximising the
+// metric, or nil if none succeeded.
+func (r *SweepReport) BestCluster(metric func(*ClusterReport) float64) *SweepResult {
+	var best *SweepResult
+	var bestVal float64
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Cluster == nil {
+			continue
+		}
+		if v := metric(res.Cluster); best == nil || v > bestVal {
+			best, bestVal = res, v
+		}
+	}
+	return best
+}
+
 // WriteTSV writes the comparative sweep table: one row per scenario with
-// throughput, latency, KV, and host simulation-time columns.
+// throughput, latency, KV, and host simulation-time columns. Cluster
+// rows report cluster-wide aggregates; the rejected and goodput_tps
+// columns are cluster-only (single-instance rows print "-" for
+// goodput).
 func (r *SweepReport) WriteTSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "scenario\tmodel\ttopology\titerations\tsim_end_s\t"+
-		"prompt_tps\tgen_tps\tmean_latency_s\tp50_latency_s\tp95_latency_s\tttft_s\t"+
+		"prompt_tps\tgen_tps\tmean_latency_s\tp50_latency_s\tp95_latency_s\tp99_latency_s\t"+
+		"ttft_s\ttpot_s\trejected\tgoodput_tps\t"+
 		"kv_evictions\tkv_reloads\tcache_hit_rate\tsim_time_ms\twall_ms\terror"); err != nil {
 		return err
 	}
 	for _, res := range r.Results {
-		if res.Report == nil {
+		switch {
+		case res.Report != nil:
+			rep := res.Report
+			if _, err := fmt.Fprintf(w,
+				"%s\t%s\t%s\t%d\t%.3f\t%.1f\t%.1f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t0\t-\t%d\t%d\t%.3f\t%.1f\t%.1f\t-\n",
+				res.Name, rep.Model, rep.Topology, rep.Iterations, rep.SimEndSec,
+				rep.PromptTPS, rep.GenTPS,
+				rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
+				rep.Latency.TTFTSec, rep.Latency.TPOTSec,
+				rep.KV.Evictions, rep.KV.Reloads, rep.EngineCacheHitRate,
+				ms(rep.SimTime.Total), ms(res.Wall)); err != nil {
+				return err
+			}
+		case res.Cluster != nil:
+			rep := res.Cluster
+			evictions, reloads := rep.KVEvictions()
+			if _, err := fmt.Fprintf(w,
+				"%s\t%s\t%s\t%d\t%.3f\t%.1f\t%.1f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%.1f\t%d\t%d\t-\t-\t%.1f\t-\n",
+				res.Name, rep.Model, rep.Topology, rep.TotalIterations(), rep.SimEndSec,
+				rep.PromptTPS, rep.ThroughputTPS,
+				rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
+				rep.Latency.TTFTSec, rep.Latency.TPOTSec,
+				rep.Rejected, rep.GoodputTPS,
+				evictions, reloads, ms(res.Wall)); err != nil {
+				return err
+			}
+		default:
 			errMsg := "-"
 			if res.Err != nil {
 				errMsg = res.Err.Error()
 			}
-			if _, err := fmt.Fprintf(w, "%s\t-\t-\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t%.1f\t%s\n",
+			if _, err := fmt.Fprintf(w, "%s\t-\t-\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t0\t-\t0\t0\t0\t0\t%.1f\t%s\n",
 				res.Name, ms(res.Wall), errMsg); err != nil {
 				return err
 			}
-			continue
-		}
-		rep := res.Report
-		if _, err := fmt.Fprintf(w,
-			"%s\t%s\t%s\t%d\t%.3f\t%.1f\t%.1f\t%.4f\t%.4f\t%.4f\t%.4f\t%d\t%d\t%.3f\t%.1f\t%.1f\t-\n",
-			res.Name, rep.Model, rep.Topology, rep.Iterations, rep.SimEndSec,
-			rep.PromptTPS, rep.GenTPS,
-			rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.TTFTSec,
-			rep.KV.Evictions, rep.KV.Reloads, rep.EngineCacheHitRate,
-			ms(rep.SimTime.Total), ms(res.Wall)); err != nil {
-			return err
 		}
 	}
 	return nil
