@@ -1,0 +1,179 @@
+package llmservingsim_test
+
+// Golden determinism suite: fixed-seed end-to-end runs across
+// {orca,static} x {vllm,maxlen} x {round-robin,least-loaded,affinity}
+// whose report scalars are pinned to literal expected values. Any
+// refactor of the scheduler, KV manager, cluster stepper, or engine
+// stack must reproduce these values bit-for-bit — simulated behaviour
+// is part of the contract, not just "roughly the same numbers".
+//
+// The fingerprints pin exact quantities: simulated end time in integer
+// picoseconds, iteration/eviction/reload counters, and float64 scalars
+// formatted with 17 significant digits (which round-trips every
+// float64 exactly, so a single ULP of drift fails the test).
+//
+// To regenerate after an *intentional* behaviour change:
+//
+//	GOLDEN_PRINT=1 go test -run TestGolden -v ./... 2>&1 | grep 'golden:'
+//
+// and paste the emitted literals below — but first be sure the change
+// is supposed to alter simulated behaviour; performance refactors are
+// not.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	sim "repro"
+)
+
+// goldenClasses is a three-class mix whose fixed lengths always fit
+// gpt2's 1024-token context, with tight enough SLOs that some requests
+// miss them, so goodput != throughput in the pinned values.
+func goldenClasses() []sim.TrafficClass {
+	return []sim.TrafficClass{
+		{Name: "chat", Dist: "fixed-320-288", RatePerSec: 48,
+			TTFT: 2 * time.Second, TPOT: 250 * time.Millisecond},
+		{Name: "api", Dist: "fixed-96-48", RatePerSec: 80,
+			TTFT: 120 * time.Millisecond, TPOT: 2 * time.Millisecond},
+		{Name: "batch", Dist: "fixed-512-128", RatePerSec: 24,
+			TTFT: 4 * time.Second, TPOT: 400 * time.Millisecond},
+	}
+}
+
+// goldenTrace is the shared fixed-seed arrival stream. Lengths are
+// clamped by gpt2's 1024-token context via the distributions above.
+func goldenTrace(t testing.TB) []sim.Request {
+	t.Helper()
+	reqs, err := sim.MultiClassTrace(goldenClasses(), 48, sim.Ramp{From: 0.8, To: 1.6}, 20240614)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// goldenConfig is a deliberately memory-starved 2-NPU gpt2 replica so
+// the paging/eviction/reload machinery is exercised (and pinned), not
+// just the happy path.
+func goldenConfig(schedPolicy sim.SchedPolicy, kv sim.KVPolicy) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = sim.ParallelismTensor
+	cfg.Scheduling = schedPolicy
+	cfg.KVManage = kv
+	// gpt2 weights are ~236 MB; 2x161 MiB leaves a ~90 MB (~2450-token)
+	// KV budget, starving the cache enough to force eviction churn.
+	cfg.NPU.MemoryBytes = 161 << 20
+	return cfg
+}
+
+// g17 formats a float64 with enough digits to round-trip exactly.
+func g17(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+func clusterFingerprint(r *sim.ClusterReport) string {
+	ev, rl := r.KVEvictions()
+	return fmt.Sprintf("iters=%d admitted=%d rejected=%d end_ps=%d evict=%d reload=%d tput=%s good=%s p99=%s",
+		r.TotalIterations(), r.Admitted, r.Rejected,
+		int64(r.SimEndSec*1e12+0.5),
+		ev, rl, g17(r.ThroughputTPS), g17(r.GoodputTPS), g17(r.Latency.P99Sec))
+}
+
+// TestGoldenCluster pins the full {sched} x {kv} x {router} cross
+// product on a 2-replica cluster.
+func TestGoldenCluster(t *testing.T) {
+	goldens := map[string]string{
+		"orca/vllm/round-robin":      "iters=1358 admitted=48 rejected=0 end_ps=457800961000 evict=4 reload=4 tput=10799.453083716877 good=10799.453083716877 p99=0.25612862800000002",
+		"orca/vllm/least-loaded":     "iters=1377 admitted=48 rejected=0 end_ps=451004922000 evict=21 reload=21 tput=10962.18635059597 good=10749.328363205757 p99=0.26384819050000002",
+		"orca/vllm/affinity":         "iters=934 admitted=48 rejected=0 end_ps=779961894000 evict=64 reload=64 tput=6338.7712118151248 good=4984.8589141458742 p99=0.57006770500000004",
+		"orca/maxlen/round-robin":    "iters=2587 admitted=48 rejected=0 end_ps=574791006000 evict=0 reload=0 tput=8601.3871970710697 good=6597.1804715399467 p99=0.36489681699999998",
+		"orca/maxlen/least-loaded":   "iters=2694 admitted=48 rejected=0 end_ps=586899986000 evict=0 reload=0 tput=8423.9225045747389 good=6788.2093968903237 p99=0.37700579699999998",
+		"orca/maxlen/affinity":       "iters=2481 admitted=48 rejected=0 end_ps=1079129058000 evict=0 reload=0 tput=4581.4724043877986 good=3291.5432808223018 p99=0.82460059600000002",
+		"static/vllm/round-robin":    "iters=1920 admitted=48 rejected=0 end_ps=516765967000 evict=3 reload=3 tput=9567.1934990254485 good=8731.2251350329352 p99=0.30687177799999998",
+		"static/vllm/least-loaded":   "iters=1968 admitted=48 rejected=0 end_ps=492391836000 evict=5 reload=5 tput=10040.783860599995 good=9065.9504760757227 p99=0.34171705200000002",
+		"static/vllm/affinity":       "iters=1263 admitted=48 rejected=0 end_ps=837220966000 evict=23 reload=23 tput=5905.2510636720017 good=4529.270233301826 p99=0.62035692600000003",
+		"static/maxlen/round-robin":  "iters=3808 admitted=48 rejected=0 end_ps=704820006000 evict=0 reload=0 tput=7014.5568484331579 good=5380.0970002545582 p99=0.46103389900000002",
+		"static/maxlen/least-loaded": "iters=3696 admitted=48 rejected=0 end_ps=670167241000 evict=0 reload=0 tput=7377.2630136661664 good=5729.9130203232362 p99=0.42638113399999999",
+		"static/maxlen/affinity":     "iters=3360 admitted=48 rejected=0 end_ps=1252030297000 evict=0 reload=0 tput=3948.7862329261193 good=2798.6543204233658 p99=0.997501835",
+	}
+
+	trace := goldenTrace(t)
+	for _, schedPolicy := range []sim.SchedPolicy{sim.SchedOrca, sim.SchedStatic} {
+		for _, kv := range []sim.KVPolicy{sim.KVPaged, sim.KVMaxLen} {
+			for _, router := range []sim.RouterPolicy{sim.RouterRoundRobin, sim.RouterLeastLoaded, sim.RouterAffinity} {
+				key := fmt.Sprintf("%s/%s/%s", schedPolicy, kv, router)
+				t.Run(key, func(t *testing.T) {
+					sc := sim.ClusterScenario{
+						Name:     key,
+						Config:   goldenConfig(schedPolicy, kv),
+						Replicas: 2,
+						Router:   router,
+						Classes:  goldenClasses(),
+						Trace:    trace,
+					}
+					rep, err := sc.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := clusterFingerprint(rep)
+					if os.Getenv("GOLDEN_PRINT") != "" {
+						t.Logf("golden: %q: %q,", key, got)
+						return
+					}
+					want, ok := goldens[key]
+					if !ok {
+						t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", key)
+					}
+					if got != want {
+						t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenSingle pins the single-instance Scenario path (trace known
+// up front, no cluster routing) across {sched} x {kv}.
+func TestGoldenSingle(t *testing.T) {
+	goldens := map[string]string{
+		"orca/vllm":     "iters=934 finished=48 end_ps=779961894000 evict=64 reload=64 gen_tps=6338.7712118151248 p99=0.57006770500000004",
+		"orca/maxlen":   "iters=2481 finished=48 end_ps=1079129058000 evict=0 reload=0 gen_tps=4581.4724043877986 p99=0.82460059600000002",
+		"static/vllm":   "iters=1263 finished=48 end_ps=837220966000 evict=23 reload=23 gen_tps=5905.2510636720008 p99=0.62035692600000003",
+		"static/maxlen": "iters=3360 finished=48 end_ps=1252030297000 evict=0 reload=0 gen_tps=3948.7862329261193 p99=0.997501835",
+	}
+
+	trace := goldenTrace(t)
+	for _, schedPolicy := range []sim.SchedPolicy{sim.SchedOrca, sim.SchedStatic} {
+		for _, kv := range []sim.KVPolicy{sim.KVPaged, sim.KVMaxLen} {
+			key := fmt.Sprintf("%s/%s", schedPolicy, kv)
+			t.Run(key, func(t *testing.T) {
+				s, err := sim.NewFromConfig(goldenConfig(schedPolicy, kv), trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := fmt.Sprintf("iters=%d finished=%d end_ps=%d evict=%d reload=%d gen_tps=%s p99=%s",
+					rep.Iterations, rep.Latency.Count, int64(rep.SimEndSec*1e12+0.5),
+					rep.KV.Evictions, rep.KV.Reloads, g17(rep.GenTPS), g17(rep.Latency.P99Sec))
+				if os.Getenv("GOLDEN_PRINT") != "" {
+					t.Logf("golden: %q: %q,", key, got)
+					return
+				}
+				want, ok := goldens[key]
+				if !ok {
+					t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", key)
+				}
+				if got != want {
+					t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -2,6 +2,80 @@ package kvcache
 
 import "testing"
 
+// newBenchManager builds a paged manager sized to hold exactly `seqs`
+// sequences of `tokens` tokens.
+func newBenchManager(b testing.TB, seqs, tokens int) *Manager {
+	b.Helper()
+	m, err := New(Config{
+		Policy:        Paged,
+		PageTokens:    16,
+		BytesPerToken: 1 << 10,
+		CapacityBytes: int64(seqs) * int64(tokens) << 10,
+		MaxSeqLen:     4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkEvictReloadChurn measures the eviction/reload cycle with a
+// large population: half the sequences are repeatedly evicted (newest
+// first) and reloaded (oldest first), the scheduler's thrash pattern
+// under memory pressure.
+func BenchmarkEvictReloadChurn(b *testing.B) {
+	const seqs = 4096
+	m := newBenchManager(b, seqs, 128)
+	for id := 0; id < seqs; id++ {
+		if err := m.Admit(id, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		const batch = 64
+		evicted := make([]int, 0, batch)
+		for j := 0; j < batch; j++ {
+			id, _, ok := m.EvictLast()
+			if !ok {
+				b.Fatal("nothing to evict")
+			}
+			evicted = append(evicted, id)
+		}
+		for range evicted {
+			ids := m.Evicted()
+			if len(ids) == 0 || !m.CanReload(ids[0]) {
+				b.Fatal("cannot reload")
+			}
+			if _, err := m.Reload(ids[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStatsSnapshot measures the occupancy snapshot with a large
+// resident population — the per-report (and per-iteration, for some
+// drivers) stats query.
+func BenchmarkStatsSnapshot(b *testing.B) {
+	const seqs = 8192
+	m := newBenchManager(b, seqs, 64)
+	for id := 0; id < seqs; id++ {
+		if err := m.Admit(id, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := m.Stats()
+		if st.ResidentSeqs != seqs {
+			b.Fatalf("resident %d", st.ResidentSeqs)
+		}
+	}
+}
+
 // BenchmarkServingChurn measures the allocator under a serving-shaped
 // admit/extend/release cycle.
 func BenchmarkServingChurn(b *testing.B) {

@@ -1,0 +1,126 @@
+package sched
+
+// Scheduler hot-path benchmarks: a saturated continuous-batching loop
+// driven directly (no engine or system simulation), so Next/Complete
+// and the KV admission/eviction/reload machinery dominate. Tracked in
+// BENCH_hotpath.json and guarded by the CI benchmark-regression job.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// benchKV builds a KV manager whose budget is far below the saturated
+// demand of the benchmark traces, forcing continuous eviction churn.
+func benchKV(b testing.TB, pages int) *kvcache.Manager {
+	b.Helper()
+	m, err := kvcache.New(kvcache.Config{
+		Policy:        kvcache.Paged,
+		PageTokens:    16,
+		BytesPerToken: 1 << 10,
+		CapacityBytes: int64(pages) * 16 << 10,
+		MaxSeqLen:     2048,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchTrace(b testing.TB, n int) []workload.Request {
+	b.Helper()
+	reqs, err := workload.PoissonTrace(workload.Fixed(64, 16), n, 5000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reqs
+}
+
+// drainBench runs the scheduler to completion with a fixed iteration latency.
+func drainBench(b *testing.B, s *Scheduler, n int) {
+	b.Helper()
+	const iterLatency = 2 * simtime.Millisecond
+	for {
+		batch, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := s.Complete(batch, iterLatency); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got := len(s.Finished()); got != n {
+		b.Fatalf("finished %d of %d", got, n)
+	}
+}
+
+// BenchmarkSchedulerSaturated measures the full Next/Complete loop over
+// a saturated arrival stream with a starved KV cache (eviction and
+// reload on nearly every iteration).
+func BenchmarkSchedulerSaturated(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("reqs=%d", n), func(b *testing.B) {
+			trace := benchTrace(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := New(Config{Policy: Orca}, benchKV(b, 512), trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				drainBench(b, s, n)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerNextEventTime measures the cluster stepper's inner
+// query against a scheduler with a large in-flight population.
+func BenchmarkSchedulerNextEventTime(b *testing.B) {
+	trace := benchTrace(b, 10000)
+	s, err := New(Config{Policy: Orca}, benchKV(b, 4096), trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Advance partway in so the active set is populated.
+	for i := 0; i < 200; i++ {
+		batch, ok := s.Next()
+		if !ok {
+			break
+		}
+		if err := s.Complete(batch, 2*simtime.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.NextEventTime(); !ok {
+			b.Fatal("scheduler drained early")
+		}
+	}
+}
+
+// BenchmarkSchedulerPush measures mid-run arrival insertion, the path
+// cluster routing feeds replicas by (arrivals always append in time
+// order).
+func BenchmarkSchedulerPush(b *testing.B) {
+	trace := benchTrace(b, b.N)
+	s, err := New(Config{Policy: Orca}, benchKV(b, 4096), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Push(trace[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
