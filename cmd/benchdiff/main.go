@@ -1,0 +1,206 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline (BENCH_hotpath.json) and fails on regressions — the CI guard
+// that keeps the simulator's hot paths from quietly getting slower.
+//
+// Usage:
+//
+//	go test -run=NONE -bench ... -benchtime=1x -count=3 ./internal/... |
+//	    go run ./cmd/benchdiff -baseline BENCH_hotpath.json
+//
+// Benchmark output is read from stdin; when a benchmark appears several
+// times (-count=N) the minimum per metric is used, which rejects
+// scheduler noise. Two metrics are compared per benchmark: ns/op
+// (hardware-dependent — regenerate the baseline when the reference
+// machine changes) and allocs/op (stable across machines, so a genuine
+// algorithmic regression fails CI deterministically). Only benchmarks
+// present in the baseline entry participate.
+//
+// -update appends a fresh entry (the measured minima) to the baseline
+// file instead of comparing, for refreshing the baseline after an
+// intentional performance change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type baseline struct {
+	Note         string  `json:"note,omitempty"`
+	BenchCommand string  `json:"benchCommand,omitempty"`
+	Entries      []entry `json:"entries"`
+}
+
+type entry struct {
+	Label      string                 `json:"label"`
+	Benchmarks map[string]measurement `json:"benchmarks"`
+}
+
+type measurement struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is a pointer so that "benchmark reached 0 allocs/op"
+	// stays distinguishable from "no allocation data recorded" — a zero
+	// baseline must still gate regressions away from zero.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkFoo/case=1-8   3   12345 ns/op   678 B/op   9 allocs/op";
+// the -N GOMAXPROCS suffix is optional and stripped, and the B/op and
+// allocs/op columns only appear under -benchmem/ReportAllocs.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON file")
+	entryLabel := flag.String("entry", "", "baseline entry label to compare against (default: newest)")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown before failing")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.20, "allowed fractional allocs/op growth before failing")
+	update := flag.Bool("update", false, "append measured results as a new baseline entry instead of comparing")
+	label := flag.String("label", "updated", "entry label used with -update")
+	flag.Parse()
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(measured) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+
+	if *update {
+		base.Entries = append(base.Entries, entry{Label: *label, Benchmarks: measured})
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: appended entry %q (%d benchmarks) to %s\n", *label, len(measured), *baselinePath)
+		return
+	}
+
+	ref, err := pickEntry(&base, *entryLabel)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(ref.Benchmarks))
+	for name := range ref.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff: comparing against %q (ns/op %+.0f%%, allocs/op %+.0f%%)\n",
+		ref.Label, *tolerance*100, *allocTolerance*100)
+	failed, missing := 0, 0
+	for _, name := range names {
+		want := ref.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("  MISSING  %-55s (in baseline, not measured)\n", name)
+			missing++
+			continue
+		}
+		status := "ok"
+		nsRatio := got.NsPerOp / want.NsPerOp
+		if nsRatio > 1+*tolerance {
+			status = "TIME-REGRESSION"
+			failed++
+		}
+		wantAllocs, gotAllocs := 0.0, 0.0
+		if want.AllocsPerOp != nil && got.AllocsPerOp != nil {
+			wantAllocs, gotAllocs = *want.AllocsPerOp, *got.AllocsPerOp
+			// The small absolute slack keeps near-zero baselines from
+			// failing on measurement jitter while still gating a
+			// regression away from an allocation-free steady state.
+			if gotAllocs > wantAllocs*(1+*allocTolerance)+16 {
+				status = "ALLOC-REGRESSION"
+				failed++
+			}
+		}
+		fmt.Printf("  %-16s %-55s %14.0f -> %14.0f ns/op (%+.1f%%)  %10.0f -> %10.0f allocs/op\n",
+			status, name, want.NsPerOp, got.NsPerOp, (nsRatio-1)*100, wantAllocs, gotAllocs)
+	}
+	if missing > 0 {
+		fatal(fmt.Errorf("%d baseline benchmark(s) were not measured — run the full bench command", missing))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d benchmark metric(s) regressed beyond tolerance", failed))
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// parseBench extracts per-benchmark minima from go test output.
+func parseBench(f *os.File) (map[string]measurement, error) {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		cur := measurement{NsPerOp: ns}
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			cur.AllocsPerOp = &allocs
+		}
+		prev, seen := out[m[1]]
+		if !seen {
+			out[m[1]] = cur
+			continue
+		}
+		if cur.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = cur.NsPerOp
+		}
+		if cur.AllocsPerOp != nil && (prev.AllocsPerOp == nil || *cur.AllocsPerOp < *prev.AllocsPerOp) {
+			prev.AllocsPerOp = cur.AllocsPerOp
+		}
+		out[m[1]] = prev
+	}
+	return out, sc.Err()
+}
+
+func pickEntry(b *baseline, label string) (*entry, error) {
+	if len(b.Entries) == 0 {
+		return nil, fmt.Errorf("baseline has no entries")
+	}
+	if label == "" {
+		return &b.Entries[len(b.Entries)-1], nil
+	}
+	for i := range b.Entries {
+		if b.Entries[i].Label == label {
+			return &b.Entries[i], nil
+		}
+	}
+	return nil, fmt.Errorf("baseline entry %q not found", label)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -10,7 +10,6 @@
 package astra
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/graph"
@@ -47,73 +46,167 @@ type candidate struct {
 	start simtime.Time
 }
 
+// candidateHeap is a hand-rolled typed min-heap: container/heap boxes
+// every pushed element in an interface, which at one pop per node per
+// iteration dominated the executor's allocation profile.
 type candidateHeap []candidate
 
-func (h candidateHeap) Len() int { return len(h) }
-func (h candidateHeap) Less(i, j int) bool {
+func (h candidateHeap) before(i, j int) bool {
 	if h[i].start != h[j].start {
 		return h[i].start < h[j].start
 	}
 	return h[i].node < h[j].node // deterministic tie-break
 }
-func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *candidateHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+
+func (h *candidateHeap) push(c candidate) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.before(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
 }
 
-// Execute runs the graph to completion and returns the schedule.
-func Execute(g *graph.Graph) (Result, error) {
+func (h *candidateHeap) pop() candidate {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.before(l, best) {
+			best = l
+		}
+		if r < n && s.before(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// Executor runs graphs while reusing all scheduling scratch state
+// (successor arrays, resource timelines, the ready heap, the timings
+// buffer) across calls. One graph executes per simulated iteration, so
+// this reuse removes the executor from the allocation profile almost
+// entirely; only the returned Result's Busy map is freshly allocated,
+// while Result.Timings aliases executor-owned storage valid until the
+// next Execute call. An Executor is not safe for concurrent use; each
+// simulator owns one.
+type Executor struct {
+	resFree []simtime.Time
+	resBusy []simtime.Duration
+	resSeen []bool
+
+	indeg   []int
+	succOff []int
+	succBuf []int
+	fill    []int
+	readyAt []simtime.Time
+	done    []bool
+	heap    candidateHeap
+	timings []NodeTiming
+}
+
+// Execute runs the graph to completion and returns the schedule. The
+// bookkeeping is flat: successor lists live in one offset-indexed array
+// and per-resource state in a dense slice keyed by (class, device). The
+// returned Result's Timings alias executor-owned storage, valid until
+// the next Execute call.
+func (e *Executor) Execute(g *graph.Graph) (Result, error) {
 	if err := g.Validate(); err != nil {
 		return Result{}, err
 	}
 	n := len(g.Nodes)
+	if cap(e.timings) < n {
+		e.timings = make([]NodeTiming, n)
+	}
 	res := Result{
-		Timings: make([]NodeTiming, n),
+		Timings: e.timings[:n],
 		Busy:    make(map[graph.Resource]simtime.Duration),
 	}
+	clear(res.Timings)
 	if n == 0 {
 		return res, nil
 	}
 
-	// Build successor lists and indegrees.
-	indeg := make([]int, n)
-	succ := make([][]int, n)
+	// Dense resource indexing: class-major, device-minor.
+	maxDev := 0
+	for _, node := range g.Nodes {
+		for _, r := range node.Resources {
+			if r.Device > maxDev {
+				maxDev = r.Device
+			}
+		}
+	}
+	stride := maxDev + 1
+	ridx := func(r graph.Resource) int { return int(r.Class)*stride + r.Device }
+	nRes := 3 * stride
+	resFree := growZero(&e.resFree, nRes)
+	resBusy := growZero(&e.resBusy, nRes)
+	resSeen := growZero(&e.resSeen, nRes)
+
+	// Successor lists in one flat array: count, prefix-sum, fill.
+	indeg := growZero(&e.indeg, n)
+	succOff := growZero(&e.succOff, n+1)
+	fill := growZero(&e.fill, n)
 	for _, node := range g.Nodes {
 		indeg[node.ID] = len(node.Deps)
 		for _, d := range node.Deps {
-			succ[d] = append(succ[d], node.ID)
+			succOff[d+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		succOff[i+1] += succOff[i]
+	}
+	if cap(e.succBuf) < succOff[n] {
+		e.succBuf = make([]int, succOff[n])
+	}
+	succBuf := e.succBuf[:succOff[n]]
+	for _, node := range g.Nodes {
+		for _, d := range node.Deps {
+			succBuf[succOff[d]+fill[d]] = node.ID
+			fill[d]++
 		}
 	}
 
-	readyAt := make([]simtime.Time, n) // max end time of dependencies
-	resFree := make(map[graph.Resource]simtime.Time)
+	readyAt := growZero(&e.readyAt, n) // max end time of dependencies
 
 	feasible := func(id int) simtime.Time {
 		t := readyAt[id]
 		for _, r := range g.Nodes[id].Resources {
-			if f := resFree[r]; f > t {
+			if f := resFree[ridx(r)]; f > t {
 				t = f
 			}
 		}
 		return t
 	}
 
-	h := &candidateHeap{}
+	h := &e.heap
+	*h = (*h)[:0]
 	for id := 0; id < n; id++ {
 		if indeg[id] == 0 {
-			heap.Push(h, candidate{node: id, start: feasible(id)})
+			h.push(candidate{node: id, start: feasible(id)})
 		}
 	}
 
 	scheduled := 0
-	done := make([]bool, n)
-	for h.Len() > 0 {
-		c := heap.Pop(h).(candidate)
+	done := growZero(&e.done, n)
+	for len(*h) > 0 {
+		c := h.pop()
 		if done[c.node] {
 			continue
 		}
@@ -122,7 +215,7 @@ func Execute(g *graph.Graph) (Result, error) {
 		// re-evaluation keeps the heap consistent as times only grow).
 		now := feasible(c.node)
 		if now > c.start {
-			heap.Push(h, candidate{node: c.node, start: now})
+			h.push(candidate{node: c.node, start: now})
 			continue
 		}
 		node := g.Nodes[c.node]
@@ -132,8 +225,10 @@ func Execute(g *graph.Graph) (Result, error) {
 		done[c.node] = true
 		scheduled++
 		for _, r := range node.Resources {
-			resFree[r] = end
-			res.Busy[r] += node.Duration
+			i := ridx(r)
+			resFree[i] = end
+			resBusy[i] += node.Duration
+			resSeen[i] = true
 		}
 		if node.Kind == graph.Compute {
 			res.ComputeTime += node.Duration
@@ -143,20 +238,44 @@ func Execute(g *graph.Graph) (Result, error) {
 		if d := end.Sub(0); d > res.Makespan {
 			res.Makespan = d
 		}
-		for _, s := range succ[c.node] {
+		for _, s := range succBuf[succOff[c.node]:succOff[c.node+1]] {
 			if readyAt[s] < end {
 				readyAt[s] = end
 			}
 			indeg[s]--
 			if indeg[s] == 0 {
-				heap.Push(h, candidate{node: s, start: feasible(s)})
+				h.push(candidate{node: s, start: feasible(s)})
 			}
 		}
 	}
 	if scheduled != n {
 		return Result{}, fmt.Errorf("astra: deadlock, scheduled %d of %d nodes (cycle in graph?)", scheduled, n)
 	}
+	for i, seen := range resSeen {
+		if seen {
+			res.Busy[graph.Resource{Class: graph.ResourceClass(i / stride), Device: i % stride}] = resBusy[i]
+		}
+	}
 	return res, nil
+}
+
+// Execute runs the graph on a throwaway Executor. Hot loops should hold
+// an Executor and call its method instead.
+func Execute(g *graph.Graph) (Result, error) {
+	var e Executor
+	return e.Execute(g)
+}
+
+// growZero returns (*buf)[:n] zeroed, growing the backing array as
+// needed.
+func growZero[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+		return *buf
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
 }
 
 // CriticalPath returns the node IDs of one longest finish-time chain, for

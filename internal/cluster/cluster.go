@@ -57,6 +57,11 @@ type Cluster struct {
 	admission Admission
 	slos      map[string]metrics.SLO
 	records   []metrics.RequestRecord
+
+	// Replica stepping is driven off a min-heap of next-event times, so
+	// advancing the cluster to an arrival instant touches only replicas
+	// with events before it instead of scanning all of them.
+	events eventHeap
 }
 
 // New validates the configuration and builds the replicas.
@@ -88,6 +93,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
 		sim.OnRequestComplete = c.complete
+		sim.OnRequestReject = c.reject
 		c.replicas = append(c.replicas, sim)
 	}
 	return c, nil
@@ -104,6 +110,18 @@ func (c *Cluster) complete(f sched.Finished) {
 	c.records[id].Completed = f.Completed
 }
 
+// reject records a replica's scheduler refusing a request as unservable
+// (e.g. prompt longer than the model context), so it surfaces as a
+// rejection in the report instead of a request that never completed.
+func (c *Cluster) reject(r sched.Rejected) {
+	id := r.Req.ID
+	if id < 0 || id >= len(c.records) {
+		return
+	}
+	c.records[id].Rejected = true
+	c.records[id].Replica = -1
+}
+
 // Run simulates the arrival stream to completion over the cluster.
 func (c *Cluster) Run(reqs []workload.Request) (*Report, error) {
 	return c.RunContext(context.Background(), reqs)
@@ -118,6 +136,10 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 
 	c.records = make([]metrics.RequestRecord, len(arrivals))
 	states := make([]ReplicaState, len(c.replicas))
+	c.events.init(len(c.replicas))
+	for i := range c.replicas {
+		c.refreshEvent(i)
+	}
 
 	for _, r := range arrivals {
 		if err := ctx.Err(); err != nil {
@@ -149,6 +171,7 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 		if err := c.replicas[idx].Push(r); err != nil {
 			return nil, err
 		}
+		c.refreshEvent(idx)
 	}
 
 	// All arrivals placed: drain every replica.
@@ -169,23 +192,109 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 	return c.report(), nil
 }
 
-// advanceTo steps every replica whose next event precedes t.
+// advanceTo steps replicas in event order until none has an event before
+// t. Only replicas with pending events are touched — idle replicas cost
+// nothing per arrival.
 func (c *Cluster) advanceTo(ctx context.Context, t simtime.Time) error {
-	for _, sim := range c.replicas {
-		for {
-			ev, ok := sim.NextEventTime()
-			if !ok || !ev.Before(t) {
-				break
-			}
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if _, err := sim.Step(); err != nil {
-				return err
-			}
+	for {
+		i, ev := c.events.min()
+		if ev == simtime.Forever || !ev.Before(t) {
+			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := c.replicas[i].Step(); err != nil {
+			return err
+		}
+		c.refreshEvent(i)
 	}
-	return nil
+}
+
+// refreshEvent re-reads replica i's next event time into the heap.
+func (c *Cluster) refreshEvent(i int) {
+	ev, ok := c.replicas[i].NextEventTime()
+	if !ok {
+		ev = simtime.Forever
+	}
+	c.events.update(i, ev)
+}
+
+// eventHeap is a positioned min-heap over replica next-event times,
+// tie-broken by replica index for determinism. Drained replicas sit at
+// simtime.Forever.
+type eventHeap struct {
+	t    []simtime.Time
+	heap []int // replica indices, heap-ordered
+	pos  []int // replica index -> position in heap
+}
+
+func (h *eventHeap) init(n int) {
+	h.t = make([]simtime.Time, n)
+	h.heap = make([]int, n)
+	h.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		h.t[i] = simtime.Forever
+		h.heap[i] = i
+		h.pos[i] = i
+	}
+}
+
+func (h *eventHeap) before(a, b int) bool {
+	if h.t[a] != h.t[b] {
+		return h.t[a] < h.t[b]
+	}
+	return a < b
+}
+
+// min returns the replica with the earliest next event.
+func (h *eventHeap) min() (idx int, t simtime.Time) {
+	i := h.heap[0]
+	return i, h.t[i]
+}
+
+// update sets replica i's event time and restores heap order.
+func (h *eventHeap) update(i int, t simtime.Time) {
+	h.t[i] = t
+	p := h.pos[i]
+	h.down(p)
+	h.up(p)
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.heap[i], h.heap[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.before(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
 }
 
 // snapshot fills states with each replica's current routing signals.

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// TestReplicaRejectsUnservablePrompt drives the scheduler-level
+// rejection path through the cluster: a prompt beyond the replica's
+// model context (gpt2: 1024 tokens) is routed, refused by the replica's
+// scheduler, and surfaces as a rejection in the report — pre-fix it
+// stalled the replica's admission queue and the run never finished.
+func TestReplicaRejectsUnservablePrompt(t *testing.T) {
+	c, err := New(Config{Replicas: 2, NewReplica: newReplicaFactory(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run([]workload.Request{
+		{ID: 0, InputLen: 4096, OutputLen: 8},
+		{ID: 1, InputLen: 64, OutputLen: 8, Arrival: simtime.AtSeconds(0.001)},
+		{ID: 2, InputLen: 64, OutputLen: 8, Arrival: simtime.AtSeconds(0.002)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 || rep.Admitted != 2 {
+		t.Fatalf("rejected=%d admitted=%d, want 1/2", rep.Rejected, rep.Admitted)
+	}
+	for _, rec := range rep.Records {
+		if rec.InputLen == 4096 {
+			if !rec.Rejected || rec.Replica != -1 {
+				t.Fatalf("oversized request not rejected: %+v", rec)
+			}
+			continue
+		}
+		if rec.Rejected || rec.Completed == 0 {
+			t.Fatalf("serviceable request did not complete: %+v", rec)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/astra"
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sched"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -123,6 +125,7 @@ type Report struct {
 	Buckets           []metrics.Bucket
 
 	Finished []sched.Finished
+	Rejected []sched.Rejected // requests refused as unservable
 	Latency  metrics.LatencyStats
 
 	KV kvcache.Stats
@@ -147,6 +150,13 @@ type Simulator struct {
 	OnRequestComplete func(sched.Finished)
 	emittedFinished   int
 
+	// OnRequestReject, when non-nil, is invoked synchronously for each
+	// request the scheduler refuses as unservable (KV demand beyond the
+	// instance's context limit or whole cache). Set it before the first
+	// Step/Run call.
+	OnRequestReject func(sched.Rejected)
+	emittedRejected int
+
 	opts Options
 
 	npu *engine.Stack
@@ -157,6 +167,17 @@ type Simulator struct {
 	collector metrics.Collector
 	host      metrics.ComponentTimes
 	wall      time.Duration // accumulated host wall-clock across Steps
+
+	// Reusable per-iteration scratch: the execution graph and its
+	// conversion inputs are rebuilt every iteration, so their storage is
+	// recycled rather than reallocated (see graph.ConvertInto).
+	exec     astra.Executor // system-simulation scratch state
+	gbuf     *graph.Graph
+	itemsBuf []trace.Item
+	memOps   []graph.MemOp
+	reqBytes map[int]int64
+	attnBuf  map[int]simtime.Duration
+	itBuf    model.IterationOps
 }
 
 // New validates options and assembles a simulator for the given trace.
@@ -186,7 +207,11 @@ func New(opts Options, reqs []workload.Request) (*Simulator, error) {
 		return nil, fmt.Errorf("core: sub-batch interleaving requires a PIM configuration")
 	}
 
-	s := &Simulator{opts: opts}
+	s := &Simulator{
+		opts:     opts,
+		gbuf:     graph.New(),
+		reqBytes: map[int]int64{},
+	}
 
 	var eng engine.Engine
 	var err error

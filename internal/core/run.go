@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
-	"repro/internal/astra"
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/engine/npu"
@@ -69,6 +69,8 @@ func (s *Simulator) Step() (done bool, err error) {
 	batch, ok := s.scheduler.Next()
 	s.host.Scheduler += time.Since(t0)
 	if !ok {
+		// The final Next can still have rejected trailing requests.
+		s.emitRejects()
 		return true, nil
 	}
 
@@ -89,6 +91,7 @@ func (s *Simulator) Step() (done bool, err error) {
 			s.OnRequestComplete(fin[s.emittedFinished])
 		}
 	}
+	s.emitRejects()
 
 	s.collector.AddIteration(metrics.Iteration{
 		Start:        batch.Time,
@@ -107,6 +110,18 @@ func (s *Simulator) Step() (done bool, err error) {
 		})
 	}
 	return false, nil
+}
+
+// emitRejects delivers any newly recorded scheduler rejections to the
+// OnRequestReject hook.
+func (s *Simulator) emitRejects() {
+	if s.OnRequestReject == nil {
+		return
+	}
+	rej := s.scheduler.Rejected()
+	for ; s.emittedRejected < len(rej); s.emittedRejected++ {
+		s.OnRequestReject(rej[s.emittedRejected])
+	}
 }
 
 // Report assembles a report over the iterations completed so far. After
@@ -131,7 +146,7 @@ func (s *Simulator) SimulateIteration(b *sched.Batch) (simtime.Duration, error) 
 	}
 
 	t0 = time.Now()
-	res, err := astra.Execute(g)
+	res, err := s.exec.Execute(g)
 	s.host.AstraSim += time.Since(t0)
 	if err != nil {
 		return 0, err
@@ -155,14 +170,15 @@ func (s *Simulator) runEngines(b *sched.Batch) (graph.BlockWork, simtime.Duratio
 		reps = s.opts.Model.Layers
 	}
 
-	var allItems []trace.Item
+	allItems := s.itemsBuf[:0]
+	defer func() { s.itemsBuf = allItems[:0] }()
 	var embedDur, headDur simtime.Duration
 	totalNew := 0
 	pool := s.opts.PIMMode == PIMPool
 
 	for sbIdx, seqs := range subBatches {
-		it, err := model.BuildIteration(s.opts.Model, seqs, s.opts.Topo.TP)
-		if err != nil {
+		it := &s.itBuf
+		if err := model.BuildIterationInto(it, s.opts.Model, seqs, s.opts.Topo.TP); err != nil {
 			return zero, 0, 0, 0, err
 		}
 		totalNew += it.TotalNewTokens
@@ -170,7 +186,7 @@ func (s *Simulator) runEngines(b *sched.Batch) (graph.BlockWork, simtime.Duratio
 		for rep := 0; rep < reps; rep++ {
 			for i, op := range it.Block {
 				stack, runOp := s.mapOperator(op, pool)
-				res, err := stack.Run(runOp)
+				latency, err := stack.RunLatency(runOp)
 				if err != nil {
 					return zero, 0, 0, 0, err
 				}
@@ -179,23 +195,23 @@ func (s *Simulator) runEngines(b *sched.Batch) (graph.BlockWork, simtime.Duratio
 						Op:       op,
 						Engine:   stack.Engine().Name(),
 						Kind:     stack.Engine().Kind(),
-						Latency:  res.Latency,
+						Latency:  latency,
 						SubBatch: sbIdx,
 						Seq:      i,
 					})
 				}
 			}
 		}
-		eRes, err := s.npu.Run(it.Embed)
+		eDur, err := s.npu.RunLatency(it.Embed)
 		if err != nil {
 			return zero, 0, 0, 0, err
 		}
-		hRes, err := s.npu.Run(it.Head)
+		hDur, err := s.npu.RunLatency(it.Head)
 		if err != nil {
 			return zero, 0, 0, 0, err
 		}
-		embedDur += eRes.Latency
-		headDur += hRes.Latency
+		embedDur += eDur
+		headDur += hDur
 	}
 
 	work, err := s.assembleBlockWork(allItems, len(subBatches))
@@ -227,6 +243,9 @@ func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.Block
 		return work, fmt.Errorf("core: engine phase produced no trace items")
 	}
 
+	if s.attnBuf == nil {
+		s.attnBuf = map[int]simtime.Duration{}
+	}
 	if nSub > 1 {
 		// Sub-batch interleaving: the execution engine stack's operator
 		// scheduler overlaps sub-batches across the heterogeneous engines
@@ -237,7 +256,8 @@ func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.Block
 		}
 		work.Monolithic = sched.Makespan
 		// Attention identities are still needed for placement bookkeeping.
-		work.Attn = map[int]simtime.Duration{}
+		clear(s.attnBuf)
+		work.Attn = s.attnBuf
 		for _, it := range items {
 			if it.Op.Kind.IsAttention() {
 				work.Attn[it.Op.ReqID] += it.Latency
@@ -246,7 +266,7 @@ func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.Block
 		return work, nil
 	}
 
-	seg := trace.SplitSegments(items)
+	seg := trace.SplitSegmentsInto(items, s.attnBuf)
 	work.Pre, work.Post = seg.Pre, seg.Post
 	work.Attn = seg.Attn
 	if s.opts.PIMMode == PIMPool {
@@ -257,40 +277,41 @@ func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.Block
 	return work, nil
 }
 
-// convert builds the iteration's execution graph.
+// convert builds the iteration's execution graph into the simulator's
+// reused graph buffer; the result is valid until the next convert call.
 func (s *Simulator) convert(b *sched.Batch, work graph.BlockWork, embedDur, headDur simtime.Duration, totalNew int) (*graph.Graph, error) {
 	m := s.opts.Model
 	d := int64(m.DTypeBytes)
 	actBytes := int64(totalNew) * int64(m.Hidden) * d
 
-	reqBytes := map[int]int64{}
+	clear(s.reqBytes)
 	for _, q := range b.Seqs {
-		reqBytes[q.ReqID] = int64(q.NewTokens) * int64(m.Hidden) * d
+		s.reqBytes[q.ReqID] = int64(q.NewTokens) * int64(m.Hidden) * d
 	}
 
 	// KV paging transfers are sharded across devices; stage-0 workers gate
 	// the iteration, so the per-device share is charged there.
-	var memOps []graph.MemOp
+	memOps := s.memOps[:0]
 	if len(b.PageOps) > 0 {
 		npus := int64(s.opts.Topo.NPUNodes())
+		stage0 := s.opts.Topo.StageNodes(0)
 		for _, op := range b.PageOps {
 			share := op.Bytes / npus
 			if share == 0 {
 				share = op.Bytes
 			}
-			for _, dev := range s.opts.Topo.StageNodes(0) {
-				label := fmt.Sprintf("evict.r%d", op.ReqID)
-				if op.Load {
-					label = fmt.Sprintf("reload.r%d", op.ReqID)
-				}
+			label := pageOpLabel(op)
+			for _, dev := range stage0 {
 				memOps = append(memOps, graph.MemOp{
 					Device: dev, Bytes: share, Load: op.Load, Label: label,
 				})
 			}
 		}
 	}
+	s.memOps = memOps
 
-	return graph.Convert(graph.Params{
+	s.gbuf.Reset()
+	err := graph.ConvertInto(s.gbuf, graph.Params{
 		Topo:            s.opts.Topo,
 		Layers:          m.Layers,
 		Block:           work,
@@ -298,10 +319,27 @@ func (s *Simulator) convert(b *sched.Batch, work graph.BlockWork, embedDur, head
 		HeadDur:         headDur,
 		ActBytes:        actBytes,
 		HeadGatherBytes: int64(len(b.Seqs)) * int64(m.Vocab/s.opts.Topo.TP) * d,
-		ReqBytes:        reqBytes,
+		ReqBytes:        s.reqBytes,
 		Placement:       s.placement(),
 		MemOps:          memOps,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return s.gbuf, nil
+}
+
+// pageOpLabel builds "evict.r<ID>"/"reload.r<ID>" without fmt (one per
+// paging op per iteration, on the hot path).
+func pageOpLabel(op sched.PageOp) string {
+	prefix := "evict.r"
+	if op.Load {
+		prefix = "reload.r"
+	}
+	b := make([]byte, 0, len(prefix)+8)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, int64(op.ReqID), 10)
+	return string(b)
 }
 
 // report assembles the final Report.
@@ -326,6 +364,7 @@ func (s *Simulator) report(wall time.Duration) *Report {
 		GenTPS:     gen,
 		Buckets:    s.collector.Buckets(s.opts.ThroughputWindow),
 		Finished:   fin,
+		Rejected:   s.scheduler.Rejected(),
 		Latency:    metrics.Latency(samples),
 		KV:         s.kv.Stats(),
 		Host:       s.host,
@@ -378,6 +417,11 @@ func groupSeqs(b *sched.Batch) [][]model.Seq {
 		if sb+1 > n {
 			n = sb + 1
 		}
+	}
+	if n == 1 {
+		// Unpartitioned batch (the common case): one group, already in
+		// batch order.
+		return [][]model.Seq{b.Seqs}
 	}
 	groups := make([][]model.Seq, n)
 	for _, q := range b.Seqs {

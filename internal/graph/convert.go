@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"repro/internal/network"
 	"repro/internal/simtime"
@@ -90,6 +92,65 @@ type Params struct {
 	MemOps    []MemOp
 }
 
+// Node labels repeat across iterations (the same stages, layers, and
+// block parts every time), so they are interned in a process-wide cache
+// instead of being formatted per node — label formatting used to be a
+// top entry in hot-loop profiles. Labels are bounded by stages x layers
+// x parts; per-request labels (which are unbounded) are built with
+// strconv appends instead.
+const (
+	partPre = iota
+	partAttn
+	partPost
+	partAllReduce
+	partBlock
+)
+
+var partName = [...]string{"pre", "attn", "post", "allreduce", "block"}
+
+// labelTable holds every static label of a (stages, layers) shape:
+// layer[s][l][part] plus the per-stage transfer labels. ConvertInto
+// fetches one table per call, so label access inside the layer loop is
+// a plain array index.
+type labelTable struct {
+	layer [][][len(partName)]string
+	stage []string // stage[s] = "stage{s-1}->{s}"
+}
+
+var labelTables sync.Map // uint64(stages)<<32 | layers -> *labelTable
+
+func labelsFor(stages, layers int) *labelTable {
+	key := uint64(stages)<<32 | uint64(layers)
+	if v, ok := labelTables.Load(key); ok {
+		return v.(*labelTable)
+	}
+	t := &labelTable{
+		layer: make([][][len(partName)]string, stages),
+		stage: make([]string, stages),
+	}
+	for s := 0; s < stages; s++ {
+		t.stage[s] = fmt.Sprintf("stage%d->%d", s-1, s)
+		t.layer[s] = make([][len(partName)]string, layers)
+		for l := 0; l < layers; l++ {
+			for part, name := range partName {
+				t.layer[s][l][part] = fmt.Sprintf("s%d.l%d.%s", s, l, name)
+			}
+		}
+	}
+	labelTables.Store(key, t)
+	return t
+}
+
+// reqLabel builds "<base>.r<ID><suffix>" without fmt.
+func reqLabel(base string, r int, suffix string) string {
+	b := make([]byte, 0, len(base)+len(suffix)+8)
+	b = append(b, base...)
+	b = append(b, ".r"...)
+	b = strconv.AppendInt(b, int64(r), 10)
+	b = append(b, suffix...)
+	return string(b)
+}
+
 // Convert builds the execution graph of one serving iteration: embedding
 // on stage 0, Layers transformer blocks distributed over pipeline stages
 // (tensor-parallel within each stage, with all-reduce synchronisation),
@@ -97,194 +158,257 @@ type Params struct {
 // Params.Placement, KV paging transfers, and the LM head on the final
 // stage.
 func Convert(p Params) (*Graph, error) {
-	topo := p.Topo
-	if err := topo.Validate(); err != nil {
+	g := New()
+	if err := ConvertInto(g, p); err != nil {
 		return nil, err
 	}
+	return g, nil
+}
+
+// ConvertInto builds the iteration graph into g (which must be empty or
+// Reset), so iteration-driving hot loops can reuse one graph's storage.
+func ConvertInto(g *Graph, p Params) error {
+	topo := p.Topo
+	if err := topo.Validate(); err != nil {
+		return err
+	}
 	if p.Layers <= 0 {
-		return nil, fmt.Errorf("graph: layers must be positive, got %d", p.Layers)
+		return fmt.Errorf("graph: layers must be positive, got %d", p.Layers)
 	}
 	if len(p.Block.Attn) == 0 && p.Block.Monolithic <= 0 {
-		return nil, fmt.Errorf("graph: block has no attention work (empty batch?)")
+		return fmt.Errorf("graph: block has no attention work (empty batch?)")
 	}
 	if p.Placement == PIMPool && p.Block.Monolithic <= 0 {
 		if topo.PIMPool <= 0 {
-			return nil, fmt.Errorf("graph: PIM placement requires a PIM pool in the topology")
+			return fmt.Errorf("graph: PIM placement requires a PIM pool in the topology")
 		}
 		if len(p.Block.PIMAttn) == 0 {
-			return nil, fmt.Errorf("graph: PIM placement requires PIMAttn durations")
+			return fmt.Errorf("graph: PIM placement requires PIMAttn durations")
 		}
 	}
 
-	g := New()
-	reqIDs := sortedKeys(p.Block.Attn)
+	// The request-scattered placements need per-request identities in a
+	// deterministic order; head-split batches only need the total, so the
+	// sort is skipped on that fast path.
+	var reqIDs []int
+	if p.Block.Monolithic <= 0 && p.Placement != HeadSplit {
+		reqIDs = sortedKeys(p.Block.Attn)
+	}
+	var attnTotal simtime.Duration
+	for _, d := range p.Block.Attn {
+		attnTotal += d
+	}
 
 	// KV paging transfers run up front on each device's DMA engine; the
 	// device's first compute of the iteration waits for them.
-	memDeps := map[int][]int{}
-	for _, m := range p.MemOps {
-		d := topo.HostTransfer(m.Bytes)
-		id := g.AddMemOp(m.Label, m.Device, m.Load, d, m.Bytes)
-		memDeps[m.Device] = append(memDeps[m.Device], id)
+	var memDeps map[int][]int
+	if len(p.MemOps) > 0 {
+		memDeps = make(map[int][]int, len(p.MemOps))
+		for _, m := range p.MemOps {
+			d := topo.HostTransfer(m.Bytes)
+			id := g.AddMemOp(m.Label, m.Device, m.Load, d, m.Bytes)
+			memDeps[m.Device] = append(memDeps[m.Device], id)
+		}
 	}
 
-	// entry[w] carries, per worker of the current stage, the dependencies
-	// the next compute node must wait on.
 	layersOf := distributeLayers(p.Layers, topo.Stages)
-	var entry map[int][]int
+	labels := labelsFor(topo.Stages, p.Layers)
+
+	// Stage device lists are needed several times each; fetch them once.
+	stageDevs := make([][]int, topo.Stages)
+	for s := range stageDevs {
+		stageDevs[s] = topo.StageNodes(s)
+	}
+
+	// cv carries the per-worker positional state through the pipeline:
+	// entry[i] is the node worker i's next compute must wait on, aligned
+	// with the current stage's device list (worker i of a stage feeds
+	// worker i of the next).
+	group := len(stageDevs[0])
+	cv := converter{
+		g: g, topo: topo, p: &p, reqIDs: reqIDs, memDeps: memDeps,
+		labels:    labels,
+		attnTotal: attnTotal,
+		entry:     make([]int, group),
+		scratch:   make([]int, group),
+	}
 
 	// Stage 0: embedding on every worker.
-	stage0 := topo.StageNodes(0)
-	entry = map[int][]int{}
-	for _, dev := range stage0 {
-		id := g.AddCompute("embed", dev, p.EmbedDur, memDeps[dev]...)
-		entry[dev] = []int{id}
+	for i, dev := range stageDevs[0] {
+		cv.entry[i] = g.AddCompute("embed", dev, p.EmbedDur, memDeps[dev]...)
 	}
 
-	pimRR := 0
 	for s := 0; s < topo.Stages; s++ {
-		devs := topo.StageNodes(s)
+		devs := stageDevs[s]
 		if s > 0 {
 			// Activation transfer from the corresponding worker of the
 			// previous stage.
-			prevDevs := topo.StageNodes(s - 1)
-			next := map[int][]int{}
+			prevDevs := stageDevs[s-1]
+			label := labels.stage[s]
 			for i, dev := range devs {
-				src := prevDevs[i]
 				d := topo.P2P(p.ActBytes)
-				id := g.AddP2P(fmt.Sprintf("stage%d->%d", s-1, s), src, dev, d, p.ActBytes,
-					append(entry[src], memDeps[dev]...)...)
-				next[dev] = []int{id}
+				deps := append(cv.depsBuf[:0], cv.entry[i])
+				deps = append(deps, memDeps[dev]...)
+				cv.depsBuf = deps
+				cv.entry[i] = g.AddP2P(label, prevDevs[i], dev, d, p.ActBytes, deps...)
 			}
-			entry = next
 		}
 
 		for l := 0; l < layersOf[s]; l++ {
-			entry, pimRR = emitLayer(g, topo, p, s, l, reqIDs, entry, pimRR)
+			cv.emitLayer(s, l, devs)
 		}
 	}
 
 	// LM head on the final stage, then logits all-gather across the group.
-	lastDevs := topo.StageNodes(topo.Stages - 1)
-	headIDs := make([]int, 0, len(lastDevs))
-	for _, dev := range lastDevs {
-		headIDs = append(headIDs, g.AddCompute("lmhead", dev, p.HeadDur, entry[dev]...))
+	lastDevs := stageDevs[topo.Stages-1]
+	headIDs := cv.scratch[:0]
+	for i, dev := range lastDevs {
+		headIDs = append(headIDs, g.AddCompute("lmhead", dev, p.HeadDur, cv.entry[i]))
 	}
 	if topo.TP > 1 && p.HeadGatherBytes > 0 {
 		d := topo.AllGather(p.HeadGatherBytes, topo.TP)
 		g.AddAllReduce("logit-gather", lastDevs, d, p.HeadGatherBytes, headIDs...)
 	}
 
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	return g, nil
+	// The builders above emit in topological order; the executor
+	// validates before running, so the graph is not re-validated here.
+	return nil
 }
 
-// emitLayer adds one transformer block for stage s, returning the new
-// per-worker entry dependencies and the advanced PIM round-robin cursor.
-func emitLayer(g *Graph, topo network.Topology, p Params, s, l int, reqIDs []int, entry map[int][]int, pimRR int) (map[int][]int, int) {
-	devs := topo.StageNodes(s)
-	label := func(part string) string { return fmt.Sprintf("s%d.l%d.%s", s, l, part) }
+// converter holds the positional per-worker state and scratch buffers of
+// one Convert call, so the layer loop runs without per-layer maps or
+// allocations.
+type converter struct {
+	g       *Graph
+	topo    network.Topology
+	p       *Params
+	reqIDs  []int
+	memDeps map[int][]int
+	labels  *labelTable
+
+	attnTotal simtime.Duration // head-split per-worker attention span
+
+	entry   []int // per worker position: node its next compute waits on
+	scratch []int // per-stage staging (pre/post/block/head node IDs)
+	depsBuf []int
+	pimRR   int
+
+	// multiDeps backs the per-worker multi-dependency lists of the
+	// request-scattered attention placements.
+	multiDeps [][]int
+}
+
+// emitLayer adds one transformer block for stage s at the current entry
+// frontier, advancing it in place.
+func (cv *converter) emitLayer(s, l int, devs []int) {
+	g, topo, p := cv.g, cv.topo, cv.p
 
 	if p.Block.Monolithic > 0 {
 		// Fused block interior (sub-batch interleaved execution): one
 		// compute span per worker, then the group collective.
-		next := map[int][]int{}
-		ids := make([]int, 0, len(devs))
-		for _, dev := range devs {
-			id := g.AddCompute(label("block"), dev, p.Block.Monolithic, entry[dev]...)
+		label := cv.labels.layer[s][l][partBlock]
+		ids := cv.scratch[:0]
+		for i, dev := range devs {
+			id := g.AddCompute(label, dev, p.Block.Monolithic, cv.entry[i])
 			ids = append(ids, id)
-			next[dev] = []int{id}
+			cv.entry[i] = id
 		}
 		if topo.TP > 1 {
 			d := 2 * topo.AllReduce(p.ActBytes, topo.TP)
-			cid := g.AddAllReduce(label("allreduce"), devs, d, 2*p.ActBytes, ids...)
-			for _, dev := range devs {
-				next[dev] = []int{cid}
+			cid := g.AddAllReduce(cv.labels.layer[s][l][partAllReduce], devs, d, 2*p.ActBytes, ids...)
+			for i := range devs {
+				cv.entry[i] = cid
 			}
 		}
-		return next, pimRR
+		return
 	}
 
-	pre := map[int]int{}
-	for _, dev := range devs {
-		pre[dev] = g.AddCompute(label("pre"), dev, p.Block.Pre, entry[dev]...)
+	preLabel := cv.labels.layer[s][l][partPre]
+	pre := cv.scratch[:len(devs)]
+	for i, dev := range devs {
+		pre[i] = g.AddCompute(preLabel, dev, p.Block.Pre, cv.entry[i])
 	}
 
-	// Attention core.
-	attnDeps := map[int][]int{} // per worker, nodes Post must wait on
+	// Attention core. The head-split fast path keeps one attention node
+	// per worker in entry; the request-scattered placements accumulate
+	// per-worker dependency lists in multiDeps.
+	attnLabel := cv.labels.layer[s][l][partAttn]
+	multi := false
 	switch p.Placement {
 	case HeadSplit:
-		var total simtime.Duration
-		for _, d := range p.Block.Attn {
-			total += d
-		}
-		for _, dev := range devs {
-			id := g.AddCompute(label("attn"), dev, total, pre[dev])
-			attnDeps[dev] = []int{id}
+		for i, dev := range devs {
+			cv.entry[i] = g.AddCompute(attnLabel, dev, cv.attnTotal, pre[i])
 		}
 	case RequestSplit:
 		// Each request's full-head attention on one worker; a worker's
 		// full-head cost is its local-head cost scaled by the group size
 		// (heads are independent repetitions).
-		for i, r := range reqIDs {
-			dev := devs[i%len(devs)]
+		multi = true
+		cv.resetMulti(len(devs))
+		for i, r := range cv.reqIDs {
+			w := i % len(devs)
 			d := p.Block.Attn[r] * simtime.Duration(topo.TP)
-			id := g.AddCompute(fmt.Sprintf("%s.r%d", label("attn"), r), dev, d, pre[dev])
-			attnDeps[dev] = append(attnDeps[dev], id)
-		}
-		// Workers left without requests proceed straight from pre.
-		for _, dev := range devs {
-			if len(attnDeps[dev]) == 0 {
-				attnDeps[dev] = []int{pre[dev]}
-			}
+			id := g.AddCompute(reqLabel(attnLabel, r, ""), devs[w], d, pre[w])
+			cv.multiDeps[w] = append(cv.multiDeps[w], id)
 		}
 	case PIMPool:
+		multi = true
+		cv.resetMulti(len(devs))
 		pims := topo.PIMNodes()
-		for i, r := range reqIDs {
-			owner := devs[i%len(devs)]
-			pimDev := pims[pimRR%len(pims)]
-			pimRR++
+		for i, r := range cv.reqIDs {
+			w := i % len(devs)
+			owner := devs[w]
+			pimDev := pims[cv.pimRR%len(pims)]
+			cv.pimRR++
 			bytes := p.ReqBytes[r]
-			out := g.AddP2P(fmt.Sprintf("%s.r%d.toPIM", label("attn"), r),
-				owner, pimDev, topo.P2P(bytes), bytes, pre[owner])
-			comp := g.AddCompute(fmt.Sprintf("%s.r%d.pim", label("attn"), r),
+			out := g.AddP2P(reqLabel(attnLabel, r, ".toPIM"),
+				owner, pimDev, topo.P2P(bytes), bytes, pre[w])
+			comp := g.AddCompute(reqLabel(attnLabel, r, ".pim"),
 				pimDev, p.Block.PIMAttn[r], out)
-			back := g.AddP2P(fmt.Sprintf("%s.r%d.fromPIM", label("attn"), r),
+			back := g.AddP2P(reqLabel(attnLabel, r, ".fromPIM"),
 				pimDev, owner, topo.P2P(bytes), bytes, comp)
-			attnDeps[owner] = append(attnDeps[owner], back)
+			cv.multiDeps[w] = append(cv.multiDeps[w], back)
 		}
-		for _, dev := range devs {
-			if len(attnDeps[dev]) == 0 {
-				attnDeps[dev] = []int{pre[dev]}
+	}
+
+	postLabel := cv.labels.layer[s][l][partPost]
+	post := cv.scratch[:0] // pre is consumed above; reuse its backing
+	for i, dev := range devs {
+		var id int
+		if multi {
+			deps := cv.multiDeps[i]
+			if len(deps) == 0 {
+				// Workers without requests proceed straight from pre.
+				deps = append(deps, pre[i])
 			}
+			id = g.AddCompute(postLabel, dev, p.Block.Post, deps...)
+		} else {
+			id = g.AddCompute(postLabel, dev, p.Block.Post, cv.entry[i])
 		}
-	}
-
-	post := make([]int, 0, len(devs))
-	postByDev := map[int]int{}
-	for _, dev := range devs {
-		id := g.AddCompute(label("post"), dev, p.Block.Post, attnDeps[dev]...)
 		post = append(post, id)
-		postByDev[dev] = id
+		cv.entry[i] = id
 	}
 
-	next := map[int][]int{}
 	if topo.TP > 1 {
 		// Two ring all-reduces per block (after attention projection and
 		// after FFN2), merged into one collective node of doubled cost.
 		d := 2 * topo.AllReduce(p.ActBytes, topo.TP)
-		id := g.AddAllReduce(label("allreduce"), devs, d, 2*p.ActBytes, post...)
-		for _, dev := range devs {
-			next[dev] = []int{id}
-		}
-	} else {
-		for _, dev := range devs {
-			next[dev] = []int{postByDev[dev]}
+		id := g.AddAllReduce(cv.labels.layer[s][l][partAllReduce], devs, d, 2*p.ActBytes, post...)
+		for i := range devs {
+			cv.entry[i] = id
 		}
 	}
-	return next, pimRR
+}
+
+// resetMulti clears the per-worker multi-dependency lists.
+func (cv *converter) resetMulti(n int) {
+	if cap(cv.multiDeps) < n {
+		cv.multiDeps = make([][]int, n)
+	}
+	cv.multiDeps = cv.multiDeps[:n]
+	for i := range cv.multiDeps {
+		cv.multiDeps[i] = cv.multiDeps[i][:0]
+	}
 }
 
 // distributeLayers spreads n layers over s pipeline stages as evenly as

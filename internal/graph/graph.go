@@ -80,12 +80,34 @@ type Node struct {
 
 // Graph is a DAG of execution nodes. Nodes are stored in insertion order
 // and node IDs equal slice indices.
+//
+// Node, dependency, and resource storage is arena-backed: the Add*
+// helpers carve slices out of graph-owned backing arrays, so building a
+// graph costs a handful of amortised allocations instead of several per
+// node — graphs are built and discarded once per simulated iteration,
+// squarely on the simulator's hot path.
 type Graph struct {
 	Nodes []*Node
+
+	nodeArena []Node
+	depArena  []int
+	resArena  []Resource
 }
 
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
+
+// Reset clears the graph for rebuilding while retaining its allocated
+// capacity. One graph is built and executed per simulated iteration;
+// drivers that reuse a Graph + ConvertInto reach a steady state where
+// graph construction allocates nothing. Nodes of the previous build are
+// invalidated.
+func (g *Graph) Reset() {
+	g.Nodes = g.Nodes[:0]
+	g.nodeArena = g.nodeArena[:0]
+	g.depArena = g.depArena[:0]
+	g.resArena = g.resArena[:0]
+}
 
 // Add appends a node, assigning its ID, and returns the ID.
 func (g *Graph) Add(n *Node) int {
@@ -94,35 +116,102 @@ func (g *Graph) Add(n *Node) int {
 	return n.ID
 }
 
+// alloc carves a zeroed node out of the arena, appends it, and returns
+// it for the caller to fill in place (avoiding a full Node copy per
+// node).
+func (g *Graph) alloc() *Node {
+	if len(g.nodeArena) == cap(g.nodeArena) {
+		g.nodeArena = make([]Node, 0, growCap(len(g.Nodes)))
+	}
+	g.nodeArena = append(g.nodeArena, Node{})
+	n := &g.nodeArena[len(g.nodeArena)-1]
+	g.Add(n)
+	return n
+}
+
+// growCap sizes a fresh arena block at twice the current graph size, so
+// a reused graph converges on one block that holds a whole build (Reset
+// keeps only the newest block).
+func growCap(n int) int {
+	if n < 32 {
+		return 64
+	}
+	return 2 * n
+}
+
+// holdDeps copies a dependency list into the arena, dropping duplicates
+// (dependency lists are tiny, so a linear scan beats a set).
+func (g *Graph) holdDeps(deps []int) []int {
+	if len(deps) == 0 {
+		return nil
+	}
+	if len(g.depArena)+len(deps) > cap(g.depArena) {
+		g.depArena = make([]int, 0, growCap(4*len(g.Nodes)+len(deps)))
+	}
+	start := len(g.depArena)
+outer:
+	for i, d := range deps {
+		for _, prev := range deps[:i] {
+			if prev == d {
+				continue outer
+			}
+		}
+		g.depArena = append(g.depArena, d)
+	}
+	return g.depArena[start:len(g.depArena):len(g.depArena)]
+}
+
+// holdRes copies a resource list into the arena.
+func (g *Graph) holdRes(res ...Resource) []Resource {
+	if len(g.resArena)+len(res) > cap(g.resArena) {
+		g.resArena = make([]Resource, 0, growCap(2*len(g.Nodes)+len(res)))
+	}
+	start := len(g.resArena)
+	g.resArena = append(g.resArena, res...)
+	return g.resArena[start:len(g.resArena):len(g.resArena)]
+}
+
 // AddCompute appends a compute node on the given device.
 func (g *Graph) AddCompute(label string, device int, d simtime.Duration, deps ...int) int {
-	return g.Add(&Node{
-		Kind: Compute, Label: label, Duration: d,
-		Resources: []Resource{{ResCompute, device}},
-		Deps:      dedup(deps),
-	})
+	n := g.alloc()
+	n.Kind = Compute
+	n.Label = label
+	n.Duration = d
+	n.Resources = g.holdRes(Resource{ResCompute, device})
+	n.Deps = g.holdDeps(deps)
+	return n.ID
 }
 
 // AddAllReduce appends a collective across the given devices.
 func (g *Graph) AddAllReduce(label string, devices []int, d simtime.Duration, bytes int64, deps ...int) int {
-	res := make([]Resource, len(devices))
-	for i, dev := range devices {
-		res[i] = Resource{ResNetwork, dev}
+	if len(g.resArena)+len(devices) > cap(g.resArena) {
+		g.resArena = make([]Resource, 0, growCap(2*len(g.Nodes)+len(devices)))
 	}
-	return g.Add(&Node{
-		Kind: AllReduce, Label: label, Duration: d, Bytes: bytes,
-		Resources: res, Deps: dedup(deps),
-	})
+	start := len(g.resArena)
+	for _, dev := range devices {
+		g.resArena = append(g.resArena, Resource{ResNetwork, dev})
+	}
+	n := g.alloc()
+	n.Kind = AllReduce
+	n.Label = label
+	n.Duration = d
+	n.Bytes = bytes
+	n.Resources = g.resArena[start:len(g.resArena):len(g.resArena)]
+	n.Deps = g.holdDeps(deps)
+	return n.ID
 }
 
 // AddP2P appends a point-to-point transfer occupying both endpoints'
 // network ports.
 func (g *Graph) AddP2P(label string, src, dst int, d simtime.Duration, bytes int64, deps ...int) int {
-	return g.Add(&Node{
-		Kind: P2P, Label: label, Duration: d, Bytes: bytes,
-		Resources: []Resource{{ResNetwork, src}, {ResNetwork, dst}},
-		Deps:      dedup(deps),
-	})
+	n := g.alloc()
+	n.Kind = P2P
+	n.Label = label
+	n.Duration = d
+	n.Bytes = bytes
+	n.Resources = g.holdRes(Resource{ResNetwork, src}, Resource{ResNetwork, dst})
+	n.Deps = g.holdDeps(deps)
+	return n.ID
 }
 
 // AddMemOp appends a host paging transfer on the device's DMA engine.
@@ -131,11 +220,14 @@ func (g *Graph) AddMemOp(label string, device int, load bool, d simtime.Duration
 	if load {
 		kind = MemLoad
 	}
-	return g.Add(&Node{
-		Kind: kind, Label: label, Duration: d, Bytes: bytes,
-		Resources: []Resource{{ResHostDMA, device}},
-		Deps:      dedup(deps),
-	})
+	n := g.alloc()
+	n.Kind = kind
+	n.Label = label
+	n.Duration = d
+	n.Bytes = bytes
+	n.Resources = g.holdRes(Resource{ResHostDMA, device})
+	n.Deps = g.holdDeps(deps)
+	return n.ID
 }
 
 // Validate checks the graph is a well-formed DAG: dependencies reference
@@ -184,19 +276,4 @@ func (g *Graph) Summarize() Stats {
 		}
 	}
 	return s
-}
-
-func dedup(deps []int) []int {
-	if len(deps) <= 1 {
-		return deps
-	}
-	seen := make(map[int]bool, len(deps))
-	out := deps[:0]
-	for _, d := range deps {
-		if !seen[d] {
-			seen[d] = true
-			out = append(out, d)
-		}
-	}
-	return out
 }

@@ -6,6 +6,12 @@
 // memory and reloaded later (Section IV-A "KV cache-aware memory
 // modeling"). A max-length preallocation manager reproduces the
 // conventional scheme vLLM improves on, for the paging ablation.
+//
+// The manager is built for simulation hot loops: eviction order is kept
+// in an intrusive max-heap over resident sequences and a min-heap over
+// evicted ones, and occupancy statistics are maintained incrementally,
+// so EvictLast, OldestEvicted, ResidentCount, EvictedCount, and Stats
+// are O(log n) or O(1) rather than scans of the sequence map.
 package kvcache
 
 import (
@@ -74,6 +80,95 @@ type seq struct {
 	pages  int
 	onHost bool
 	order  int // admission order, used as the eviction tiebreak
+	hidx   int // index in the resident/evicted heap it currently lives in
+}
+
+// orderHeap is an intrusive binary heap of sequences keyed by admission
+// order. max selects newest-first (the resident eviction heap) vs
+// oldest-first (the evicted reload heap). Every member's hidx tracks its
+// slot so arbitrary removal (Release, Reload) stays O(log n).
+type orderHeap struct {
+	s   []*seq
+	max bool
+}
+
+func (h *orderHeap) before(a, b *seq) bool {
+	if h.max {
+		return a.order > b.order
+	}
+	return a.order < b.order
+}
+
+func (h *orderHeap) len() int { return len(h.s) }
+
+func (h *orderHeap) peek() *seq {
+	if len(h.s) == 0 {
+		return nil
+	}
+	return h.s[0]
+}
+
+func (h *orderHeap) push(x *seq) {
+	x.hidx = len(h.s)
+	h.s = append(h.s, x)
+	h.up(x.hidx)
+}
+
+// remove deletes the element at heap index i.
+func (h *orderHeap) remove(i int) {
+	n := len(h.s) - 1
+	h.s[i].hidx = -1
+	if i != n {
+		h.s[i] = h.s[n]
+		h.s[i].hidx = i
+	}
+	h.s = h.s[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *orderHeap) pop() *seq {
+	top := h.s[0]
+	h.remove(0)
+	return top
+}
+
+func (h *orderHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.s[i], h.s[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *orderHeap) down(i int) {
+	n := len(h.s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.before(h.s[l], h.s[best]) {
+			best = l
+		}
+		if r < n && h.before(h.s[r], h.s[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *orderHeap) swap(i, j int) {
+	h.s[i], h.s[j] = h.s[j], h.s[i]
+	h.s[i].hidx = i
+	h.s[j].hidx = j
 }
 
 // Stats reports manager occupancy.
@@ -100,6 +195,13 @@ type Manager struct {
 	admitted  int
 	evictions int64
 	reloads   int64
+
+	resident orderHeap // resident sequences, newest admission on top
+	evicted  orderHeap // host-resident sequences, oldest admission on top
+
+	// Incrementally maintained occupancy counters (see Stats).
+	residentTokens int
+	fragTokens     int
 }
 
 // New creates a manager; capacity is rounded down to whole pages.
@@ -118,6 +220,8 @@ func New(cfg Config) (*Manager, error) {
 		total:     total,
 		free:      total,
 		seqs:      make(map[int]*seq),
+		resident:  orderHeap{max: true},
+		evicted:   orderHeap{max: false},
 	}, nil
 }
 
@@ -147,6 +251,15 @@ func (m *Manager) CanAdmit(tokens int) bool {
 	return m.pagesFor(tokens) <= m.free
 }
 
+// CanEverAdmit reports whether a sequence that grows to maxTokens could
+// ever hold device pages, even with every other sequence evicted. A
+// request failing this check can never be served by this manager and
+// must be rejected up front, or it would stall the admission queue
+// forever.
+func (m *Manager) CanEverAdmit(maxTokens int) bool {
+	return maxTokens > 0 && maxTokens <= m.cfg.MaxSeqLen && m.pagesFor(maxTokens) <= m.total
+}
+
 // Admit allocates pages for a new sequence. It fails if the sequence is
 // unknown to fit (callers decide eviction policy via EvictLast).
 func (m *Manager) Admit(id, tokens int) error {
@@ -164,8 +277,12 @@ func (m *Manager) Admit(id, tokens int) error {
 		return fmt.Errorf("kvcache: seq %d needs %d pages, only %d free", id, need, m.free)
 	}
 	m.free -= need
-	m.seqs[id] = &seq{id: id, tokens: tokens, pages: need, order: m.admitted}
+	s := &seq{id: id, tokens: tokens, pages: need, order: m.admitted}
+	m.seqs[id] = s
 	m.admitted++
+	m.resident.push(s)
+	m.residentTokens += tokens
+	m.fragTokens += need*m.cfg.PageTokens - tokens
 	return nil
 }
 
@@ -193,6 +310,8 @@ func (m *Manager) Extend(id, n int) (newPages int, err error) {
 	m.free -= need
 	s.pages += need
 	s.tokens += n
+	m.residentTokens += n
+	m.fragTokens += need*m.cfg.PageTokens - n
 	return need, nil
 }
 
@@ -201,6 +320,12 @@ func (m *Manager) Resident(id int) bool {
 	s, ok := m.seqs[id]
 	return ok && !s.onHost
 }
+
+// ResidentCount returns how many sequences hold device pages.
+func (m *Manager) ResidentCount() int { return m.resident.len() }
+
+// EvictedCount returns how many sequences live on the host.
+func (m *Manager) EvictedCount() int { return m.evicted.len() }
 
 // Tokens returns the cached token count of a sequence (0 if unknown).
 func (m *Manager) Tokens(id int) int {
@@ -223,40 +348,56 @@ func (m *Manager) SeqBytes(id int) int64 {
 // of the last added requests are evicted"). It returns the evicted
 // sequence ID and the bytes moved, or ok=false if nothing is resident.
 func (m *Manager) EvictLast() (id int, bytes int64, ok bool) {
-	var victim *seq
-	for _, s := range m.seqs {
-		if s.onHost {
-			continue
-		}
-		if victim == nil || s.order > victim.order {
-			victim = s
-		}
-	}
-	if victim == nil {
+	if m.resident.len() == 0 {
 		return 0, 0, false
 	}
+	victim := m.resident.pop()
 	bytes = int64(victim.pages) * m.pageBytes
 	m.free += victim.pages
+	m.residentTokens -= victim.tokens
+	m.fragTokens -= victim.pages*m.cfg.PageTokens - victim.tokens
 	victim.pages = 0
 	victim.onHost = true
+	m.evicted.push(victim)
 	m.evictions++
 	return victim.id, bytes, true
 }
 
+// OldestEvicted returns the host-resident sequence that was admitted
+// first — the next reload candidate — without allocating.
+func (m *Manager) OldestEvicted() (id int, ok bool) {
+	if s := m.evicted.peek(); s != nil {
+		return s.id, true
+	}
+	return 0, false
+}
+
 // Evicted returns the IDs of host-resident sequences, oldest first.
 func (m *Manager) Evicted() []int {
-	var out []*seq
-	for _, s := range m.seqs {
-		if s.onHost {
-			out = append(out, s)
-		}
+	if m.evicted.len() == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
-	ids := make([]int, len(out))
-	for i, s := range out {
+	ids := make([]int, m.evicted.len())
+	orders := make([]int, m.evicted.len())
+	for i, s := range m.evicted.s {
 		ids[i] = s.id
+		orders[i] = s.order
 	}
+	sort.Sort(&byOrder{ids: ids, orders: orders})
 	return ids
+}
+
+// byOrder sorts ids by their parallel admission orders.
+type byOrder struct {
+	ids    []int
+	orders []int
+}
+
+func (b *byOrder) Len() int           { return len(b.ids) }
+func (b *byOrder) Less(i, j int) bool { return b.orders[i] < b.orders[j] }
+func (b *byOrder) Swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.orders[i], b.orders[j] = b.orders[j], b.orders[i]
 }
 
 // CanReload reports whether an evicted sequence fits back on device.
@@ -282,6 +423,10 @@ func (m *Manager) Reload(id int) (bytes int64, err error) {
 	m.free -= need
 	s.pages = need
 	s.onHost = false
+	m.evicted.remove(s.hidx)
+	m.resident.push(s)
+	m.residentTokens += s.tokens
+	m.fragTokens += need*m.cfg.PageTokens - s.tokens
 	m.reloads++
 	return int64(need) * m.pageBytes, nil
 }
@@ -292,48 +437,83 @@ func (m *Manager) Release(id int) error {
 	if !ok {
 		return fmt.Errorf("kvcache: release unknown seq %d", id)
 	}
-	if !s.onHost {
+	if s.onHost {
+		m.evicted.remove(s.hidx)
+	} else {
 		m.free += s.pages
+		m.residentTokens -= s.tokens
+		m.fragTokens -= s.pages*m.cfg.PageTokens - s.tokens
+		m.resident.remove(s.hidx)
 	}
 	delete(m.seqs, id)
 	return nil
 }
 
-// Stats returns an occupancy snapshot.
+// Stats returns an occupancy snapshot in O(1) from the incrementally
+// maintained counters.
 func (m *Manager) Stats() Stats {
-	st := Stats{
-		TotalPages: m.total,
-		FreePages:  m.free,
-		Evictions:  m.evictions,
-		Reloads:    m.reloads,
+	return Stats{
+		TotalPages:         m.total,
+		FreePages:          m.free,
+		ResidentSeqs:       m.resident.len(),
+		EvictedSeqs:        m.evicted.len(),
+		ResidentTokens:     m.residentTokens,
+		InternalFragTokens: m.fragTokens,
+		Evictions:          m.evictions,
+		Reloads:            m.reloads,
 	}
-	for _, s := range m.seqs {
-		if s.onHost {
-			st.EvictedSeqs++
-			continue
-		}
-		st.ResidentSeqs++
-		st.ResidentTokens += s.tokens
-		st.InternalFragTokens += s.pages*m.cfg.PageTokens - s.tokens
-	}
-	return st
 }
 
 // Invariant checks internal consistency; tests call it after mutation
-// sequences.
+// sequences. It recounts every incrementally maintained quantity from
+// scratch and cross-checks the heaps, so property tests catch counter
+// drift as well as page-accounting bugs.
 func (m *Manager) Invariant() error {
-	used := 0
+	used, residentTokens, fragTokens, residentSeqs, evictedSeqs := 0, 0, 0, 0, 0
 	for _, s := range m.seqs {
-		if s.onHost && s.pages != 0 {
-			return fmt.Errorf("kvcache: evicted seq %d still holds %d pages", s.id, s.pages)
-		}
-		if !s.onHost && s.pages < m.pagesFor(s.tokens) && m.cfg.Policy == Paged {
-			return fmt.Errorf("kvcache: seq %d holds %d pages for %d tokens", s.id, s.pages, s.tokens)
+		if s.onHost {
+			if s.pages != 0 {
+				return fmt.Errorf("kvcache: evicted seq %d still holds %d pages", s.id, s.pages)
+			}
+			evictedSeqs++
+		} else {
+			if s.pages < m.pagesFor(s.tokens) && m.cfg.Policy == Paged {
+				return fmt.Errorf("kvcache: seq %d holds %d pages for %d tokens", s.id, s.pages, s.tokens)
+			}
+			residentSeqs++
+			residentTokens += s.tokens
+			fragTokens += s.pages*m.cfg.PageTokens - s.tokens
 		}
 		used += s.pages
 	}
 	if used+m.free != m.total {
 		return fmt.Errorf("kvcache: page accounting broken: used %d + free %d != total %d", used, m.free, m.total)
+	}
+	if residentSeqs != m.resident.len() || evictedSeqs != m.evicted.len() {
+		return fmt.Errorf("kvcache: heap sizes resident=%d evicted=%d, recount resident=%d evicted=%d",
+			m.resident.len(), m.evicted.len(), residentSeqs, evictedSeqs)
+	}
+	if residentTokens != m.residentTokens {
+		return fmt.Errorf("kvcache: resident tokens counter %d, recount %d", m.residentTokens, residentTokens)
+	}
+	if fragTokens != m.fragTokens {
+		return fmt.Errorf("kvcache: frag tokens counter %d, recount %d", m.fragTokens, fragTokens)
+	}
+	for _, h := range []*orderHeap{&m.resident, &m.evicted} {
+		for i, s := range h.s {
+			if s.hidx != i {
+				return fmt.Errorf("kvcache: seq %d heap index %d, stored at %d", s.id, s.hidx, i)
+			}
+			if i > 0 && h.before(s, h.s[(i-1)/2]) {
+				return fmt.Errorf("kvcache: heap property violated at index %d (seq %d)", i, s.id)
+			}
+			if got, ok := m.seqs[s.id]; !ok || got != s {
+				return fmt.Errorf("kvcache: heap entry %d not in sequence map", s.id)
+			}
+			if s.onHost != !h.max {
+				return fmt.Errorf("kvcache: seq %d onHost=%v in wrong heap", s.id, s.onHost)
+			}
+		}
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Seq describes one request's contribution to an iteration batch.
@@ -36,6 +37,41 @@ type IterationOps struct {
 
 	TotalNewTokens int // sum of NewTokens over the batch
 	Seqs           []Seq
+
+	// attnNames caches the per-request attention operator names, which
+	// are re-minted once per generated token for a request's whole
+	// lifetime. The cache lives (and is freed) with this IterationOps,
+	// so reused instances stay allocation-free in steady state without a
+	// process-global table growing across runs; it is additionally
+	// capped (entries for long-finished requests are dead weight on
+	// million-request traces) and simply reset at the cap — in-flight
+	// requests re-mint on the next batch.
+	attnNames map[int]attnNameTriple
+}
+
+type attnNameTriple struct{ score, softmax, attend string }
+
+// attnNameCacheLimit bounds attnNames; the concurrently in-flight set
+// is KV-bounded and far smaller, so resets are rare and cheap.
+const attnNameCacheLimit = 1 << 16
+
+// attnNamesFor returns the request's cached attention op names.
+func (it *IterationOps) attnNamesFor(id int) attnNameTriple {
+	if nm, ok := it.attnNames[id]; ok {
+		return nm
+	}
+	if it.attnNames == nil {
+		it.attnNames = map[int]attnNameTriple{}
+	} else if len(it.attnNames) >= attnNameCacheLimit {
+		clear(it.attnNames)
+	}
+	nm := attnNameTriple{
+		score:   reqOpName("Score.r", id),
+		softmax: reqOpName("Softmax.r", id),
+		attend:  reqOpName("Attend.r", id),
+	}
+	it.attnNames[id] = nm
+	return nm
 }
 
 // BuildIteration constructs the operator workload for one iteration over
@@ -43,25 +79,37 @@ type IterationOps struct {
 // attention heads are partitioned tp ways, so the returned shapes describe
 // the work of a single tensor-parallel worker.
 func BuildIteration(cfg Config, batch []Seq, tp int) (*IterationOps, error) {
-	if err := cfg.Validate(); err != nil {
+	it := &IterationOps{}
+	if err := BuildIterationInto(it, cfg, batch, tp); err != nil {
 		return nil, err
+	}
+	return it, nil
+}
+
+// BuildIterationInto is BuildIteration building into a reusable
+// IterationOps: the operator and sequence storage of it is recycled, so
+// iteration-driving hot loops build each batch's workload without
+// allocating. On error it is left in an undefined state.
+func BuildIterationInto(it *IterationOps, cfg Config, batch []Seq, tp int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if err := cfg.SplitTensorParallel(tp); err != nil {
-		return nil, err
+		return err
 	}
 	if len(batch) == 0 {
-		return nil, fmt.Errorf("model: empty batch")
+		return fmt.Errorf("model: empty batch")
 	}
 	totalNew := 0
 	for i, s := range batch {
 		if s.NewTokens <= 0 {
-			return nil, fmt.Errorf("model: batch[%d] (req %d) has NewTokens=%d", i, s.ReqID, s.NewTokens)
+			return fmt.Errorf("model: batch[%d] (req %d) has NewTokens=%d", i, s.ReqID, s.NewTokens)
 		}
 		if s.Context < 0 {
-			return nil, fmt.Errorf("model: batch[%d] (req %d) has negative context", i, s.ReqID)
+			return fmt.Errorf("model: batch[%d] (req %d) has negative context", i, s.ReqID)
 		}
 		if s.TotalLen() > cfg.MaxSeqLen {
-			return nil, fmt.Errorf("model: batch[%d] (req %d) length %d exceeds max %d",
+			return fmt.Errorf("model: batch[%d] (req %d) length %d exceeds max %d",
 				i, s.ReqID, s.TotalLen(), cfg.MaxSeqLen)
 		}
 		totalNew += s.NewTokens
@@ -83,12 +131,14 @@ func BuildIteration(cfg Config, batch []Seq, tp int) (*IterationOps, error) {
 	vocabShard := ceilShard(cfg.Vocab, tp)
 	phase := batchPhase(batch)
 
-	it := &IterationOps{
+	*it = IterationOps{
 		Model:          cfg,
 		TP:             tp,
 		Layers:         cfg.Layers,
 		TotalNewTokens: totalNew,
-		Seqs:           append([]Seq(nil), batch...),
+		Seqs:           append(it.Seqs[:0], batch...),
+		Block:          it.Block[:0],
+		attnNames:      it.attnNames,
 	}
 
 	it.Embed = Op{
@@ -96,7 +146,10 @@ func BuildIteration(cfg Config, batch []Seq, tp int) (*IterationOps, error) {
 		M: totalNew, N: h, K: 1, Heads: 1, ReqID: -1, Batched: true,
 	}
 
-	block := make([]Op, 0, 8+3*len(batch))
+	block := it.Block
+	if cap(block) < 8+3*len(batch) {
+		block = make([]Op, 0, 8+3*len(batch))
+	}
 	block = append(block, Op{
 		Kind: OpLayerNorm, Name: "LayerNorm1", Phase: phase,
 		M: totalNew, N: h, K: 1, Heads: 1, ReqID: -1, Batched: true,
@@ -110,19 +163,20 @@ func BuildIteration(cfg Config, batch []Seq, tp int) (*IterationOps, error) {
 	// this worker's localHeads heads (selective batching).
 	for _, s := range batch {
 		ctx := s.TotalLen()
+		nm := it.attnNamesFor(s.ReqID)
 		block = append(block,
 			Op{
-				Kind: OpScore, Name: fmt.Sprintf("Score.r%d", s.ReqID), Phase: phase,
+				Kind: OpScore, Name: nm.score, Phase: phase,
 				M: s.NewTokens, N: ctx, K: headDim,
 				Heads: localHeads, ReqID: s.ReqID, Context: ctx,
 			},
 			Op{
-				Kind: OpSoftmax, Name: fmt.Sprintf("Softmax.r%d", s.ReqID), Phase: phase,
+				Kind: OpSoftmax, Name: nm.softmax, Phase: phase,
 				M: s.NewTokens, N: ctx, K: 1,
 				Heads: localHeads, ReqID: s.ReqID, Context: ctx,
 			},
 			Op{
-				Kind: OpAttend, Name: fmt.Sprintf("Attend.r%d", s.ReqID), Phase: phase,
+				Kind: OpAttend, Name: nm.attend, Phase: phase,
 				M: s.NewTokens, N: headDim, K: ctx,
 				Heads: localHeads, ReqID: s.ReqID, Context: ctx,
 			},
@@ -188,7 +242,7 @@ func BuildIteration(cfg Config, batch []Seq, tp int) (*IterationOps, error) {
 		M: len(batch), N: vocabShard, K: h, Heads: 1, ReqID: -1, Batched: true,
 		Weights: int64(vocabShard) * int64(h) * int64(d),
 	}
-	return it, nil
+	return nil
 }
 
 // batchPhase labels a mixed batch: Initiation if any sequence is in its
@@ -269,4 +323,12 @@ func (it *IterationOps) ContextLengths() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// reqOpName builds "<prefix><id>" without fmt.
+func reqOpName(prefix string, id int) string {
+	b := make([]byte, 0, len(prefix)+8)
+	b = append(b, prefix...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	return string(b)
 }

@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Phase distinguishes the two inference phases of a decoder LLM.
 type Phase int
@@ -163,10 +166,41 @@ func (o Op) ArithmeticIntensity(dtypeBytes int) float64 {
 	return float64(o.FLOPs()) / float64(b)
 }
 
+// ShapeID is the comparable form of ShapeKey: the same identity as a
+// value struct, so hot-loop result caches can key on it directly without
+// minting a string per lookup.
+type ShapeID struct {
+	Kind    OpKind
+	Phase   Phase
+	M, N, K int
+	Heads   int
+	Context int
+}
+
+// ShapeID returns the op's caching identity (see ShapeKey).
+func (o Op) ShapeID() ShapeID {
+	return ShapeID{Kind: o.Kind, Phase: o.Phase, M: o.M, N: o.N, K: o.K, Heads: o.Heads, Context: o.Context}
+}
+
 // ShapeKey returns a canonical identity for result caching: two ops with
 // equal keys have identical simulated cost on a given engine. The key
 // deliberately excludes ReqID and Name so the computation-reuse cache hits
-// across layers, iterations, and requests.
+// across layers, iterations, and requests. It is computed once per
+// operator per iteration, so it is built with appends rather than fmt.
 func (o Op) ShapeKey() string {
-	return fmt.Sprintf("%s/p%d/m%d.n%d.k%d.h%d.c%d", o.Kind, o.Phase, o.M, o.N, o.K, o.Heads, o.Context)
+	b := make([]byte, 0, 48)
+	b = append(b, o.Kind.String()...)
+	b = append(b, "/p"...)
+	b = strconv.AppendInt(b, int64(o.Phase), 10)
+	b = append(b, "/m"...)
+	b = strconv.AppendInt(b, int64(o.M), 10)
+	b = append(b, ".n"...)
+	b = strconv.AppendInt(b, int64(o.N), 10)
+	b = append(b, ".k"...)
+	b = strconv.AppendInt(b, int64(o.K), 10)
+	b = append(b, ".h"...)
+	b = strconv.AppendInt(b, int64(o.Heads), 10)
+	b = append(b, ".c"...)
+	b = strconv.AppendInt(b, int64(o.Context), 10)
+	return string(b)
 }

@@ -1,0 +1,184 @@
+package sched
+
+// Regression tests for the head-of-line stall: a request whose prompt
+// can never be admitted (longer than the model context, or than the
+// whole KV budget) used to block the admission loop forever — admit()
+// would break on it every iteration, and Next would eventually report
+// the scheduler done with work still pending. Such requests must be
+// rejected with a recorded error and the queue must keep moving.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func rejectKV(t *testing.T, pages, maxSeqLen int) *kvcache.Manager {
+	t.Helper()
+	m, err := kvcache.New(kvcache.Config{
+		Policy:        kvcache.Paged,
+		PageTokens:    16,
+		BytesPerToken: 1024,
+		CapacityBytes: int64(pages) * 16 * 1024,
+		MaxSeqLen:     maxSeqLen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// drainAll runs the scheduler to completion, bounding iterations so a
+// reintroduced stall fails fast instead of hanging the test.
+func drainAll(t *testing.T, s *Scheduler) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		b, ok := s.Next()
+		if !ok {
+			if !s.Done() {
+				t.Fatal("Next reported done with work still pending (head-of-line stall)")
+			}
+			return
+		}
+		if err := s.Complete(b, simtime.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("scheduler did not drain in 10000 iterations (stalled)")
+}
+
+func TestOversizedPromptRejectedNotStalled(t *testing.T) {
+	// Request 0's prompt exceeds MaxSeqLen: pre-fix, admit() broke on it
+	// forever and request 1 (behind it) was never served.
+	s, err := New(Config{Policy: Orca}, rejectKV(t, 64, 128), []workload.Request{
+		{ID: 0, InputLen: 256, OutputLen: 4},
+		{ID: 1, InputLen: 16, OutputLen: 4, Arrival: simtime.AtSeconds(0.001)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+
+	if got := len(s.Finished()); got != 1 || s.Finished()[0].Req.ID != 1 {
+		t.Fatalf("finished %v, want request 1 only", s.Finished())
+	}
+	rej := s.Rejected()
+	if len(rej) != 1 || rej[0].Req.ID != 0 {
+		t.Fatalf("rejected %v, want request 0", rej)
+	}
+	if rej[0].Err == nil || !strings.Contains(rej[0].Err.Error(), "can never be admitted") {
+		t.Fatalf("rejection error %v", rej[0].Err)
+	}
+	if !s.Done() {
+		t.Fatal("scheduler must report done")
+	}
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("drained scheduler must have no next event")
+	}
+}
+
+func TestPromptBeyondWholeCacheRejected(t *testing.T) {
+	// 4 pages = 64 tokens of device memory; a 100-token prompt fits the
+	// context limit but can never fit the device, even fully evicted.
+	s, err := New(Config{Policy: Orca}, rejectKV(t, 4, 1024), []workload.Request{
+		{ID: 0, InputLen: 100, OutputLen: 4},
+		{ID: 1, InputLen: 16, OutputLen: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+	if got := len(s.Finished()); got != 1 {
+		t.Fatalf("finished %d, want 1", got)
+	}
+	if rej := s.Rejected(); len(rej) != 1 || rej[0].Req.ID != 0 {
+		t.Fatalf("rejected %v, want request 0", rej)
+	}
+}
+
+func TestAllRequestsRejectedDrains(t *testing.T) {
+	s, err := New(Config{Policy: Static}, rejectKV(t, 64, 32), []workload.Request{
+		{ID: 0, InputLen: 64, OutputLen: 2},
+		{ID: 1, InputLen: 64, OutputLen: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.Next(); ok {
+		t.Fatalf("nothing servable, got batch %+v", b)
+	}
+	if !s.Done() {
+		t.Fatal("all-rejected scheduler must be done")
+	}
+	if got := len(s.Rejected()); got != 2 {
+		t.Fatalf("rejected %d, want 2", got)
+	}
+}
+
+// TestEvictedRequestNotStrandedByTrailingRejection covers the
+// interaction of the rejection path with thrash recovery: request A is
+// evicted (its growth cannot fit the one-page cache) in the same Next
+// call that rejects trailing unservable request B, draining the pending
+// queue. Next must fall through to the forced-reload path and finish A
+// rather than reporting done with A stranded in the evicted set.
+func TestEvictedRequestNotStrandedByTrailingRejection(t *testing.T) {
+	s, err := New(Config{Policy: Orca}, rejectKV(t, 1, 1024), []workload.Request{
+		{ID: 0, InputLen: 16, OutputLen: 4},
+		{ID: 1, InputLen: 100, OutputLen: 4, Arrival: simtime.AtSeconds(0.001)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+	if got := len(s.Finished()); got != 1 || s.Finished()[0].Req.ID != 0 {
+		t.Fatalf("finished %v, want request 0", s.Finished())
+	}
+	if rej := s.Rejected(); len(rej) != 1 || rej[0].Req.ID != 1 {
+		t.Fatalf("rejected %v, want request 1", rej)
+	}
+}
+
+// TestTotalLengthBeyondContextRejected: a prompt that fits but whose
+// prompt+output growth breaks MaxSeqLen used to abort the whole run
+// mid-decode (thrash recovery eventually emits an over-long sequence
+// the model layer refuses); it must be rejected up front instead.
+func TestTotalLengthBeyondContextRejected(t *testing.T) {
+	s, err := New(Config{Policy: Orca}, rejectKV(t, 64, 128), []workload.Request{
+		{ID: 0, InputLen: 120, OutputLen: 20}, // total-1 = 139 > 128
+		{ID: 1, InputLen: 16, OutputLen: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+	if got := len(s.Finished()); got != 1 || s.Finished()[0].Req.ID != 1 {
+		t.Fatalf("finished %v, want request 1 only", s.Finished())
+	}
+	if rej := s.Rejected(); len(rej) != 1 || rej[0].Req.ID != 0 {
+		t.Fatalf("rejected %v, want request 0", rej)
+	}
+}
+
+// TestGrowthBeyondBudgetStillServed pins the boundary of the rejection
+// policy: a request whose *growth* (not prompt) exceeds the KV budget is
+// still served via the eviction/reload thrash-recovery path, exactly as
+// before the rejection path existed.
+func TestGrowthBeyondBudgetStillServed(t *testing.T) {
+	// 4 pages = 64 tokens; prompt fits, final length 64+32-1 does not.
+	s, err := New(Config{Policy: Orca}, rejectKV(t, 4, 1024), []workload.Request{
+		{ID: 0, InputLen: 60, OutputLen: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+	if got := len(s.Finished()); got != 1 {
+		t.Fatalf("finished %d, want 1 (thrash-recovery must still serve)", got)
+	}
+	if got := len(s.Rejected()); got != 0 {
+		t.Fatalf("rejected %d, want 0", got)
+	}
+}

@@ -68,6 +68,11 @@ type PageOp struct {
 }
 
 // Batch is one iteration's scheduled work.
+//
+// To keep the per-iteration hot loop allocation-free, Seqs, PageOps, and
+// SubBatch alias buffers owned by the Scheduler that are recycled on the
+// following Next call: a Batch is valid until the next call to Next.
+// Drivers that need to retain one longer must copy it.
 type Batch struct {
 	Time    simtime.Time // iteration start (scheduler clock)
 	Seqs    []model.Seq
@@ -88,12 +93,31 @@ type Finished struct {
 	Completed  simtime.Time
 }
 
-// reqState tracks a request through its serving lifetime.
+// Rejected records one request the scheduler refused to serve: its
+// prompt can never be admitted on this instance (longer than the model
+// context limit or the whole KV budget), or its total length breaks the
+// context limit mid-decode. Without this path an unservable request
+// would stall admission forever — the head-of-line requests behind it
+// could never be admitted and Next would report the trace done with
+// work still pending — or abort the whole run once its growth hit the
+// context cap.
+type Rejected struct {
+	Req  workload.Request
+	Time simtime.Time // scheduler clock when the request was refused
+	Err  error
+}
+
+// reqState tracks a request through its serving lifetime. States form an
+// intrusive doubly-linked list in admission order, alongside an
+// ID-indexed map, so lookup and removal are O(1) while iteration keeps
+// the admission order the eviction policy and batch formation rely on.
 type reqState struct {
 	req       workload.Request
 	generated int
 	prefilled bool
 	first     simtime.Time
+
+	prev, next *reqState
 }
 
 // Scheduler forms iteration batches from a request trace against a KV
@@ -104,12 +128,26 @@ type Scheduler struct {
 
 	pending       []workload.Request // arrival-sorted, not yet admitted
 	cursor        int
-	pendingTokens int64       // total tokens of pending[cursor:]
-	active        []*reqState // admission order
-	clock         simtime.Time
+	pendingTokens int64 // total tokens of pending[cursor:]
+
+	// Active set: admission-order intrusive list + ID index.
+	head, tail *reqState
+	byID       map[int]*reqState
+
+	clock simtime.Time
 
 	finished   []Finished
+	rejected   []Rejected
 	iterations int
+
+	// Iteration-scoped buffers recycled across Next calls (see Batch).
+	batchBuf Batch
+	seqBuf   []model.Seq
+	opsBuf   []PageOp
+	iterEvic map[int]bool
+	subBuf   map[int]int
+	orderBuf []model.Seq
+	loadBuf  []int
 }
 
 // New creates a scheduler over the given trace. The trace is sorted by
@@ -131,7 +169,13 @@ func New(cfg Config, kv *kvcache.Manager, reqs []workload.Request) (*Scheduler, 
 	}
 	sorted := append([]workload.Request(nil), reqs...)
 	workload.SortByArrival(sorted)
-	s := &Scheduler{cfg: cfg, kv: kv, pending: sorted}
+	s := &Scheduler{
+		cfg:      cfg,
+		kv:       kv,
+		pending:  sorted,
+		byID:     make(map[int]*reqState),
+		iterEvic: make(map[int]bool),
+	}
 	for _, r := range sorted {
 		s.pendingTokens += int64(r.TotalLen())
 	}
@@ -170,7 +214,7 @@ func (s *Scheduler) NextEventTime() (t simtime.Time, ok bool) {
 	if s.Done() {
 		return 0, false
 	}
-	if len(s.active) > 0 || s.anyEvicted() {
+	if s.head != nil || s.kv.EvictedCount() > 0 {
 		return s.clock, true
 	}
 	return simtime.Later(s.clock, s.pending[s.cursor].Arrival.Add(s.cfg.BatchDelay)), true
@@ -184,7 +228,7 @@ func (s *Scheduler) NextEventTime() (t simtime.Time, ok bool) {
 // tracked incrementally and only the KV-bounded active set is scanned.
 func (s *Scheduler) QueuedTokens() int64 {
 	n := s.pendingTokens
-	for _, st := range s.active {
+	for st := s.head; st != nil; st = st.next {
 		if st.prefilled {
 			n += int64(st.req.OutputLen - st.generated)
 		} else {
@@ -196,7 +240,7 @@ func (s *Scheduler) QueuedTokens() int64 {
 
 // QueuedRequests returns how many requests are waiting or in flight.
 func (s *Scheduler) QueuedRequests() int {
-	return len(s.pending) - s.cursor + len(s.active)
+	return len(s.pending) - s.cursor + len(s.byID)
 }
 
 // Iterations returns how many batches have completed.
@@ -205,21 +249,54 @@ func (s *Scheduler) Iterations() int { return s.iterations }
 // Finished returns the completed requests so far, in completion order.
 func (s *Scheduler) Finished() []Finished { return s.finished }
 
-// Done reports whether all requests have completed.
+// Rejected returns the requests refused as unservable, in refusal order.
+func (s *Scheduler) Rejected() []Rejected { return s.rejected }
+
+// Done reports whether all requests have completed (or been rejected).
 func (s *Scheduler) Done() bool {
-	return s.cursor == len(s.pending) && len(s.active) == 0
+	return s.cursor == len(s.pending) && len(s.byID) == 0
+}
+
+// pushActive appends st at the tail of the admission-order list.
+func (s *Scheduler) pushActive(st *reqState) {
+	st.prev = s.tail
+	if s.tail != nil {
+		s.tail.next = st
+	} else {
+		s.head = st
+	}
+	s.tail = st
+	s.byID[st.req.ID] = st
+}
+
+// dropActive unlinks st from the admission-order list.
+func (s *Scheduler) dropActive(st *reqState) {
+	if st.prev != nil {
+		st.prev.next = st.next
+	} else {
+		s.head = st.next
+	}
+	if st.next != nil {
+		st.next.prev = st.prev
+	} else {
+		s.tail = st.prev
+	}
+	st.prev, st.next = nil, nil
+	delete(s.byID, st.req.ID)
 }
 
 // Next forms the next iteration batch (Algorithm 1, line 1 "Batch
 // formatting"). It advances the clock to the next arrival when the system
-// is idle. ok is false when all requests have completed.
+// is idle. ok is false when all requests have completed. The returned
+// Batch aliases scheduler-owned buffers and is valid until the next call
+// to Next.
 func (s *Scheduler) Next() (b *Batch, ok bool) {
 	if s.Done() {
 		return nil, false
 	}
 	// Idle system: jump to the next arrival (plus the configured batching
 	// delay to accumulate a fuller first batch).
-	if len(s.active) == 0 && !s.anyEvicted() {
+	if s.head == nil && s.kv.EvictedCount() == 0 {
 		arr := s.pending[s.cursor].Arrival
 		t := arr.Add(s.cfg.BatchDelay)
 		if s.clock.Before(t) {
@@ -227,12 +304,13 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 		}
 	}
 
-	var ops []PageOp
+	ops := s.opsBuf[:0]
 
 	// Reload previously evicted sequences when memory permits (oldest
 	// first, as the paper reloads "for processing in subsequent batches").
-	for _, id := range s.kv.Evicted() {
-		if !s.kv.CanReload(id) {
+	for {
+		id, ok := s.kv.OldestEvicted()
+		if !ok || !s.kv.CanReload(id) {
 			break
 		}
 		bytes, err := s.kv.Reload(id)
@@ -243,28 +321,28 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 	}
 
 	// Admit new arrivals under Orca (Static admits only when drained).
-	if s.cfg.Policy == Orca || len(s.active) == 0 {
-		s.admit(&ops)
+	if s.cfg.Policy == Orca || s.head == nil {
+		s.admit()
 	}
 
 	// Grow every resident running sequence by one token slot; on memory
 	// exhaustion, evict the most recently admitted sequences until the
 	// growth fits (the paper's eviction policy).
-	batchSeqs := make([]model.Seq, 0, len(s.active))
+	batchSeqs := s.seqBuf[:0]
 	var promptTokens, decodeSeqs int
-	evictedThisIter := map[int]bool{}
+	clear(s.iterEvic)
 	count := 0
-	for _, st := range s.active {
+	for st := s.head; st != nil; st = st.next {
 		if s.cfg.MaxBatch > 0 && count >= s.cfg.MaxBatch {
 			break
 		}
 		id := st.req.ID
-		if evictedThisIter[id] || !s.kv.Resident(id) {
+		if s.iterEvic[id] || !s.kv.Resident(id) {
 			continue
 		}
 		if st.prefilled {
 			// Reserve the KV slot for the token produced this iteration.
-			if !s.growOrEvict(id, &ops, evictedThisIter) {
+			if !s.growOrEvict(id, &ops, s.iterEvic) {
 				continue
 			}
 			ctx := st.req.InputLen + st.generated - 1
@@ -282,42 +360,49 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 	}
 
 	if len(batchSeqs) == 0 {
+		s.seqBuf, s.opsBuf = batchSeqs, ops
 		// Everything resident was evicted or nothing is runnable yet;
-		// advance to the next arrival and retry, or report starvation.
+		// advance to the next arrival and retry with fresh admissions.
 		if s.cursor < len(s.pending) {
 			s.clock = simtime.Later(s.clock, s.pending[s.cursor].Arrival)
-			s.admit(&ops)
-			return s.retryAfterAdmit(ops)
-		}
-		// All remaining requests are evicted with no memory to reload:
-		// forcibly reload the oldest (the system would thrash; the
-		// simulator must still make progress).
-		if id, ok := s.forceReload(&ops); ok {
-			st := s.findActive(id)
-			if st != nil {
-				b := s.buildSingle(st, ops)
+			s.admit()
+			if b, ok := s.retryAfterAdmit(ops); ok {
 				return b, true
+			}
+			// The retry can come up empty too — e.g. the advanced-to
+			// arrivals were all rejected as unservable — so fall through
+			// to thrash recovery rather than stranding evicted work.
+		}
+		// Remaining sequences are evicted with no free memory: reload the
+		// oldest so the simulated system, however thrashed, still makes
+		// forward progress.
+		if id, ok := s.forceReload(&ops); ok {
+			s.opsBuf = ops
+			if st := s.byID[id]; st != nil {
+				return s.buildSingle(st, ops), true
 			}
 		}
 		return nil, false
 	}
 
-	return &Batch{
+	s.seqBuf, s.opsBuf = batchSeqs, ops
+	s.batchBuf = Batch{
 		Time:         s.clock,
 		Seqs:         batchSeqs,
 		PageOps:      ops,
 		SubBatch:     s.partition(batchSeqs),
 		PromptTokens: promptTokens,
 		DecodeSeqs:   decodeSeqs,
-	}, true
+	}
+	return &s.batchBuf, true
 }
 
 // retryAfterAdmit rebuilds a batch right after late admissions; used when
 // the first pass found nothing runnable.
 func (s *Scheduler) retryAfterAdmit(ops []PageOp) (*Batch, bool) {
-	batchSeqs := make([]model.Seq, 0, len(s.active))
+	batchSeqs := s.seqBuf[:0]
 	promptTokens := 0
-	for _, st := range s.active {
+	for st := s.head; st != nil; st = st.next {
 		if st.prefilled || !s.kv.Resident(st.req.ID) {
 			continue
 		}
@@ -329,16 +414,18 @@ func (s *Scheduler) retryAfterAdmit(ops []PageOp) (*Batch, bool) {
 			break
 		}
 	}
+	s.seqBuf = batchSeqs
 	if len(batchSeqs) == 0 {
 		return nil, false
 	}
-	return &Batch{
+	s.batchBuf = Batch{
 		Time:         s.clock,
 		Seqs:         batchSeqs,
 		PageOps:      ops,
 		SubBatch:     s.partition(batchSeqs),
 		PromptTokens: promptTokens,
-	}, true
+	}
+	return &s.batchBuf, true
 }
 
 // buildSingle runs one sequence alone (thrash-recovery path).
@@ -349,24 +436,53 @@ func (s *Scheduler) buildSingle(st *reqState, ops []PageOp) *Batch {
 		seq = model.Seq{ReqID: st.req.ID, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation}
 		promptTokens = st.req.InputLen
 	}
-	return &Batch{
+	batchSeqs := append(s.seqBuf[:0], seq)
+	s.seqBuf = batchSeqs
+	if s.subBuf == nil {
+		s.subBuf = make(map[int]int, 1)
+	}
+	clear(s.subBuf)
+	s.subBuf[st.req.ID] = 0
+	s.batchBuf = Batch{
 		Time:         s.clock,
-		Seqs:         []model.Seq{seq},
+		Seqs:         batchSeqs,
 		PageOps:      ops,
-		SubBatch:     map[int]int{st.req.ID: 0},
+		SubBatch:     s.subBuf,
 		PromptTokens: promptTokens,
 		DecodeSeqs:   boolToInt(st.prefilled),
 	}
+	return &s.batchBuf
 }
 
 // admit pulls arrived requests into the active set while KV memory fits.
-func (s *Scheduler) admit(ops *[]PageOp) {
+// Requests whose KV demand could never fit — even on an empty device —
+// are rejected (recorded, never served) instead of stalling the head of
+// the queue forever.
+func (s *Scheduler) admit() {
 	for s.cursor < len(s.pending) {
 		r := s.pending[s.cursor]
 		if r.Arrival.After(s.clock) {
 			break
 		}
-		if s.cfg.MaxBatch > 0 && s.runnableCount() >= s.cfg.MaxBatch {
+		// A request whose prompt can never be admitted — longer than the
+		// model context or than the whole KV budget — would block this
+		// loop forever, and one whose total length breaks the context
+		// limit would abort the run mid-decode once its KV growth hits
+		// the cap. Both are unservable here and are rejected up front.
+		// (Growth beyond the *page budget* is different: it is served,
+		// slowly, by the eviction/reload thrash-recovery path.)
+		if maxKV := r.TotalLen() - 1; !s.kv.CanEverAdmit(r.InputLen) || maxKV > s.kv.Config().MaxSeqLen {
+			s.rejected = append(s.rejected, Rejected{
+				Req:  r,
+				Time: s.clock,
+				Err: fmt.Errorf("sched: request %d (prompt %d, total %d tokens) can never be admitted (max seq %d, %d pages of %d tokens)",
+					r.ID, r.InputLen, r.TotalLen(), s.kv.Config().MaxSeqLen, s.kv.TotalPages(), s.kv.Config().PageTokens),
+			})
+			s.cursor++
+			s.pendingTokens -= int64(r.TotalLen())
+			continue
+		}
+		if s.cfg.MaxBatch > 0 && s.kv.ResidentCount() >= s.cfg.MaxBatch {
 			break
 		}
 		if !s.kv.CanAdmit(r.InputLen) {
@@ -383,10 +499,9 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 			st.generated = 1
 			st.first = s.clock
 		}
-		s.active = append(s.active, st)
+		s.pushActive(st)
 		s.cursor++
 		s.pendingTokens -= int64(r.TotalLen())
-		_ = ops // admissions allocate fresh pages; no transfer needed
 	}
 }
 
@@ -409,15 +524,13 @@ func (s *Scheduler) growOrEvict(id int, ops *[]PageOp, evicted map[int]bool) boo
 	}
 }
 
-// forceReload evicts nothing but reloads the oldest evicted sequence by
-// first releasing enough... it simply reloads if possible; returns ok.
+// forceReload brings the oldest evicted sequence back to device memory if
+// it fits, so the thrash-recovery path in Next can run it alone. It
+// returns the reloaded sequence ID, or ok=false when nothing is evicted
+// or the reload does not fit.
 func (s *Scheduler) forceReload(ops *[]PageOp) (int, bool) {
-	ev := s.kv.Evicted()
-	if len(ev) == 0 {
-		return 0, false
-	}
-	id := ev[0]
-	if !s.kv.CanReload(id) {
+	id, ok := s.kv.OldestEvicted()
+	if !ok || !s.kv.CanReload(id) {
 		return 0, false
 	}
 	bytes, err := s.kv.Reload(id)
@@ -443,7 +556,7 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 	s.iterations++
 
 	for _, seq := range b.Seqs {
-		st := s.findActive(seq.ReqID)
+		st := s.byID[seq.ReqID]
 		if st == nil {
 			return fmt.Errorf("sched: completed unknown request %d", seq.ReqID)
 		}
@@ -461,7 +574,7 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 			s.finished = append(s.finished, Finished{
 				Req: st.req, FirstToken: st.first, Completed: s.clock,
 			})
-			s.removeActive(st.req.ID)
+			s.dropActive(st)
 		}
 	}
 	return nil
@@ -469,9 +582,14 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 
 // partition splits the batch into SubBatches groups balanced by new-token
 // load (longest-processing-time assignment), the paper's "fairness of
-// computation load" criteria.
+// computation load" criteria. The returned map aliases a scheduler-owned
+// buffer recycled on the next Next call.
 func (s *Scheduler) partition(seqs []model.Seq) map[int]int {
-	out := make(map[int]int, len(seqs))
+	if s.subBuf == nil {
+		s.subBuf = make(map[int]int, len(seqs))
+	}
+	clear(s.subBuf)
+	out := s.subBuf
 	n := s.cfg.SubBatches
 	if n <= 1 {
 		for _, q := range seqs {
@@ -481,13 +599,20 @@ func (s *Scheduler) partition(seqs []model.Seq) map[int]int {
 	}
 	// Sort by descending work (new tokens, then context), assign each to
 	// the lightest bucket.
-	order := append([]model.Seq(nil), seqs...)
+	order := append(s.orderBuf[:0], seqs...)
+	s.orderBuf = order
 	sort.SliceStable(order, func(i, j int) bool {
 		wi := order[i].NewTokens*1024 + order[i].Context
 		wj := order[j].NewTokens*1024 + order[j].Context
 		return wi > wj
 	})
-	load := make([]int, n)
+	if cap(s.loadBuf) < n {
+		s.loadBuf = make([]int, n)
+	}
+	load := s.loadBuf[:n]
+	for i := range load {
+		load[i] = 0
+	}
 	for _, q := range order {
 		best := 0
 		for i := 1; i < n; i++ {
@@ -499,36 +624,6 @@ func (s *Scheduler) partition(seqs []model.Seq) map[int]int {
 		out[q.ReqID] = best
 	}
 	return out
-}
-
-func (s *Scheduler) runnableCount() int {
-	n := 0
-	for _, st := range s.active {
-		if s.kv.Resident(st.req.ID) {
-			n++
-		}
-	}
-	return n
-}
-
-func (s *Scheduler) anyEvicted() bool { return len(s.kv.Evicted()) > 0 }
-
-func (s *Scheduler) findActive(id int) *reqState {
-	for _, st := range s.active {
-		if st.req.ID == id {
-			return st
-		}
-	}
-	return nil
-}
-
-func (s *Scheduler) removeActive(id int) {
-	for i, st := range s.active {
-		if st.req.ID == id {
-			s.active = append(s.active[:i], s.active[i+1:]...)
-			return
-		}
-	}
 }
 
 func boolToInt(b bool) int {

@@ -186,7 +186,19 @@ type Segments struct {
 
 // SplitSegments computes Segments from a block's trace items.
 func SplitSegments(items []Item) Segments {
-	seg := Segments{Attn: map[int]simtime.Duration{}}
+	return SplitSegmentsInto(items, nil)
+}
+
+// SplitSegmentsInto computes Segments reusing attn (cleared first) as
+// the per-request attention map when non-nil — the per-iteration path
+// that avoids re-allocating the map every batch.
+func SplitSegmentsInto(items []Item, attn map[int]simtime.Duration) Segments {
+	if attn == nil {
+		attn = map[int]simtime.Duration{}
+	} else {
+		clear(attn)
+	}
+	seg := Segments{Attn: attn}
 	seenAttention := false
 	for _, it := range items {
 		switch {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -24,13 +25,16 @@ type Class struct {
 	TPOT simtime.Duration // time per output token after the first
 }
 
-// Validate reports an error if the class is malformed.
+// Validate reports an error if the class is malformed. Rates must be
+// positive and finite — NaN compares false against everything, so a
+// plain c.Rate <= 0 check would wave NaN through and corrupt every
+// synthesised arrival time downstream (found by FuzzParseClasses).
 func (c Class) Validate() error {
 	if c.Name == "" {
 		return fmt.Errorf("workload: class with empty name")
 	}
-	if c.Rate <= 0 {
-		return fmt.Errorf("workload: class %s: rate must be positive, got %g", c.Name, c.Rate)
+	if !(c.Rate > 0) || math.IsInf(c.Rate, 1) {
+		return fmt.Errorf("workload: class %s: rate must be positive and finite, got %g", c.Name, c.Rate)
 	}
 	if c.TTFT < 0 || c.TPOT < 0 {
 		return fmt.Errorf("workload: class %s: negative SLO target", c.Name)
@@ -55,13 +59,15 @@ func (r Ramp) identity() bool {
 	return (r.From == 0 && r.To == 0) || (r.From == 1 && r.To == 1)
 }
 
-// Validate reports an error if the ramp is malformed.
+// Validate reports an error if the ramp is malformed. Multipliers must
+// be positive and finite (see Class.Validate for why NaN needs the
+// negated comparison).
 func (r Ramp) Validate() error {
 	if r.identity() {
 		return nil
 	}
-	if r.From <= 0 || r.To <= 0 {
-		return fmt.Errorf("workload: ramp multipliers must be positive, got %g:%g", r.From, r.To)
+	if !(r.From > 0) || !(r.To > 0) || math.IsInf(r.From, 1) || math.IsInf(r.To, 1) {
+		return fmt.Errorf("workload: ramp multipliers must be positive and finite, got %g:%g", r.From, r.To)
 	}
 	if r.Over < 0 {
 		return fmt.Errorf("workload: negative ramp window %v", r.Over)
@@ -117,12 +123,20 @@ func MultiClassTrace(classes []Class, n int, ramp Ramp, seed int64) ([]Request, 
 		over = float64(n) / total // expected unramped span
 	}
 
+	// Arrival times live in int64 picoseconds; vanishingly small rates
+	// would overflow that range (or reach +Inf) and wrap into negative
+	// arrivals, so the generator fails fast instead.
+	maxTraceSeconds := float64(math.MaxInt64) / float64(simtime.Second)
+
 	rng := rand.New(rand.NewSource(seed))
 	reqs := make([]Request, n)
 	t := 0.0
 	for i := range reqs {
 		rate := total * ramp.factor(t, over)
 		t += rng.ExpFloat64() / rate
+		if !(t < maxTraceSeconds) {
+			return nil, fmt.Errorf("workload: arrival time overflow at request %d (total rate %g too low for the simulated-time range)", i, total)
+		}
 
 		// Pick the class in declaration order by cumulative rate.
 		u := rng.Float64() * total

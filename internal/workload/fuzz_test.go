@@ -1,0 +1,137 @@
+package workload
+
+// Native fuzz targets for the external input surfaces: the TSV trace
+// parser and the -classes/-ramp spec grammars shared by the CLIs. The
+// invariant in each case is "accepted input is usable": anything the
+// parser lets through must validate and survive downstream use (trace
+// synthesis, round-tripping) without panics or malformed requests.
+// Seed corpora mirror the forms exercised by the unit tests.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func FuzzReadTSV(f *testing.F) {
+	seeds := []string{
+		"input_toks\toutput_toks\tarrival_time_ms\n128\t32\t0.000\n64\t16\t1500.250\n",
+		"128\t32\t0\n",
+		"input_toks\toutput_toks\tarrival_time_ms\tclass\n128\t32\t0.000\tchat\n8\t4\t3.5\tapi\n",
+		"# comment\n\n128\t32\t0\r\n64\t16\t10\r\n",
+		"not\ta\ttrace\n",
+		"1\t2\n",
+		"9999999999999999999\t1\t0\n",
+		"128\t32\tNaN\n",
+		"128\t32\t+Inf\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ReadTSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("accepted invalid request %d: %v", i, err)
+			}
+			if r.ID != i {
+				t.Fatalf("request %d assigned ID %d", i, r.ID)
+			}
+		}
+		// Accepted traces must round-trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteTSV(&buf, reqs); err != nil {
+			t.Fatalf("re-writing accepted trace: %v", err)
+		}
+		again, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip %d -> %d requests", len(reqs), len(again))
+		}
+	})
+}
+
+func FuzzParseClasses(f *testing.F) {
+	seeds := []string{
+		"chat:sharegpt:4:1000:80,api:alpaca:8:500:50",
+		"batch:fixed-512-128:0.5",
+		"a:sharegpt:1",
+		"x:fixed-1-1:1e300",
+		"x:fixed-1-1:NaN",
+		"x:fixed-1-1:+Inf",
+		"x:sharegpt:2:NaN:5",
+		" spaced :  alpaca : 3 ",
+		"dup:alpaca:1,dup:alpaca:2",
+		":::,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		classes, err := ParseClasses(spec)
+		if err != nil {
+			return
+		}
+		for _, c := range classes {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("accepted invalid class %+v: %v", c, err)
+			}
+		}
+		// Accepted class lists must be usable for trace synthesis (unless
+		// they repeat a name, which MultiClassTrace rejects by design).
+		reqs, err := MultiClassTrace(classes, 16, Ramp{}, 1)
+		if err != nil {
+			// Two rejections are by design rather than parser bugs:
+			// duplicate names, and rates too low for the simulated-time
+			// range.
+			if strings.Contains(err.Error(), "duplicate class") ||
+				strings.Contains(err.Error(), "arrival time overflow") {
+				return
+			}
+			t.Fatalf("accepted classes unusable for synthesis: %v", err)
+		}
+		prev := reqs[0].Arrival
+		for i, r := range reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("synthesised invalid request %d: %v", i, err)
+			}
+			if r.Arrival < prev {
+				t.Fatalf("arrivals out of order at %d", i)
+			}
+			prev = r.Arrival
+		}
+	})
+}
+
+func FuzzParseRamp(f *testing.F) {
+	seeds := []string{
+		"0.5:2", "0.5:2:60", "1:1", "2:0.5:0.001",
+		"NaN:2", "1:+Inf", "1e300:1e300:1e300", "-1:2", "1:2:NaN", ":",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := ParseRamp(spec)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("accepted invalid ramp %+v: %v", r, err)
+		}
+		// The rate multiplier must stay finite and positive over the
+		// whole window — a non-finite factor corrupts every arrival time.
+		for _, at := range []float64{0, 0.5, 1, 2} {
+			got := r.factor(at*60, 60)
+			if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+				t.Fatalf("ramp %+v factor(%g)=%g", r, at*60, got)
+			}
+		}
+	})
+}

@@ -334,6 +334,7 @@ type Report struct {
 	Model              string
 	Topology           string
 	Iterations         int
+	Rejected           int     // requests refused as unservable (prompt beyond context/KV budget)
 	SimEndSec          float64 // simulated time to drain the trace
 	PromptTPS          float64 // mean prompt tokens/second
 	GenTPS             float64 // mean generated tokens/second
@@ -435,6 +436,7 @@ func wrapReport(rep *core.Report) *Report {
 		Model:      rep.Model.Name,
 		Topology:   rep.Topo.String(),
 		Iterations: rep.Iterations,
+		Rejected:   len(rep.Rejected),
 		SimEndSec:  rep.SimEnd.Seconds(),
 		PromptTPS:  rep.PromptTPS,
 		GenTPS:     rep.GenTPS,
