@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -131,12 +132,21 @@ func ParseRamp(spec string) (Ramp, error) {
 type ClusterScenario struct {
 	Name string
 
-	// Config parameterises each replica (model, NPUs, scheduling, ...);
-	// replicas are homogeneous.
+	// Config parameterises each replica (model, NPUs, scheduling, ...).
+	// Without a Fleet, replicas are homogeneous copies of it; with one,
+	// it is the base each ReplicaSpec overlays.
 	Config Config
 
-	// Replicas is the serving instance count (>= 1).
+	// Replicas is the serving instance count (>= 1). With a Fleet it
+	// may be left 0 (it is derived as the fleet total) or must match
+	// that total.
 	Replicas int
+
+	// Fleet, when non-empty, makes the cluster heterogeneous: each
+	// ReplicaSpec contributes Count replicas serving its model on its
+	// hardware under its performance-model backend, in spec order. See
+	// ParseFleet for the CLI grammar.
+	Fleet []ReplicaSpec
 
 	Router    RouterPolicy
 	Admission AdmissionPolicy
@@ -156,9 +166,33 @@ type ClusterScenario struct {
 	Trace []Request
 }
 
+// WithReplicaSpecs returns a copy of the scenario serving the given
+// heterogeneous fleet (see ReplicaSpec and ParseFleet); the replica
+// count is derived from the specs.
+func (sc ClusterScenario) WithReplicaSpecs(specs ...ReplicaSpec) ClusterScenario {
+	sc.Fleet = specs
+	sc.Replicas = FleetReplicas(specs)
+	return sc
+}
+
 // Validate checks the scenario without building it.
 func (sc ClusterScenario) Validate() error {
-	if sc.Replicas < 1 {
+	if len(sc.Fleet) > 0 {
+		for _, rs := range sc.Fleet {
+			if err := rs.Validate(); err != nil {
+				return err
+			}
+		}
+		total := FleetReplicas(sc.Fleet)
+		if total > MaxFleetReplicas {
+			return &ConfigError{Field: "Fleet", Value: total,
+				Reason: fmt.Sprintf("fleet total exceeds the %d replica maximum", MaxFleetReplicas)}
+		}
+		if sc.Replicas != 0 && sc.Replicas != total {
+			return &ConfigError{Field: "Replicas", Value: sc.Replicas,
+				Reason: fmt.Sprintf("does not match the fleet's %d replicas (leave 0 to derive)", total)}
+		}
+	} else if sc.Replicas < 1 {
 		return &ConfigError{Field: "Replicas", Value: sc.Replicas, Reason: "must be >= 1"}
 	}
 	if !sc.Router.valid() {
@@ -173,7 +207,17 @@ func (sc ClusterScenario) Validate() error {
 	if _, err := internalClasses(sc.Classes); err != nil {
 		return &ConfigError{Field: "Classes", Value: len(sc.Classes), Reason: "invalid traffic class", Err: err}
 	}
-	return sc.Config.Validate()
+	// Replica configs are validated once per homogeneous group, not
+	// once per replica.
+	if len(sc.Fleet) == 0 {
+		return sc.Config.Validate()
+	}
+	for _, rs := range sc.Fleet {
+		if err := rs.apply(sc.Config).Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // build assembles the internal cluster.
@@ -181,9 +225,31 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	opts, err := buildOptions(sc.Config)
-	if err != nil {
-		return nil, err
+	// One buildOptions call per homogeneous replica group; the list
+	// then maps replica index -> options. Backend factories inside the
+	// options build per-replica state, so sharing an Options value
+	// across a group is safe.
+	var optsList []core.Options
+	if len(sc.Fleet) == 0 {
+		opts, err := buildOptions(sc.Config)
+		if err != nil {
+			return nil, err
+		}
+		optsList = make([]core.Options, sc.Replicas)
+		for i := range optsList {
+			optsList[i] = opts
+		}
+	} else {
+		optsList = make([]core.Options, 0, FleetReplicas(sc.Fleet))
+		for _, rs := range sc.Fleet {
+			opts, err := buildOptions(rs.apply(sc.Config))
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < rs.Count; i++ {
+				optsList = append(optsList, opts)
+			}
+		}
 	}
 	router, err := cluster.NewRouter(sc.Router.internal())
 	if err != nil {
@@ -199,9 +265,9 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	}
 	hook := sc.Config.OnIteration
 	return cluster.New(cluster.Config{
-		Replicas: sc.Replicas,
-		NewReplica: func(int) (*core.Simulator, error) {
-			inner, err := core.New(opts, nil)
+		Replicas: len(optsList),
+		NewReplica: func(i int) (*core.Simulator, error) {
+			inner, err := core.New(optsList[i], nil)
 			if err != nil {
 				return nil, err
 			}
@@ -233,9 +299,34 @@ func (sc ClusterScenario) RunContext(ctx context.Context) (*ClusterReport, error
 		return nil, err
 	}
 	out := wrapClusterReport(rep)
-	out.Model = sc.Config.Model
-	out.Topology = fmt.Sprintf("%dx(%d-npu %s)", sc.Replicas, sc.Config.NPUs, sc.Config.Parallelism)
+	out.Model = sc.fleetModel()
+	if len(sc.Fleet) > 0 {
+		out.Topology = fmt.Sprintf("fleet[%s] (%d-npu %s)", FleetString(sc.Fleet), sc.Config.NPUs, sc.Config.Parallelism)
+	} else {
+		out.Topology = fmt.Sprintf("%dx(%d-npu %s)", sc.Replicas, sc.Config.NPUs, sc.Config.Parallelism)
+	}
 	return out, nil
+}
+
+// fleetModel labels the models the scenario serves: the base model, or
+// the distinct fleet models joined with '+' when specs override it.
+func (sc ClusterScenario) fleetModel() string {
+	if len(sc.Fleet) == 0 {
+		return sc.Config.Model
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, rs := range sc.Fleet {
+		name := rs.Model
+		if name == "" {
+			name = sc.Config.Model
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, "+")
 }
 
 // DistStats summarises one latency component's distribution in seconds
@@ -266,6 +357,7 @@ type ClassStats struct {
 // ReplicaStats summarises one replica's share of a cluster run.
 type ReplicaStats struct {
 	Index      int
+	Backend    string // performance model pricing this replica
 	Requests   int
 	Iterations int
 	SimEndSec  float64
@@ -342,6 +434,7 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 	for _, p := range rep.PerReplica {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
 			Index:      p.Index,
+			Backend:    p.Backend,
 			Requests:   p.Requests,
 			Iterations: p.Iterations,
 			SimEndSec:  p.SimEnd.Seconds(),

@@ -26,6 +26,14 @@
 //	    -router least-loaded -admission queue-cap -admission-limit 32 \
 //	    -classes "chat:sharegpt:3:1000:80,api:alpaca:9:500:50" \
 //	    -synth-n 512 -output cap
+//
+// Latency estimation is pluggable (-perf-model astra|roofline;
+// -hardware names an accelerator preset, see -list-hardware), and
+// -fleet describes a heterogeneous cluster of replica groups, e.g.
+//
+//	llmservingsim -model gpt3-7b -npu-num 4 \
+//	    -fleet "2xgpt3-7b@rtx3090:roofline,2xgpt3-7b@a100:roofline" \
+//	    -router least-loaded -classes "chat:sharegpt:6:1000:80" -synth-n 512
 package main
 
 import (
@@ -45,20 +53,21 @@ import (
 func main() {
 	cfg := llmservingsim.DefaultConfig()
 	var (
-		listModels = flag.Bool("list-models", false, "print known models and exit")
-		npuMem     = flag.Int("npu-mem", 0, "NPU local memory in GB (0 = Table I default)")
-		pimPool    = flag.Int("pim-pool", 0, "PIM pool size (pool mode; 0 = npu-num)")
-		subBatch   = flag.Bool("sub-batch", false, "enable NeuPIMs sub-batch interleaving")
-		noReuse    = flag.Bool("no-reuse", false, "disable all result-reuse optimisations")
-		networkCfg = flag.String("network", "", "JSON link config file (bandwidth/latency)")
-		npuCfgPath = flag.String("npu-config", "", "JSON NPU config file")
-		dataset    = flag.String("dataset", "", "TSV request trace (input/output tokens + arrival ms)")
-		synth      = flag.String("synth", "", "synthesise a trace instead: sharegpt|alpaca")
-		synthN     = flag.Int("synth-n", 128, "synthetic trace request count")
-		synthRate  = flag.Float64("synth-rate", 4, "synthetic Poisson arrival rate (req/s)")
-		seed       = flag.Int64("seed", 1, "synthetic trace random seed")
-		progress   = flag.Int("progress", 0, "print a progress line every N iterations (0 = off)")
-		output     = flag.String("output", "", "output file prefix for TSV results")
+		listModels   = flag.Bool("list-models", false, "print known models and exit")
+		listHardware = flag.Bool("list-hardware", false, "print known hardware presets and exit")
+		npuMem       = flag.Int("npu-mem", 0, "NPU local memory in GB (0 = Table I default)")
+		pimPool      = flag.Int("pim-pool", 0, "PIM pool size (pool mode; 0 = npu-num)")
+		subBatch     = flag.Bool("sub-batch", false, "enable NeuPIMs sub-batch interleaving")
+		noReuse      = flag.Bool("no-reuse", false, "disable all result-reuse optimisations")
+		networkCfg   = flag.String("network", "", "JSON link config file (bandwidth/latency)")
+		npuCfgPath   = flag.String("npu-config", "", "JSON NPU config file")
+		dataset      = flag.String("dataset", "", "TSV request trace (input/output tokens + arrival ms)")
+		synth        = flag.String("synth", "", "synthesise a trace instead: sharegpt|alpaca")
+		synthN       = flag.Int("synth-n", 128, "synthetic trace request count")
+		synthRate    = flag.Float64("synth-rate", 4, "synthetic Poisson arrival rate (req/s)")
+		seed         = flag.Int64("seed", 1, "synthetic trace random seed")
+		progress     = flag.Int("progress", 0, "print a progress line every N iterations (0 = off)")
+		output       = flag.String("output", "", "output file prefix for TSV results")
 
 		replicas   = flag.Int("replicas", 1, "cluster mode: number of serving replicas (>1 enables the cluster layer)")
 		router     llmservingsim.RouterPolicy
@@ -66,7 +75,10 @@ func main() {
 		admitLimit = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
 		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms]],... (synthesises a mixed trace)")
 		rampSpec   = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
+		fleetSpec  = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL],... (enables the cluster layer; see -list-hardware)")
 	)
+	flag.Var(&cfg.PerfModel, "perf-model", "performance model: astra|roofline")
+	flag.StringVar(&cfg.Hardware, "hardware", "", "accelerator preset the backend models (see -list-hardware)")
 	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity")
 	flag.Var(&admission, "admission", "cluster admission policy: all|queue-cap|token-budget")
 	flag.StringVar(&cfg.Model, "model", cfg.Model, "model name (see -list-models)")
@@ -88,6 +100,20 @@ func main() {
 			fmt.Println(m)
 		}
 		return
+	}
+	if *listHardware {
+		for _, h := range llmservingsim.Hardwares() {
+			fmt.Println(h)
+		}
+		return
+	}
+
+	var fleet []llmservingsim.ReplicaSpec
+	if *fleetSpec != "" {
+		var err error
+		if fleet, err = llmservingsim.ParseFleet(*fleetSpec); err != nil {
+			fatal(err)
+		}
 	}
 
 	cfg.PIMPoolSize = *pimPool
@@ -162,8 +188,8 @@ func main() {
 		stop()
 	}()
 
-	if *replicas > 1 {
-		runCluster(ctx, llmservingsim.ClusterScenario{
+	if *replicas > 1 || len(fleet) > 0 {
+		sc := llmservingsim.ClusterScenario{
 			Name:           "cli",
 			Config:         cfg,
 			Replicas:       *replicas,
@@ -172,7 +198,19 @@ func main() {
 			AdmissionLimit: *admitLimit,
 			Classes:        classes,
 			Trace:          trace,
-		}, *output)
+		}
+		if len(fleet) > 0 {
+			sc.Fleet = fleet
+			replicasSet := false
+			flag.Visit(func(f *flag.Flag) { replicasSet = replicasSet || f.Name == "replicas" })
+			if !replicasSet {
+				// -replicas was not given: derive the count from the
+				// fleet. An explicit -replicas value must match the
+				// fleet total (Validate enforces it).
+				sc.Replicas = 0
+			}
+		}
+		runCluster(ctx, sc, *output)
 		return
 	}
 
@@ -197,6 +235,7 @@ func main() {
 	}
 	fmt.Printf("model            %s\n", rep.Model)
 	fmt.Printf("topology         %s\n", rep.Topology)
+	fmt.Printf("perf model       %s\n", rep.Backend)
 	fmt.Printf("requests         %d\n", rep.Latency.Count)
 	fmt.Printf("iterations       %d\n", rep.Iterations)
 	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)

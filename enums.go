@@ -265,6 +265,62 @@ func (m PIMMode) internal() core.PIMMode {
 	}
 }
 
+// PerfModel selects the performance-model backend that prices each
+// simulated iteration. The zero value is PerfModelAstra, the full
+// pipeline the artifact ships.
+type PerfModel int
+
+const (
+	// PerfModelAstra runs the paper's full pipeline per iteration:
+	// execution-engine compilation/simulation of every operator, graph
+	// conversion, and discrete-event system simulation. Highest
+	// fidelity; bit-identical to the pre-backend simulator.
+	PerfModelAstra PerfModel = iota
+	// PerfModelRoofline prices iterations analytically against a device
+	// roofline (peak FLOPs vs memory bandwidth) plus analytic
+	// collective costs — orders of magnitude faster, for large sweeps
+	// and capacity planning.
+	PerfModelRoofline
+)
+
+// ParsePerfModel converts CLI values ("astra", "roofline" or
+// "analytical"; "" selects the default, astra).
+func ParsePerfModel(s string) (PerfModel, error) {
+	switch s {
+	case "astra", "":
+		return PerfModelAstra, nil
+	case "roofline", "analytical":
+		return PerfModelRoofline, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown perf model %q (want astra|roofline)", s)
+	}
+}
+
+func (p PerfModel) String() string {
+	switch p {
+	case PerfModelAstra:
+		return "astra"
+	case PerfModelRoofline:
+		return "roofline"
+	default:
+		return fmt.Sprintf("PerfModel(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *PerfModel) Set(s string) error {
+	v, err := ParsePerfModel(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p PerfModel) valid() bool {
+	return p >= PerfModelAstra && p <= PerfModelRoofline
+}
+
 // RouterPolicy selects how a cluster routes admitted requests across
 // replicas. The zero value is RouterRoundRobin.
 type RouterPolicy int

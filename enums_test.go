@@ -50,6 +50,26 @@ func TestEnumRoundTrips(t *testing.T) {
 	if v, _ := ParseKVPolicy("max"); v != KVMaxLen {
 		t.Errorf("alias max: %v", v)
 	}
+	for _, p := range []PerfModel{PerfModelAstra, PerfModelRoofline} {
+		got, err := ParsePerfModel(p.String())
+		if err != nil || got != p {
+			t.Errorf("PerfModel %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	if v, _ := ParsePerfModel("analytical"); v != PerfModelRoofline {
+		t.Errorf("alias analytical: %v", v)
+	}
+	if v, _ := ParsePerfModel(""); v != PerfModelAstra {
+		t.Errorf("empty perf model default: %v", v)
+	}
+	if _, err := ParsePerfModel("magic"); err == nil {
+		t.Error("ParsePerfModel accepted garbage")
+	}
+	var pm PerfModel
+	var _ flag.Value = &pm
+	if err := pm.Set("roofline"); err != nil || pm != PerfModelRoofline {
+		t.Errorf("PerfModel.Set: %v, %v", pm, err)
+	}
 }
 
 // TestClusterEnumRoundTrips covers the cluster routing and admission

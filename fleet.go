@@ -1,0 +1,182 @@
+package llmservingsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+)
+
+// ReplicaSpec describes one homogeneous group of replicas inside a
+// heterogeneous serving fleet: how many replicas, which model they
+// serve, which accelerator they run on, and which performance model
+// prices them. Zero-valued fields inherit from the scenario's base
+// Config, so a spec only names what differs across the fleet.
+type ReplicaSpec struct {
+	// Count is the number of replicas in this group (>= 1).
+	Count int
+
+	// Model names the LLM this group serves; "" inherits the scenario
+	// config's model.
+	Model string
+
+	// Hardware names the accelerator preset this group runs on (see
+	// Hardwares); "" inherits the scenario config's hardware.
+	Hardware string
+
+	// PerfModel selects the group's latency-estimation backend. Like
+	// the other fields, the zero value (PerfModelAstra) inherits the
+	// scenario config's backend; a non-zero value overrides it.
+	PerfModel PerfModel
+
+	// PerfModelSet forces PerfModel to apply even when it is the zero
+	// value — the only way to pin a group to astra inside a scenario
+	// whose base config selects another backend. ParseFleet sets it
+	// whenever a :PERFMODEL suffix is present.
+	PerfModelSet bool
+}
+
+// String renders the spec in the -fleet grammar,
+// "COUNTxMODEL[@HARDWARE][:PERFMODEL]".
+func (rs ReplicaSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%s", rs.Count, rs.Model)
+	if rs.Hardware != "" {
+		b.WriteByte('@')
+		b.WriteString(rs.Hardware)
+	}
+	if rs.PerfModelSet || rs.PerfModel != PerfModelAstra {
+		b.WriteByte(':')
+		b.WriteString(rs.PerfModel.String())
+	}
+	return b.String()
+}
+
+// MaxFleetReplicas bounds a fleet's replica count (per group and in
+// total) — far above any simulable deployment, low enough that a typo
+// in a -fleet count fails validation instead of attempting a giant
+// allocation (or overflowing the fleet total).
+const MaxFleetReplicas = 1 << 20
+
+// Validate checks the spec against the registries.
+func (rs ReplicaSpec) Validate() error {
+	if rs.Count <= 0 {
+		return &ConfigError{Field: "Fleet", Value: rs.Count, Reason: "replica count must be >= 1"}
+	}
+	if rs.Count > MaxFleetReplicas {
+		return &ConfigError{Field: "Fleet", Value: rs.Count,
+			Reason: fmt.Sprintf("replica count exceeds the %d maximum", MaxFleetReplicas)}
+	}
+	if rs.Model != "" {
+		if _, err := model.Lookup(rs.Model); err != nil {
+			return &ConfigError{Field: "Fleet", Value: rs.Model, Reason: "unknown model", Err: err}
+		}
+	}
+	if rs.Hardware != "" {
+		if _, err := perfmodel.LookupHardware(rs.Hardware); err != nil {
+			return &ConfigError{Field: "Fleet", Value: rs.Hardware, Reason: "unknown hardware preset", Err: err}
+		}
+	}
+	if !rs.PerfModel.valid() {
+		return &ConfigError{Field: "Fleet", Value: rs.PerfModel, Reason: "unknown perf model"}
+	}
+	return nil
+}
+
+// apply overlays the spec onto a base replica configuration:
+// zero-valued fields inherit the base.
+func (rs ReplicaSpec) apply(base Config) Config {
+	if rs.Model != "" {
+		base.Model = rs.Model
+	}
+	if rs.Hardware != "" {
+		base.Hardware = rs.Hardware
+	}
+	if rs.PerfModelSet || rs.PerfModel != PerfModelAstra {
+		base.PerfModel = rs.PerfModel
+	}
+	return base
+}
+
+// FleetReplicas sums the replica counts of a fleet.
+func FleetReplicas(specs []ReplicaSpec) int {
+	n := 0
+	for _, rs := range specs {
+		n += rs.Count
+	}
+	return n
+}
+
+// FleetString renders a fleet in the -fleet grammar (comma-separated
+// specs).
+func FleetString(specs []ReplicaSpec) string {
+	parts := make([]string, len(specs))
+	for i, rs := range specs {
+		parts[i] = rs.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFleet converts a fleet spec — the grammar shared by the
+// llmservingsim CLI's -fleet flag, Sweep construction, and the examples.
+// A fleet is a comma-separated list of replica groups of the form
+//
+//	COUNTxMODEL[@HARDWARE][:PERFMODEL]
+//
+// e.g. "2xgpt3-7b@rtx3090:astra,2xgpt3-7b@a100:roofline" is four
+// gpt3-7b replicas: two RTX 3090-class instances priced by the astra
+// pipeline and two A100-class instances priced by the roofline model.
+// MODEL may be empty to inherit the scenario's model
+// ("4x@h100:roofline"); an omitted @HARDWARE or :PERFMODEL likewise
+// inherits the scenario config's. Errors name the offending entry by
+// position and text.
+func ParseFleet(spec string) ([]ReplicaSpec, error) {
+	var out []ReplicaSpec
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rs, err := parseReplicaSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("llmservingsim: fleet spec entry %d %q: %w", i+1, part, err)
+		}
+		out = append(out, rs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("llmservingsim: empty fleet spec %q", spec)
+	}
+	return out, nil
+}
+
+// parseReplicaSpec parses one COUNTxMODEL[@HARDWARE][:PERFMODEL] entry.
+// The count/model split is at the first 'x', so model names containing
+// 'x' (e.g. moe-8x7b) parse correctly: "2xmoe-8x7b".
+func parseReplicaSpec(s string) (ReplicaSpec, error) {
+	var rs ReplicaSpec
+	countStr, rest, ok := strings.Cut(s, "x")
+	if !ok {
+		return rs, fmt.Errorf("want COUNTxMODEL[@HARDWARE][:PERFMODEL]")
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(countStr))
+	if err != nil {
+		return rs, fmt.Errorf("replica count: %w", err)
+	}
+	rs.Count = count
+
+	rest, pmStr, hasPM := strings.Cut(rest, ":")
+	modelName, hwName, _ := strings.Cut(rest, "@")
+	rs.Model = strings.TrimSpace(modelName)
+	rs.Hardware = strings.TrimSpace(hwName)
+	if hasPM {
+		pm, err := ParsePerfModel(strings.TrimSpace(pmStr))
+		if err != nil {
+			return rs, err
+		}
+		rs.PerfModel = pm
+		rs.PerfModelSet = true
+	}
+	return rs, rs.Validate()
+}

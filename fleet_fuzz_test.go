@@ -1,0 +1,65 @@
+package llmservingsim
+
+// Native fuzz target for the -fleet spec grammar, mirroring the
+// ParseClasses/ParseRamp fuzz targets in internal/workload: anything the
+// parser accepts must be a valid, usable fleet — specs validate, counts
+// are positive, and the canonical rendering re-parses to the same fleet.
+
+import "testing"
+
+func FuzzParseFleet(f *testing.F) {
+	seeds := []string{
+		"2xgpt3-7b@rtx3090,2xgpt3-7b@a100:roofline",
+		"1xgpt2",
+		"4x@h100:roofline",
+		"2xmoe-8x7b",
+		" 3 x gpt2 @ rtx3090 ",
+		"2xgpt2:astra",
+		"0xgpt2",
+		"-1xgpt2",
+		"9223372036854775807xgpt2,9223372036854775807xgpt2",
+		"2000000xgpt2",
+		"NaNxgpt2",
+		"+Infxgpt2",
+		"1e300xgpt2",
+		"2xgpt2@warpdrive",
+		"2xgpt2@a100:psychic",
+		"x", ":", "@", ",,,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fleet, err := ParseFleet(spec)
+		if err != nil {
+			return
+		}
+		if len(fleet) == 0 {
+			t.Fatal("accepted an empty fleet")
+		}
+		for i, rs := range fleet {
+			if err := rs.Validate(); err != nil {
+				t.Fatalf("accepted invalid spec %d %+v: %v", i, rs, err)
+			}
+			if rs.Count <= 0 {
+				t.Fatalf("accepted non-positive count %d", rs.Count)
+			}
+		}
+		if total := FleetReplicas(fleet); total <= 0 || total > MaxFleetReplicas*len(fleet) {
+			t.Fatalf("fleet total %d out of range", total)
+		}
+		// The canonical rendering must re-parse to the same fleet.
+		again, err := ParseFleet(FleetString(fleet))
+		if err != nil {
+			t.Fatalf("canonical form %q unparseable: %v", FleetString(fleet), err)
+		}
+		if len(again) != len(fleet) {
+			t.Fatalf("round trip %d -> %d specs", len(fleet), len(again))
+		}
+		for i := range again {
+			if again[i] != fleet[i] {
+				t.Fatalf("round trip drifted at %d: %+v -> %+v", i, fleet[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package llmservingsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestReplicaSpecPerfModelInheritance: an unmarked spec inherits the
+// base config's backend; PerfModelSet forces astra over a non-astra
+// base; a non-zero PerfModel always applies.
+func TestReplicaSpecPerfModelInheritance(t *testing.T) {
+	rooflineBase := DefaultConfig()
+	rooflineBase.PerfModel = PerfModelRoofline
+	if got := (ReplicaSpec{Count: 1}).apply(rooflineBase).PerfModel; got != PerfModelRoofline {
+		t.Errorf("unmarked spec over roofline base: got %v, want inherit", got)
+	}
+	if got := (ReplicaSpec{Count: 1, PerfModelSet: true}).apply(rooflineBase).PerfModel; got != PerfModelAstra {
+		t.Errorf("explicit astra over roofline base: got %v", got)
+	}
+	if got := (ReplicaSpec{Count: 1, PerfModel: PerfModelRoofline}).apply(DefaultConfig()).PerfModel; got != PerfModelRoofline {
+		t.Errorf("roofline spec over astra base: got %v", got)
+	}
+}
+
+// TestHardwarePresetEngineSelection: under the astra backend, an
+// NPU-derived preset keeps the systolic NPU engine (so naming the
+// default NPU is a no-op), while GPU-class presets swap in the GPU
+// reference engine.
+func TestHardwarePresetEngineSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hardware = "genesys-128x128"
+	opts, err := buildOptions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.EngineFactory != nil {
+		t.Error("NPU-derived preset must not swap in the GPU reference engine")
+	}
+	if opts.NPU != config.DefaultNPU() {
+		t.Errorf("NPU config drifted from the preset source: %+v", opts.NPU)
+	}
+	cfg.Hardware = "a100"
+	opts, err = buildOptions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.EngineFactory == nil {
+		t.Error("GPU-class preset must select the GPU reference engine")
+	}
+}
+
+// TestParseFleet covers the accepted grammar and its round-trip through
+// ReplicaSpec.String/FleetString.
+func TestParseFleet(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []ReplicaSpec
+	}{
+		{"2xgpt3-7b@rtx3090,2xgpt3-7b@a100:roofline", []ReplicaSpec{
+			{Count: 2, Model: "gpt3-7b", Hardware: "rtx3090"},
+			{Count: 2, Model: "gpt3-7b", Hardware: "a100", PerfModel: PerfModelRoofline, PerfModelSet: true},
+		}},
+		{"1xgpt2", []ReplicaSpec{{Count: 1, Model: "gpt2"}}},
+		{"4x@h100:roofline", []ReplicaSpec{
+			{Count: 4, Hardware: "h100", PerfModel: PerfModelRoofline, PerfModelSet: true},
+		}},
+		{"2xmoe-8x7b", []ReplicaSpec{{Count: 2, Model: "moe-8x7b"}}},
+		{" 3 x gpt2 @ rtx3090 , ", []ReplicaSpec{{Count: 3, Model: "gpt2", Hardware: "rtx3090"}}},
+		{"2xgpt2:astra", []ReplicaSpec{{Count: 2, Model: "gpt2", PerfModelSet: true}}},
+	}
+	for _, c := range cases {
+		got, err := ParseFleet(c.spec)
+		if err != nil {
+			t.Errorf("ParseFleet(%q): %v", c.spec, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseFleet(%q): %d specs, want %d", c.spec, len(got), len(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseFleet(%q)[%d] = %+v, want %+v", c.spec, i, got[i], c.want[i])
+			}
+		}
+		// Canonical specs round-trip through the renderer.
+		rendered := FleetString(got)
+		again, err := ParseFleet(rendered)
+		if err != nil {
+			t.Errorf("re-parsing %q: %v", rendered, err)
+			continue
+		}
+		for i := range again {
+			if again[i] != got[i] {
+				t.Errorf("round trip %q -> %q drifted at %d", c.spec, rendered, i)
+			}
+		}
+	}
+}
+
+// TestParseFleetRejects pins the malformed-spec diagnostics: every error
+// is anchored to the offending entry.
+func TestParseFleetRejects(t *testing.T) {
+	cases := []struct {
+		spec    string
+		errWant string // substring the error must contain
+	}{
+		{"", "empty fleet spec"},
+		{", ,", "empty fleet spec"},
+		{"gpt2", "want COUNT"},
+		{"0xgpt2", "count must be >= 1"},
+		{"-2xgpt2", "count must be >= 1"},
+		{"2.5xgpt2", "replica count"},
+		{"NaNxgpt2", "replica count"},
+		{"+Infxgpt2", "replica count"},
+		{"9223372036854775807xgpt2", "maximum"},
+		{"2000000xgpt2", "maximum"},
+		{"2xnosuchmodel", "unknown model"},
+		{"2xgpt2@warpdrive", "unknown hardware"},
+		{"2xgpt2@a100:psychic", "unknown perf model"},
+		{"1xgpt2,0xgpt2", "entry 2"},
+	}
+	for _, c := range cases {
+		_, err := ParseFleet(c.spec)
+		if err == nil {
+			t.Errorf("ParseFleet(%q) accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errWant) {
+			t.Errorf("ParseFleet(%q) error %q does not mention %q", c.spec, err, c.errWant)
+		}
+	}
+}
+
+// TestWithReplicaSpecs: the helper derives the replica count and the
+// scenario validates end to end.
+func TestWithReplicaSpecs(t *testing.T) {
+	fleet, err := ParseFleet("1xgpt2,2xgpt2@a100:roofline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ClusterScenario{
+		Name:   "fleet",
+		Config: DefaultConfig(),
+		Trace:  UniformTrace(4, 32, 4),
+	}.WithReplicaSpecs(fleet...)
+	if sc.Replicas != 3 {
+		t.Fatalf("Replicas = %d, want 3", sc.Replicas)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A mismatched explicit count is rejected.
+	sc.Replicas = 5
+	if err := sc.Validate(); err == nil {
+		t.Fatal("mismatched Replicas accepted")
+	}
+	// A fleet entry invalid only in combination (roofline + PIM) is
+	// caught by per-replica config validation.
+	bad := sc
+	bad.Replicas = 0
+	bad.Config.PIMType = PIMLocal
+	if err := bad.Validate(); err == nil {
+		t.Fatal("roofline+PIM fleet accepted")
+	}
+}

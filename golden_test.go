@@ -136,6 +136,112 @@ func TestGoldenCluster(t *testing.T) {
 	}
 }
 
+// TestGoldenBackendDimension proves the perf-model backend axis is
+// wired through the whole stack and pins it: an explicit
+// PerfModelAstra selection must reproduce the default-path goldens
+// above bit-for-bit (the adapter IS the old pipeline), and the roofline
+// backend — deterministic from day one — gets its own pinned rows on
+// the same trace.
+func TestGoldenBackendDimension(t *testing.T) {
+	goldens := map[string]string{
+		"astra/round-robin":         "iters=1358 admitted=48 rejected=0 end_ps=457800961000 evict=4 reload=4 tput=10799.453083716877 good=10799.453083716877 p99=0.25612862800000002",
+		"astra/least-loaded":        "iters=1377 admitted=48 rejected=0 end_ps=451004922000 evict=21 reload=21 tput=10962.18635059597 good=10749.328363205757 p99=0.26384819050000002",
+		"astra/affinity":            "iters=934 admitted=48 rejected=0 end_ps=779961894000 evict=64 reload=64 tput=6338.7712118151248 good=4984.8589141458742 p99=0.57006770500000004",
+		"roofline/round-robin":      "iters=1988 admitted=48 rejected=0 end_ps=284748134646 evict=0 reload=0 tput=17362.712511344103 good=17362.712511344103 p99=0.088998306824999998",
+		"roofline/least-loaded":     "iters=2041 admitted=48 rejected=0 end_ps=287017145910 evict=0 reload=0 tput=17225.451755938968 good=17225.451755938968 p99=0.088983015058999998",
+		"roofline/affinity":         "iters=1046 admitted=48 rejected=0 end_ps=364320593594 evict=46 reload=46 tput=13570.465372895196 good=13570.465372895196 p99=0.155218437583",
+		"roofline-rtx3090/affinity": "iters=364 admitted=48 rejected=0 end_ps=1195868702557 evict=0 reload=0 tput=4134.2331222723406 good=2849.8111813721962 p99=1.083860002972",
+	}
+
+	trace := goldenTrace(t)
+	run := func(t *testing.T, key string, cfg sim.Config, router sim.RouterPolicy) {
+		t.Helper()
+		sc := sim.ClusterScenario{
+			Name:     key,
+			Config:   cfg,
+			Replicas: 2,
+			Router:   router,
+			Classes:  goldenClasses(),
+			Trace:    trace,
+		}
+		rep, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := clusterFingerprint(rep)
+		if os.Getenv("GOLDEN_PRINT") != "" {
+			t.Logf("golden: %q: %q,", key, got)
+			return
+		}
+		want, ok := goldens[key]
+		if !ok {
+			t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", key)
+		}
+		if got != want {
+			t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+		}
+	}
+
+	for _, backend := range []sim.PerfModel{sim.PerfModelAstra, sim.PerfModelRoofline} {
+		for _, router := range []sim.RouterPolicy{sim.RouterRoundRobin, sim.RouterLeastLoaded, sim.RouterAffinity} {
+			key := fmt.Sprintf("%s/%s", backend, router)
+			t.Run(key, func(t *testing.T) {
+				cfg := goldenConfig(sim.SchedOrca, sim.KVPaged)
+				cfg.PerfModel = backend
+				run(t, key, cfg, router)
+			})
+		}
+	}
+	// One named-hardware row: the rtx3090 preset swaps in 24 GB of
+	// device memory, so the paging churn of the starved default config
+	// disappears — pinned so the hardware override provably reaches the
+	// backend.
+	t.Run("roofline-rtx3090/affinity", func(t *testing.T) {
+		cfg := goldenConfig(sim.SchedOrca, sim.KVPaged)
+		cfg.PerfModel = sim.PerfModelRoofline
+		cfg.Hardware = "rtx3090"
+		run(t, "roofline-rtx3090/affinity", cfg, sim.RouterAffinity)
+	})
+}
+
+// TestGoldenFleet pins a heterogeneous fleet mixing backends AND
+// hardware classes in one cluster: one starved astra-priced gpt2
+// replica and one a100-class roofline-priced replica, behind
+// least-loaded routing.
+func TestGoldenFleet(t *testing.T) {
+	const want = "iters=1170 admitted=48 rejected=0 end_ps=697276654591 evict=5 reload=5 tput=7090.442462755319 good=5989.0145073758522 p99=0.56792835869199998"
+
+	fleet, err := sim.ParseFleet("1xgpt2,1xgpt2@a100:roofline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.ClusterScenario{
+		Name:    "fleet",
+		Config:  goldenConfig(sim.SchedOrca, sim.KVPaged),
+		Router:  sim.RouterLeastLoaded,
+		Classes: goldenClasses(),
+		Trace:   goldenTrace(t),
+	}.WithReplicaSpecs(fleet...)
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want2 := rep.PerReplica[0].Backend, "astra"; got != want2 {
+		t.Fatalf("replica 0 backend %q, want %q", got, want2)
+	}
+	if got, want2 := rep.PerReplica[1].Backend, "roofline/a100"; got != want2 {
+		t.Fatalf("replica 1 backend %q, want %q", got, want2)
+	}
+	got := clusterFingerprint(rep)
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		t.Logf("golden: fleet: %q,", got)
+		return
+	}
+	if got != want {
+		t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestGoldenSingle pins the single-instance Scenario path (trace known
 // up front, no cluster routing) across {sched} x {kv}.
 func TestGoldenSingle(t *testing.T) {

@@ -12,7 +12,8 @@ import (
 // ReplicaSummary is one replica's contribution to a cluster run.
 type ReplicaSummary struct {
 	Index      int
-	Requests   int // requests routed to this replica
+	Backend    string // performance model pricing this replica
+	Requests   int    // requests routed to this replica
 	Iterations int
 	SimEnd     simtime.Time
 	PromptTPS  float64 // over this replica's own active span
@@ -67,6 +68,7 @@ func (c *Cluster) report() *Report {
 		rep := sim.Report()
 		perReplica[i] = ReplicaSummary{
 			Index:      i,
+			Backend:    rep.Backend,
 			Iterations: rep.Iterations,
 			SimEnd:     rep.SimEnd,
 			PromptTPS:  rep.PromptTPS,
@@ -139,13 +141,13 @@ func (r *Report) WriteRequestsTSV(w io.Writer) error {
 // WriteReplicaTSV writes the per-replica placement/utilisation table.
 func (r *Report) WriteReplicaTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "replica\trequests\titerations\tsim_end_s\t"+
+	if _, err := fmt.Fprintln(bw, "replica\tbackend\trequests\titerations\tsim_end_s\t"+
 		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads"); err != nil {
 		return err
 	}
 	for _, p := range r.PerReplica {
-		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\n",
-			p.Index, p.Requests, p.Iterations, p.SimEnd.Seconds(),
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\n",
+			p.Index, p.Backend, p.Requests, p.Iterations, p.SimEnd.Seconds(),
 			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads); err != nil {
 			return err
 		}

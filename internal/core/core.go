@@ -1,97 +1,77 @@
 // Package core implements the LLMServingSim orchestrator: the iterative
-// loop of Fig. 4 that alternates request scheduling, execution-engine
-// hardware simulation, graph conversion, and system simulation, feeding
-// each iteration's simulated latency back into the scheduler clock.
+// loop of Fig. 4 that alternates request scheduling, performance-model
+// latency estimation, and scheduler feedback, advancing the simulated
+// clock by each iteration's estimated latency.
+//
+// How an iteration's latency is estimated is delegated to a pluggable
+// perfmodel.Backend (the astra adapter reproduces the paper's
+// engine/graph/system pipeline; the roofline backend prices iterations
+// analytically); core owns everything serving-side: admission, batching,
+// KV-cache management, and per-request accounting.
 package core
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/astra"
 	"repro/internal/config"
 	"repro/internal/engine"
-	"repro/internal/graph"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/perfmodel"
+	astrabackend "repro/internal/perfmodel/astra"
 	"repro/internal/sched"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // PIMMode selects how PIM devices participate (the artifact's pim_type).
-type PIMMode int
+// It is an alias of perfmodel.PIMMode, kept here so existing core
+// callers compile unchanged.
+type PIMMode = perfmodel.PIMMode
 
 const (
 	// PIMNone runs a homogeneous NPU system.
-	PIMNone PIMMode = iota
-	// PIMLocal pairs each NPU with a directly-attached PIM device; the two
-	// act as one system node and overlap via the execution engine stack's
-	// operator scheduler (Fig. 5(a)).
-	PIMLocal
+	PIMNone = perfmodel.PIMNone
+	// PIMLocal pairs each NPU with a directly-attached PIM device
+	// (Fig. 5(a)).
+	PIMLocal = perfmodel.PIMLocal
 	// PIMPool places PIM devices in a separate pool reached over the
-	// interconnect, with explicit transfer operators (Fig. 5(b)).
-	PIMPool
+	// interconnect (Fig. 5(b)).
+	PIMPool = perfmodel.PIMPool
 )
 
 // ParsePIMMode converts the artifact's CLI values ("none", "local",
 // "pool").
-func ParsePIMMode(s string) (PIMMode, error) {
-	switch s {
-	case "none", "":
-		return PIMNone, nil
-	case "local":
-		return PIMLocal, nil
-	case "pool":
-		return PIMPool, nil
-	default:
-		return 0, fmt.Errorf("core: unknown pim mode %q (want none|local|pool)", s)
-	}
-}
-
-func (m PIMMode) String() string {
-	switch m {
-	case PIMLocal:
-		return "local"
-	case PIMPool:
-		return "pool"
-	default:
-		return "none"
-	}
-}
+func ParsePIMMode(s string) (PIMMode, error) { return perfmodel.ParsePIMMode(s) }
 
 // ReuseOptions toggles the paper's two result-reusing techniques
-// independently (Section IV-C).
-type ReuseOptions struct {
-	// ModelRedundancy compiles and simulates one transformer block and
-	// replicates it across layers.
-	ModelRedundancy bool
-	// ComputationReuse caches compilation and simulation results across
-	// iterations (and layers).
-	ComputationReuse bool
-}
+// independently (Section IV-C). Alias of perfmodel.ReuseOptions.
+type ReuseOptions = perfmodel.ReuseOptions
 
 // ReuseAll enables both techniques (the simulator's default).
-func ReuseAll() ReuseOptions {
-	return ReuseOptions{ModelRedundancy: true, ComputationReuse: true}
-}
+func ReuseAll() ReuseOptions { return perfmodel.ReuseAll() }
 
 // ReuseNone disables both, reproducing conventional per-layer simulation.
-func ReuseNone() ReuseOptions { return ReuseOptions{} }
+func ReuseNone() ReuseOptions { return perfmodel.ReuseNone() }
 
 // Options configures a Simulator.
 type Options struct {
 	Model model.Config
 	Topo  network.Topology
 
+	// Backend, when non-nil, supplies the performance model pricing each
+	// iteration. When nil, the astra adapter is built from the NPU/PIM/
+	// EngineFactory fields below — the artifact's original pipeline.
+	Backend perfmodel.Factory
+
 	NPU config.NPUConfig
 	PIM config.PIMConfig // used when PIMMode != PIMNone
-	// EngineFactory optionally overrides the NPU engine (e.g. with the GPU
-	// reference model for validation runs). When nil the systolic NPU
-	// engine is used.
+	// EngineFactory optionally overrides the NPU engine of the default
+	// astra backend (e.g. with the GPU reference model for validation
+	// runs). Ignored when Backend is set.
 	EngineFactory func() (engine.Engine, error)
 
 	PIMMode PIMMode
@@ -113,10 +93,26 @@ type Options struct {
 	ThroughputWindow simtime.Duration
 }
 
+// perfConfig derives the backend-independent performance-model
+// configuration from the options.
+func (o Options) perfConfig() perfmodel.Config {
+	return perfmodel.Config{
+		Model:             o.Model,
+		Topo:              o.Topo,
+		PIMMode:           o.PIMMode,
+		SelectiveBatching: o.SelectiveBatching,
+		Reuse:             o.Reuse,
+	}
+}
+
 // Report is the outcome of a serving simulation run.
 type Report struct {
 	Model model.Config
 	Topo  network.Topology
+
+	// Backend names the performance model that priced the iterations
+	// ("astra", "roofline/a100", ...).
+	Backend string
 
 	Iterations int
 	SimEnd     simtime.Time
@@ -133,7 +129,7 @@ type Report struct {
 	// Host-side instrumentation (the paper's "simulation time").
 	Host      metrics.ComponentTimes
 	WallClock time.Duration
-	NPUStats  engine.StackStats
+	NPUStats  engine.StackStats // zero unless the backend is engine-backed
 	PIMStats  engine.StackStats
 }
 
@@ -159,25 +155,13 @@ type Simulator struct {
 
 	opts Options
 
-	npu *engine.Stack
-	pim *engine.Stack
+	backend perfmodel.Backend
 
 	kv        *kvcache.Manager
 	scheduler *sched.Scheduler
 	collector metrics.Collector
-	host      metrics.ComponentTimes
+	schedHost time.Duration // host time spent inside the scheduler
 	wall      time.Duration // accumulated host wall-clock across Steps
-
-	// Reusable per-iteration scratch: the execution graph and its
-	// conversion inputs are rebuilt every iteration, so their storage is
-	// recycled rather than reallocated (see graph.ConvertInto).
-	exec     astra.Executor // system-simulation scratch state
-	gbuf     *graph.Graph
-	itemsBuf []trace.Item
-	memOps   []graph.MemOp
-	reqBytes map[int]int64
-	attnBuf  map[int]simtime.Duration
-	itBuf    model.IterationOps
 }
 
 // New validates options and assembles a simulator for the given trace.
@@ -207,38 +191,26 @@ func New(opts Options, reqs []workload.Request) (*Simulator, error) {
 		return nil, fmt.Errorf("core: sub-batch interleaving requires a PIM configuration")
 	}
 
-	s := &Simulator{
-		opts:     opts,
-		gbuf:     graph.New(),
-		reqBytes: map[int]int64{},
-	}
+	s := &Simulator{opts: opts}
 
-	var eng engine.Engine
-	var err error
-	if opts.EngineFactory != nil {
-		eng, err = opts.EngineFactory()
-	} else {
-		eng, err = newNPUEngine(opts.NPU)
+	factory := opts.Backend
+	if factory == nil {
+		pc := opts.perfConfig()
+		ao := astrabackend.Options{NPU: opts.NPU, PIM: opts.PIM, EngineFactory: opts.EngineFactory}
+		factory = func() (perfmodel.Backend, error) { return astrabackend.New(pc, ao) }
 	}
+	backend, err := factory()
 	if err != nil {
 		return nil, err
 	}
-	s.npu = engine.NewStack(eng, opts.Reuse.ComputationReuse)
-
-	if opts.PIMMode != PIMNone {
-		p, err := newPIMEngine(opts.PIM)
-		if err != nil {
-			return nil, err
-		}
-		s.pim = engine.NewStack(p, opts.Reuse.ComputationReuse)
-	}
+	s.backend = backend
 
 	// KV budget: device memory across the system minus model weights,
 	// minus the configured reserve. Weights are sharded TP x PP ways, so
 	// per-device weight share = total/NPUs; KV is likewise sharded, so the
 	// scheduler reasons about the aggregate budget.
 	npus := int64(opts.Topo.NPUNodes())
-	totalMem := eng.MemoryBytes() * npus
+	totalMem := backend.DeviceMemoryBytes() * npus
 	budget := totalMem - opts.Model.WeightBytes() - opts.KVReserve
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: model %s weights (%d B) exceed system memory (%d B across %d devices)",
@@ -264,21 +236,31 @@ func New(opts Options, reqs []workload.Request) (*Simulator, error) {
 // KV exposes the KV manager (read-only use by callers, e.g. for stats).
 func (s *Simulator) KV() *kvcache.Manager { return s.kv }
 
-// NPUStack exposes the NPU execution engine stack.
-func (s *Simulator) NPUStack() *engine.Stack { return s.npu }
+// Backend exposes the performance model pricing this simulator's
+// iterations.
+func (s *Simulator) Backend() perfmodel.Backend { return s.backend }
+
+// stackProvider is implemented by engine-backed backends (the astra
+// adapter) that expose their execution-engine stacks.
+type stackProvider interface {
+	NPUStack() *engine.Stack
+	PIMStack() *engine.Stack
+}
+
+// NPUStack exposes the NPU execution engine stack of an engine-backed
+// performance model (nil for analytical backends such as roofline).
+func (s *Simulator) NPUStack() *engine.Stack {
+	if p, ok := s.backend.(stackProvider); ok {
+		return p.NPUStack()
+	}
+	return nil
+}
 
 // PIMStack exposes the PIM execution engine stack (nil when PIMMode is
-// none).
-func (s *Simulator) PIMStack() *engine.Stack { return s.pim }
-
-// placement derives the graph attention placement from the options.
-func (s *Simulator) placement() graph.AttentionPlacement {
-	switch {
-	case s.opts.PIMMode == PIMPool:
-		return graph.PIMPool
-	case s.opts.SelectiveBatching && s.opts.Topo.TP > 1:
-		return graph.RequestSplit
-	default:
-		return graph.HeadSplit
+// none or the backend is not engine-backed).
+func (s *Simulator) PIMStack() *engine.Stack {
+	if p, ok := s.backend.(stackProvider); ok {
+		return p.PIMStack()
 	}
+	return nil
 }

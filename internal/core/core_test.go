@@ -309,15 +309,5 @@ func schedNext(t *testing.T, s *Simulator) (*sched.Batch, bool) {
 	return s.scheduler.Next()
 }
 
-func TestGroupSeqs(t *testing.T) {
-	b := &sched.Batch{
-		Seqs: []model.Seq{
-			{ReqID: 0, NewTokens: 1}, {ReqID: 1, NewTokens: 1}, {ReqID: 2, NewTokens: 1},
-		},
-		SubBatch: map[int]int{0: 0, 1: 1, 2: 0},
-	}
-	groups := groupSeqs(b)
-	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 1 {
-		t.Fatalf("groups %v", groups)
-	}
-}
+// (groupSeqs moved with the engine pipeline into internal/perfmodel/astra;
+// its test lives there now.)

@@ -7,7 +7,6 @@ package core
 import (
 	"testing"
 
-	"repro/internal/astra"
 	"repro/internal/model"
 	"repro/internal/network"
 	"repro/internal/simtime"
@@ -41,7 +40,7 @@ func TestIterationLatencyMatchesEngineSum(t *testing.T) {
 	}
 	var expected simtime.Duration
 	for _, op := range it.Block {
-		r, err := sim.npu.Run(op)
+		r, err := sim.NPUStack().Run(op)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,7 +48,7 @@ func TestIterationLatencyMatchesEngineSum(t *testing.T) {
 	}
 	expected *= simtime.Duration(opts.Model.Layers)
 	for _, op := range []model.Op{it.Embed, it.Head} {
-		r, err := sim.npu.Run(op)
+		r, err := sim.NPUStack().Run(op)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,39 +183,6 @@ func TestEvictionInsertsMemoryNodes(t *testing.T) {
 	}
 	if rep.KV.Evictions == 0 || rep.KV.Reloads == 0 {
 		t.Fatalf("expected paging under pressure: %+v", rep.KV)
-	}
-}
-
-// TestCriticalPathCoversIteration: the critical path through a converted
-// graph accounts for the whole makespan on a contention-free single
-// device.
-func TestCriticalPathCoversIteration(t *testing.T) {
-	opts := baseOpts(t)
-	opts.Topo = topo(t, network.Tensor, 1, 0, 0)
-	sim, err := New(opts, []workload.Request{{ID: 0, InputLen: 32, OutputLen: 1}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	batch, _ := sim.scheduler.Next()
-	work, embedDur, headDur, totalNew, err := sim.runEngines(batch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := sim.convert(batch, work, embedDur, headDur, totalNew)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := astra.Execute(g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	path := astra.CriticalPath(g, res)
-	var pathDur simtime.Duration
-	for _, id := range path {
-		pathDur += g.Nodes[id].Duration
-	}
-	if pathDur != res.Makespan {
-		t.Fatalf("critical path %v != makespan %v on serial device", pathDur, res.Makespan)
 	}
 }
 

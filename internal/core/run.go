@@ -2,25 +2,13 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"strconv"
 	"time"
 
-	"repro/internal/config"
-	"repro/internal/engine"
-	"repro/internal/engine/npu"
-	"repro/internal/engine/pim"
-	"repro/internal/graph"
 	"repro/internal/metrics"
-	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/simtime"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-func newNPUEngine(cfg config.NPUConfig) (engine.Engine, error) { return npu.New(cfg) }
-func newPIMEngine(cfg config.PIMConfig) (engine.Engine, error) { return pim.New(cfg) }
 
 // IterationStats describes one completed scheduler iteration, delivered
 // to the OnIteration hook.
@@ -33,8 +21,8 @@ type IterationStats struct {
 }
 
 // Run drives the simulator until every request completes, executing the
-// Fig. 4 cycle each iteration: scheduler -> execution engine stack ->
-// graph converter -> system simulator -> scheduler feedback.
+// Fig. 4 cycle each iteration: scheduler -> performance-model backend ->
+// scheduler feedback.
 func (s *Simulator) Run() (*Report, error) {
 	return s.RunContext(context.Background())
 }
@@ -56,18 +44,29 @@ func (s *Simulator) RunContext(ctx context.Context) (*Report, error) {
 	}
 }
 
-// Step executes one Fig. 4 iteration cycle: scheduler -> execution
-// engine stack -> graph converter -> system simulator -> scheduler
-// feedback. It returns done=true (and performs no work) once the trace
-// has drained. Step is the unit external drivers advance the simulation
-// by; Report may be called between steps for a snapshot.
+// Step executes one Fig. 4 iteration cycle: the scheduler forms a batch,
+// the performance-model backend prices it, and the latency feeds back
+// into the scheduler clock. It returns done=true (and performs no work)
+// once the trace has drained. Step is the unit external drivers advance
+// the simulation by; Report may be called between steps for a snapshot.
+//
+// Host-time accounting reads the clock only twice per step — at entry
+// and exit — and attributes the step's wall time minus whatever the
+// backend metered for itself to the scheduler bucket. At hundreds of
+// thousands of steps per run, per-segment clock reads were themselves a
+// profile-visible cost of the analytical backends.
 func (s *Simulator) Step() (done bool, err error) {
-	wallStart := time.Now()
-	defer func() { s.wall += time.Since(wallStart) }()
+	stepStart := time.Now()
+	backendBefore := s.backend.Host().Total()
+	defer func() {
+		d := time.Since(stepStart)
+		s.wall += d
+		if own := d - (s.backend.Host().Total() - backendBefore); own > 0 {
+			s.schedHost += own
+		}
+	}()
 
-	t0 := time.Now()
 	batch, ok := s.scheduler.Next()
-	s.host.Scheduler += time.Since(t0)
 	if !ok {
 		// The final Next can still have rejected trailing requests.
 		s.emitRejects()
@@ -79,11 +78,9 @@ func (s *Simulator) Step() (done bool, err error) {
 		return false, err
 	}
 
-	t0 = time.Now()
 	if err := s.scheduler.Complete(batch, latency); err != nil {
 		return false, err
 	}
-	s.host.Scheduler += time.Since(t0)
 
 	if s.OnRequestComplete != nil {
 		fin := s.scheduler.Finished()
@@ -128,218 +125,13 @@ func (s *Simulator) emitRejects() {
 // Run it is the full-trace report; between Steps it is a snapshot.
 func (s *Simulator) Report() *Report { return s.report(s.wall) }
 
-// SimulateIteration runs the hardware and system simulation of one batch
-// and returns the iteration latency. Single-iteration experiments (the
-// Figs. 8-10 simulation-time measurements) drive it via Step and read
-// HostTimes.
+// SimulateIteration prices one batch through the performance-model
+// backend and returns the iteration latency. Single-iteration
+// experiments (the Figs. 8-10 simulation-time measurements) drive it via
+// Step and read HostTimes.
 func (s *Simulator) SimulateIteration(b *sched.Batch) (simtime.Duration, error) {
-	work, embedDur, headDur, totalNew, err := s.runEngines(b)
-	if err != nil {
-		return 0, err
-	}
-
-	t0 := time.Now()
-	g, err := s.convert(b, work, embedDur, headDur, totalNew)
-	s.host.GraphConverter += time.Since(t0)
-	if err != nil {
-		return 0, err
-	}
-
-	t0 = time.Now()
-	res, err := s.exec.Execute(g)
-	s.host.AstraSim += time.Since(t0)
-	if err != nil {
-		return 0, err
-	}
-	return res.Makespan, nil
-}
-
-// runEngines performs the execution-engine phase: build each sub-batch's
-// operator workload, map operators to engines (Algorithm 1, line 6), run
-// the compiler/simulator stacks, and merge the traces.
-func (s *Simulator) runEngines(b *sched.Batch) (graph.BlockWork, simtime.Duration, simtime.Duration, int, error) {
-	t0 := time.Now()
-	defer func() { s.host.ExecutionEngine += time.Since(t0) }()
-
-	var zero graph.BlockWork
-	subBatches := groupSeqs(b)
-	reps := 1
-	if !s.opts.Reuse.ModelRedundancy {
-		// Without model-redundancy reuse every transformer block is
-		// compiled and simulated separately, like conventional simulators.
-		reps = s.opts.Model.Layers
-	}
-
-	allItems := s.itemsBuf[:0]
-	defer func() { s.itemsBuf = allItems[:0] }()
-	var embedDur, headDur simtime.Duration
-	totalNew := 0
-	pool := s.opts.PIMMode == PIMPool
-
-	for sbIdx, seqs := range subBatches {
-		it := &s.itBuf
-		if err := model.BuildIterationInto(it, s.opts.Model, seqs, s.opts.Topo.TP); err != nil {
-			return zero, 0, 0, 0, err
-		}
-		totalNew += it.TotalNewTokens
-
-		for rep := 0; rep < reps; rep++ {
-			for i, op := range it.Block {
-				stack, runOp := s.mapOperator(op, pool)
-				latency, err := stack.RunLatency(runOp)
-				if err != nil {
-					return zero, 0, 0, 0, err
-				}
-				if rep == 0 {
-					allItems = append(allItems, trace.Item{
-						Op:       op,
-						Engine:   stack.Engine().Name(),
-						Kind:     stack.Engine().Kind(),
-						Latency:  latency,
-						SubBatch: sbIdx,
-						Seq:      i,
-					})
-				}
-			}
-		}
-		eDur, err := s.npu.RunLatency(it.Embed)
-		if err != nil {
-			return zero, 0, 0, 0, err
-		}
-		hDur, err := s.npu.RunLatency(it.Head)
-		if err != nil {
-			return zero, 0, 0, 0, err
-		}
-		embedDur += eDur
-		headDur += hDur
-	}
-
-	work, err := s.assembleBlockWork(allItems, len(subBatches))
-	if err != nil {
-		return zero, 0, 0, 0, err
-	}
-	return work, embedDur, headDur, totalNew, nil
-}
-
-// mapOperator implements the operator-mapping strategy: attention-core
-// operators go to the PIM stack when one is configured; with a PIM pool,
-// attention runs at full head count on the pool devices (the group's head
-// shards gather there), so the operator is widened accordingly.
-func (s *Simulator) mapOperator(op model.Op, pool bool) (*engine.Stack, model.Op) {
-	if s.pim == nil || !op.Kind.IsAttention() {
-		return s.npu, op
-	}
-	if pool {
-		op.Heads *= s.opts.Topo.TP
-	}
-	return s.pim, op
-}
-
-// assembleBlockWork reduces the merged engine trace into the graph
-// converter's per-layer work description.
-func (s *Simulator) assembleBlockWork(items []trace.Item, nSub int) (graph.BlockWork, error) {
-	var work graph.BlockWork
-	if len(items) == 0 {
-		return work, fmt.Errorf("core: engine phase produced no trace items")
-	}
-
-	if s.attnBuf == nil {
-		s.attnBuf = map[int]simtime.Duration{}
-	}
-	if nSub > 1 {
-		// Sub-batch interleaving: the execution engine stack's operator
-		// scheduler overlaps sub-batches across the heterogeneous engines
-		// (Algorithm 1, line 14); the block behaves as one fused span.
-		sched := trace.Greedy(items)
-		if err := sched.Validate(); err != nil {
-			return work, err
-		}
-		work.Monolithic = sched.Makespan
-		// Attention identities are still needed for placement bookkeeping.
-		clear(s.attnBuf)
-		work.Attn = s.attnBuf
-		for _, it := range items {
-			if it.Op.Kind.IsAttention() {
-				work.Attn[it.Op.ReqID] += it.Latency
-			}
-		}
-		return work, nil
-	}
-
-	seg := trace.SplitSegmentsInto(items, s.attnBuf)
-	work.Pre, work.Post = seg.Pre, seg.Post
-	work.Attn = seg.Attn
-	if s.opts.PIMMode == PIMPool {
-		// Attention items carry full-head PIM costs; expose them for the
-		// pool placement and keep per-request identity for fan-out.
-		work.PIMAttn = seg.Attn
-	}
-	return work, nil
-}
-
-// convert builds the iteration's execution graph into the simulator's
-// reused graph buffer; the result is valid until the next convert call.
-func (s *Simulator) convert(b *sched.Batch, work graph.BlockWork, embedDur, headDur simtime.Duration, totalNew int) (*graph.Graph, error) {
-	m := s.opts.Model
-	d := int64(m.DTypeBytes)
-	actBytes := int64(totalNew) * int64(m.Hidden) * d
-
-	clear(s.reqBytes)
-	for _, q := range b.Seqs {
-		s.reqBytes[q.ReqID] = int64(q.NewTokens) * int64(m.Hidden) * d
-	}
-
-	// KV paging transfers are sharded across devices; stage-0 workers gate
-	// the iteration, so the per-device share is charged there.
-	memOps := s.memOps[:0]
-	if len(b.PageOps) > 0 {
-		npus := int64(s.opts.Topo.NPUNodes())
-		stage0 := s.opts.Topo.StageNodes(0)
-		for _, op := range b.PageOps {
-			share := op.Bytes / npus
-			if share == 0 {
-				share = op.Bytes
-			}
-			label := pageOpLabel(op)
-			for _, dev := range stage0 {
-				memOps = append(memOps, graph.MemOp{
-					Device: dev, Bytes: share, Load: op.Load, Label: label,
-				})
-			}
-		}
-	}
-	s.memOps = memOps
-
-	s.gbuf.Reset()
-	err := graph.ConvertInto(s.gbuf, graph.Params{
-		Topo:            s.opts.Topo,
-		Layers:          m.Layers,
-		Block:           work,
-		EmbedDur:        embedDur,
-		HeadDur:         headDur,
-		ActBytes:        actBytes,
-		HeadGatherBytes: int64(len(b.Seqs)) * int64(m.Vocab/s.opts.Topo.TP) * d,
-		ReqBytes:        s.reqBytes,
-		Placement:       s.placement(),
-		MemOps:          memOps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return s.gbuf, nil
-}
-
-// pageOpLabel builds "evict.r<ID>"/"reload.r<ID>" without fmt (one per
-// paging op per iteration, on the hot path).
-func pageOpLabel(op sched.PageOp) string {
-	prefix := "evict.r"
-	if op.Load {
-		prefix = "reload.r"
-	}
-	b := make([]byte, 0, len(prefix)+8)
-	b = append(b, prefix...)
-	b = strconv.AppendInt(b, int64(op.ReqID), 10)
-	return string(b)
+	latency, _, err := s.backend.IterationLatency(b)
+	return latency, err
 }
 
 // report assembles the final Report.
@@ -358,6 +150,7 @@ func (s *Simulator) report(wall time.Duration) *Report {
 	r := &Report{
 		Model:      s.opts.Model,
 		Topo:       s.opts.Topo,
+		Backend:    s.backend.Name(),
 		Iterations: s.scheduler.Iterations(),
 		SimEnd:     s.collector.End(),
 		PromptTPS:  prompt,
@@ -367,19 +160,26 @@ func (s *Simulator) report(wall time.Duration) *Report {
 		Rejected:   s.scheduler.Rejected(),
 		Latency:    metrics.Latency(samples),
 		KV:         s.kv.Stats(),
-		Host:       s.host,
+		Host:       s.HostTimes(),
 		WallClock:  wall,
-		NPUStats:   s.npu.Stats(),
 	}
-	if s.pim != nil {
-		r.PIMStats = s.pim.Stats()
+	if npu := s.NPUStack(); npu != nil {
+		r.NPUStats = npu.Stats()
+	}
+	if pim := s.PIMStack(); pim != nil {
+		r.PIMStats = pim.Stats()
 	}
 	return r
 }
 
 // HostTimes returns the accumulated per-component host wall-clock
-// breakdown (the Fig. 9 stack).
-func (s *Simulator) HostTimes() metrics.ComponentTimes { return s.host }
+// breakdown (the Fig. 9 stack): the scheduler component measured here
+// plus the backend's own phases.
+func (s *Simulator) HostTimes() metrics.ComponentTimes {
+	host := s.backend.Host()
+	host.Scheduler = s.schedHost
+	return host
+}
 
 // Push adds requests to the simulator mid-run, preserving their IDs —
 // the incremental path cluster routing feeds replicas by. The caller is
@@ -408,32 +208,3 @@ func (s *Simulator) QueuedTokens() int64 { return s.scheduler.QueuedTokens() }
 
 // QueuedRequests returns how many requests are waiting or in flight.
 func (s *Simulator) QueuedRequests() int { return s.scheduler.QueuedRequests() }
-
-// groupSeqs splits the batch into sub-batch sequence groups in index
-// order.
-func groupSeqs(b *sched.Batch) [][]model.Seq {
-	n := 1
-	for _, sb := range b.SubBatch {
-		if sb+1 > n {
-			n = sb + 1
-		}
-	}
-	if n == 1 {
-		// Unpartitioned batch (the common case): one group, already in
-		// batch order.
-		return [][]model.Seq{b.Seqs}
-	}
-	groups := make([][]model.Seq, n)
-	for _, q := range b.Seqs {
-		sb := b.SubBatch[q.ReqID]
-		groups[sb] = append(groups[sb], q)
-	}
-	// Drop empty groups (possible when eviction removed all of one group).
-	out := groups[:0]
-	for _, g := range groups {
-		if len(g) > 0 {
-			out = append(out, g)
-		}
-	}
-	return out
-}

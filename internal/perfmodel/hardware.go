@@ -1,0 +1,150 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/simtime"
+)
+
+// Hardware is the device description an analytical backend prices
+// against: the two roofline axes (peak compute, memory bandwidth) plus
+// capacity and per-operator launch overhead. It deliberately carries no
+// microarchitecture — that is what the engine-backed astra pipeline
+// models — so one Hardware value can stand in for an NPU, GPU, or any
+// accelerator with known peaks.
+type Hardware struct {
+	Name        string
+	PeakFLOPs   float64 // peak dense compute rate, FLOP/s
+	MemBWBytes  float64 // memory bandwidth, B/s
+	MemoryBytes int64   // device memory capacity (KV budget basis)
+
+	// Efficiency is the fraction of peak a dense GEMM attains in
+	// practice (kernel efficiency); non-GEMM operators are priced at
+	// full peak since they are bandwidth-bound anyway. (0, 1].
+	Efficiency float64
+
+	// LaunchOverhead is charged once per operator (kernel launch /
+	// command issue cost).
+	LaunchOverhead simtime.Duration
+
+	// npu records the NPU configuration this Hardware was derived
+	// from, when any: engine-backed backends then model the device
+	// with the systolic NPU engine instead of the GPU reference
+	// engine.
+	npu *config.NPUConfig
+}
+
+// NPUSource returns the NPU configuration the Hardware was derived
+// from, if it came from HardwareFromNPU.
+func (h Hardware) NPUSource() (config.NPUConfig, bool) {
+	if h.npu == nil {
+		return config.NPUConfig{}, false
+	}
+	return *h.npu, true
+}
+
+// Validate reports configuration errors, rejecting the non-finite
+// values a hand-built Hardware (or a fleet spec override) could carry.
+func (h Hardware) Validate() error {
+	switch {
+	case h.Name == "":
+		return fmt.Errorf("perfmodel: hardware with empty name")
+	case !(h.PeakFLOPs > 0) || math.IsInf(h.PeakFLOPs, 1):
+		return fmt.Errorf("perfmodel: hardware %s: peak FLOPs must be positive and finite, got %g", h.Name, h.PeakFLOPs)
+	case !(h.MemBWBytes > 0) || math.IsInf(h.MemBWBytes, 1):
+		return fmt.Errorf("perfmodel: hardware %s: memory bandwidth must be positive and finite, got %g", h.Name, h.MemBWBytes)
+	case h.MemoryBytes <= 0:
+		return fmt.Errorf("perfmodel: hardware %s: memory capacity must be positive, got %d", h.Name, h.MemoryBytes)
+	case !(h.Efficiency > 0) || h.Efficiency > 1:
+		return fmt.Errorf("perfmodel: hardware %s: efficiency must be in (0,1], got %g", h.Name, h.Efficiency)
+	case h.LaunchOverhead < 0:
+		return fmt.Errorf("perfmodel: hardware %s: negative launch overhead", h.Name)
+	}
+	return nil
+}
+
+// HardwareFromNPU derives a roofline Hardware from a systolic NPU
+// configuration (Table I left column).
+func HardwareFromNPU(c config.NPUConfig) Hardware {
+	return Hardware{
+		Name:           c.Name,
+		PeakFLOPs:      c.PeakFLOPs(),
+		MemBWBytes:     c.MemoryBWBytes,
+		MemoryBytes:    c.MemoryBytes,
+		Efficiency:     1, // the systolic array sustains peak on large GEMMs
+		LaunchOverhead: simtime.Cycles(c.OpOverheadCycles, c.FrequencyHz),
+		npu:            &c,
+	}
+}
+
+// HardwareFromGPU derives a roofline Hardware from a GPU reference
+// configuration.
+func HardwareFromGPU(c config.GPUConfig) Hardware {
+	return Hardware{
+		Name:           c.Name,
+		PeakFLOPs:      c.PeakFLOPs,
+		MemBWBytes:     c.MemoryBWBytes,
+		MemoryBytes:    c.MemoryBytes,
+		Efficiency:     c.GEMMEfficiency,
+		LaunchOverhead: simtime.Duration(c.KernelLaunchUs * float64(simtime.Microsecond)),
+	}
+}
+
+// hardwarePresets is the named accelerator catalogue fleet specs refer
+// to (e.g. "2xgpt3-7b@a100"). The rtx3090 entry matches the artifact's
+// GPU reference config; a100/h100 use public fp16 tensor-core peaks and
+// HBM bandwidths.
+var hardwarePresets = map[string]Hardware{}
+
+func registerHardware(h Hardware) {
+	if err := h.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := hardwarePresets[h.Name]; dup {
+		panic(fmt.Sprintf("perfmodel: duplicate hardware %q", h.Name))
+	}
+	hardwarePresets[h.Name] = h
+}
+
+func init() {
+	registerHardware(HardwareFromNPU(config.DefaultNPU())) // "genesys-128x128"
+	registerHardware(HardwareFromGPU(config.DefaultGPU())) // "rtx3090"
+	registerHardware(Hardware{
+		Name:           "a100",
+		PeakFLOPs:      312e12, // fp16 tensor core
+		MemBWBytes:     2039e9, // HBM2e, 80 GB variant
+		MemoryBytes:    80 * config.GB,
+		Efficiency:     0.55,
+		LaunchOverhead: 5 * simtime.Microsecond,
+	})
+	registerHardware(Hardware{
+		Name:           "h100",
+		PeakFLOPs:      989e12, // fp16 tensor core (SXM)
+		MemBWBytes:     3350e9, // HBM3
+		MemoryBytes:    80 * config.GB,
+		Efficiency:     0.6,
+		LaunchOverhead: 4 * simtime.Microsecond,
+	})
+}
+
+// LookupHardware returns the named hardware preset.
+func LookupHardware(name string) (Hardware, error) {
+	h, ok := hardwarePresets[name]
+	if !ok {
+		return Hardware{}, fmt.Errorf("perfmodel: unknown hardware %q (have %v)", name, HardwareNames())
+	}
+	return h, nil
+}
+
+// HardwareNames returns the registered preset names, sorted.
+func HardwareNames() []string {
+	names := make([]string, 0, len(hardwarePresets))
+	for name := range hardwarePresets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -58,6 +58,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/perfmodel"
+	"repro/internal/perfmodel/roofline"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/workload"
@@ -133,6 +135,20 @@ type Config struct {
 	// UseGPUEngine swaps the NPU engine for the GPU reference model
 	// (vLLM-like kernels), used by the validation experiments.
 	UseGPUEngine bool
+
+	// PerfModel selects the performance-model backend pricing each
+	// iteration: the full astra pipeline (default) or the analytical
+	// roofline model. See the PerfModel enum.
+	PerfModel PerfModel
+
+	// Hardware optionally names an accelerator preset (see Hardwares:
+	// "rtx3090", "a100", "h100", ...) the backend models instead of the
+	// NPU/GPU config blocks below: the roofline backend prices against
+	// it, and the astra backend models it with the systolic NPU engine
+	// for NPU-derived presets ("genesys-128x128") or the GPU reference
+	// engine for GPU-class ones. Empty keeps the configured NPU (or
+	// GPU, with UseGPUEngine) hardware.
+	Hardware string
 
 	// Hardware overrides. An entirely zero-valued block uses the Table I
 	// defaults; to override individual fields, start from DefaultConfig
@@ -255,6 +271,18 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "SubBatches", Value: c.SubBatches,
 			Reason: "sub-batch interleaving requires a PIM configuration"}
 	}
+	if !c.PerfModel.valid() {
+		return &ConfigError{Field: "PerfModel", Value: c.PerfModel, Reason: "unknown perf model"}
+	}
+	if c.PerfModel == PerfModelRoofline && c.PIMType != PIMNone {
+		return &ConfigError{Field: "PerfModel", Value: c.PerfModel,
+			Reason: "the roofline backend does not model PIM operator mapping (use astra)"}
+	}
+	if c.Hardware != "" {
+		if _, err := perfmodel.LookupHardware(c.Hardware); err != nil {
+			return &ConfigError{Field: "Hardware", Value: c.Hardware, Reason: "unknown hardware preset", Err: err}
+		}
+	}
 	hw := c.withHardwareDefaults()
 	if err := hw.NPU.Validate(); err != nil {
 		return &ConfigError{Field: "NPU", Value: hw.NPU.Name, Reason: "invalid NPU hardware config", Err: err}
@@ -333,6 +361,7 @@ type KVStats struct {
 type Report struct {
 	Model              string
 	Topology           string
+	Backend            string // performance model that priced the run ("astra", "roofline/a100", ...)
 	Iterations         int
 	Rejected           int     // requests refused as unservable (prompt beyond context/KV budget)
 	SimEndSec          float64 // simulated time to drain the trace
@@ -435,6 +464,7 @@ func wrapReport(rep *core.Report) *Report {
 	out := &Report{
 		Model:      rep.Model.Name,
 		Topology:   rep.Topo.String(),
+		Backend:    rep.Backend,
 		Iterations: rep.Iterations,
 		Rejected:   len(rep.Rejected),
 		SimEndSec:  rep.SimEnd.Seconds(),
@@ -515,12 +545,74 @@ func buildOptions(cfg Config) (core.Options, error) {
 		},
 		ThroughputWindow: simtime.FromStd(cfg.ThroughputWindow),
 	}
-	if cfg.UseGPUEngine {
-		gpuCfg := cfg.GPU
-		opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(gpuCfg) }
+
+	switch cfg.PerfModel {
+	case PerfModelRoofline:
+		// Roofline prices against the named hardware preset, else the
+		// device the configured engine would have modelled.
+		var hw perfmodel.Hardware
+		switch {
+		case cfg.Hardware != "":
+			hw, err = perfmodel.LookupHardware(cfg.Hardware) // Validate checked the name
+			if err != nil {
+				return opts, err
+			}
+		case cfg.UseGPUEngine:
+			hw = perfmodel.HardwareFromGPU(cfg.GPU)
+		default:
+			hw = perfmodel.HardwareFromNPU(cfg.NPU)
+		}
+		pc := perfmodel.Config{
+			Model:             m,
+			Topo:              topo,
+			PIMMode:           pimMode,
+			SelectiveBatching: cfg.SelectiveBatching,
+			Reuse:             opts.Reuse,
+		}
+		opts.Backend = func() (perfmodel.Backend, error) { return roofline.New(pc, hw) }
+	default:
+		// Astra backend: an NPU-derived hardware preset keeps the
+		// systolic NPU engine (configured to that device); any other
+		// preset selects the GPU reference engine at the preset's
+		// rates. Without a preset, the NPU (or, with UseGPUEngine, the
+		// configured GPU) engine runs.
+		if cfg.Hardware != "" {
+			hw, err := perfmodel.LookupHardware(cfg.Hardware)
+			if err != nil {
+				return opts, err
+			}
+			if npuCfg, ok := hw.NPUSource(); ok {
+				opts.NPU = npuCfg
+				opts.EngineFactory = nil
+			} else {
+				gpuCfg := gpuConfigFromHardware(hw)
+				opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(gpuCfg) }
+			}
+		} else if cfg.UseGPUEngine {
+			gpuCfg := cfg.GPU
+			opts.EngineFactory = func() (engine.Engine, error) { return gpu.New(gpuCfg) }
+		}
 	}
 	return opts, nil
 }
+
+// gpuConfigFromHardware projects a hardware preset onto the GPU
+// reference engine's configuration surface.
+func gpuConfigFromHardware(hw perfmodel.Hardware) config.GPUConfig {
+	return config.GPUConfig{
+		Name:           hw.Name,
+		PeakFLOPs:      hw.PeakFLOPs,
+		MemoryBytes:    hw.MemoryBytes,
+		MemoryBWBytes:  hw.MemBWBytes,
+		KernelLaunchUs: float64(hw.LaunchOverhead) / float64(simtime.Microsecond),
+		GEMMEfficiency: hw.Efficiency,
+		FlashAttention: true,
+	}
+}
+
+// Hardwares returns the named accelerator presets usable in
+// Config.Hardware and fleet specs.
+func Hardwares() []string { return perfmodel.HardwareNames() }
 
 // ShareGPTTrace synthesises n requests with ShareGPT-like length
 // statistics and Poisson arrivals at ratePerSec.

@@ -67,6 +67,14 @@ func WithReuse(modelRedundancy, computation bool) Option {
 // WithGPUEngine swaps the NPU engine for the GPU reference model.
 func WithGPUEngine(on bool) Option { return func(c *Config) { c.UseGPUEngine = on } }
 
+// WithPerfModel selects the performance-model backend pricing each
+// iteration (astra pipeline vs analytical roofline).
+func WithPerfModel(p PerfModel) Option { return func(c *Config) { c.PerfModel = p } }
+
+// WithHardware names an accelerator preset (see Hardwares) the backend
+// models instead of the configured NPU/GPU hardware blocks.
+func WithHardware(name string) Option { return func(c *Config) { c.Hardware = name } }
+
 // WithNPUMemory overrides the per-NPU device memory in bytes.
 func WithNPUMemory(bytes int64) Option { return func(c *Config) { c.NPU.MemoryBytes = bytes } }
 
