@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/perfmodel"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -164,6 +165,59 @@ type ClusterScenario struct {
 	// Trace is the arrival stream, typically from MultiClassTrace or
 	// LoadTrace. Requests are processed in arrival order.
 	Trace []Request
+
+	// Autoscaler makes the fleet dynamic: the policy re-evaluates the
+	// fleet size every ScaleTick of simulated time, clamped to
+	// [MinReplicas, MaxReplicas]. ScaleNone (the zero value) keeps the
+	// fleet static. Autoscaled slots beyond the initial fleet cycle
+	// through the initial replica configurations (round-robin over the
+	// expanded Fleet, or copies of Config when homogeneous).
+	Autoscaler AutoscalePolicy
+
+	// ScaleTick is the autoscaler evaluation interval (> 0 when an
+	// Autoscaler is selected).
+	ScaleTick time.Duration
+
+	// MinReplicas / MaxReplicas clamp scaling decisions (ticks and
+	// scale events). Zero values default to 1 and max(initial replicas,
+	// MinReplicas).
+	MinReplicas int
+	MaxReplicas int
+
+	// ScaleQueueTarget is the queue-depth policy's target queued
+	// requests per active replica.
+	ScaleQueueTarget int
+
+	// ScaleSLOTarget / ScaleSLOHigh bound the slo-target policy's
+	// hysteresis band: interval SLO attainment below the target scales
+	// up one replica, at or above the high bound scales down one,
+	// inside [target, high) the fleet holds. ScaleSLOHigh defaults
+	// to 1.
+	ScaleSLOTarget float64
+	ScaleSLOHigh   float64
+
+	// ScaleSchedule is the scheduled policy's step plan.
+	ScaleSchedule []ScalePoint
+
+	// ProvisionDelay is the cold-start time of a scaled-up replica:
+	// provisioned at t, it starts serving at t+ProvisionDelay.
+	ProvisionDelay time.Duration
+
+	// FleetEvents injects failures, planned scales, and drains at fixed
+	// simulated times (see ParseFleetEvents for the CLI grammar).
+	FleetEvents []FleetEvent
+}
+
+// WithAutoscaler returns a copy of the scenario resized at runtime by
+// the given policy: evaluated every tick, clamped to [minReplicas,
+// maxReplicas]. Policy parameters (ScaleQueueTarget, ScaleSLOTarget,
+// ScaleSchedule) are set on the returned scenario directly.
+func (sc ClusterScenario) WithAutoscaler(policy AutoscalePolicy, tick time.Duration, minReplicas, maxReplicas int) ClusterScenario {
+	sc.Autoscaler = policy
+	sc.ScaleTick = tick
+	sc.MinReplicas = minReplicas
+	sc.MaxReplicas = maxReplicas
+	return sc
 }
 
 // WithReplicaSpecs returns a copy of the scenario serving the given
@@ -207,6 +261,48 @@ func (sc ClusterScenario) Validate() error {
 	if _, err := internalClasses(sc.Classes); err != nil {
 		return &ConfigError{Field: "Classes", Value: len(sc.Classes), Reason: "invalid traffic class", Err: err}
 	}
+	if !sc.Autoscaler.valid() {
+		return &ConfigError{Field: "Autoscaler", Value: sc.Autoscaler, Reason: "unknown autoscale policy"}
+	}
+	if sc.MinReplicas < 0 || sc.MaxReplicas < 0 {
+		return &ConfigError{Field: "MinReplicas", Value: sc.MinReplicas, Reason: "replica bounds must not be negative"}
+	}
+	if sc.MaxReplicas > MaxFleetReplicas {
+		return &ConfigError{Field: "MaxReplicas", Value: sc.MaxReplicas,
+			Reason: fmt.Sprintf("exceeds the %d replica maximum", MaxFleetReplicas)}
+	}
+	if sc.ProvisionDelay < 0 {
+		return &ConfigError{Field: "ProvisionDelay", Value: sc.ProvisionDelay, Reason: "must not be negative"}
+	}
+	initial := sc.Replicas
+	if len(sc.Fleet) > 0 {
+		initial = FleetReplicas(sc.Fleet)
+	}
+	effMin := max(sc.MinReplicas, 1)
+	effMax := sc.MaxReplicas
+	if effMax == 0 {
+		effMax = max(initial, effMin)
+	}
+	if effMax < effMin {
+		return &ConfigError{Field: "MaxReplicas", Value: sc.MaxReplicas,
+			Reason: fmt.Sprintf("below MinReplicas %d", sc.MinReplicas)}
+	}
+	if initial > effMax {
+		return &ConfigError{Field: "Replicas", Value: initial,
+			Reason: fmt.Sprintf("initial fleet exceeds MaxReplicas %d", sc.MaxReplicas)}
+	}
+	if sc.Autoscaler != ScaleNone {
+		if sc.ScaleTick <= 0 {
+			return &ConfigError{Field: "ScaleTick", Value: sc.ScaleTick,
+				Reason: "autoscaling needs a positive evaluation tick"}
+		}
+		if _, err := sc.buildAutoscaler(); err != nil {
+			return &ConfigError{Field: "Autoscaler", Value: sc.Autoscaler.String(), Reason: "invalid policy parameters", Err: err}
+		}
+	}
+	if _, err := fleetEventsInternal(sc.FleetEvents); err != nil {
+		return &ConfigError{Field: "FleetEvents", Value: len(sc.FleetEvents), Reason: "invalid fleet event", Err: err}
+	}
 	// Replica configs are validated once per homogeneous group, not
 	// once per replica.
 	if len(sc.Fleet) == 0 {
@@ -220,6 +316,40 @@ func (sc ClusterScenario) Validate() error {
 	return nil
 }
 
+// buildAutoscaler constructs the internal autoscaling policy, nil for
+// ScaleNone.
+func (sc ClusterScenario) buildAutoscaler() (cluster.Autoscaler, error) {
+	if sc.Autoscaler == ScaleNone {
+		return nil, nil
+	}
+	schedule := make([]cluster.SchedulePoint, len(sc.ScaleSchedule))
+	for i, p := range sc.ScaleSchedule {
+		schedule[i] = cluster.SchedulePoint{
+			Time:     simtime.Time(simtime.FromStd(p.At)),
+			Replicas: p.Replicas,
+		}
+	}
+	return cluster.NewAutoscaler(sc.Autoscaler.internal(), cluster.AutoscalerConfig{
+		QueueTarget:  sc.ScaleQueueTarget,
+		AttainTarget: sc.ScaleSLOTarget,
+		AttainHigh:   sc.ScaleSLOHigh,
+		Schedule:     schedule,
+	})
+}
+
+// replicaCost returns the capacity-cost weight of a replica built from
+// cfg: its hardware preset's weight, or 1.0 without a preset.
+func replicaCost(cfg Config) float64 {
+	if cfg.Hardware == "" {
+		return 1
+	}
+	hw, err := perfmodel.LookupHardware(cfg.Hardware)
+	if err != nil {
+		return 1 // Validate already rejected unknown presets
+	}
+	return hw.Cost()
+}
+
 // build assembles the internal cluster.
 func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	if err := sc.Validate(); err != nil {
@@ -230,24 +360,30 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	// options build per-replica state, so sharing an Options value
 	// across a group is safe.
 	var optsList []core.Options
+	var costList []float64
 	if len(sc.Fleet) == 0 {
 		opts, err := buildOptions(sc.Config)
 		if err != nil {
 			return nil, err
 		}
 		optsList = make([]core.Options, sc.Replicas)
+		costList = make([]float64, sc.Replicas)
 		for i := range optsList {
 			optsList[i] = opts
+			costList[i] = replicaCost(sc.Config)
 		}
 	} else {
 		optsList = make([]core.Options, 0, FleetReplicas(sc.Fleet))
+		costList = make([]float64, 0, FleetReplicas(sc.Fleet))
 		for _, rs := range sc.Fleet {
-			opts, err := buildOptions(rs.apply(sc.Config))
+			cfg := rs.apply(sc.Config)
+			opts, err := buildOptions(cfg)
 			if err != nil {
 				return nil, err
 			}
 			for i := 0; i < rs.Count; i++ {
 				optsList = append(optsList, opts)
+				costList = append(costList, replicaCost(cfg))
 			}
 		}
 	}
@@ -263,11 +399,22 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	scaler, err := sc.buildAutoscaler()
+	if err != nil {
+		return nil, err
+	}
+	events, err := fleetEventsInternal(sc.FleetEvents)
+	if err != nil {
+		return nil, err
+	}
 	hook := sc.Config.OnIteration
 	return cluster.New(cluster.Config{
 		Replicas: len(optsList),
+		// Autoscaled slots beyond the initial fleet cycle through the
+		// initial replica configurations, so a heterogeneous fleet
+		// scales up in its own proportions.
 		NewReplica: func(i int) (*core.Simulator, error) {
-			inner, err := core.New(optsList[i], nil)
+			inner, err := core.New(optsList[i%len(optsList)], nil)
 			if err != nil {
 				return nil, err
 			}
@@ -276,9 +423,16 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 			attachIterationHook(inner, hook)
 			return inner, nil
 		},
-		Router:    router,
-		Admission: admission,
-		Classes:   classes,
+		ReplicaCost:    func(i int) float64 { return costList[i%len(costList)] },
+		Router:         router,
+		Admission:      admission,
+		Classes:        classes,
+		Autoscaler:     scaler,
+		ScaleTick:      simtime.FromStd(sc.ScaleTick),
+		MinReplicas:    sc.MinReplicas,
+		MaxReplicas:    sc.MaxReplicas,
+		ProvisionDelay: simtime.FromStd(sc.ProvisionDelay),
+		Events:         events,
 	})
 }
 
@@ -358,6 +512,7 @@ type ClassStats struct {
 type ReplicaStats struct {
 	Index      int
 	Backend    string // performance model pricing this replica
+	State      string // lifecycle at end of run (active, retired, failed, ...)
 	Requests   int
 	Iterations int
 	SimEndSec  float64
@@ -365,19 +520,27 @@ type ReplicaStats struct {
 	GenTPS     float64
 	Evictions  int64
 	Reloads    int64
+
+	// ReplicaSeconds is the capacity this slot consumed (provisioning
+	// start to retirement or run end); CostWeight its hardware-relative
+	// cost factor.
+	ReplicaSeconds float64
+	CostWeight     float64
 }
 
 // ClusterReport is the outcome of a cluster scenario.
 type ClusterReport struct {
 	Model     string // per-replica model name
 	Topology  string // e.g. "4x(16-npu hybrid)"
-	Replicas  int
+	Replicas  int    // fleet slots ever created
 	Router    string
 	Admission string
+	Scaler    string // autoscaling policy; "" for a static fleet
 
 	Requests int
 	Admitted int
 	Rejected int
+	Requeued int // re-routed off failed (outstanding) or draining (backlog) replicas
 
 	SimEndSec float64
 
@@ -387,6 +550,15 @@ type ClusterReport struct {
 	Classes    []ClassStats
 	PerReplica []ReplicaStats
 
+	// FleetTimeline is the fleet's lifecycle composition over time (a
+	// single point for a static fleet). ReplicaSeconds integrates
+	// committed replicas over the run; CostProxy weighs each slot by
+	// its hardware cost factor — the capacity-cost axis autoscaling
+	// studies compare on.
+	FleetTimeline  []FleetPoint
+	ReplicaSeconds float64
+	CostProxy      float64
+
 	PromptTPS     float64
 	ThroughputTPS float64 // completed output tokens/second
 	GoodputTPS    float64 // SLO-attained output tokens/second
@@ -394,15 +566,30 @@ type ClusterReport struct {
 	inner *cluster.Report
 }
 
+// PeakReplicas returns the largest committed fleet size over the run.
+func (r *ClusterReport) PeakReplicas() int {
+	peak := 0
+	for _, p := range r.FleetTimeline {
+		if c := p.Committed(); c > peak {
+			peak = c
+		}
+	}
+	return peak
+}
+
 func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 	out := &ClusterReport{
-		Replicas:  rep.Replicas,
-		Router:    rep.Router,
-		Admission: rep.Admission,
-		Requests:  rep.Requests,
-		Admitted:  rep.Admitted,
-		Rejected:  rep.Rejected,
-		SimEndSec: rep.SimEnd.Seconds(),
+		Replicas:       rep.Replicas,
+		Router:         rep.Router,
+		Admission:      rep.Admission,
+		Scaler:         rep.Scaler,
+		Requests:       rep.Requests,
+		Admitted:       rep.Admitted,
+		Rejected:       rep.Rejected,
+		Requeued:       rep.Requeued,
+		ReplicaSeconds: rep.ReplicaSeconds,
+		CostProxy:      rep.CostProxy,
+		SimEndSec:      rep.SimEnd.Seconds(),
 		Latency: LatencyStats{
 			Count:   rep.Latency.Count,
 			MeanSec: rep.Latency.MeanSec,
@@ -433,15 +620,26 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 	}
 	for _, p := range rep.PerReplica {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
-			Index:      p.Index,
-			Backend:    p.Backend,
-			Requests:   p.Requests,
-			Iterations: p.Iterations,
-			SimEndSec:  p.SimEnd.Seconds(),
-			PromptTPS:  p.PromptTPS,
-			GenTPS:     p.GenTPS,
-			Evictions:  p.Evictions,
-			Reloads:    p.Reloads,
+			Index:          p.Index,
+			Backend:        p.Backend,
+			State:          p.State,
+			Requests:       p.Requests,
+			Iterations:     p.Iterations,
+			SimEndSec:      p.SimEnd.Seconds(),
+			PromptTPS:      p.PromptTPS,
+			GenTPS:         p.GenTPS,
+			Evictions:      p.Evictions,
+			Reloads:        p.Reloads,
+			ReplicaSeconds: p.ReplicaSeconds,
+			CostWeight:     p.CostWeight,
+		})
+	}
+	for _, p := range rep.FleetTimeline {
+		out.FleetTimeline = append(out.FleetTimeline, FleetPoint{
+			TimeSec:      p.Time.Seconds(),
+			Active:       p.Active,
+			Provisioning: p.Provisioning,
+			Draining:     p.Draining,
 		})
 	}
 	return out
@@ -484,6 +682,10 @@ func (r *ClusterReport) WriteRequestsTSV(w io.Writer) error { return r.inner.Wri
 // WriteReplicaTSV writes the per-replica placement table
 // (*-replicas.tsv).
 func (r *ClusterReport) WriteReplicaTSV(w io.Writer) error { return r.inner.WriteReplicaTSV(w) }
+
+// WriteFleetTSV writes the fleet-size timeline with per-interval
+// replica-seconds (*-fleet.tsv).
+func (r *ClusterReport) WriteFleetTSV(w io.Writer) error { return r.inner.WriteFleetTSV(w) }
 
 // Routers lists the available routing policies.
 func Routers() []string { return cluster.Routers() }

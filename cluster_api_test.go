@@ -106,6 +106,21 @@ func TestClusterScenarioValidate(t *testing.T) {
 			}
 		},
 		func(sc *ClusterScenario) { sc.Config.Model = "bogus" },
+		func(sc *ClusterScenario) { sc.Autoscaler = AutoscalePolicy(99) },
+		func(sc *ClusterScenario) { sc.Autoscaler = ScaleQueueDepth }, // no ScaleTick
+		func(sc *ClusterScenario) {
+			// Policy parameters are validated through the registry.
+			sc.Autoscaler = ScaleSLO
+			sc.ScaleTick = time.Second
+			sc.ScaleSLOTarget = 1.5
+		},
+		func(sc *ClusterScenario) { sc.MinReplicas = -1 },
+		func(sc *ClusterScenario) { sc.MinReplicas = 3; sc.MaxReplicas = 2 },
+		func(sc *ClusterScenario) { sc.MaxReplicas = 2 }, // 4 initial replicas above the cap
+		func(sc *ClusterScenario) { sc.ProvisionDelay = -time.Second },
+		func(sc *ClusterScenario) {
+			sc.FleetEvents = []FleetEvent{{At: time.Second, Kind: FleetScale, Replicas: 0}}
+		},
 	}
 	for i, mutate := range cases {
 		sc := apiClusterScenario(t, "v", RouterRoundRobin)
@@ -123,6 +138,35 @@ func TestClusterScenarioValidate(t *testing.T) {
 	sc.Admission = AdmitQueueCap
 	if _, err := sc.Run(); err == nil {
 		t.Fatal("queue-cap without AdmissionLimit must fail")
+	}
+}
+
+func TestParseScaleSchedule(t *testing.T) {
+	plan, err := ParseScaleSchedule("0:2, 60:8 ,120.5:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ScalePoint{
+		{At: 0, Replicas: 2},
+		{At: time.Minute, Replicas: 8},
+		{At: 120*time.Second + 500*time.Millisecond, Replicas: 3},
+	}
+	if !reflect.DeepEqual(plan, want) {
+		t.Fatalf("plan %+v, want %+v", plan, want)
+	}
+	// 1e7 seconds overflows the picosecond simtime range — a lax
+	// nanosecond bound would let it wrap negative internally.
+	for _, spec := range []string{"", "60", "60:0", "60:-1", "-1:2", "NaN:2", "+Inf:2", "x:2", "60:x", "10000000:2"} {
+		if _, err := ParseScaleSchedule(spec); err == nil {
+			t.Errorf("spec %q must fail", spec)
+		}
+	}
+	// A parsed plan drives a scheduled scenario through validation.
+	sc := apiClusterScenario(t, "sched", RouterRoundRobin).
+		WithAutoscaler(ScaleScheduled, time.Second, 2, 8)
+	sc.ScaleSchedule = plan
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -145,10 +189,19 @@ func TestClusterOnIteration(t *testing.T) {
 // seed produces a bit-identical cluster report across two runs and
 // across sequential-vs-parallel Sweep execution.
 func TestClusterDeterministicAcrossSweeps(t *testing.T) {
+	autoscaled := apiClusterScenario(t, "autoscaled", RouterLeastLoaded).
+		WithAutoscaler(ScaleQueueDepth, 200*time.Millisecond, 2, 6)
+	autoscaled.Replicas = 2
+	autoscaled.ScaleQueueTarget = 3
+	autoscaled.ProvisionDelay = 300 * time.Millisecond
+	autoscaled.FleetEvents = []FleetEvent{
+		{At: time.Second, Kind: FleetFail, Replica: 1},
+	}
 	scenarios := []ClusterScenario{
 		apiClusterScenario(t, "round-robin", RouterRoundRobin),
 		apiClusterScenario(t, "least-loaded", RouterLeastLoaded),
 		apiClusterScenario(t, "affinity", RouterAffinity),
+		autoscaled,
 	}
 
 	render := func(rep *ClusterReport) string {
@@ -160,6 +213,9 @@ func TestClusterDeterministicAcrossSweeps(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := rep.WriteReplicaTSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteFleetTSV(&buf); err != nil {
 			t.Fatal(err)
 		}
 		return buf.String()

@@ -34,6 +34,16 @@
 //	llmservingsim -model gpt3-7b -npu-num 4 \
 //	    -fleet "2xgpt3-7b@rtx3090:roofline,2xgpt3-7b@a100:roofline" \
 //	    -router least-loaded -classes "chat:sharegpt:6:1000:80" -synth-n 512
+//
+// Fleets can be dynamic: -autoscaler resizes the fleet every
+// -scale-tick of simulated time between -min-replicas and
+// -max-replicas (with -provision-delay of cold start per scale-up;
+// the queue-depth policy reads -scale-target, slo-target reads
+// -slo-scale-target, scheduled follows -scale-schedule "0:2,60:8"),
+// and -fleet-events injects failures, planned scales, and graceful
+// drains ("fail@30:2,scale@60:8,drain@90:0"). Either flag enables the
+// cluster layer; -output then also writes the fleet-size timeline to
+// *-fleet.tsv.
 package main
 
 import (
@@ -72,11 +82,23 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "cluster mode: number of serving replicas (>1 enables the cluster layer)")
 		router     llmservingsim.RouterPolicy
 		admission  llmservingsim.AdmissionPolicy
+		autoscaler llmservingsim.AutoscalePolicy
 		admitLimit = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
 		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms]],... (synthesises a mixed trace)")
 		rampSpec   = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
 		fleetSpec  = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL],... (enables the cluster layer; see -list-hardware)")
+
+		scaleTick    = flag.Duration("scale-tick", 10*time.Second, "autoscaler evaluation interval (simulated time)")
+		minReplicas  = flag.Int("min-replicas", 0, "autoscaling floor (0 = 1)")
+		maxReplicas  = flag.Int("max-replicas", 0, "autoscaling ceiling (0 = initial replicas)")
+		scaleTarget  = flag.Int("scale-target", 8, "queue-depth autoscaler: target queued requests per replica")
+		sloTarget    = flag.Float64("slo-scale-target", 0.95, "slo-target autoscaler: scale up below this interval attainment")
+		sloHigh      = flag.Float64("slo-scale-high", 1, "slo-target autoscaler: scale down at or above this interval attainment")
+		scaleSched   = flag.String("scale-schedule", "", "scheduled autoscaler: step plan T_S:REPLICAS,... (e.g. 0:2,60:8,120:2)")
+		provision    = flag.Duration("provision-delay", 0, "cold-start delay of scaled-up replicas (simulated time)")
+		fleetEvtSpec = flag.String("fleet-events", "", "fleet events fail@T:R[:reject]|scale@T:N|drain@T:R,... (enables the cluster layer)")
 	)
+	flag.Var(&autoscaler, "autoscaler", "fleet autoscaling policy: none|queue-depth|slo-target|scheduled")
 	flag.Var(&cfg.PerfModel, "perf-model", "performance model: astra|roofline")
 	flag.StringVar(&cfg.Hardware, "hardware", "", "accelerator preset the backend models (see -list-hardware)")
 	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity")
@@ -112,6 +134,20 @@ func main() {
 	if *fleetSpec != "" {
 		var err error
 		if fleet, err = llmservingsim.ParseFleet(*fleetSpec); err != nil {
+			fatal(err)
+		}
+	}
+	var fleetEvents []llmservingsim.FleetEvent
+	if *fleetEvtSpec != "" {
+		var err error
+		if fleetEvents, err = llmservingsim.ParseFleetEvents(*fleetEvtSpec); err != nil {
+			fatal(err)
+		}
+	}
+	var scaleSchedule []llmservingsim.ScalePoint
+	if *scaleSched != "" {
+		var err error
+		if scaleSchedule, err = llmservingsim.ParseScaleSchedule(*scaleSched); err != nil {
 			fatal(err)
 		}
 	}
@@ -188,16 +224,26 @@ func main() {
 		stop()
 	}()
 
-	if *replicas > 1 || len(fleet) > 0 {
+	if *replicas > 1 || len(fleet) > 0 || len(fleetEvents) > 0 || autoscaler != llmservingsim.ScaleNone {
 		sc := llmservingsim.ClusterScenario{
-			Name:           "cli",
-			Config:         cfg,
-			Replicas:       *replicas,
-			Router:         router,
-			Admission:      admission,
-			AdmissionLimit: *admitLimit,
-			Classes:        classes,
-			Trace:          trace,
+			Name:             "cli",
+			Config:           cfg,
+			Replicas:         *replicas,
+			Router:           router,
+			Admission:        admission,
+			AdmissionLimit:   *admitLimit,
+			Classes:          classes,
+			Trace:            trace,
+			Autoscaler:       autoscaler,
+			ScaleTick:        *scaleTick,
+			MinReplicas:      *minReplicas,
+			MaxReplicas:      *maxReplicas,
+			ScaleQueueTarget: *scaleTarget,
+			ScaleSLOTarget:   *sloTarget,
+			ScaleSLOHigh:     *sloHigh,
+			ScaleSchedule:    scaleSchedule,
+			ProvisionDelay:   *provision,
+			FleetEvents:      fleetEvents,
 		}
 		if len(fleet) > 0 {
 			sc.Fleet = fleet
@@ -276,8 +322,15 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("topology         %s\n", rep.Topology)
 	fmt.Printf("router           %s\n", rep.Router)
 	fmt.Printf("admission        %s\n", rep.Admission)
+	if rep.Scaler != "" {
+		fmt.Printf("autoscaler       %s (peak %d replicas)\n", rep.Scaler, rep.PeakReplicas())
+	}
+	if rep.Requeued > 0 {
+		fmt.Printf("requeued         %d (moved off failed/draining replicas)\n", rep.Requeued)
+	}
 	fmt.Printf("requests         %d (admitted %d, rejected %d)\n", rep.Requests, rep.Admitted, rep.Rejected)
 	fmt.Printf("iterations       %d across %d replicas\n", rep.TotalIterations(), rep.Replicas)
+	fmt.Printf("replica seconds  %.1f (cost proxy %.1f)\n", rep.ReplicaSeconds, rep.CostProxy)
 	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
 	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
 	fmt.Printf("gen tput         %.1f tok/s (goodput %.1f tok/s)\n", rep.ThroughputTPS, rep.GoodputTPS)
@@ -307,6 +360,7 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 			{"-classes.tsv", rep.WriteClassTSV},
 			{"-requests.tsv", rep.WriteRequestsTSV},
 			{"-replicas.tsv", rep.WriteReplicaTSV},
+			{"-fleet.tsv", rep.WriteFleetTSV},
 		}
 		for _, f := range files {
 			out, err := os.Create(output + f.suffix)
@@ -321,7 +375,8 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 				fatal(err)
 			}
 		}
-		fmt.Printf("wrote %s-classes.tsv, %s-requests.tsv, %s-replicas.tsv\n", output, output, output)
+		fmt.Printf("wrote %s-classes.tsv, %s-requests.tsv, %s-replicas.tsv, %s-fleet.tsv\n",
+			output, output, output, output)
 	}
 }
 

@@ -461,3 +461,84 @@ func (p AdmissionPolicy) internal() string {
 		return cluster.AdmitAll
 	}
 }
+
+// AutoscalePolicy selects how a cluster resizes its fleet at runtime.
+// The zero value is ScaleNone (a static fleet).
+type AutoscalePolicy int
+
+const (
+	// ScaleNone keeps the fleet at its configured size.
+	ScaleNone AutoscalePolicy = iota
+	// ScaleQueueDepth sizes the fleet so each active replica holds at
+	// most ScaleQueueTarget queued requests.
+	ScaleQueueDepth
+	// ScaleSLO steps the fleet by one replica per tick on SLO-attainment
+	// pressure, holding inside the [ScaleSLOTarget, ScaleSLOHigh]
+	// hysteresis band.
+	ScaleSLO
+	// ScaleScheduled follows the pre-planned ScaleSchedule step
+	// function.
+	ScaleScheduled
+)
+
+// ParseAutoscalePolicy converts CLI values ("none", "queue-depth" or
+// "queue", "slo-target" or "slo", "scheduled"; "" selects the default,
+// none).
+func ParseAutoscalePolicy(s string) (AutoscalePolicy, error) {
+	switch s {
+	case "none", "":
+		return ScaleNone, nil
+	case "queue-depth", "queue":
+		return ScaleQueueDepth, nil
+	case "slo-target", "slo":
+		return ScaleSLO, nil
+	case "scheduled":
+		return ScaleScheduled, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown autoscaler %q (want none|queue-depth|slo-target|scheduled)", s)
+	}
+}
+
+func (p AutoscalePolicy) String() string {
+	switch p {
+	case ScaleNone:
+		return "none"
+	case ScaleQueueDepth:
+		return "queue-depth"
+	case ScaleSLO:
+		return "slo-target"
+	case ScaleScheduled:
+		return "scheduled"
+	default:
+		return fmt.Sprintf("AutoscalePolicy(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *AutoscalePolicy) Set(s string) error {
+	v, err := ParseAutoscalePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p AutoscalePolicy) valid() bool {
+	return p >= ScaleNone && p <= ScaleScheduled
+}
+
+// internal returns the internal/cluster registry name; ScaleNone has
+// none.
+func (p AutoscalePolicy) internal() string {
+	switch p {
+	case ScaleQueueDepth:
+		return cluster.ScaleQueueDepth
+	case ScaleSLO:
+		return cluster.ScaleSLOTarget
+	case ScaleScheduled:
+		return cluster.ScaleScheduled
+	default:
+		return ""
+	}
+}

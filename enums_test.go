@@ -118,6 +118,34 @@ func TestClusterEnumRoundTrips(t *testing.T) {
 	if _, err := ParseAdmissionPolicy("bogus"); err == nil {
 		t.Error("bogus admission must fail")
 	}
+	for _, p := range []AutoscalePolicy{ScaleNone, ScaleQueueDepth, ScaleSLO, ScaleScheduled} {
+		got, err := ParseAutoscalePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("AutoscalePolicy %v round-trip: got %v, %v", p, got, err)
+		}
+	}
+	if v, _ := ParseAutoscalePolicy("queue"); v != ScaleQueueDepth {
+		t.Errorf("alias queue: %v", v)
+	}
+	if v, _ := ParseAutoscalePolicy("slo"); v != ScaleSLO {
+		t.Errorf("alias slo: %v", v)
+	}
+	if v, err := ParseAutoscalePolicy(""); err != nil || v != ScaleNone {
+		t.Errorf("empty autoscaler: %v, %v", v, err)
+	}
+	if _, err := ParseAutoscalePolicy("bogus"); err == nil {
+		t.Error("bogus autoscaler must fail")
+	}
+	var as AutoscalePolicy
+	asFS := flag.NewFlagSet("t", flag.ContinueOnError)
+	asFS.SetOutput(io.Discard)
+	asFS.Var(&as, "autoscaler", "")
+	if err := asFS.Parse([]string{"-autoscaler", "slo-target"}); err != nil || as != ScaleSLO {
+		t.Errorf("autoscaler flag parse: %v, %v", as, err)
+	}
+	if Autoscalers() == nil {
+		t.Error("autoscaler registry listing must be non-empty")
+	}
 
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)

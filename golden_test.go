@@ -242,6 +242,83 @@ func TestGoldenFleet(t *testing.T) {
 	}
 }
 
+// goldenAutoscaleScenario is the pinned dynamic-fleet run: a
+// queue-depth autoscaler (2 initial replicas scaling 2-4, 50ms tick,
+// 30ms cold start — the golden trace spans well under a second) over
+// the ramped golden trace, with replica 0 failing mid-ramp and its
+// outstanding work requeued onto the survivor. Roofline-priced so the
+// row is cheap enough for the golden-determinism CI job to run twice.
+func goldenAutoscaleScenario(t testing.TB) sim.ClusterScenario {
+	t.Helper()
+	cfg := goldenConfig(sim.SchedOrca, sim.KVPaged)
+	cfg.PerfModel = sim.PerfModelRoofline
+	events, err := sim.ParseFleetEvents("fail@0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.ClusterScenario{
+		Name:     "autoscale",
+		Config:   cfg,
+		Replicas: 2,
+		Router:   sim.RouterLeastLoaded,
+		Classes:  goldenClasses(),
+		Trace:    goldenTrace(t),
+	}.WithAutoscaler(sim.ScaleQueueDepth, 50*time.Millisecond, 2, 4)
+	sc.ScaleQueueTarget = 4
+	sc.ProvisionDelay = 30 * time.Millisecond
+	sc.FleetEvents = events
+	return sc
+}
+
+// autoscaleFingerprint extends the cluster fingerprint with the fleet
+// dimension: the requeue count, replica-seconds (17 digits), and the
+// full fleet-size timeline in integer picoseconds.
+func autoscaleFingerprint(r *sim.ClusterReport) string {
+	timeline := ""
+	for _, p := range r.FleetTimeline {
+		timeline += fmt.Sprintf("|%d:%d/%d/%d", int64(p.TimeSec*1e12+0.5), p.Active, p.Provisioning, p.Draining)
+	}
+	return fmt.Sprintf("%s requeued=%d slots=%d replica_s=%s timeline=%s",
+		clusterFingerprint(r), r.Requeued, r.Replicas, g17(r.ReplicaSeconds), timeline)
+}
+
+// TestGoldenAutoscale pins the autoscaled ramp + failure run — fleet
+// timeline included — bit-for-bit, both standalone and under parallel
+// Sweep execution (the determinism acceptance for dynamic fleets).
+func TestGoldenAutoscale(t *testing.T) {
+	const want = "iters=1928 admitted=48 rejected=0 end_ps=283794155173 evict=11 reload=11 tput=17421.077601073754 good=17421.077601073754 p99=0.12872123242299999 requeued=1 slots=4 replica_s=0.62836618321299997 timeline=|0:2/0/0|100000000000:1/1/0|130000000000:2/0/0|200000000000:2/1/0|230000000000:3/0/0|250000000000:2/0/1|260777872867:2/0/0"
+
+	rep, err := goldenAutoscaleScenario(t).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := autoscaleFingerprint(rep)
+	if os.Getenv("GOLDEN_PRINT") != "" {
+		t.Logf("golden: autoscale: %q,", got)
+	} else if got != want {
+		t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+	}
+
+	// The same scenario inside a parallel Sweep (alongside a copy, so
+	// workers genuinely interleave) must reproduce the same fingerprint.
+	sw := &sim.Sweep{
+		ClusterScenarios: []sim.ClusterScenario{goldenAutoscaleScenario(t), goldenAutoscaleScenario(t)},
+		Workers:          2,
+	}
+	swRep, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range swRep.Results {
+		if swGot := autoscaleFingerprint(res.Cluster); swGot != got {
+			t.Errorf("sweep result %d diverged from the standalone run\n got %s\nwant %s", i, swGot, got)
+		}
+	}
+}
+
 // TestGoldenSingle pins the single-instance Scenario path (trace known
 // up front, no cluster routing) across {sched} x {kv}.
 func TestGoldenSingle(t *testing.T) {

@@ -11,8 +11,17 @@
 // before the routing decision is taken, so load signals (queued tokens,
 // queued requests) are exact at the routing instant and the whole
 // cluster behaves as one discrete-event simulation over a shared clock.
-// Runs are deterministic: the same configuration, trace, and seed
-// produce a bit-identical report.
+//
+// The fleet is dynamic: an optional Autoscaler resizes it on a
+// simulated-time tick, and injected fleet events (workload.FleetEvent)
+// fail, drain, or scale replicas mid-run. Replicas move through a
+// lifecycle — provisioning (cold start), active (routable), draining
+// (finishing in-flight work, no new traffic), and retired or failed —
+// and the fleet's composition over time is recorded as a timeline.
+//
+// Runs are deterministic: the same configuration, trace, events, and
+// seed produce a bit-identical report, sequential or inside a parallel
+// sweep.
 package cluster
 
 import (
@@ -28,14 +37,19 @@ import (
 
 // Config assembles a cluster.
 type Config struct {
-	// Replicas is the serving instance count (>= 1).
+	// Replicas is the initial serving instance count (>= 1).
 	Replicas int
 
-	// NewReplica builds the i-th replica's simulator with an empty
-	// trace; requests are fed incrementally as the cluster routes them.
-	// Replicas are homogeneous in every capacity-planning study shipped
-	// here, but the factory may differentiate on the index.
+	// NewReplica builds the replica in slot i with an empty trace;
+	// requests are fed incrementally as the cluster routes them. Slots
+	// beyond the initial count are created by autoscaling and fleet
+	// events, so the factory must accept any non-negative index.
 	NewReplica func(i int) (*core.Simulator, error)
+
+	// ReplicaCost weighs slot i's capacity cost (the hardware-relative
+	// factor of the cost proxy: replica-seconds x weight). nil charges
+	// every replica 1.0.
+	ReplicaCost func(i int) float64
 
 	// Router places admitted requests; nil defaults to round-robin.
 	Router Router
@@ -47,24 +61,110 @@ type Config struct {
 	// Classes absent from the trace are ignored; trace classes absent
 	// here get no SLO (always attained).
 	Classes []workload.Class
+
+	// Autoscaler, when non-nil, re-evaluates the fleet size every
+	// ScaleTick of simulated time, clamped to [MinReplicas,
+	// MaxReplicas].
+	Autoscaler Autoscaler
+
+	// ScaleTick is the autoscaler evaluation interval (> 0 when an
+	// Autoscaler is set).
+	ScaleTick simtime.Duration
+
+	// MinReplicas / MaxReplicas clamp scaling decisions (autoscaler
+	// ticks and scale events). Zero values default to 1 and
+	// max(Replicas, MinReplicas) respectively.
+	MinReplicas int
+	MaxReplicas int
+
+	// ProvisionDelay is the cold-start time of a scaled-up replica:
+	// provisioned at t, it starts serving at t+ProvisionDelay.
+	ProvisionDelay simtime.Duration
+
+	// Events are fleet changes injected at fixed simulated times
+	// (failures, planned scales, drains). Applied in time order, stable
+	// on spec order; events after the cluster drains are ignored.
+	Events []workload.FleetEvent
+}
+
+// lifecycle is a replica's position in the dynamic-fleet state machine.
+type lifecycle int
+
+const (
+	stateProvisioning lifecycle = iota // cold-starting, not yet routable
+	stateActive                        // serving traffic
+	stateDraining                      // finishing in-flight work, not routable
+	stateRetired                       // drained and removed
+	stateFailed                        // killed by a failure event
+)
+
+func (l lifecycle) String() string {
+	switch l {
+	case stateProvisioning:
+		return "provisioning"
+	case stateActive:
+		return "active"
+	case stateDraining:
+		return "draining"
+	case stateRetired:
+		return "retired"
+	case stateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("lifecycle(%d)", int(l))
+	}
+}
+
+// replica is one fleet slot: the simulator plus its lifecycle and cost
+// bookkeeping. Slots are append-only; retired replicas keep their index
+// so request records and TSVs stay stable.
+type replica struct {
+	sim     *core.Simulator
+	state   lifecycle
+	cost    float64      // capacity-cost weight (replica-seconds multiplier)
+	created simtime.Time // provisioning start; cost accrues from here
+	readyAt simtime.Time // provisioning -> active transition time
+	retired simtime.Time // retirement/failure instant, once reached
 }
 
 // Cluster is one configured multi-replica serving simulation.
 type Cluster struct {
 	cfg       Config
-	replicas  []*core.Simulator
+	replicas  []*replica
 	router    Router
 	admission Admission
+	scaler    Autoscaler
+	minRep    int
+	maxRep    int
 	slos      map[string]metrics.SLO
 	records   []metrics.RequestRecord
 
 	// Replica stepping is driven off a min-heap of next-event times, so
-	// advancing the cluster to an arrival instant touches only replicas
-	// with events before it instead of scanning all of them.
+	// advancing the cluster to an instant touches only replicas with
+	// events before it instead of scanning all of them.
 	events eventHeap
+
+	// Control-event state: fleet events (sorted, cursor-consumed),
+	// the next autoscaler tick, and the count of replicas cold-starting
+	// (so the activation scan is skipped when none are).
+	fleetEvents  []workload.FleetEvent
+	fleetCursor  int
+	nextTick     simtime.Time
+	provisioning int
+
+	// Fleet telemetry: the lifecycle-composition timeline and counters
+	// for failure handling.
+	timeline []metrics.FleetPoint
+	requeued int
+
+	// SLO attainment over the current autoscaler tick interval.
+	intervalCompleted int
+	intervalAttained  int
+
+	statesBuf []ReplicaState
 }
 
-// New validates the configuration and builds the replicas.
+// New validates the configuration and builds the initial replicas.
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Replicas < 1 {
 		return nil, fmt.Errorf("cluster: replica count must be >= 1, got %d", cfg.Replicas)
@@ -72,10 +172,41 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.NewReplica == nil {
 		return nil, fmt.Errorf("cluster: nil replica factory")
 	}
+	if cfg.Autoscaler != nil && cfg.ScaleTick <= 0 {
+		return nil, fmt.Errorf("cluster: autoscaler %s needs a positive scale tick", cfg.Autoscaler.Name())
+	}
+	if cfg.MinReplicas < 0 || cfg.MaxReplicas < 0 {
+		return nil, fmt.Errorf("cluster: negative replica bounds [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
+	}
+	minRep := cfg.MinReplicas
+	if minRep == 0 {
+		minRep = 1
+	}
+	maxRep := cfg.MaxReplicas
+	if maxRep == 0 {
+		maxRep = max(cfg.Replicas, minRep)
+	}
+	if maxRep < minRep {
+		return nil, fmt.Errorf("cluster: max replicas %d below min %d", maxRep, minRep)
+	}
+	if cfg.Replicas > maxRep {
+		return nil, fmt.Errorf("cluster: initial replicas %d exceed max %d", cfg.Replicas, maxRep)
+	}
+	if cfg.ProvisionDelay < 0 {
+		return nil, fmt.Errorf("cluster: negative provision delay %v", cfg.ProvisionDelay)
+	}
+	for _, ev := range cfg.Events {
+		if err := ev.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		router:    cfg.Router,
 		admission: cfg.Admission,
+		scaler:    cfg.Autoscaler,
+		minRep:    minRep,
+		maxRep:    maxRep,
 		slos:      map[string]metrics.SLO{},
 	}
 	if c.router == nil {
@@ -87,27 +218,56 @@ func New(cfg Config) (*Cluster, error) {
 	for _, cl := range cfg.Classes {
 		c.slos[cl.Name] = metrics.SLO{TTFT: cl.TTFT, TPOT: cl.TPOT}
 	}
+	c.fleetEvents = append([]workload.FleetEvent(nil), cfg.Events...)
+	workload.SortFleetEvents(c.fleetEvents)
 	for i := 0; i < cfg.Replicas; i++ {
-		sim, err := cfg.NewReplica(i)
-		if err != nil {
+		if _, err := c.addReplica(0, stateActive); err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
-		sim.OnRequestComplete = c.complete
-		sim.OnRequestReject = c.reject
-		c.replicas = append(c.replicas, sim)
 	}
 	return c, nil
 }
 
+// addReplica appends a fleet slot in the given lifecycle state.
+func (c *Cluster) addReplica(t simtime.Time, state lifecycle) (*replica, error) {
+	i := len(c.replicas)
+	sim, err := c.cfg.NewReplica(i)
+	if err != nil {
+		return nil, err
+	}
+	sim.OnRequestComplete = c.complete
+	sim.OnRequestReject = c.reject
+	cost := 1.0
+	if c.cfg.ReplicaCost != nil {
+		cost = c.cfg.ReplicaCost(i)
+	}
+	rep := &replica{sim: sim, state: state, cost: cost, created: t}
+	c.replicas = append(c.replicas, rep)
+	if state == stateProvisioning {
+		c.provisioning++
+	}
+	return rep, nil
+}
+
 // complete records one request finishing on its replica (placement was
-// already recorded at routing time).
+// already recorded at routing time) and feeds the autoscaler's
+// per-interval SLO attainment signal. The attainment check only runs
+// when a scaler will read it, keeping static-fleet completions as
+// cheap as before.
 func (c *Cluster) complete(f sched.Finished) {
 	id := f.Req.ID
 	if id < 0 || id >= len(c.records) {
 		return
 	}
-	c.records[id].FirstToken = f.FirstToken
-	c.records[id].Completed = f.Completed
+	rec := &c.records[id]
+	rec.FirstToken = f.FirstToken
+	rec.Completed = f.Completed
+	if c.scaler != nil {
+		c.intervalCompleted++
+		if rec.MeetsSLO(c.slos[rec.Class]) {
+			c.intervalAttained++
+		}
+	}
 }
 
 // reject records a replica's scheduler refusing a request as unservable
@@ -135,22 +295,40 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 	workload.SortByArrival(arrivals)
 
 	c.records = make([]metrics.RequestRecord, len(arrivals))
-	states := make([]ReplicaState, len(c.replicas))
 	c.events.init(len(c.replicas))
 	for i := range c.replicas {
 		c.refreshEvent(i)
 	}
+	if c.scaler != nil {
+		c.nextTick = simtime.Time(c.cfg.ScaleTick)
+	}
+	c.mark(0)
 
-	for _, r := range arrivals {
+	for ai := 0; ai < len(arrivals); {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// Control events (activations, fleet events, scaler ticks) fire
+		// before any arrival at the same instant, so an arrival always
+		// sees the fleet the controls produced.
+		r := arrivals[ai]
+		if ct, ok := c.nextControl(); ok && !r.Arrival.Before(ct) {
+			if err := c.advanceTo(ctx, ct); err != nil {
+				return nil, err
+			}
+			if err := c.applyControls(ct); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ai++
 		// Advance every replica to the arrival instant so the routing
 		// and admission signals are exact at time r.Arrival.
 		if err := c.advanceTo(ctx, r.Arrival); err != nil {
 			return nil, err
 		}
-		c.snapshot(states)
+		states := c.routable(c.statesBuf[:0])
+		c.statesBuf = states
 
 		rec := &c.records[r.ID]
 		*rec = metrics.RequestRecord{
@@ -158,38 +336,317 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 			InputLen: r.InputLen, OutputLen: r.OutputLen,
 			Arrival: r.Arrival,
 		}
-		if !c.admission.Admit(r, states) {
+		// With no routable replica (all failed, draining, or still cold-
+		// starting) the arrival has nowhere to go and is rejected — the
+		// cluster-level 503.
+		if len(states) == 0 || !c.admission.Admit(r, states) {
 			rec.Rejected = true
 			continue
 		}
 		idx := c.router.Route(r, states)
-		if idx < 0 || idx >= len(c.replicas) {
+		if idx < 0 || idx >= len(states) {
 			return nil, fmt.Errorf("cluster: router %s returned replica %d of %d",
-				c.router.Name(), idx, len(c.replicas))
+				c.router.Name(), idx, len(states))
 		}
-		rec.Replica = idx
-		if err := c.replicas[idx].Push(r); err != nil {
+		target := states[idx].Index
+		rec.Replica = target
+		if err := c.replicas[target].sim.Push(r); err != nil {
 			return nil, err
 		}
-		c.refreshEvent(idx)
+		c.refreshEvent(target)
 	}
 
-	// All arrivals placed: drain every replica.
-	for _, sim := range c.replicas {
-		for {
-			if err := ctx.Err(); err != nil {
+	// All arrivals placed: drain every replica in event order, still
+	// honouring control events (so the scaler can shrink an emptying
+	// fleet and late failures still inject).
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		i, ev := c.events.min()
+		if ct, ok := c.nextControl(); ok && (ev == simtime.Forever || !ev.Before(ct)) {
+			if ev == simtime.Forever && c.provisioning == 0 {
+				// Only ticks or events remain and no work is left for
+				// them to react to: the run is over.
+				break
+			}
+			if err := c.advanceTo(ctx, ct); err != nil {
 				return nil, err
 			}
-			done, err := sim.Step()
-			if err != nil {
+			if err := c.applyControls(ct); err != nil {
 				return nil, err
 			}
-			if done {
+			continue
+		}
+		if ev == simtime.Forever {
+			break
+		}
+		if _, err := c.replicas[i].sim.Step(); err != nil {
+			return nil, err
+		}
+		c.refreshEvent(i)
+	}
+	return c.report(), nil
+}
+
+// nextControl returns the earliest pending control event: a
+// provisioning replica becoming ready, an injected fleet event, or an
+// autoscaler tick. ok is false when none are pending.
+func (c *Cluster) nextControl() (simtime.Time, bool) {
+	t := simtime.Forever
+	if c.provisioning > 0 {
+		for _, rep := range c.replicas {
+			if rep.state == stateProvisioning && rep.readyAt.Before(t) {
+				t = rep.readyAt
+			}
+		}
+	}
+	if c.fleetCursor < len(c.fleetEvents) && c.fleetEvents[c.fleetCursor].Time.Before(t) {
+		t = c.fleetEvents[c.fleetCursor].Time
+	}
+	if c.scaler != nil && c.nextTick.Before(t) {
+		t = c.nextTick
+	}
+	return t, t != simtime.Forever
+}
+
+// applyControls applies every control due at or before t, in a fixed
+// order — activations, then fleet events, then the scaler tick — and
+// records the resulting fleet composition.
+func (c *Cluster) applyControls(t simtime.Time) error {
+	if c.provisioning > 0 {
+		for i, rep := range c.replicas {
+			if rep.state == stateProvisioning && !rep.readyAt.After(t) {
+				rep.state = stateActive
+				c.provisioning--
+				c.refreshEvent(i)
+			}
+		}
+	}
+	for c.fleetCursor < len(c.fleetEvents) && !c.fleetEvents[c.fleetCursor].Time.After(t) {
+		ev := c.fleetEvents[c.fleetCursor]
+		c.fleetCursor++
+		if err := c.applyFleetEvent(t, ev); err != nil {
+			return err
+		}
+	}
+	if c.scaler != nil && !c.nextTick.After(t) {
+		if err := c.applyTick(t); err != nil {
+			return err
+		}
+		c.nextTick = c.nextTick.Add(c.cfg.ScaleTick)
+	}
+	c.mark(t)
+	return nil
+}
+
+// applyTick evaluates the autoscaler against the current fleet view and
+// applies the clamped decision.
+func (c *Cluster) applyTick(t simtime.Time) error {
+	view := FleetView{
+		Time:              t,
+		IntervalCompleted: c.intervalCompleted,
+		IntervalAttained:  c.intervalAttained,
+	}
+	for _, rep := range c.replicas {
+		switch rep.state {
+		case stateProvisioning:
+			view.Provisioning++
+		case stateActive:
+			view.Active++
+			view.QueuedRequests += rep.sim.QueuedRequests()
+			view.QueuedTokens += rep.sim.QueuedTokens()
+		case stateDraining:
+			view.Draining++
+		}
+	}
+	c.intervalCompleted, c.intervalAttained = 0, 0
+	return c.scaleTo(t, clampReplicas(c.scaler.Desired(view), c.minRep, c.maxRep))
+}
+
+// applyFleetEvent applies one injected fleet change.
+func (c *Cluster) applyFleetEvent(t simtime.Time, ev workload.FleetEvent) error {
+	switch ev.Kind {
+	case workload.EventScale:
+		return c.scaleTo(t, clampReplicas(ev.Replicas, c.minRep, c.maxRep))
+	case workload.EventDrain, workload.EventFail:
+		if ev.Replica >= len(c.replicas) {
+			return fmt.Errorf("cluster: fleet event %s targets replica %d, but the fleet has %d slots at %v",
+				ev, ev.Replica, len(c.replicas), t)
+		}
+		if ev.Kind == workload.EventDrain {
+			return c.drainReplica(t, ev.Replica)
+		}
+		return c.failReplica(t, ev)
+	default:
+		return fmt.Errorf("cluster: unknown fleet event kind %d", int(ev.Kind))
+	}
+}
+
+// scaleTo provisions or drains replicas until the committed count
+// (active + provisioning) reaches desired.
+func (c *Cluster) scaleTo(t simtime.Time, desired int) error {
+	committed := 0
+	for _, rep := range c.replicas {
+		if rep.state == stateActive || rep.state == stateProvisioning {
+			committed++
+		}
+	}
+	for ; committed < desired; committed++ {
+		state := stateActive
+		if c.cfg.ProvisionDelay > 0 {
+			state = stateProvisioning
+		}
+		rep, err := c.addReplica(t, state)
+		if err != nil {
+			return err
+		}
+		rep.readyAt = t.Add(c.cfg.ProvisionDelay)
+		c.events.push(simtime.Forever)
+	}
+	for ; committed > desired; committed-- {
+		// Cancel the newest cold-start first (it holds no work), then
+		// drain the highest-index active replica — deterministic LIFO.
+		victim := -1
+		for i := len(c.replicas) - 1; i >= 0; i-- {
+			if c.replicas[i].state == stateProvisioning {
+				victim = i
 				break
 			}
 		}
+		if victim < 0 {
+			for i := len(c.replicas) - 1; i >= 0; i-- {
+				if c.replicas[i].state == stateActive {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			return nil
+		}
+		if err := c.drainReplica(t, victim); err != nil {
+			return err
+		}
 	}
-	return c.report(), nil
+	return nil
+}
+
+// drainReplica gracefully removes replica i: a cold-starting replica is
+// cancelled outright; an active one stops receiving traffic, migrates
+// its not-yet-admitted backlog to the surviving fleet, and retires once
+// its admitted (in-flight) work completes — immediately, when idle.
+// With no routable survivor the backlog deliberately stays put: unlike
+// a failure, a graceful drain never discards work, so the draining
+// replica serves its whole queue before retiring.
+func (c *Cluster) drainReplica(t simtime.Time, i int) error {
+	rep := c.replicas[i]
+	switch rep.state {
+	case stateProvisioning:
+		rep.state = stateRetired
+		rep.retired = t
+		c.provisioning--
+	case stateActive:
+		rep.state = stateDraining
+		if len(c.routable(c.statesBuf[:0])) > 0 {
+			if err := c.redistribute(rep.sim.TakePending()); err != nil {
+				return err
+			}
+		}
+		if _, busy := rep.sim.NextEventTime(); busy {
+			c.refreshEvent(i)
+		} else {
+			rep.state = stateRetired
+			rep.retired = t
+			c.events.update(i, simtime.Forever)
+		}
+	}
+	return nil
+}
+
+// failReplica kills replica i at t: it stops serving instantly and its
+// outstanding requests are requeued through the router onto surviving
+// replicas (or rejected, per the event). Requeued requests keep their
+// original arrival time, so the work lost to the failure counts against
+// their latency and SLO attainment.
+func (c *Cluster) failReplica(t simtime.Time, ev workload.FleetEvent) error {
+	rep := c.replicas[ev.Replica]
+	switch rep.state {
+	case stateRetired, stateFailed:
+		return nil
+	case stateProvisioning:
+		c.provisioning--
+	}
+	outstanding := rep.sim.Outstanding()
+	rep.state = stateFailed
+	rep.retired = t
+	c.refreshEvent(ev.Replica)
+
+	if ev.Reject {
+		for _, r := range outstanding {
+			c.records[r.ID].Rejected = true
+			c.records[r.ID].Replica = -1
+		}
+		return nil
+	}
+	return c.redistribute(outstanding)
+}
+
+// redistribute re-routes requests that lost their replica (failure
+// requeue, drain backlog migration) onto the routable fleet, rejecting
+// them when no replica survives. The router sees fresh load signals per
+// request, so migrated work spreads like any other traffic.
+func (c *Cluster) redistribute(reqs []workload.Request) error {
+	for _, r := range reqs {
+		rec := &c.records[r.ID]
+		states := c.routable(c.statesBuf[:0])
+		c.statesBuf = states
+		if len(states) == 0 {
+			rec.Rejected = true
+			rec.Replica = -1
+			continue
+		}
+		idx := c.router.Route(r, states)
+		if idx < 0 || idx >= len(states) {
+			return fmt.Errorf("cluster: router %s returned replica %d of %d",
+				c.router.Name(), idx, len(states))
+		}
+		target := states[idx].Index
+		rec.Replica = target
+		if err := c.replicas[target].sim.Push(r); err != nil {
+			return err
+		}
+		c.refreshEvent(target)
+		c.requeued++
+	}
+	return nil
+}
+
+// mark appends a fleet-composition timeline point at t, coalescing
+// same-instant transitions and dropping no-op points.
+func (c *Cluster) mark(t simtime.Time) {
+	p := metrics.FleetPoint{Time: t}
+	for _, rep := range c.replicas {
+		switch rep.state {
+		case stateProvisioning:
+			p.Provisioning++
+		case stateActive:
+			p.Active++
+		case stateDraining:
+			p.Draining++
+		}
+	}
+	if n := len(c.timeline); n > 0 {
+		last := c.timeline[n-1]
+		if last.Active == p.Active && last.Provisioning == p.Provisioning && last.Draining == p.Draining {
+			return
+		}
+		if last.Time == t {
+			c.timeline[n-1] = p
+			return
+		}
+	}
+	c.timeline = append(c.timeline, p)
 }
 
 // advanceTo steps replicas in event order until none has an event before
@@ -204,7 +661,7 @@ func (c *Cluster) advanceTo(ctx context.Context, t simtime.Time) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if _, err := c.replicas[i].Step(); err != nil {
+		if _, err := c.replicas[i].sim.Step(); err != nil {
 			return err
 		}
 		c.refreshEvent(i)
@@ -212,12 +669,35 @@ func (c *Cluster) advanceTo(ctx context.Context, t simtime.Time) error {
 }
 
 // refreshEvent re-reads replica i's next event time into the heap.
+// Failed and retired replicas sit at Forever; a draining replica whose
+// work has run dry retires here.
 func (c *Cluster) refreshEvent(i int) {
-	ev, ok := c.replicas[i].NextEventTime()
+	rep := c.replicas[i]
+	if rep.state == stateRetired || rep.state == stateFailed {
+		c.events.update(i, simtime.Forever)
+		return
+	}
+	ev, ok := rep.sim.NextEventTime()
 	if !ok {
+		if rep.state == stateDraining {
+			rep.state = stateRetired
+			rep.retired = rep.sim.Clock()
+			c.mark(rep.retired)
+		}
 		ev = simtime.Forever
 	}
 	c.events.update(i, ev)
+}
+
+// clampReplicas bounds a scaling decision to [lo, hi].
+func clampReplicas(n, lo, hi int) int {
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
 }
 
 // eventHeap is a positioned min-heap over replica next-event times,
@@ -238,6 +718,15 @@ func (h *eventHeap) init(n int) {
 		h.heap[i] = i
 		h.pos[i] = i
 	}
+}
+
+// push appends a new replica slot with the given event time.
+func (h *eventHeap) push(t simtime.Time) {
+	i := len(h.t)
+	h.t = append(h.t, t)
+	h.pos = append(h.pos, len(h.heap))
+	h.heap = append(h.heap, i)
+	h.up(h.pos[i])
 }
 
 func (h *eventHeap) before(a, b int) bool {
@@ -297,14 +786,26 @@ func (h *eventHeap) swap(i, j int) {
 	h.pos[h.heap[j]] = j
 }
 
-// snapshot fills states with each replica's current routing signals.
-func (c *Cluster) snapshot(states []ReplicaState) {
-	for i, sim := range c.replicas {
-		states[i] = ReplicaState{
-			Index:          i,
-			QueuedTokens:   sim.QueuedTokens(),
-			QueuedRequests: sim.QueuedRequests(),
-			Clock:          sim.Clock(),
+// routable appends the routing- and admission-visible state of every
+// active replica to states, in slot order. ReplicaState.Index carries
+// the global slot, so routers index the returned slice and the cluster
+// maps the choice back.
+//
+// Slots are append-only, so this scan is O(slots ever created), not
+// O(active) — fine for the fleets the scale benchmarks pin (hundreds
+// of slots over a run); an active-index list would pay bookkeeping on
+// every lifecycle transition to speed up a loop of cheap field reads.
+func (c *Cluster) routable(states []ReplicaState) []ReplicaState {
+	for i, rep := range c.replicas {
+		if rep.state != stateActive {
+			continue
 		}
+		states = append(states, ReplicaState{
+			Index:          i,
+			QueuedTokens:   rep.sim.QueuedTokens(),
+			QueuedRequests: rep.sim.QueuedRequests(),
+			Clock:          rep.sim.Clock(),
+		})
 	}
+	return states
 }

@@ -9,10 +9,11 @@ import (
 	"repro/internal/simtime"
 )
 
-// ReplicaSummary is one replica's contribution to a cluster run.
+// ReplicaSummary is one fleet slot's contribution to a cluster run.
 type ReplicaSummary struct {
 	Index      int
 	Backend    string // performance model pricing this replica
+	State      string // lifecycle at end of run (active, retired, failed, ...)
 	Requests   int    // requests routed to this replica
 	Iterations int
 	SimEnd     simtime.Time
@@ -20,17 +21,27 @@ type ReplicaSummary struct {
 	GenTPS     float64
 	Evictions  int64
 	Reloads    int64
+
+	// ReplicaSeconds is the capacity this slot consumed: provisioning
+	// start to retirement (or the run's end, if never retired).
+	// CostWeight is its hardware-relative cost factor.
+	ReplicaSeconds float64
+	CostWeight     float64
 }
 
 // Report is the outcome of one cluster simulation.
 type Report struct {
-	Replicas  int
+	Replicas  int // fleet slots ever created
 	Router    string
 	Admission string
+	Scaler    string // autoscaling policy; "" for a static fleet
 
 	Requests int // arrivals
 	Admitted int
 	Rejected int
+	// Requeued counts requests re-routed off a replica that failed
+	// (its outstanding work) or drained (its not-yet-admitted backlog).
+	Requeued int
 
 	SimEnd simtime.Time // latest replica completion
 
@@ -41,6 +52,14 @@ type Report struct {
 	Records []metrics.RequestRecord
 	// PerReplica summarises placement and replica-level counters.
 	PerReplica []ReplicaSummary
+
+	// FleetTimeline is the fleet's lifecycle composition over time, one
+	// point per transition (a single point for a static fleet).
+	FleetTimeline []metrics.FleetPoint
+	// ReplicaSeconds integrates committed replicas over the run; the
+	// CostProxy weighs each slot's share by its hardware cost factor.
+	ReplicaSeconds float64
+	CostProxy      float64
 
 	// Cluster-level rates over SimEnd: all completed output tokens per
 	// second, the SLO-attained subset, and the prompt-token rate.
@@ -56,30 +75,53 @@ type Report struct {
 // report assembles the final Report from the records and replicas.
 func (c *Cluster) report() *Report {
 	r := &Report{
-		Replicas:  len(c.replicas),
-		Router:    c.router.Name(),
-		Admission: c.admission.Name(),
-		Requests:  len(c.records),
-		Records:   c.records,
+		Replicas:      len(c.replicas),
+		Router:        c.router.Name(),
+		Admission:     c.admission.Name(),
+		Requests:      len(c.records),
+		Requeued:      c.requeued,
+		Records:       c.records,
+		FleetTimeline: c.timeline,
+	}
+	if c.scaler != nil {
+		r.Scaler = c.scaler.Name()
 	}
 
 	perReplica := make([]ReplicaSummary, len(c.replicas))
-	for i, sim := range c.replicas {
-		rep := sim.Report()
+	for i, rep := range c.replicas {
+		srep := rep.sim.Report()
 		perReplica[i] = ReplicaSummary{
 			Index:      i,
-			Backend:    rep.Backend,
-			Iterations: rep.Iterations,
-			SimEnd:     rep.SimEnd,
-			PromptTPS:  rep.PromptTPS,
-			GenTPS:     rep.GenTPS,
-			Evictions:  rep.KV.Evictions,
-			Reloads:    rep.KV.Reloads,
+			Backend:    srep.Backend,
+			State:      rep.state.String(),
+			Iterations: srep.Iterations,
+			SimEnd:     srep.SimEnd,
+			PromptTPS:  srep.PromptTPS,
+			GenTPS:     srep.GenTPS,
+			Evictions:  srep.KV.Evictions,
+			Reloads:    srep.KV.Reloads,
+			CostWeight: rep.cost,
 		}
-		if rep.SimEnd.After(r.SimEnd) {
-			r.SimEnd = rep.SimEnd
+		if srep.SimEnd.After(r.SimEnd) {
+			r.SimEnd = srep.SimEnd
 		}
 	}
+	// Capacity cost: each slot accrues from provisioning start until
+	// retirement; slots still standing at the end accrue to SimEnd.
+	for i, rep := range c.replicas {
+		end := r.SimEnd
+		if rep.state == stateRetired || rep.state == stateFailed {
+			end = rep.retired
+		}
+		if end.Before(rep.created) {
+			end = rep.created
+		}
+		secs := end.Sub(rep.created).Seconds()
+		perReplica[i].ReplicaSeconds = secs
+		r.ReplicaSeconds += secs
+		r.CostProxy += secs * rep.cost
+	}
+
 	var samples []metrics.LatencySample
 	var promptTokens int64
 	for _, rec := range c.records {
@@ -118,6 +160,17 @@ func (r *Report) TotalIterations() int {
 	return n
 }
 
+// PeakReplicas returns the largest committed fleet size over the run.
+func (r *Report) PeakReplicas() int {
+	peak := 0
+	for _, p := range r.FleetTimeline {
+		if c := p.Committed(); c > peak {
+			peak = c
+		}
+	}
+	return peak
+}
+
 // Class returns the named class's summary, or nil if absent.
 func (r *Report) Class(name string) *metrics.ClassSummary {
 	for i := range r.Classes {
@@ -138,17 +191,23 @@ func (r *Report) WriteRequestsTSV(w io.Writer) error {
 	return metrics.WriteRequestsTSV(w, r.Records)
 }
 
+// WriteFleetTSV writes the fleet-size timeline with per-interval
+// replica-seconds.
+func (r *Report) WriteFleetTSV(w io.Writer) error {
+	return metrics.WriteFleetTimelineTSV(w, r.FleetTimeline, r.SimEnd)
+}
+
 // WriteReplicaTSV writes the per-replica placement/utilisation table.
 func (r *Report) WriteReplicaTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "replica\tbackend\trequests\titerations\tsim_end_s\t"+
-		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads"); err != nil {
+	if _, err := fmt.Fprintln(bw, "replica\tbackend\tstate\trequests\titerations\tsim_end_s\t"+
+		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads\treplica_s\tcost_weight"); err != nil {
 		return err
 	}
 	for _, p := range r.PerReplica {
-		if _, err := fmt.Fprintf(bw, "%d\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\n",
-			p.Index, p.Backend, p.Requests, p.Iterations, p.SimEnd.Seconds(),
-			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads); err != nil {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%.2f\n",
+			p.Index, p.Backend, p.State, p.Requests, p.Iterations, p.SimEnd.Seconds(),
+			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads, p.ReplicaSeconds, p.CostWeight); err != nil {
 			return err
 		}
 	}

@@ -22,9 +22,13 @@ type ReplicaState struct {
 // Router places each admitted request on a replica. Implementations may
 // keep state (e.g. a round-robin cursor) but must be deterministic:
 // routing depends only on the request, the states, and prior calls.
+//
+// In a dynamic fleet only active replicas are offered, so replicas is
+// the routable subset: Route returns an index into that slice, and the
+// cluster maps it back through ReplicaState.Index to the global slot.
 type Router interface {
 	Name() string
-	// Route returns the target replica index, 0 <= idx < len(replicas).
+	// Route returns the chosen position, 0 <= idx < len(replicas).
 	Route(req workload.Request, replicas []ReplicaState) int
 }
 

@@ -208,3 +208,13 @@ func (s *Simulator) QueuedTokens() int64 { return s.scheduler.QueuedTokens() }
 
 // QueuedRequests returns how many requests are waiting or in flight.
 func (s *Simulator) QueuedRequests() int { return s.scheduler.QueuedRequests() }
+
+// Outstanding returns the requests accepted but not yet finished or
+// rejected — the work a cluster must requeue or reject when this
+// replica fails mid-run.
+func (s *Simulator) Outstanding() []workload.Request { return s.scheduler.Outstanding() }
+
+// TakePending removes and returns the not-yet-admitted backlog — the
+// work a cluster migrates to surviving replicas when this replica
+// drains.
+func (s *Simulator) TakePending() []workload.Request { return s.scheduler.TakePending() }

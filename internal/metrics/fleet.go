@@ -1,0 +1,57 @@
+// This file holds fleet-size accounting for dynamic cluster
+// simulations: a timeline of replica lifecycle counts sampled at every
+// fleet transition, integrated into replica-seconds (the capacity-cost
+// unit autoscaling studies compare on) and written as a TSV.
+
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/simtime"
+)
+
+// FleetPoint is the fleet's lifecycle composition from Time until the
+// next point: replicas serving traffic, replicas cold-starting, and
+// replicas draining their in-flight work before retirement.
+type FleetPoint struct {
+	Time         simtime.Time
+	Active       int
+	Provisioning int
+	Draining     int
+}
+
+// Committed returns the replicas consuming capacity at this point —
+// everything not yet retired, including cold-starting and draining
+// instances.
+func (p FleetPoint) Committed() int { return p.Active + p.Provisioning + p.Draining }
+
+// WriteFleetTimelineTSV writes one row per fleet transition with the
+// per-interval and cumulative replica-seconds — the cluster's
+// *-fleet.tsv output. end bounds the final interval (the run's SimEnd).
+func WriteFleetTimelineTSV(w io.Writer, points []FleetPoint, end simtime.Time) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s\tactive\tprovisioning\tdraining\t"+
+		"interval_replica_s\tcum_replica_s"); err != nil {
+		return err
+	}
+	cum := 0.0
+	for i, p := range points {
+		next := end
+		if i+1 < len(points) {
+			next = points[i+1].Time
+		}
+		interval := 0.0
+		if next.After(p.Time) {
+			interval = float64(p.Committed()) * next.Sub(p.Time).Seconds()
+		}
+		cum += interval
+		if _, err := fmt.Fprintf(bw, "%.6f\t%d\t%d\t%d\t%.3f\t%.3f\n",
+			p.Time.Seconds(), p.Active, p.Provisioning, p.Draining, interval, cum); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

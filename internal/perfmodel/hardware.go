@@ -30,6 +30,12 @@ type Hardware struct {
 	// command issue cost).
 	LaunchOverhead simtime.Duration
 
+	// CostWeight is the device's relative capacity cost (per
+	// replica-second, against a baseline of 1.0) — the weight of the
+	// cluster cost proxy that autoscaling studies compare fleets on.
+	// Zero means unspecified and is treated as 1.0 (see Cost).
+	CostWeight float64
+
 	// npu records the NPU configuration this Hardware was derived
 	// from, when any: engine-backed backends then model the device
 	// with the systolic NPU engine instead of the GPU reference
@@ -62,8 +68,19 @@ func (h Hardware) Validate() error {
 		return fmt.Errorf("perfmodel: hardware %s: efficiency must be in (0,1], got %g", h.Name, h.Efficiency)
 	case h.LaunchOverhead < 0:
 		return fmt.Errorf("perfmodel: hardware %s: negative launch overhead", h.Name)
+	case h.CostWeight < 0 || math.IsInf(h.CostWeight, 1) || math.IsNaN(h.CostWeight):
+		return fmt.Errorf("perfmodel: hardware %s: cost weight must be finite and non-negative, got %g", h.Name, h.CostWeight)
 	}
 	return nil
+}
+
+// Cost returns the capacity-cost weight, defaulting to 1.0 when the
+// Hardware does not specify one.
+func (h Hardware) Cost() float64 {
+	if h.CostWeight == 0 {
+		return 1
+	}
+	return h.CostWeight
 }
 
 // HardwareFromNPU derives a roofline Hardware from a systolic NPU
@@ -119,6 +136,7 @@ func init() {
 		MemoryBytes:    80 * config.GB,
 		Efficiency:     0.55,
 		LaunchOverhead: 5 * simtime.Microsecond,
+		CostWeight:     2.5, // ~cloud price ratio vs an rtx3090-class card
 	})
 	registerHardware(Hardware{
 		Name:           "h100",
@@ -127,6 +145,7 @@ func init() {
 		MemoryBytes:    80 * config.GB,
 		Efficiency:     0.6,
 		LaunchOverhead: 4 * simtime.Microsecond,
+		CostWeight:     4,
 	})
 }
 

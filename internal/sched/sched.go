@@ -243,6 +243,31 @@ func (s *Scheduler) QueuedRequests() int {
 	return len(s.pending) - s.cursor + len(s.byID)
 }
 
+// Outstanding returns the requests this scheduler has accepted but not
+// yet finished or rejected: the active set in admission order, then the
+// pending arrivals in arrival order. Cluster failure injection uses it
+// to requeue a failed replica's remaining work onto surviving replicas.
+func (s *Scheduler) Outstanding() []workload.Request {
+	out := make([]workload.Request, 0, len(s.byID)+len(s.pending)-s.cursor)
+	for st := s.head; st != nil; st = st.next {
+		out = append(out, st.req)
+	}
+	return append(out, s.pending[s.cursor:]...)
+}
+
+// TakePending removes and returns the not-yet-admitted requests, in
+// arrival order. Graceful drain migrates this backlog to surviving
+// replicas so a draining replica only finishes the work it has actually
+// admitted.
+func (s *Scheduler) TakePending() []workload.Request {
+	out := append([]workload.Request(nil), s.pending[s.cursor:]...)
+	s.pending = s.pending[:s.cursor]
+	for _, r := range out {
+		s.pendingTokens -= int64(r.TotalLen())
+	}
+	return out
+}
+
 // Iterations returns how many batches have completed.
 func (s *Scheduler) Iterations() int { return s.iterations }
 

@@ -1,0 +1,197 @@
+package workload
+
+// Fleet events inject planned and unplanned capacity changes into a
+// cluster simulation: a replica failing mid-run (with its in-flight
+// work requeued or rejected), an operator-planned scale to a target
+// fleet size, or a graceful drain of one replica. Events are parsed
+// from the spec grammar shared by the llmservingsim CLI's -fleet-events
+// flag and ClusterScenario.FleetEvents.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// FleetEventKind discriminates fleet events.
+type FleetEventKind int
+
+const (
+	// EventFail kills a replica at Time: it stops serving instantly and
+	// its outstanding requests are requeued through the router (or
+	// rejected, when Reject is set).
+	EventFail FleetEventKind = iota
+	// EventScale is a planned capacity change: the fleet scales to
+	// Replicas committed instances at Time (clamped to the cluster's
+	// min/max bounds).
+	EventScale
+	// EventDrain gracefully removes one replica at Time: it stops
+	// receiving traffic, finishes its in-flight work, then retires.
+	EventDrain
+)
+
+func (k FleetEventKind) String() string {
+	switch k {
+	case EventFail:
+		return "fail"
+	case EventScale:
+		return "scale"
+	case EventDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("FleetEventKind(%d)", int(k))
+	}
+}
+
+// FleetEvent is one scheduled change to a cluster's fleet.
+type FleetEvent struct {
+	Time simtime.Time
+	Kind FleetEventKind
+
+	// Replica is the target replica slot for fail/drain events.
+	Replica int
+	// Replicas is the target committed fleet size for scale events.
+	Replicas int
+	// Reject makes a failure reject the replica's outstanding requests
+	// instead of requeueing them through the router.
+	Reject bool
+}
+
+// Validate reports an error if the event is malformed.
+func (e FleetEvent) Validate() error {
+	if e.Time < 0 {
+		return fmt.Errorf("workload: fleet event %s: negative time %v", e.Kind, e.Time)
+	}
+	switch e.Kind {
+	case EventFail, EventDrain:
+		if e.Replica < 0 {
+			return fmt.Errorf("workload: fleet event %s: negative replica index %d", e.Kind, e.Replica)
+		}
+		if e.Reject && e.Kind == EventDrain {
+			return fmt.Errorf("workload: fleet event drain cannot reject (drains finish in-flight work)")
+		}
+	case EventScale:
+		if e.Replicas < 1 {
+			return fmt.Errorf("workload: fleet event scale: target replicas must be >= 1, got %d", e.Replicas)
+		}
+	default:
+		return fmt.Errorf("workload: unknown fleet event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// String renders the event in the -fleet-events grammar.
+func (e FleetEvent) String() string {
+	t := strconv.FormatFloat(e.Time.Seconds(), 'g', -1, 64)
+	switch e.Kind {
+	case EventScale:
+		return fmt.Sprintf("scale@%s:%d", t, e.Replicas)
+	case EventDrain:
+		return fmt.Sprintf("drain@%s:%d", t, e.Replica)
+	default:
+		if e.Reject {
+			return fmt.Sprintf("fail@%s:%d:reject", t, e.Replica)
+		}
+		return fmt.Sprintf("fail@%s:%d", t, e.Replica)
+	}
+}
+
+// SortFleetEvents orders events by time, stable on the original order,
+// so same-instant events apply in spec order.
+func SortFleetEvents(events []FleetEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Time < events[j].Time
+	})
+}
+
+// ParseFleetEvents converts a fleet-event spec — the grammar shared by
+// the llmservingsim CLI's -fleet-events flag and ClusterScenario. A
+// spec is a comma-separated list of events of the form
+//
+//	fail@T_S:REPLICA[:requeue|reject]
+//	scale@T_S:REPLICAS
+//	drain@T_S:REPLICA
+//
+// with T_S the event time in simulated seconds, e.g.
+// "fail@30:2,scale@60:8,drain@90:0" fails replica 2 at t=30s
+// (requeueing its in-flight work), scales the fleet to 8 at t=60s, and
+// gracefully drains replica 0 at t=90s. The result is sorted by time;
+// errors name the offending entry by position and text.
+func ParseFleetEvents(spec string) ([]FleetEvent, error) {
+	var out []FleetEvent
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseFleetEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("workload: fleet event %d %q: %w", i+1, part, err)
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty fleet event spec %q", spec)
+	}
+	SortFleetEvents(out)
+	return out, nil
+}
+
+// parseFleetEvent parses one KIND@T:ARG[:MODE] entry.
+func parseFleetEvent(s string) (FleetEvent, error) {
+	var ev FleetEvent
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return ev, fmt.Errorf("want fail@T:R[:requeue|reject], scale@T:N, or drain@T:R")
+	}
+	switch strings.TrimSpace(kindStr) {
+	case "fail":
+		ev.Kind = EventFail
+	case "scale":
+		ev.Kind = EventScale
+	case "drain":
+		ev.Kind = EventDrain
+	default:
+		return ev, fmt.Errorf("unknown event kind %q (want fail|scale|drain)", kindStr)
+	}
+
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 3 || (len(parts) == 3 && ev.Kind != EventFail) {
+		return ev, fmt.Errorf("want %s@T:ARG", ev.Kind)
+	}
+	sec, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return ev, fmt.Errorf("event time: %w", err)
+	}
+	// NaN compares false everywhere and +Inf overflows the picosecond
+	// range, so both must be rejected before AtSeconds converts.
+	if !(sec >= 0) || math.IsInf(sec, 1) || sec > float64(math.MaxInt64)/float64(simtime.Second) {
+		return ev, fmt.Errorf("event time must be finite, non-negative seconds within the simulated range, got %g", sec)
+	}
+	ev.Time = simtime.AtSeconds(sec)
+
+	arg, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return ev, fmt.Errorf("event argument: %w", err)
+	}
+	if ev.Kind == EventScale {
+		ev.Replicas = arg
+	} else {
+		ev.Replica = arg
+	}
+	if len(parts) == 3 {
+		switch strings.TrimSpace(parts[2]) {
+		case "requeue":
+			ev.Reject = false
+		case "reject":
+			ev.Reject = true
+		default:
+			return ev, fmt.Errorf("unknown failure mode %q (want requeue|reject)", parts[2])
+		}
+	}
+	return ev, ev.Validate()
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestParseFleetEvents(t *testing.T) {
+	events, err := ParseFleetEvents("scale@60:8, fail@30:2:reject ,drain@90:0,fail@45:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FleetEvent{
+		{Time: 30 * simtime.Time(simtime.Second), Kind: EventFail, Replica: 2, Reject: true},
+		{Time: 45 * simtime.Time(simtime.Second), Kind: EventFail, Replica: 1},
+		{Time: 60 * simtime.Time(simtime.Second), Kind: EventScale, Replicas: 8},
+		{Time: 90 * simtime.Time(simtime.Second), Kind: EventDrain, Replica: 0},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	// An explicit requeue mode parses to the default.
+	rq, err := ParseFleetEvents("fail@1:0:requeue")
+	if err != nil || rq[0].Reject {
+		t.Fatalf("explicit requeue: %+v, %v", rq, err)
+	}
+	// Fractional seconds survive the picosecond conversion.
+	frac, err := ParseFleetEvents("drain@1.5:3")
+	if err != nil || frac[0].Time != simtime.AtSeconds(1.5) {
+		t.Fatalf("fractional time: %+v, %v", frac, err)
+	}
+}
+
+func TestParseFleetEventsRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		" , ",
+		"fail",
+		"fail@",
+		"fail@5",
+		"boom@5:1",
+		"fail@-1:0",
+		"fail@NaN:0",
+		"fail@+Inf:0",
+		"fail@1e300:0",
+		"fail@5:-1",
+		"fail@5:x",
+		"fail@5:1:maybe",
+		"scale@5:0",
+		"scale@5:-2",
+		"scale@5:1:reject",
+		"drain@5:1:reject",
+		"drain@5:0:requeue",
+	}
+	for _, spec := range cases {
+		if _, err := ParseFleetEvents(spec); err == nil {
+			t.Errorf("spec %q must fail", spec)
+		}
+	}
+}
+
+// TestFleetEventRoundTrip: String renders the canonical grammar, and
+// re-parsing it reproduces the event exactly.
+func TestFleetEventRoundTrip(t *testing.T) {
+	events, err := ParseFleetEvents("fail@30:2:reject,scale@0.25:16,drain@7:3,fail@12:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := make([]string, len(events))
+	for i, ev := range events {
+		spec[i] = ev.String()
+	}
+	again, err := ParseFleetEvents(strings.Join(spec, ","))
+	if err != nil {
+		t.Fatalf("canonical form %q failed to re-parse: %v", strings.Join(spec, ","), err)
+	}
+	for i := range events {
+		if events[i] != again[i] {
+			t.Errorf("event %d: %+v != %+v after round-trip", i, events[i], again[i])
+		}
+	}
+}

@@ -135,3 +135,41 @@ func FuzzParseRamp(f *testing.F) {
 		}
 	})
 }
+
+func FuzzParseFleetEvents(f *testing.F) {
+	seeds := []string{
+		"fail@30:2", "fail@30:2:reject", "fail@1:0:requeue",
+		"scale@60:8", "drain@90:0", "fail@30:2,scale@60:8,drain@90:0",
+		"drain@1.5:3", "scale@0.25:16",
+		"fail@-1:0", "fail@NaN:0", "fail@+Inf:0", "fail@1e300:0",
+		"scale@5:0", "boom@5:1", "fail@5:1:maybe", "@:", ",",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		events, err := ParseFleetEvents(spec)
+		if err != nil {
+			return
+		}
+		// Accepted events must validate, be time-ordered, and re-parse
+		// from their canonical rendering to the identical event.
+		prev := events[0].Time
+		for i, ev := range events {
+			if err := ev.Validate(); err != nil {
+				t.Fatalf("accepted invalid event %+v: %v", ev, err)
+			}
+			if ev.Time < prev {
+				t.Fatalf("events out of order at %d: %+v", i, events)
+			}
+			prev = ev.Time
+			again, err := ParseFleetEvents(ev.String())
+			if err != nil {
+				t.Fatalf("canonical form %q failed to re-parse: %v", ev.String(), err)
+			}
+			if len(again) != 1 || again[0] != ev {
+				t.Fatalf("round-trip of %q: %+v != %+v", ev.String(), again, ev)
+			}
+		}
+	})
+}
