@@ -30,6 +30,12 @@ type TrafficClass struct {
 	// SLO targets; zero means "no target" (always attained).
 	TTFT time.Duration // time to first token
 	TPOT time.Duration // time per output token after the first
+
+	// PrefixTokens is the class's shared system-prompt length: every
+	// request carries these tokens ahead of its sampled input, identical
+	// across the class — the traffic shape prefix caching and
+	// prefix-affinity routing exploit. Zero means no shared prefix.
+	PrefixTokens int
 }
 
 func (tc TrafficClass) internal() (workload.Class, error) {
@@ -38,11 +44,12 @@ func (tc TrafficClass) internal() (workload.Class, error) {
 		return workload.Class{}, err
 	}
 	c := workload.Class{
-		Name: tc.Name,
-		Dist: dist,
-		Rate: tc.RatePerSec,
-		TTFT: simtime.FromStd(tc.TTFT),
-		TPOT: simtime.FromStd(tc.TPOT),
+		Name:      tc.Name,
+		Dist:      dist,
+		Rate:      tc.RatePerSec,
+		TTFT:      simtime.FromStd(tc.TTFT),
+		TPOT:      simtime.FromStd(tc.TPOT),
+		PrefixLen: tc.PrefixTokens,
 	}
 	return c, c.Validate()
 }
@@ -96,9 +103,9 @@ func internalClasses(classes []TrafficClass) ([]workload.Class, error) {
 }
 
 // ParseTrafficClasses converts a comma-separated list of class specs of
-// the form "name:dist:rate[:ttft_ms[:tpot_ms]]" — the grammar shared by
-// the llmservingsim and tracegen CLIs. Example:
-// "chat:sharegpt:3:1000:80,api:alpaca:9:500:50".
+// the form "name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]]" — the
+// grammar shared by the llmservingsim and tracegen CLIs. Example:
+// "chat:sharegpt:3:1000:80,agent:alpaca:9:500:50:512".
 func ParseTrafficClasses(spec string) ([]TrafficClass, error) {
 	wcs, err := workload.ParseClasses(spec)
 	if err != nil {
@@ -107,11 +114,12 @@ func ParseTrafficClasses(spec string) ([]TrafficClass, error) {
 	out := make([]TrafficClass, len(wcs))
 	for i, wc := range wcs {
 		out[i] = TrafficClass{
-			Name:       wc.Name,
-			Dist:       wc.Dist.Name,
-			RatePerSec: wc.Rate,
-			TTFT:       wc.TTFT.Std(),
-			TPOT:       wc.TPOT.Std(),
+			Name:         wc.Name,
+			Dist:         wc.Dist.Name,
+			RatePerSec:   wc.Rate,
+			TTFT:         wc.TTFT.Std(),
+			TPOT:         wc.TPOT.Std(),
+			PrefixTokens: wc.PrefixLen,
 		}
 	}
 	return out, nil
@@ -521,6 +529,15 @@ type ReplicaStats struct {
 	Evictions  int64
 	Reloads    int64
 
+	// Shared-prefix cache counters (zero unless prefix caching is on).
+	// PrefixLinkSeconds prices the replica's spill/reload traffic over
+	// its host link.
+	PrefixHitRate     float64
+	PrefixTokensSaved int64
+	PrefixSpillBytes  int64
+	PrefixReloadBytes int64
+	PrefixLinkSeconds float64
+
 	// ReplicaSeconds is the capacity this slot consumed (provisioning
 	// start to retirement or run end); CostWeight its hardware-relative
 	// cost factor.
@@ -563,6 +580,15 @@ type ClusterReport struct {
 	ThroughputTPS float64 // completed output tokens/second
 	GoodputTPS    float64 // SLO-attained output tokens/second
 
+	// Fleet-wide shared-prefix cache rollup (zero unless prefix caching
+	// is on): probe hit rate, prefill tokens served from cache, bytes
+	// moved over the host links, and the simulated link time that cost.
+	PrefixHitRate     float64
+	PrefixTokensSaved int64
+	PrefixSpillBytes  int64
+	PrefixReloadBytes int64
+	PrefixLinkSeconds float64
+
 	inner *cluster.Report
 }
 
@@ -602,7 +628,14 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 		PromptTPS:     rep.PromptTPS,
 		ThroughputTPS: rep.ThroughputTPS,
 		GoodputTPS:    rep.GoodputTPS,
-		inner:         rep,
+
+		PrefixHitRate:     rep.PrefixHitRate(),
+		PrefixTokensSaved: rep.PrefixTokensSaved,
+		PrefixSpillBytes:  rep.PrefixSpillBytes,
+		PrefixReloadBytes: rep.PrefixReloadBytes,
+		PrefixLinkSeconds: rep.PrefixLinkSeconds,
+
+		inner: rep,
 	}
 	for _, cs := range rep.Classes {
 		out.Classes = append(out.Classes, ClassStats{
@@ -632,6 +665,12 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 			Reloads:        p.Reloads,
 			ReplicaSeconds: p.ReplicaSeconds,
 			CostWeight:     p.CostWeight,
+
+			PrefixHitRate:     p.PrefixHitRate(),
+			PrefixTokensSaved: p.PrefixTokensSaved,
+			PrefixSpillBytes:  p.PrefixSpillBytes,
+			PrefixReloadBytes: p.PrefixReloadBytes,
+			PrefixLinkSeconds: p.PrefixLinkSeconds,
 		})
 	}
 	for _, p := range rep.FleetTimeline {
@@ -692,3 +731,21 @@ func Routers() []string { return cluster.Routers() }
 
 // Admissions lists the available admission policies.
 func Admissions() []string { return cluster.Admissions() }
+
+// SchedPolicies lists the batch scheduling policies (canonical CLI
+// spellings).
+func SchedPolicies() []string {
+	return []string{SchedOrca.String(), SchedStatic.String(), SchedChunked.String()}
+}
+
+// PerfModels lists the performance-model backends (canonical CLI
+// spellings).
+func PerfModels() []string {
+	return []string{PerfModelAstra.String(), PerfModelRoofline.String()}
+}
+
+// PrefixCacheModes lists the prefix-cache modes (canonical CLI
+// spellings).
+func PrefixCacheModes() []string {
+	return []string{PrefixCacheOff.String(), PrefixCacheGPU.String(), PrefixCacheTiered.String()}
+}

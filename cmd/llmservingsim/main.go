@@ -65,6 +65,7 @@ func main() {
 	var (
 		listModels   = flag.Bool("list-models", false, "print known models and exit")
 		listHardware = flag.Bool("list-hardware", false, "print known hardware presets and exit")
+		listPolicies = flag.Bool("list-policies", false, "print every policy registry (routers, admission, autoscalers, scheduling, perf models, prefix cache modes) and exit")
 		npuMem       = flag.Int("npu-mem", 0, "NPU local memory in GB (0 = Table I default)")
 		pimPool      = flag.Int("pim-pool", 0, "PIM pool size (pool mode; 0 = npu-num)")
 		subBatch     = flag.Bool("sub-batch", false, "enable NeuPIMs sub-batch interleaving")
@@ -84,7 +85,7 @@ func main() {
 		admission  llmservingsim.AdmissionPolicy
 		autoscaler llmservingsim.AutoscalePolicy
 		admitLimit = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
-		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms]],... (synthesises a mixed trace)")
+		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]],... (synthesises a mixed trace)")
 		rampSpec   = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
 		fleetSpec  = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL],... (enables the cluster layer; see -list-hardware)")
 
@@ -101,13 +102,16 @@ func main() {
 	flag.Var(&autoscaler, "autoscaler", "fleet autoscaling policy: none|queue-depth|slo-target|scheduled")
 	flag.Var(&cfg.PerfModel, "perf-model", "performance model: astra|roofline")
 	flag.StringVar(&cfg.Hardware, "hardware", "", "accelerator preset the backend models (see -list-hardware)")
-	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity")
+	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity|prefix-affinity")
 	flag.Var(&admission, "admission", "cluster admission policy: all|queue-cap|token-budget")
 	flag.StringVar(&cfg.Model, "model", cfg.Model, "model name (see -list-models)")
 	flag.IntVar(&cfg.NPUs, "npu-num", cfg.NPUs, "number of NPUs")
 	flag.IntVar(&cfg.MaxBatch, "max-batch", 0, "maximum batch size (0 = unlimited)")
 	flag.DurationVar(&cfg.BatchDelay, "batch-delay", 0, "delay to accumulate arrivals before batching")
-	flag.Var(&cfg.Scheduling, "scheduling", "scheduling policy: orca|static")
+	flag.Var(&cfg.Scheduling, "scheduling", "scheduling policy: orca|static|chunked")
+	flag.IntVar(&cfg.PrefillChunk, "prefill-chunk", 0, "chunked scheduling: prompt tokens per prefill chunk (0 = 256)")
+	flag.Var(&cfg.PrefixCache, "prefix-cache", "shared-prefix KV caching: off|gpu|tiered")
+	flag.Float64Var(&cfg.KVHostMemGB, "kv-host-mem", 0, "tiered prefix cache: host spill tier size in GB (0 = unbounded)")
 	flag.Var(&cfg.Parallelism, "parallel", "parallelism: tensor|pipeline|hybrid")
 	flag.IntVar(&cfg.NPUGroups, "npu-group", cfg.NPUGroups, "NPU group count for hybrid parallelism")
 	flag.Var(&cfg.KVManage, "kv-manage", "KV cache management: vllm|maxlen")
@@ -126,6 +130,24 @@ func main() {
 	if *listHardware {
 		for _, h := range llmservingsim.Hardwares() {
 			fmt.Println(h)
+		}
+		return
+	}
+	if *listPolicies {
+		for _, reg := range []struct {
+			name  string
+			items []string
+		}{
+			{"router", llmservingsim.Routers()},
+			{"admission", llmservingsim.Admissions()},
+			{"autoscaler", llmservingsim.Autoscalers()},
+			{"scheduling", llmservingsim.SchedPolicies()},
+			{"perf-model", llmservingsim.PerfModels()},
+			{"prefix-cache", llmservingsim.PrefixCacheModes()},
+		} {
+			for _, item := range reg.items {
+				fmt.Printf("%s\t%s\n", reg.name, item)
+			}
 		}
 		return
 	}
@@ -334,6 +356,11 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
 	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
 	fmt.Printf("gen tput         %.1f tok/s (goodput %.1f tok/s)\n", rep.ThroughputTPS, rep.GoodputTPS)
+	if rep.PrefixTokensSaved > 0 || rep.PrefixHitRate > 0 {
+		fmt.Printf("prefix cache     %.1f %% hit rate, %d tokens saved, %d B spilled / %d B reloaded (%.3f s link time)\n",
+			100*rep.PrefixHitRate, rep.PrefixTokensSaved,
+			rep.PrefixSpillBytes, rep.PrefixReloadBytes, rep.PrefixLinkSeconds)
+	}
 	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, p99 %.3f, ttft %.3f, tpot %.4f)\n",
 		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
 		rep.Latency.TTFTSec, rep.Latency.TPOTSec)

@@ -99,18 +99,25 @@ const (
 	// SchedStatic runs each admitted batch to full completion before
 	// admitting new requests.
 	SchedStatic
+	// SchedChunked is Orca-style continuous batching with chunked
+	// prefill: prompts longer than Config.PrefillChunk are split across
+	// iterations so long prefills don't stall decode latency.
+	SchedChunked
 )
 
 // ParseSchedPolicy converts the artifact's CLI values ("orca" or
-// "iteration", "static" or "batch"; "" selects the default, orca).
+// "iteration", "static" or "batch", plus "chunked" or "chunk"; ""
+// selects the default, orca).
 func ParseSchedPolicy(s string) (SchedPolicy, error) {
 	switch s {
 	case "orca", "iteration", "":
 		return SchedOrca, nil
 	case "static", "batch":
 		return SchedStatic, nil
+	case "chunked", "chunk":
+		return SchedChunked, nil
 	default:
-		return 0, fmt.Errorf("llmservingsim: unknown scheduling policy %q (want orca|static)", s)
+		return 0, fmt.Errorf("llmservingsim: unknown scheduling policy %q (want orca|static|chunked)", s)
 	}
 }
 
@@ -120,6 +127,8 @@ func (p SchedPolicy) String() string {
 		return "orca"
 	case SchedStatic:
 		return "static"
+	case SchedChunked:
+		return "chunked"
 	default:
 		return fmt.Sprintf("SchedPolicy(%d)", int(p))
 	}
@@ -135,13 +144,17 @@ func (p *SchedPolicy) Set(s string) error {
 	return nil
 }
 
-func (p SchedPolicy) valid() bool { return p == SchedOrca || p == SchedStatic }
+func (p SchedPolicy) valid() bool { return p >= SchedOrca && p <= SchedChunked }
 
 func (p SchedPolicy) internal() sched.Policy {
-	if p == SchedStatic {
+	switch p {
+	case SchedStatic:
 		return sched.Static
+	case SchedChunked:
+		return sched.Chunked
+	default:
+		return sched.Orca
 	}
-	return sched.Orca
 }
 
 // KVPolicy selects KV-cache memory management (the artifact's
@@ -197,6 +210,77 @@ func (p KVPolicy) internal() kvcache.Policy {
 		return kvcache.MaxLen
 	}
 	return kvcache.Paged
+}
+
+// PrefixCacheMode selects whether (and where) the KV manager caches
+// shared prompt prefixes across requests. The zero value is
+// PrefixCacheOff: prefix caching is strictly opt-in, leaving default
+// runs bit-identical to earlier releases.
+type PrefixCacheMode int
+
+const (
+	// PrefixCacheOff disables prefix caching.
+	PrefixCacheOff PrefixCacheMode = iota
+	// PrefixCacheGPU caches shared prefix blocks in device memory only;
+	// blocks evicted under pressure are dropped and recomputed on the
+	// next miss.
+	PrefixCacheGPU
+	// PrefixCacheTiered adds a host (CPU) spill tier: prefix blocks
+	// evicted from the device spill over the host link and reload on the
+	// next hit instead of being recomputed. Capacity is bounded by
+	// Config.KVHostMemGB (0 = unbounded host tier).
+	PrefixCacheTiered
+)
+
+// ParsePrefixCacheMode converts CLI values ("off", "gpu" or "device",
+// "tiered" or "cpu"; "" selects the default, off).
+func ParsePrefixCacheMode(s string) (PrefixCacheMode, error) {
+	switch s {
+	case "off", "":
+		return PrefixCacheOff, nil
+	case "gpu", "device":
+		return PrefixCacheGPU, nil
+	case "tiered", "cpu":
+		return PrefixCacheTiered, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown prefix cache mode %q (want off|gpu|tiered)", s)
+	}
+}
+
+func (m PrefixCacheMode) String() string {
+	switch m {
+	case PrefixCacheOff:
+		return "off"
+	case PrefixCacheGPU:
+		return "gpu"
+	case PrefixCacheTiered:
+		return "tiered"
+	default:
+		return fmt.Sprintf("PrefixCacheMode(%d)", int(m))
+	}
+}
+
+// Set implements flag.Value.
+func (m *PrefixCacheMode) Set(s string) error {
+	v, err := ParsePrefixCacheMode(s)
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+func (m PrefixCacheMode) valid() bool { return m >= PrefixCacheOff && m <= PrefixCacheTiered }
+
+func (m PrefixCacheMode) internal() kvcache.PrefixMode {
+	switch m {
+	case PrefixCacheGPU:
+		return kvcache.PrefixDevice
+	case PrefixCacheTiered:
+		return kvcache.PrefixTiered
+	default:
+		return kvcache.PrefixOff
+	}
 }
 
 // PIMMode selects how PIM devices participate (the artifact's
@@ -334,11 +418,16 @@ const (
 	// RouterAffinity hashes the request's traffic class to a fixed
 	// replica, keeping shared-prefix traffic on one instance.
 	RouterAffinity
+	// RouterPrefixAffinity places each request on the replica caching
+	// the longest prefix of its class, falling back to least-loaded when
+	// no replica has any of it cached. Requires prefix caching to see
+	// non-zero cache state; without it the policy is least-loaded.
+	RouterPrefixAffinity
 )
 
 // ParseRouterPolicy converts CLI values ("round-robin" or "rr",
-// "least-loaded" or "least", "affinity" or "session"; "" selects the
-// default, round-robin).
+// "least-loaded" or "least", "affinity" or "session", "prefix-affinity"
+// or "prefix"; "" selects the default, round-robin).
 func ParseRouterPolicy(s string) (RouterPolicy, error) {
 	switch s {
 	case "round-robin", "rr", "":
@@ -347,8 +436,10 @@ func ParseRouterPolicy(s string) (RouterPolicy, error) {
 		return RouterLeastLoaded, nil
 	case "affinity", "session":
 		return RouterAffinity, nil
+	case "prefix-affinity", "prefix":
+		return RouterPrefixAffinity, nil
 	default:
-		return 0, fmt.Errorf("llmservingsim: unknown router %q (want round-robin|least-loaded|affinity)", s)
+		return 0, fmt.Errorf("llmservingsim: unknown router %q (want round-robin|least-loaded|affinity|prefix-affinity)", s)
 	}
 }
 
@@ -360,6 +451,8 @@ func (p RouterPolicy) String() string {
 		return "least-loaded"
 	case RouterAffinity:
 		return "affinity"
+	case RouterPrefixAffinity:
+		return "prefix-affinity"
 	default:
 		return fmt.Sprintf("RouterPolicy(%d)", int(p))
 	}
@@ -376,7 +469,7 @@ func (p *RouterPolicy) Set(s string) error {
 }
 
 func (p RouterPolicy) valid() bool {
-	return p >= RouterRoundRobin && p <= RouterAffinity
+	return p >= RouterRoundRobin && p <= RouterPrefixAffinity
 }
 
 // internal returns the internal/cluster registry name.
@@ -386,6 +479,8 @@ func (p RouterPolicy) internal() string {
 		return cluster.RouterLeastLoad
 	case RouterAffinity:
 		return cluster.RouterAffinity
+	case RouterPrefixAffinity:
+		return cluster.RouterPrefixAffinity
 	default:
 		return cluster.RouterRoundRobin
 	}

@@ -1,0 +1,121 @@
+// Prefixcache: a walkthrough of shared-prefix KV caching, chunked
+// prefill, and prefix-aware routing. Agent-style traffic — four classes
+// that each prepend a long fixed system prompt to every request — hits
+// a 2-replica cluster whose KV budget cannot hold all four prefix
+// chains at once, and we compare three routers on the same trace:
+//
+//   - round-robin ignores both load and cache state;
+//   - least-loaded balances queued tokens but scatters every class
+//     across both replicas, so the prefix chains keep evicting each
+//     other and prompts re-prefill from scratch;
+//   - prefix-affinity sends each request to the replica holding the
+//     most of its class's cached prefix, which settles into a stable
+//     partition of chains over replicas.
+//
+// Each replica runs the chunked-prefill scheduler on top of the tiered
+// (GPU + host) prefix cache, so a cache hit skips straight past the
+// shared prefix and only computes the private remainder. The report
+// shows the payoff chain end to end: higher hit rate -> fewer
+// re-prefilled tokens -> lower p95 TTFT and higher goodput. Runs are
+// deterministic; re-running reproduces the numbers bit for bit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	llmservingsim "repro"
+)
+
+func main() {
+	// Four agent classes with distinct 768-token system prompts over a
+	// short private prompt, plus prefix-free chat filler. PrefixTokens
+	// rides on top of the sampled input length, so every "triage"
+	// request shares its first 768 tokens with every other.
+	classes := []llmservingsim.TrafficClass{
+		{Name: "chat", Dist: "fixed-96-48", RatePerSec: 240,
+			TTFT: 20 * time.Millisecond, TPOT: 5 * time.Millisecond},
+	}
+	for _, name := range []string{"triage", "search", "coder", "writer"} {
+		classes = append(classes, llmservingsim.TrafficClass{
+			Name: name, Dist: "fixed-64-64", RatePerSec: 240,
+			TTFT: 20 * time.Millisecond, TPOT: 5 * time.Millisecond,
+			PrefixTokens: 768,
+		})
+	}
+	trace, err := llmservingsim.MultiClassTrace(classes, 240, llmservingsim.Ramp{From: 0.8, To: 1.6}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A memory-starved gpt2 replica (same shape as the golden suite):
+	// ~90 MB of KV budget holds roughly two of the four prefix chains,
+	// so router placement decides whether chains thrash. The host tier
+	// is kept small enough that spilled chains mostly drop, making a
+	// miss cost a full 768-token re-prefill.
+	cfg := llmservingsim.DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = llmservingsim.ParallelismTensor
+	cfg.NPU.MemoryBytes = 161 << 20
+	cfg.PerfModel = llmservingsim.PerfModelRoofline
+	cfg.Scheduling = llmservingsim.SchedChunked
+	cfg.PrefixCache = llmservingsim.PrefixCacheTiered
+	cfg.KVHostMemGB = 0.02
+
+	base := llmservingsim.ClusterScenario{
+		Config:   cfg,
+		Replicas: 2,
+		Classes:  classes,
+		Trace:    trace,
+	}
+	var scenarios []llmservingsim.ClusterScenario
+	for _, router := range []llmservingsim.RouterPolicy{
+		llmservingsim.RouterRoundRobin,
+		llmservingsim.RouterLeastLoaded,
+		llmservingsim.RouterPrefixAffinity,
+	} {
+		sc := base
+		sc.Name = router.String()
+		sc.Router = router
+		scenarios = append(scenarios, sc)
+	}
+
+	sw := (&llmservingsim.Sweep{}).AddCluster(scenarios...)
+	rep, err := sw.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("shared-prefix routing: %d requests, 4x768-token prefix chains over %d replicas\n\n",
+		len(trace), base.Replicas)
+	for _, res := range rep.Results {
+		c := res.Cluster
+		// Aggregate p95 TTFT over the four prefix-carrying classes.
+		ttft, n := 0.0, 0
+		for _, cs := range c.Classes {
+			if cs.Class == "chat" {
+				continue
+			}
+			ttft += cs.TTFT.P95Sec
+			n++
+		}
+		fmt.Printf("=== %-16s hit rate %5.1f %%  saved %6d toks  agent p95 ttft %7.1f ms  goodput %7.1f tok/s\n",
+			res.Name, 100*c.PrefixHitRate, c.PrefixTokensSaved, 1e3*ttft/float64(n), c.GoodputTPS)
+		for _, p := range c.PerReplica {
+			fmt.Printf("    replica %d: hit rate %5.1f %%  spilled %6.1f MB  reloaded %6.1f MB  link time %6.3f ms\n",
+				p.Index, 100*p.PrefixHitRate,
+				float64(p.PrefixSpillBytes)/(1<<20), float64(p.PrefixReloadBytes)/(1<<20),
+				1e3*p.PrefixLinkSeconds)
+		}
+		fmt.Println()
+	}
+
+	if best := rep.BestCluster(func(r *llmservingsim.ClusterReport) float64 { return r.GoodputTPS }); best != nil {
+		fmt.Printf("best goodput: %s (%.1f tok/s)\n", best.Name, best.Cluster.GoodputTPS)
+	}
+}

@@ -319,18 +319,129 @@ func TestGoldenAutoscale(t *testing.T) {
 	}
 }
 
+// goldenPrefixClasses is a shared-prefix-heavy mix: four agent classes
+// with distinct 192-token preambles plus one prefix-free chat class.
+// Four prefix chains do not fit comfortably in one starved replica's
+// KV budget, so routers that scatter classes across replicas pay for it
+// in spill churn and cold prefills — the workload the prefix-affinity
+// router exists for.
+func goldenPrefixClasses() []sim.TrafficClass {
+	classes := []sim.TrafficClass{
+		{Name: "chat", Dist: "fixed-96-48", RatePerSec: 240,
+			TTFT: 20 * time.Millisecond, TPOT: 5 * time.Millisecond},
+	}
+	for _, name := range []string{"triage", "search", "coder", "writer"} {
+		classes = append(classes, sim.TrafficClass{
+			Name: name, Dist: "fixed-64-64", RatePerSec: 240,
+			TTFT: 20 * time.Millisecond, TPOT: 5 * time.Millisecond,
+			PrefixTokens: 768,
+		})
+	}
+	return classes
+}
+
+// prefixFingerprint extends the cluster fingerprint with the prefix
+// cache dimension plus the prefix classes' p95 TTFT (the SLO the router
+// comparison is judged on).
+func prefixFingerprint(r *sim.ClusterReport) string {
+	return fmt.Sprintf("%s hit=%s saved=%d spill_b=%d reload_b=%d link_s=%s ttft95=%s",
+		clusterFingerprint(r), g17(r.PrefixHitRate), r.PrefixTokensSaved,
+		r.PrefixSpillBytes, r.PrefixReloadBytes, g17(r.PrefixLinkSeconds),
+		g17(prefixClassP95TTFT(r)))
+}
+
+// prefixClassP95TTFT averages p95 TTFT over the shared-prefix classes.
+func prefixClassP95TTFT(r *sim.ClusterReport) float64 {
+	sum, n := 0.0, 0
+	for _, cs := range r.Classes {
+		if cs.Class == "chat" {
+			continue
+		}
+		sum += cs.TTFT.P95Sec
+		n++
+	}
+	return sum / float64(n)
+}
+
+// TestGoldenPrefix pins the tentpole payoff: on shared-prefix traffic
+// over a 2-replica roofline cluster with chunked prefill and the tiered
+// prefix cache, the prefix-affinity router must beat least-loaded on
+// goodput AND on the prefix classes' p95 TTFT — and both runs are
+// pinned bit-for-bit like every other golden row.
+func TestGoldenPrefix(t *testing.T) {
+	goldens := map[string]string{
+		"least-loaded":    "iters=1614 admitted=96 rejected=0 end_ps=296280874066 evict=9 reload=9 tput=19603.020337742761 good=3240.1686508665721 p99=0.235180546066 hit=0.82666666666666666 saved=43968 spill_b=634060800 reload_b=302579712 link_s=0.0074763039999999996 ttft95=0.19829578228225003",
+		"prefix-affinity": "iters=818 admitted=96 rejected=0 end_ps=200973204837 evict=124 reload=124 tput=28899.374942597933 good=8598.1611399464928 p99=0.13778694283699999 hit=0.94666666666666666 saved=54528 spill_b=6488064 reload_b=6488064 link_s=0.000103576 ttft95=0.090879275492999997",
+	}
+
+	classes := goldenPrefixClasses()
+	trace, err := sim.MultiClassTrace(classes, 96, sim.Ramp{From: 0.8, To: 1.6}, 20240614)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, router sim.RouterPolicy) *sim.ClusterReport {
+		t.Helper()
+		cfg := goldenConfig(sim.SchedChunked, sim.KVPaged)
+		cfg.PerfModel = sim.PerfModelRoofline
+		cfg.PrefixCache = sim.PrefixCacheTiered
+		cfg.KVHostMemGB = 0.02
+		sc := sim.ClusterScenario{
+			Name:     "prefix/" + router.String(),
+			Config:   cfg,
+			Replicas: 2,
+			Router:   router,
+			Classes:  classes,
+			Trace:    trace,
+		}
+		rep, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := prefixFingerprint(rep)
+		if os.Getenv("GOLDEN_PRINT") != "" {
+			t.Logf("golden: %q: %q,", router.String(), got)
+			return rep
+		}
+		want, ok := goldens[router.String()]
+		if !ok {
+			t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", router)
+		}
+		if got != want {
+			t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+		}
+		return rep
+	}
+
+	least := run(t, sim.RouterLeastLoaded)
+	affinity := run(t, sim.RouterPrefixAffinity)
+
+	if affinity.GoodputTPS <= least.GoodputTPS {
+		t.Errorf("prefix-affinity goodput %.2f tps does not beat least-loaded %.2f tps",
+			affinity.GoodputTPS, least.GoodputTPS)
+	}
+	if a, l := prefixClassP95TTFT(affinity), prefixClassP95TTFT(least); a >= l {
+		t.Errorf("prefix-affinity p95 TTFT %.4fs does not beat least-loaded %.4fs", a, l)
+	}
+	if affinity.PrefixHitRate <= least.PrefixHitRate {
+		t.Errorf("prefix-affinity hit rate %.3f does not beat least-loaded %.3f",
+			affinity.PrefixHitRate, least.PrefixHitRate)
+	}
+}
+
 // TestGoldenSingle pins the single-instance Scenario path (trace known
 // up front, no cluster routing) across {sched} x {kv}.
 func TestGoldenSingle(t *testing.T) {
 	goldens := map[string]string{
-		"orca/vllm":     "iters=934 finished=48 end_ps=779961894000 evict=64 reload=64 gen_tps=6338.7712118151248 p99=0.57006770500000004",
-		"orca/maxlen":   "iters=2481 finished=48 end_ps=1079129058000 evict=0 reload=0 gen_tps=4581.4724043877986 p99=0.82460059600000002",
-		"static/vllm":   "iters=1263 finished=48 end_ps=837220966000 evict=23 reload=23 gen_tps=5905.2510636720008 p99=0.62035692600000003",
-		"static/maxlen": "iters=3360 finished=48 end_ps=1252030297000 evict=0 reload=0 gen_tps=3948.7862329261193 p99=0.997501835",
+		"orca/vllm":      "iters=934 finished=48 end_ps=779961894000 evict=64 reload=64 gen_tps=6338.7712118151248 p99=0.57006770500000004",
+		"orca/maxlen":    "iters=2481 finished=48 end_ps=1079129058000 evict=0 reload=0 gen_tps=4581.4724043877986 p99=0.82460059600000002",
+		"static/vllm":    "iters=1263 finished=48 end_ps=837220966000 evict=23 reload=23 gen_tps=5905.2510636720008 p99=0.62035692600000003",
+		"static/maxlen":  "iters=3360 finished=48 end_ps=1252030297000 evict=0 reload=0 gen_tps=3948.7862329261193 p99=0.997501835",
+		"chunked/vllm":   "iters=940 finished=48 end_ps=782360932750 evict=57 reload=57 gen_tps=6338.5066820362654 p99=0.57246674374999995",
+		"chunked/maxlen": "iters=2490 finished=48 end_ps=1083492552750 evict=0 reload=0 gen_tps=4576.8657914755568 p99=0.82896409074999999",
 	}
 
 	trace := goldenTrace(t)
-	for _, schedPolicy := range []sim.SchedPolicy{sim.SchedOrca, sim.SchedStatic} {
+	for _, schedPolicy := range []sim.SchedPolicy{sim.SchedOrca, sim.SchedStatic, sim.SchedChunked} {
 		for _, kv := range []sim.KVPolicy{sim.KVPaged, sim.KVMaxLen} {
 			key := fmt.Sprintf("%s/%s", schedPolicy, kv)
 			t.Run(key, func(t *testing.T) {

@@ -262,6 +262,7 @@ func (c *Cluster) complete(f sched.Finished) {
 	rec := &c.records[id]
 	rec.FirstToken = f.FirstToken
 	rec.Completed = f.Completed
+	rec.CachedTokens = f.CachedTokens
 	if c.scaler != nil {
 		c.intervalCompleted++
 		if rec.MeetsSLO(c.slos[rec.Class]) {
@@ -327,7 +328,7 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 		if err := c.advanceTo(ctx, r.Arrival); err != nil {
 			return nil, err
 		}
-		states := c.routable(c.statesBuf[:0])
+		states := c.routable(c.statesBuf[:0], r.Class)
 		c.statesBuf = states
 
 		rec := &c.records[r.ID]
@@ -548,7 +549,7 @@ func (c *Cluster) drainReplica(t simtime.Time, i int) error {
 		c.provisioning--
 	case stateActive:
 		rep.state = stateDraining
-		if len(c.routable(c.statesBuf[:0])) > 0 {
+		if len(c.routable(c.statesBuf[:0], "")) > 0 {
 			if err := c.redistribute(rep.sim.TakePending()); err != nil {
 				return err
 			}
@@ -599,7 +600,7 @@ func (c *Cluster) failReplica(t simtime.Time, ev workload.FleetEvent) error {
 func (c *Cluster) redistribute(reqs []workload.Request) error {
 	for _, r := range reqs {
 		rec := &c.records[r.ID]
-		states := c.routable(c.statesBuf[:0])
+		states := c.routable(c.statesBuf[:0], r.Class)
 		c.statesBuf = states
 		if len(states) == 0 {
 			rec.Rejected = true
@@ -795,17 +796,21 @@ func (h *eventHeap) swap(i, j int) {
 // O(active) — fine for the fleets the scale benchmarks pin (hundreds
 // of slots over a run); an active-index list would pay bookkeeping on
 // every lifecycle transition to speed up a loop of cheap field reads.
-func (c *Cluster) routable(states []ReplicaState) []ReplicaState {
+func (c *Cluster) routable(states []ReplicaState, class string) []ReplicaState {
 	for i, rep := range c.replicas {
 		if rep.state != stateActive {
 			continue
 		}
-		states = append(states, ReplicaState{
+		s := ReplicaState{
 			Index:          i,
 			QueuedTokens:   rep.sim.QueuedTokens(),
 			QueuedRequests: rep.sim.QueuedRequests(),
 			Clock:          rep.sim.Clock(),
-		})
+		}
+		if class != "" {
+			s.PrefixTokens = rep.sim.PrefixCachedTokens(class)
+		}
+		states = append(states, s)
 	}
 	return states
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/metrics"
+	"repro/internal/network"
 	"repro/internal/simtime"
 )
 
@@ -22,11 +23,30 @@ type ReplicaSummary struct {
 	Evictions  int64
 	Reloads    int64
 
+	// Shared-prefix cache counters (zero unless prefix caching is on).
+	PrefixLookups     int64
+	PrefixHits        int64
+	PrefixTokensSaved int64 // prefill tokens skipped via cache hits
+	PrefixSpillBytes  int64 // prefix blocks spilled device -> host
+	PrefixReloadBytes int64 // prefix blocks restored host -> device
+	// PrefixLinkSeconds prices the spill+reload traffic over this
+	// replica's host link (the reload link-time cost of the CPU tier).
+	PrefixLinkSeconds float64
+
 	// ReplicaSeconds is the capacity this slot consumed: provisioning
 	// start to retirement (or the run's end, if never retired).
 	// CostWeight is its hardware-relative cost factor.
 	ReplicaSeconds float64
 	CostWeight     float64
+}
+
+// PrefixHitRate returns the fraction of prefix-cache probes that reused
+// at least one cached block.
+func (p ReplicaSummary) PrefixHitRate() float64 {
+	if p.PrefixLookups == 0 {
+		return 0
+	}
+	return float64(p.PrefixHits) / float64(p.PrefixLookups)
 }
 
 // Report is the outcome of one cluster simulation.
@@ -60,6 +80,14 @@ type Report struct {
 	// CostProxy weighs each slot's share by its hardware cost factor.
 	ReplicaSeconds float64
 	CostProxy      float64
+
+	// Shared-prefix cache rollup across the fleet (see ReplicaSummary).
+	PrefixLookups     int64
+	PrefixHits        int64
+	PrefixTokensSaved int64
+	PrefixSpillBytes  int64
+	PrefixReloadBytes int64
+	PrefixLinkSeconds float64
 
 	// Cluster-level rates over SimEnd: all completed output tokens per
 	// second, the SLO-attained subset, and the prompt-token rate.
@@ -101,7 +129,22 @@ func (c *Cluster) report() *Report {
 			Evictions:  srep.KV.Evictions,
 			Reloads:    srep.KV.Reloads,
 			CostWeight: rep.cost,
+
+			PrefixLookups:     srep.KV.PrefixLookups,
+			PrefixHits:        srep.KV.PrefixHits,
+			PrefixTokensSaved: srep.KV.PrefixTokensSaved,
+			PrefixSpillBytes:  srep.KV.PrefixSpillBytes,
+			PrefixReloadBytes: srep.KV.PrefixReloadBytes,
+			PrefixLinkSeconds: hostLinkSeconds(srep.Topo,
+				srep.KV.PrefixSpills+srep.KV.PrefixReloads,
+				srep.KV.PrefixSpillBytes+srep.KV.PrefixReloadBytes),
 		}
+		r.PrefixLookups += perReplica[i].PrefixLookups
+		r.PrefixHits += perReplica[i].PrefixHits
+		r.PrefixTokensSaved += perReplica[i].PrefixTokensSaved
+		r.PrefixSpillBytes += perReplica[i].PrefixSpillBytes
+		r.PrefixReloadBytes += perReplica[i].PrefixReloadBytes
+		r.PrefixLinkSeconds += perReplica[i].PrefixLinkSeconds
 		if srep.SimEnd.After(r.SimEnd) {
 			r.SimEnd = srep.SimEnd
 		}
@@ -149,6 +192,32 @@ func (c *Cluster) report() *Report {
 		r.GoodputTPS += cs.GoodputTPS
 	}
 	return r
+}
+
+// hostLinkSeconds prices moving `bytes` over the host link in `ops`
+// block-sized transfers, sharded across the topology's NPUs the same
+// way the performance backends price page operations: per-op cost is
+// HostTransfer(share), so the sum is HostTransfer(total share) plus the
+// per-op link latency for the remaining ops.
+func hostLinkSeconds(topo network.Topology, ops, bytes int64) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	npus := int64(topo.NPUNodes())
+	if npus <= 0 {
+		npus = 1
+	}
+	d := topo.HostTransfer(bytes/npus) + simtime.Duration(ops-1)*topo.HostTransfer(0)
+	return d.Seconds()
+}
+
+// PrefixHitRate returns the fleet-wide fraction of prefix-cache probes
+// that reused at least one cached block.
+func (r *Report) PrefixHitRate() float64 {
+	if r.PrefixLookups == 0 {
+		return 0
+	}
+	return float64(r.PrefixHits) / float64(r.PrefixLookups)
 }
 
 // TotalIterations sums scheduler iterations across replicas.
@@ -201,13 +270,16 @@ func (r *Report) WriteFleetTSV(w io.Writer) error {
 func (r *Report) WriteReplicaTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "replica\tbackend\tstate\trequests\titerations\tsim_end_s\t"+
-		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads\treplica_s\tcost_weight"); err != nil {
+		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads\treplica_s\tcost_weight\t"+
+		"prefix_hit_rate\tprefix_saved_toks\tspill_bytes\treload_bytes\tprefix_link_s"); err != nil {
 		return err
 	}
 	for _, p := range r.PerReplica {
-		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%.2f\n",
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%.2f\t%.3f\t%d\t%d\t%d\t%.6f\n",
 			p.Index, p.Backend, p.State, p.Requests, p.Iterations, p.SimEnd.Seconds(),
-			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads, p.ReplicaSeconds, p.CostWeight); err != nil {
+			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads, p.ReplicaSeconds, p.CostWeight,
+			p.PrefixHitRate(), p.PrefixTokensSaved, p.PrefixSpillBytes, p.PrefixReloadBytes,
+			p.PrefixLinkSeconds); err != nil {
 			return err
 		}
 	}

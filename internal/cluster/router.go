@@ -17,6 +17,10 @@ type ReplicaState struct {
 	QueuedTokens   int64        // prompt+output tokens waiting or in flight
 	QueuedRequests int          // requests waiting or in flight
 	Clock          simtime.Time // replica's simulated clock
+	// PrefixTokens counts the routed request's class prefix tokens this
+	// replica currently has cached (device or host tier); zero when the
+	// request has no class or prefix caching is off.
+	PrefixTokens int
 }
 
 // Router places each admitted request on a replica. Implementations may
@@ -34,15 +38,17 @@ type Router interface {
 
 // Router policy names, as accepted by NewRouter.
 const (
-	RouterRoundRobin = "round-robin"
-	RouterLeastLoad  = "least-loaded"
-	RouterAffinity   = "affinity"
+	RouterRoundRobin     = "round-robin"
+	RouterLeastLoad      = "least-loaded"
+	RouterAffinity       = "affinity"
+	RouterPrefixAffinity = "prefix-affinity"
 )
 
 var routerFactories = map[string]func() Router{
-	RouterRoundRobin: func() Router { return &roundRobin{} },
-	RouterLeastLoad:  func() Router { return leastLoaded{} },
-	RouterAffinity:   func() Router { return affinity{} },
+	RouterRoundRobin:     func() Router { return &roundRobin{} },
+	RouterLeastLoad:      func() Router { return leastLoaded{} },
+	RouterAffinity:       func() Router { return affinity{} },
+	RouterPrefixAffinity: func() Router { return prefixAffinity{} },
 }
 
 // RegisterRouter adds a routing policy under the given name; it
@@ -118,4 +124,25 @@ func (affinity) Route(req workload.Request, replicas []ReplicaState) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(len(replicas)))
+}
+
+// prefixAffinity routes to the replica caching the longest prefix of the
+// request's class — the hits land where the KV already is — breaking
+// ties toward the fewest queued tokens and then the lowest index. When
+// no replica has any of the prefix cached (cold class, prefix caching
+// off, classless request) it degenerates to least-loaded.
+type prefixAffinity struct{}
+
+func (prefixAffinity) Name() string { return RouterPrefixAffinity }
+
+func (prefixAffinity) Route(_ workload.Request, replicas []ReplicaState) int {
+	best := 0
+	for i := 1; i < len(replicas); i++ {
+		if replicas[i].PrefixTokens > replicas[best].PrefixTokens ||
+			(replicas[i].PrefixTokens == replicas[best].PrefixTokens &&
+				replicas[i].QueuedTokens < replicas[best].QueuedTokens) {
+			best = i
+		}
+	}
+	return best
 }

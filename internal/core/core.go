@@ -85,6 +85,11 @@ type Options struct {
 	KVPolicy     kvcache.Policy
 	KVPageTokens int   // vLLM block size; defaults to 16
 	KVReserve    int64 // bytes of device memory reserved beyond weights
+	// KVPrefix enables shared-prefix caching in the KV manager (strictly
+	// opt-in; requires the paged policy). KVHostBytes bounds the tiered
+	// mode's host spill tier (0 = unbounded).
+	KVPrefix    kvcache.PrefixMode
+	KVHostBytes int64
 
 	Reuse ReuseOptions
 
@@ -222,10 +227,13 @@ func New(opts Options, reqs []workload.Request) (*Simulator, error) {
 		BytesPerToken: opts.Model.KVBytesPerToken(),
 		CapacityBytes: budget,
 		MaxSeqLen:     opts.Model.MaxSeqLen,
+		Prefix:        opts.KVPrefix,
+		HostBytes:     opts.KVHostBytes,
 	})
 	if err != nil {
 		return nil, err
 	}
+	opts.Sched.Prefix = opts.KVPrefix != kvcache.PrefixOff
 	s.scheduler, err = sched.New(opts.Sched, s.kv, reqs)
 	if err != nil {
 		return nil, err

@@ -209,6 +209,11 @@ func (s *Simulator) QueuedTokens() int64 { return s.scheduler.QueuedTokens() }
 // QueuedRequests returns how many requests are waiting or in flight.
 func (s *Simulator) QueuedRequests() int { return s.scheduler.QueuedRequests() }
 
+// PrefixCachedTokens returns how many leading prefix tokens of the given
+// class this instance has cached (device or host tier) — the signal
+// prefix-affinity cluster routing scores replicas by.
+func (s *Simulator) PrefixCachedTokens(class string) int { return s.kv.PrefixCachedTokens(class) }
+
 // Outstanding returns the requests accepted but not yet finished or
 // rejected — the work a cluster must requeue or reject when this
 // replica fails mid-run.

@@ -112,3 +112,41 @@ func BenchmarkServingChurn(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPrefixCacheHitRate measures the steady-state shared-prefix
+// hit path: admits cycling over a few warm prefix keys, so every
+// AdmitWithPrefix classifies a full chain of resident blocks and only
+// allocates the private tail.
+func BenchmarkPrefixCacheHitRate(b *testing.B) {
+	m, err := New(Config{
+		Policy:        Paged,
+		Prefix:        PrefixTiered,
+		PageTokens:    16,
+		BytesPerToken: 1 << 10,
+		CapacityBytes: 64 << 20,
+		MaxSeqLen:     4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := [...]string{"agent", "chat", "rag", "code"}
+	const prefixLen, tokens = 512, 640
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keys[i%len(keys)]
+		if !m.CanAdmitWithPrefix(tokens, key, prefixLen) {
+			b.Fatal("admission refused")
+		}
+		if _, err := m.AdmitWithPrefix(i, tokens, key, prefixLen); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Release(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := m.Stats(); b.N > len(keys) && st.PrefixHits == 0 {
+		b.Fatal("warm keys never hit the prefix cache")
+	}
+}

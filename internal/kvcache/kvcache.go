@@ -56,6 +56,13 @@ type Config struct {
 	BytesPerToken int64 // KV bytes one token occupies (model-dependent)
 	CapacityBytes int64 // device memory available for KV cache
 	MaxSeqLen     int   // model context limit (MaxLen policy page count)
+
+	// Prefix selects shared-prefix block caching (see PrefixMode).
+	// Requires the Paged policy.
+	Prefix PrefixMode
+	// HostBytes bounds the CPU offload tier spilled prefix blocks occupy
+	// under PrefixTiered (0 = unbounded); rounded down to whole pages.
+	HostBytes int64
 }
 
 // Validate reports configuration errors.
@@ -69,11 +76,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("kvcache: capacity must be positive, got %d", c.CapacityBytes)
 	case c.MaxSeqLen <= 0:
 		return fmt.Errorf("kvcache: max sequence length must be positive, got %d", c.MaxSeqLen)
+	case c.Prefix != PrefixOff && c.Policy != Paged:
+		return fmt.Errorf("kvcache: prefix caching requires the paged policy")
+	case c.HostBytes < 0:
+		return fmt.Errorf("kvcache: host tier bytes must be non-negative, got %d", c.HostBytes)
 	}
 	return nil
 }
 
-// seq tracks one resident or evicted sequence.
+// seq tracks one resident or evicted sequence. tokens and pages cover
+// only the sequence's private portion; the shared prefix it acquired at
+// admission lives in the reference-counted blocks listed in prefix.
 type seq struct {
 	id     int
 	tokens int
@@ -81,6 +94,9 @@ type seq struct {
 	onHost bool
 	order  int // admission order, used as the eviction tiebreak
 	hidx   int // index in the resident/evicted heap it currently lives in
+
+	prefix       []*prefixBlock // shared blocks acquired at admission
+	prefixTokens int            // tokens those blocks cover
 }
 
 // orderHeap is an intrusive binary heap of sequences keyed by admission
@@ -183,6 +199,17 @@ type Stats struct {
 	InternalFragTokens int
 	Evictions          int64 // cumulative
 	Reloads            int64 // cumulative
+
+	// Shared-prefix cache occupancy and traffic (zero with PrefixOff).
+	PrefixBlocks      int   // device-resident shared-prefix blocks
+	PrefixHostBlocks  int   // host-tier (spilled) prefix blocks
+	PrefixLookups     int64 // admits that probed the prefix cache
+	PrefixHits        int64 // probes that reused at least one cached block
+	PrefixTokensSaved int64 // prefill tokens skipped via cache hits
+	PrefixSpills      int64 // blocks spilled device -> host
+	PrefixSpillBytes  int64
+	PrefixReloads     int64 // blocks restored host -> device
+	PrefixReloadBytes int64
 }
 
 // Manager allocates KV-cache pages for sequences.
@@ -202,6 +229,24 @@ type Manager struct {
 	// Incrementally maintained occupancy counters (see Stats).
 	residentTokens int
 	fragTokens     int
+
+	// Shared-prefix cache state (see prefix.go). blocks lists every live
+	// (resident or host) block for LRU spill scans; chains keep dropped
+	// tombstones so recreation reuses the same lineage slot.
+	groups      map[string]*prefixGroup
+	blocks      []*prefixBlock
+	hostCap     int // host-tier pages: -1 unbounded, 0 none, >0 bounded
+	hostPages   int
+	prefixPages int // device pages held by prefix blocks
+	prefixStamp int // LRU clock, bumped per prefix admit
+
+	prefixLookups     int64
+	prefixHits        int64
+	prefixTokensSaved int64
+	prefixSpills      int64
+	prefixSpillBytes  int64
+	prefixReloads     int64
+	prefixReloadBytes int64
 }
 
 // New creates a manager; capacity is rounded down to whole pages.
@@ -214,6 +259,13 @@ func New(cfg Config) (*Manager, error) {
 	if total <= 0 {
 		return nil, fmt.Errorf("kvcache: capacity %d bytes holds no %d-byte pages", cfg.CapacityBytes, pageBytes)
 	}
+	hostCap := 0
+	if cfg.Prefix == PrefixTiered {
+		hostCap = -1
+		if cfg.HostBytes > 0 {
+			hostCap = int(cfg.HostBytes / pageBytes)
+		}
+	}
 	return &Manager{
 		cfg:       cfg,
 		pageBytes: pageBytes,
@@ -222,6 +274,8 @@ func New(cfg Config) (*Manager, error) {
 		seqs:      make(map[int]*seq),
 		resident:  orderHeap{max: true},
 		evicted:   orderHeap{max: false},
+		groups:    make(map[string]*prefixGroup),
+		hostCap:   hostCap,
 	}, nil
 }
 
@@ -300,7 +354,7 @@ func (m *Manager) Extend(id, n int) (newPages int, err error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("kvcache: extend seq %d by %d tokens", id, n)
 	}
-	if s.tokens+n > m.cfg.MaxSeqLen {
+	if s.prefixTokens+s.tokens+n > m.cfg.MaxSeqLen {
 		return 0, fmt.Errorf("kvcache: seq %d would exceed max length %d", id, m.cfg.MaxSeqLen)
 	}
 	need := m.pagesFor(s.tokens+n) - s.pages
@@ -327,10 +381,11 @@ func (m *Manager) ResidentCount() int { return m.resident.len() }
 // EvictedCount returns how many sequences live on the host.
 func (m *Manager) EvictedCount() int { return m.evicted.len() }
 
-// Tokens returns the cached token count of a sequence (0 if unknown).
+// Tokens returns the cached token count of a sequence (0 if unknown),
+// including any shared prefix it holds.
 func (m *Manager) Tokens(id int) int {
 	if s, ok := m.seqs[id]; ok {
-		return s.tokens
+		return s.prefixTokens + s.tokens
 	}
 	return 0
 }
@@ -431,11 +486,16 @@ func (m *Manager) Reload(id int) (bytes int64, err error) {
 	return int64(need) * m.pageBytes, nil
 }
 
-// Release frees a finished sequence entirely.
+// Release frees a finished sequence entirely. Shared prefix blocks are
+// dereferenced, not freed: at refcount zero they stay cached for the
+// next request of the same class until memory pressure spills them.
 func (m *Manager) Release(id int) error {
 	s, ok := m.seqs[id]
 	if !ok {
 		return fmt.Errorf("kvcache: release unknown seq %d", id)
+	}
+	for _, b := range s.prefix {
+		b.refcnt--
 	}
 	if s.onHost {
 		m.evicted.remove(s.hidx)
@@ -461,6 +521,15 @@ func (m *Manager) Stats() Stats {
 		InternalFragTokens: m.fragTokens,
 		Evictions:          m.evictions,
 		Reloads:            m.reloads,
+		PrefixBlocks:       m.prefixPages,
+		PrefixHostBlocks:   m.hostPages,
+		PrefixLookups:      m.prefixLookups,
+		PrefixHits:         m.prefixHits,
+		PrefixTokensSaved:  m.prefixTokensSaved,
+		PrefixSpills:       m.prefixSpills,
+		PrefixSpillBytes:   m.prefixSpillBytes,
+		PrefixReloads:      m.prefixReloads,
+		PrefixReloadBytes:  m.prefixReloadBytes,
 	}
 }
 
@@ -486,8 +555,9 @@ func (m *Manager) Invariant() error {
 		}
 		used += s.pages
 	}
-	if used+m.free != m.total {
-		return fmt.Errorf("kvcache: page accounting broken: used %d + free %d != total %d", used, m.free, m.total)
+	if used+m.prefixPages+m.free != m.total {
+		return fmt.Errorf("kvcache: page accounting broken: used %d + prefix %d + free %d != total %d",
+			used, m.prefixPages, m.free, m.total)
 	}
 	if residentSeqs != m.resident.len() || evictedSeqs != m.evicted.len() {
 		return fmt.Errorf("kvcache: heap sizes resident=%d evicted=%d, recount resident=%d evicted=%d",
@@ -515,5 +585,5 @@ func (m *Manager) Invariant() error {
 			}
 		}
 	}
-	return nil
+	return m.prefixInvariant()
 }

@@ -1,0 +1,313 @@
+package kvcache
+
+// Property test for the shared-prefix block cache: random-but-valid op
+// sequences (prefix admits across a handful of keys, extends, releases,
+// whole-sequence evict/reload churn, and explicit idle-block spills) run
+// against both prefix modes with bounded and unbounded host tiers. After
+// every op the deep Invariant() recount runs, a naive shadow recounts
+// the page/token accounting from scratch, and the prefix counters are
+// checked delta-by-delta against what the op reported. The LRU spill
+// order itself is not shadowed — Invariant() pins the structural
+// consequences (refcounts, residency, host capacity) instead.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pshadowSeq is the naive model of one prefix-admitted sequence.
+type pshadowSeq struct {
+	id           int
+	private      int // tokens owned by the sequence itself
+	prefixTokens int // page-aligned tokens held via shared blocks
+	key          string
+	onHost       bool
+	order        int
+}
+
+type pshadow struct {
+	cfg       Config
+	total     int
+	seqs      map[int]*pshadowSeq
+	evictions int64
+	reloads   int64
+}
+
+func (s *pshadow) pagesFor(tokens int) int {
+	return (tokens + s.cfg.PageTokens - 1) / s.cfg.PageTokens
+}
+
+func (s *pshadow) aligned(prefixLen, tokens, keyLen int) int {
+	if keyLen == 0 || prefixLen <= 0 {
+		return 0
+	}
+	if prefixLen > tokens {
+		prefixLen = tokens
+	}
+	return prefixLen - prefixLen%s.cfg.PageTokens
+}
+
+func (s *pshadow) residentIDs() []int {
+	var out []int
+	for id, q := range s.seqs {
+		if !q.onHost {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *pshadow) allIDs() []int {
+	out := make([]int, 0, len(s.seqs))
+	for id := range s.seqs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// minPrefixBlocks returns the fewest device+host blocks the manager can
+// legally hold: for each key, the longest prefix any live sequence
+// references (referenced blocks may never be dropped).
+func (s *pshadow) minPrefixBlocks() int {
+	longest := map[string]int{}
+	for _, q := range s.seqs {
+		if q.prefixTokens > longest[q.key] {
+			longest[q.key] = q.prefixTokens
+		}
+	}
+	n := 0
+	for _, toks := range longest {
+		n += toks / s.cfg.PageTokens
+	}
+	return n
+}
+
+func checkPrefixShadow(t *testing.T, m *Manager, s *pshadow, step int, op string) {
+	t.Helper()
+	if err := m.Invariant(); err != nil {
+		t.Fatalf("step %d (%s): %v", step, op, err)
+	}
+	st := m.Stats()
+	if st.TotalPages != s.total {
+		t.Fatalf("step %d (%s): total pages %d, want %d", step, op, st.TotalPages, s.total)
+	}
+	var seqPages, residentSeqs, evictedSeqs, residentTokens, fragTokens int
+	for _, q := range s.seqs {
+		if q.onHost {
+			evictedSeqs++
+			continue
+		}
+		residentSeqs++
+		residentTokens += q.private
+		pages := s.pagesFor(q.private)
+		seqPages += pages
+		fragTokens += pages*s.cfg.PageTokens - q.private
+	}
+	if want := s.total - seqPages - st.PrefixBlocks; st.FreePages != want {
+		t.Fatalf("step %d (%s): free pages %d, want %d (seq pages %d, prefix blocks %d)",
+			step, op, st.FreePages, want, seqPages, st.PrefixBlocks)
+	}
+	if st.ResidentSeqs != residentSeqs || st.EvictedSeqs != evictedSeqs {
+		t.Fatalf("step %d (%s): resident/evicted %d/%d, want %d/%d",
+			step, op, st.ResidentSeqs, st.EvictedSeqs, residentSeqs, evictedSeqs)
+	}
+	if st.ResidentTokens != residentTokens || st.InternalFragTokens != fragTokens {
+		t.Fatalf("step %d (%s): resident/frag tokens %d/%d, want %d/%d",
+			step, op, st.ResidentTokens, st.InternalFragTokens, residentTokens, fragTokens)
+	}
+	if st.Evictions != s.evictions || st.Reloads != s.reloads {
+		t.Fatalf("step %d (%s): evictions/reloads %d/%d, want %d/%d",
+			step, op, st.Evictions, st.Reloads, s.evictions, s.reloads)
+	}
+	if min := s.minPrefixBlocks(); st.PrefixBlocks < min {
+		t.Fatalf("step %d (%s): %d device prefix blocks below the %d referenced",
+			step, op, st.PrefixBlocks, min)
+	}
+}
+
+func TestManagerPrefixRandomOpsProperty(t *testing.T) {
+	keys := []string{"", "alpha", "beta", "gamma"}
+	for _, mode := range []PrefixMode{PrefixDevice, PrefixTiered} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := Config{
+					Policy:        Paged,
+					Prefix:        mode,
+					PageTokens:    1 + rng.Intn(16),
+					BytesPerToken: 1 + int64(rng.Intn(1024)),
+					MaxSeqLen:     32 + rng.Intn(256),
+				}
+				pages := 16 + rng.Intn(128)
+				pageBytes := int64(cfg.PageTokens) * cfg.BytesPerToken
+				cfg.CapacityBytes = int64(pages) * pageBytes
+				if mode == PrefixTiered && rng.Intn(2) == 0 {
+					// Bounded host tier, sometimes so small it rounds to
+					// zero pages (degenerating to drop-on-spill).
+					cfg.HostBytes = int64(rng.Intn(8)) * pageBytes
+				}
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sh := &pshadow{cfg: cfg, total: m.TotalPages(), seqs: map[int]*pshadowSeq{}}
+				nextID := 0
+
+				for step := 0; step < 1500; step++ {
+					op := runPrefixRandomOp(t, rng, m, sh, keys, &nextID)
+					checkPrefixShadow(t, m, sh, step, op)
+				}
+			}
+		})
+	}
+}
+
+// runPrefixRandomOp applies one random valid op to manager and shadow.
+func runPrefixRandomOp(t *testing.T, rng *rand.Rand, m *Manager, sh *pshadow, keys []string, nextID *int) string {
+	t.Helper()
+	switch rng.Intn(6) {
+	case 0, 1: // AdmitWithPrefix (weighted: admits drive everything else)
+		id := *nextID
+		tokens := 1 + rng.Intn(sh.cfg.MaxSeqLen)
+		key := keys[rng.Intn(len(keys))]
+		prefixLen := rng.Intn(sh.cfg.MaxSeqLen + 1)
+		if prefixLen > tokens {
+			prefixLen = tokens
+		}
+		before := m.Stats()
+		if !m.CanAdmitWithPrefix(tokens, key, prefixLen) {
+			// A refused admit must fail without mutating page state.
+			if _, err := m.AdmitWithPrefix(id, tokens, key, prefixLen); err == nil {
+				t.Fatalf("admit %d accepted after CanAdmitWithPrefix refused", id)
+			}
+			if after := m.Stats(); after != before {
+				t.Fatalf("failed admit %d mutated stats:\n before %+v\n after  %+v", id, before, after)
+			}
+			return "admit-refused"
+		}
+		res, err := m.AdmitWithPrefix(id, tokens, key, prefixLen)
+		if err != nil {
+			t.Fatalf("admit %d (%d tokens, prefix %d/%q): %v", id, tokens, prefixLen, key, err)
+		}
+		aligned := sh.aligned(prefixLen, tokens, len(key))
+		if res.CachedTokens+res.NewTokens != aligned {
+			t.Fatalf("admit %d: cached %d + new %d != aligned prefix %d",
+				id, res.CachedTokens, res.NewTokens, aligned)
+		}
+		if aligned > 0 && m.PrefixCachedTokens(key) < aligned {
+			t.Fatalf("admit %d: key %q caches %d tokens, want >= %d",
+				id, key, m.PrefixCachedTokens(key), aligned)
+		}
+		after := m.Stats()
+		if d := after.PrefixSpills - before.PrefixSpills; d != int64(res.SpillOps) {
+			t.Fatalf("admit %d: spill counter moved %d, result says %d", id, d, res.SpillOps)
+		}
+		if d := after.PrefixSpillBytes - before.PrefixSpillBytes; d != res.SpillBytes {
+			t.Fatalf("admit %d: spill bytes moved %d, result says %d", id, d, res.SpillBytes)
+		}
+		if d := after.PrefixReloads - before.PrefixReloads; d != int64(res.ReloadOps) {
+			t.Fatalf("admit %d: reload counter moved %d, result says %d", id, d, res.ReloadOps)
+		}
+		if d := after.PrefixReloadBytes - before.PrefixReloadBytes; d != res.ReloadBytes {
+			t.Fatalf("admit %d: reload bytes moved %d, result says %d", id, d, res.ReloadBytes)
+		}
+		if d := after.PrefixTokensSaved - before.PrefixTokensSaved; d != int64(res.CachedTokens) {
+			t.Fatalf("admit %d: tokens-saved moved %d, result says %d", id, d, res.CachedTokens)
+		}
+		wantLookup := int64(0)
+		if aligned > 0 {
+			wantLookup = 1
+		}
+		if d := after.PrefixLookups - before.PrefixLookups; d != wantLookup {
+			t.Fatalf("admit %d: lookup counter moved %d, want %d", id, d, wantLookup)
+		}
+		*nextID++
+		sh.seqs[id] = &pshadowSeq{id: id, private: tokens - aligned, prefixTokens: aligned, key: key, order: id}
+		return fmt.Sprintf("admit %d", id)
+	case 2: // Extend a resident sequence's private tail
+		res := sh.residentIDs()
+		if len(res) == 0 {
+			return "extend-skipped"
+		}
+		id := res[rng.Intn(len(res))]
+		q := sh.seqs[id]
+		n := 1 + rng.Intn(16)
+		if q.prefixTokens+q.private+n > sh.cfg.MaxSeqLen {
+			return "extend-skipped"
+		}
+		if sh.pagesFor(q.private+n)-sh.pagesFor(q.private) > m.FreePages() {
+			return "extend-skipped"
+		}
+		if _, err := m.Extend(id, n); err != nil {
+			t.Fatalf("extend %d by %d: %v", id, n, err)
+		}
+		q.private += n
+		return fmt.Sprintf("extend %d", id)
+	case 3: // Release: blocks must stay cached for later admits
+		ids := sh.allIDs()
+		if len(ids) == 0 {
+			return "release-skipped"
+		}
+		id := ids[rng.Intn(len(ids))]
+		q := sh.seqs[id]
+		cachedBefore := m.PrefixCachedTokens(q.key)
+		if err := m.Release(id); err != nil {
+			t.Fatalf("release %d: %v", id, err)
+		}
+		if got := m.PrefixCachedTokens(q.key); q.key != "" && got != cachedBefore {
+			t.Fatalf("release %d changed key %q cache %d -> %d", id, q.key, cachedBefore, got)
+		}
+		delete(sh.seqs, id)
+		return fmt.Sprintf("release %d", id)
+	case 4: // SpillIdlePrefix
+		n := 1 + rng.Intn(3)
+		before := m.Stats()
+		bytes, freed := m.SpillIdlePrefix(n)
+		after := m.Stats()
+		if freed > n {
+			t.Fatalf("spill freed %d > requested %d", freed, n)
+		}
+		if d := after.FreePages - before.FreePages; d != freed {
+			t.Fatalf("spill freed %d pages but free moved %d", freed, d)
+		}
+		if d := before.PrefixBlocks - after.PrefixBlocks; d != freed {
+			t.Fatalf("spill freed %d pages but device blocks moved %d", freed, d)
+		}
+		if d := after.PrefixSpillBytes - before.PrefixSpillBytes; d != bytes {
+			t.Fatalf("spill moved %d bytes, counter moved %d", bytes, d)
+		}
+		return fmt.Sprintf("spill %d", freed)
+	default: // EvictLast / Reload churn on whole sequences
+		if rng.Intn(2) == 0 {
+			id, _, ok := m.EvictLast()
+			if !ok {
+				if len(sh.residentIDs()) != 0 {
+					t.Fatal("EvictLast refused with residents present")
+				}
+				return "evict-skipped"
+			}
+			q := sh.seqs[id]
+			if q == nil || q.onHost {
+				t.Fatalf("EvictLast picked %d, not a resident", id)
+			}
+			q.onHost = true
+			sh.evictions++
+			return fmt.Sprintf("evict %d", id)
+		}
+		oldest, ok := m.OldestEvicted()
+		if !ok || !m.CanReload(oldest) {
+			return "reload-skipped"
+		}
+		if _, err := m.Reload(oldest); err != nil {
+			t.Fatalf("reload %d: %v", oldest, err)
+		}
+		sh.seqs[oldest].onHost = false
+		sh.reloads++
+		return fmt.Sprintf("reload %d", oldest)
+	}
+}

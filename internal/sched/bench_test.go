@@ -124,3 +124,54 @@ func BenchmarkSchedulerPush(b *testing.B) {
 		}
 	}
 }
+
+// benchPrefixTrace stacks a shared 512-token class preamble on top of
+// each private prompt, the shape chunked prefill + prefix caching is
+// built for.
+func benchPrefixTrace(b testing.TB, n int) []workload.Request {
+	b.Helper()
+	reqs, err := workload.PoissonTrace(workload.Fixed(512, 16), n, 5000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range reqs {
+		reqs[i].InputLen += 512
+		reqs[i].Class = "agent"
+		reqs[i].PrefixLen = 512
+	}
+	return reqs
+}
+
+// BenchmarkChunkedPrefill measures the chunked-prefill scheduler with
+// prefix-cache admission over long shared-prefix prompts: each prompt
+// prefills in ChunkTokens slices while the cache serves the preamble,
+// with idle-block spilling under memory pressure.
+func BenchmarkChunkedPrefill(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("reqs=%d", n), func(b *testing.B) {
+			trace := benchPrefixTrace(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				kv, err := kvcache.New(kvcache.Config{
+					Policy:        kvcache.Paged,
+					Prefix:        kvcache.PrefixTiered,
+					PageTokens:    16,
+					BytesPerToken: 1 << 10,
+					CapacityBytes: 1024 * 16 << 10,
+					MaxSeqLen:     2048,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := New(Config{Policy: Chunked, Prefix: true}, kv, trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				drainBench(b, s, n)
+			}
+		})
+	}
+}

@@ -26,6 +26,10 @@ const (
 	// Static runs an admitted batch to completion before admitting more,
 	// the pre-Orca baseline.
 	Static
+	// Chunked is Orca-style continuous batching with long prefills split
+	// into ChunkTokens-sized slices spread across iterations, so decode
+	// batches are not starved behind monolithic prompt processing.
+	Chunked
 )
 
 // ParsePolicy converts the artifact's CLI values.
@@ -35,17 +39,27 @@ func ParsePolicy(s string) (Policy, error) {
 		return Orca, nil
 	case "static", "batch":
 		return Static, nil
+	case "chunked", "chunk":
+		return Chunked, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown policy %q (want orca|static)", s)
+		return 0, fmt.Errorf("sched: unknown policy %q (want orca|static|chunked)", s)
 	}
 }
 
 func (p Policy) String() string {
-	if p == Static {
+	switch p {
+	case Static:
 		return "static"
+	case Chunked:
+		return "chunked"
+	default:
+		return "orca"
 	}
-	return "orca"
 }
+
+// DefaultChunkTokens is the prefill slice size when the Chunked policy
+// is selected without an explicit ChunkTokens.
+const DefaultChunkTokens = 256
 
 // Config parameterises the scheduler.
 type Config struct {
@@ -57,6 +71,14 @@ type Config struct {
 	// their prompt KV assumed resident (the artifact's "gen" flag, used to
 	// isolate generation-phase behaviour).
 	SkipPrefill bool
+	// ChunkTokens bounds the prompt tokens one request contributes to a
+	// single iteration under the Chunked policy (0 = DefaultChunkTokens).
+	ChunkTokens int
+	// Prefix admits requests through the KV manager's shared-prefix cache
+	// keyed by traffic class: cache-hit requests skip the cached portion
+	// of prefill, and the admit's spill/reload traffic is priced as page
+	// operations. Requires a manager configured with a PrefixMode.
+	Prefix bool
 }
 
 // PageOp is a KV paging action decided during batch formation, to be
@@ -91,6 +113,9 @@ type Finished struct {
 	Req        workload.Request
 	FirstToken simtime.Time // when the first output token was produced
 	Completed  simtime.Time
+	// CachedTokens counts the prompt tokens served from the shared-prefix
+	// cache instead of prefill (0 without prefix caching).
+	CachedTokens int
 }
 
 // Rejected records one request the scheduler refused to serve: its
@@ -116,6 +141,13 @@ type reqState struct {
 	generated int
 	prefilled bool
 	first     simtime.Time
+
+	// Prefill progress: cached counts prompt tokens the shared-prefix
+	// cache covered at admission, prefillDone the tokens processed by
+	// completed prefill slices. The request is prefilled when the two
+	// cover the whole prompt.
+	cached      int
+	prefillDone int
 
 	prev, next *reqState
 }
@@ -161,6 +193,12 @@ func New(cfg Config, kv *kvcache.Manager, reqs []workload.Request) (*Scheduler, 
 	}
 	if cfg.MaxBatch < 0 {
 		return nil, fmt.Errorf("sched: negative max batch %d", cfg.MaxBatch)
+	}
+	if cfg.ChunkTokens < 0 {
+		return nil, fmt.Errorf("sched: negative chunk tokens %d", cfg.ChunkTokens)
+	}
+	if cfg.Policy == Chunked && cfg.ChunkTokens == 0 {
+		cfg.ChunkTokens = DefaultChunkTokens
 	}
 	for _, r := range reqs {
 		if err := r.Validate(); err != nil {
@@ -345,9 +383,9 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 		ops = append(ops, PageOp{ReqID: id, Bytes: bytes, Load: true})
 	}
 
-	// Admit new arrivals under Orca (Static admits only when drained).
-	if s.cfg.Policy == Orca || s.head == nil {
-		s.admit()
+	// Admit new arrivals continuously (Static admits only when drained).
+	if s.cfg.Policy != Static || s.head == nil {
+		s.admit(&ops)
 	}
 
 	// Grow every resident running sequence by one token slot; on memory
@@ -376,10 +414,9 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 			})
 			decodeSeqs++
 		} else {
-			batchSeqs = append(batchSeqs, model.Seq{
-				ReqID: id, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation,
-			})
-			promptTokens += st.req.InputLen
+			q := s.prefillSeq(st)
+			batchSeqs = append(batchSeqs, q)
+			promptTokens += q.NewTokens
 		}
 		count++
 	}
@@ -390,7 +427,7 @@ func (s *Scheduler) Next() (b *Batch, ok bool) {
 		// advance to the next arrival and retry with fresh admissions.
 		if s.cursor < len(s.pending) {
 			s.clock = simtime.Later(s.clock, s.pending[s.cursor].Arrival)
-			s.admit()
+			s.admit(&ops)
 			if b, ok := s.retryAfterAdmit(ops); ok {
 				return b, true
 			}
@@ -431,10 +468,9 @@ func (s *Scheduler) retryAfterAdmit(ops []PageOp) (*Batch, bool) {
 		if st.prefilled || !s.kv.Resident(st.req.ID) {
 			continue
 		}
-		batchSeqs = append(batchSeqs, model.Seq{
-			ReqID: st.req.ID, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation,
-		})
-		promptTokens += st.req.InputLen
+		q := s.prefillSeq(st)
+		batchSeqs = append(batchSeqs, q)
+		promptTokens += q.NewTokens
 		if s.cfg.MaxBatch > 0 && len(batchSeqs) >= s.cfg.MaxBatch {
 			break
 		}
@@ -458,8 +494,8 @@ func (s *Scheduler) buildSingle(st *reqState, ops []PageOp) *Batch {
 	seq := model.Seq{ReqID: st.req.ID, NewTokens: 1, Context: st.req.InputLen + st.generated - 1, Phase: model.Generation}
 	promptTokens := 0
 	if !st.prefilled {
-		seq = model.Seq{ReqID: st.req.ID, NewTokens: st.req.InputLen, Context: 0, Phase: model.Initiation}
-		promptTokens = st.req.InputLen
+		seq = s.prefillSeq(st)
+		promptTokens = seq.NewTokens
 	}
 	batchSeqs := append(s.seqBuf[:0], seq)
 	s.seqBuf = batchSeqs
@@ -479,11 +515,24 @@ func (s *Scheduler) buildSingle(st *reqState, ops []PageOp) *Batch {
 	return &s.batchBuf
 }
 
+// prefillSeq emits st's next prefill slice: the whole remaining prompt,
+// or one chunk of it under the Chunked policy. Cache-covered prefix
+// tokens and previously processed slices are context, not new work.
+func (s *Scheduler) prefillSeq(st *reqState) model.Seq {
+	done := st.cached + st.prefillDone
+	n := st.req.InputLen - done
+	if s.cfg.Policy == Chunked && n > s.cfg.ChunkTokens {
+		n = s.cfg.ChunkTokens
+	}
+	return model.Seq{ReqID: st.req.ID, NewTokens: n, Context: done, Phase: model.Initiation}
+}
+
 // admit pulls arrived requests into the active set while KV memory fits.
 // Requests whose KV demand could never fit — even on an empty device —
 // are rejected (recorded, never served) instead of stalling the head of
-// the queue forever.
-func (s *Scheduler) admit() {
+// the queue forever. With prefix caching on, admission goes through the
+// shared-prefix cache and the admit's spill/reload traffic lands in ops.
+func (s *Scheduler) admit(ops *[]PageOp) {
 	for s.cursor < len(s.pending) {
 		r := s.pending[s.cursor]
 		if r.Arrival.After(s.clock) {
@@ -510,13 +559,35 @@ func (s *Scheduler) admit() {
 		if s.cfg.MaxBatch > 0 && s.kv.ResidentCount() >= s.cfg.MaxBatch {
 			break
 		}
-		if !s.kv.CanAdmit(r.InputLen) {
-			break
-		}
-		if err := s.kv.Admit(r.ID, r.InputLen); err != nil {
-			break
-		}
 		st := &reqState{req: r}
+		if s.cfg.Prefix {
+			if !s.kv.CanAdmitWithPrefix(r.InputLen, r.Class, r.PrefixLen) {
+				break
+			}
+			res, err := s.kv.AdmitWithPrefix(r.ID, r.InputLen, r.Class, r.PrefixLen)
+			if err != nil {
+				break
+			}
+			if res.SpillBytes > 0 {
+				*ops = append(*ops, PageOp{ReqID: r.ID, Bytes: res.SpillBytes, Load: false})
+			}
+			if res.ReloadBytes > 0 {
+				*ops = append(*ops, PageOp{ReqID: r.ID, Bytes: res.ReloadBytes, Load: true})
+			}
+			// Even a fully cached prompt computes its last token, so the
+			// first output token still comes out of an Initiation slice.
+			st.cached = res.CachedTokens
+			if st.cached >= r.InputLen {
+				st.cached = r.InputLen - 1
+			}
+		} else {
+			if !s.kv.CanAdmit(r.InputLen) {
+				break
+			}
+			if err := s.kv.Admit(r.ID, r.InputLen); err != nil {
+				break
+			}
+		}
 		if s.cfg.SkipPrefill {
 			// Generation-only mode: the prompt KV is assumed resident and
 			// the first token is accounted at admission.
@@ -536,6 +607,14 @@ func (s *Scheduler) growOrEvict(id int, ops *[]PageOp, evicted map[int]bool) boo
 	for {
 		if _, err := s.kv.Extend(id, 1); err == nil {
 			return true
+		}
+		// Reclaim idle prefix-cache blocks before evicting live sequences:
+		// spilling a cache block never costs requeued decode work.
+		if bytes, freed := s.kv.SpillIdlePrefix(1); freed > 0 {
+			if bytes > 0 {
+				*ops = append(*ops, PageOp{ReqID: id, Bytes: bytes, Load: false})
+			}
+			continue
 		}
 		vid, bytes, ok := s.kv.EvictLast()
 		if !ok {
@@ -586,6 +665,10 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 			return fmt.Errorf("sched: completed unknown request %d", seq.ReqID)
 		}
 		if !st.prefilled {
+			st.prefillDone += seq.NewTokens
+			if st.cached+st.prefillDone < st.req.InputLen {
+				continue // mid-prefill under the Chunked policy
+			}
 			st.prefilled = true
 			st.generated = 1
 			st.first = s.clock
@@ -598,6 +681,7 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 			}
 			s.finished = append(s.finished, Finished{
 				Req: st.req, FirstToken: st.first, Completed: s.clock,
+				CachedTokens: st.cached,
 			})
 			s.dropActive(st)
 		}

@@ -23,6 +23,13 @@ type Class struct {
 	// SLO targets; zero means "no target" (always attained).
 	TTFT simtime.Duration // time to first token
 	TPOT simtime.Duration // time per output token after the first
+
+	// PrefixLen is the class's shared system-prompt length: every request
+	// of the class carries these tokens ahead of its sampled input, and
+	// they are identical across the class — the traffic shape prefix
+	// caching and prefix-affinity routing exploit. Zero means no shared
+	// prefix.
+	PrefixLen int
 }
 
 // Validate reports an error if the class is malformed. Rates must be
@@ -38,6 +45,9 @@ func (c Class) Validate() error {
 	}
 	if c.TTFT < 0 || c.TPOT < 0 {
 		return fmt.Errorf("workload: class %s: negative SLO target", c.Name)
+	}
+	if c.PrefixLen < 0 {
+		return fmt.Errorf("workload: class %s: negative shared-prefix length %d", c.Name, c.PrefixLen)
 	}
 	return nil
 }
@@ -151,8 +161,9 @@ func MultiClassTrace(classes []Class, n int, ramp Ramp, seed int64) ([]Request, 
 		in, out := cls.Dist.Sample(rng)
 		reqs[i] = Request{
 			ID: i, Class: cls.Name,
-			InputLen: in, OutputLen: out,
-			Arrival: simtime.AtSeconds(t),
+			InputLen: in + cls.PrefixLen, OutputLen: out,
+			PrefixLen: cls.PrefixLen,
+			Arrival:   simtime.AtSeconds(t),
 		}
 	}
 	return reqs, nil
@@ -198,13 +209,15 @@ func ParseDist(s string) (LengthDist, error) {
 }
 
 // ParseClass converts one class spec of the form
-// "name:dist:rate[:ttft_ms[:tpot_ms]]", e.g. "chat:sharegpt:4:1000:80".
-// dist follows ParseDist; rate is requests/second; the optional SLO
-// targets are in milliseconds (omitted or 0 = no target).
+// "name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]]", e.g.
+// "chat:sharegpt:4:1000:80" or "agent:alpaca:2:0:0:512". dist follows
+// ParseDist; rate is requests/second; the optional SLO targets are in
+// milliseconds (omitted or 0 = no target); prefix_toks is the class's
+// shared system-prompt length in tokens (omitted or 0 = none).
 func ParseClass(spec string) (Class, error) {
 	parts := strings.Split(spec, ":")
-	if len(parts) < 3 || len(parts) > 5 {
-		return Class{}, fmt.Errorf("workload: class spec %q: want name:dist:rate[:ttft_ms[:tpot_ms]]", spec)
+	if len(parts) < 3 || len(parts) > 6 {
+		return Class{}, fmt.Errorf("workload: class spec %q: want name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]]", spec)
 	}
 	c := Class{Name: strings.TrimSpace(parts[0])}
 	dist, err := ParseDist(strings.TrimSpace(parts[1]))
@@ -218,6 +231,13 @@ func ParseClass(spec string) (Class, error) {
 	}
 	slos := []*simtime.Duration{&c.TTFT, &c.TPOT}
 	for i, p := range parts[3:] {
+		if i == 2 { // prefix_toks: a whole token count, not a duration
+			c.PrefixLen, err = parsePrefixToks(p)
+			if err != nil {
+				return Class{}, fmt.Errorf("workload: class spec %q: %w", spec, err)
+			}
+			break
+		}
 		ms, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return Class{}, fmt.Errorf("workload: class spec %q: SLO target: %w", spec, err)
@@ -228,6 +248,23 @@ func ParseClass(spec string) (Class, error) {
 		return Class{}, err
 	}
 	return c, nil
+}
+
+// parsePrefixToks parses a class spec's prefix_toks field. Token counts
+// must be whole, non-negative, and finite; the field is parsed as a
+// float first so "nan", "inf", "1e99", and fractional values are
+// rejected with a prefix_toks-anchored error instead of silently
+// truncating or waving NaN through (a NaN prefix would corrupt every
+// synthesised input length downstream).
+func parsePrefixToks(p string) (int, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+	if err != nil {
+		return 0, fmt.Errorf("prefix_toks: %w", err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f != math.Trunc(f) || f > math.MaxInt32 {
+		return 0, fmt.Errorf("prefix_toks: want a whole non-negative token count, got %g", f)
+	}
+	return int(f), nil
 }
 
 // ParseClasses converts a comma-separated list of class specs (see

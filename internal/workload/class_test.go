@@ -147,7 +147,11 @@ func TestParseClasses(t *testing.T) {
 	if cs[1].TTFT != 500*simtime.Millisecond || cs[1].TPOT != 0 {
 		t.Fatalf("api SLO parsed as %+v", cs[1])
 	}
-	for _, bad := range []string{"", "x", "x:sharegpt", "x:bogus:1", "x:alpaca:nope", ":alpaca:1", "x:alpaca:0", "x:alpaca:1:a", "x:alpaca:1:1:1:1"} {
+	agent, err := ParseClass("agent:alpaca:2:1000:80:512")
+	if err != nil || agent.PrefixLen != 512 || agent.TPOT != 80*simtime.Millisecond {
+		t.Fatalf("prefix class parsed as %+v, %v", agent, err)
+	}
+	for _, bad := range []string{"", "x", "x:sharegpt", "x:bogus:1", "x:alpaca:nope", ":alpaca:1", "x:alpaca:0", "x:alpaca:1:a", "x:alpaca:1:1:nan", "x:alpaca:1:1:1:nan", "x:alpaca:1:1:1:+inf", "x:alpaca:1:1:1:-8", "x:alpaca:1:1:1:1.5", "x:alpaca:1:1:1:1:1"} {
 		if _, err := ParseClasses(bad); err == nil {
 			t.Errorf("ParseClasses(%q) must fail", bad)
 		}

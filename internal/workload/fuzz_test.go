@@ -69,6 +69,10 @@ func FuzzParseClasses(f *testing.F) {
 		" spaced :  alpaca : 3 ",
 		"dup:alpaca:1,dup:alpaca:2",
 		":::,",
+		"agent:alpaca:2:1000:80:512",
+		"x:alpaca:1:1:1:NaN",
+		"x:alpaca:1:1:1:-8",
+		"x:alpaca:1:1:1:1.5",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -105,6 +109,57 @@ func FuzzParseClasses(f *testing.F) {
 				t.Fatalf("arrivals out of order at %d", i)
 			}
 			prev = r.Arrival
+		}
+	})
+}
+
+// FuzzParsePrefixClass drives the shared-prefix field of the class-spec
+// grammar specifically: any accepted prefix_toks must be a whole
+// non-negative count, and synthesised requests must carry exactly that
+// prefix inside their input length.
+func FuzzParsePrefixClass(f *testing.F) {
+	seeds := []string{
+		"512", "0", "4096", " 64 ", "1e2",
+		"NaN", "+Inf", "-Inf", "-8", "1.5", "1e300", "9999999999", "", "x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, prefixField string) {
+		if strings.ContainsAny(prefixField, ":,") {
+			return // would change the spec's field structure, not its value
+		}
+		spec := "agent:fixed-256-64:4:1000:80:" + prefixField
+		classes, err := ParseClasses(spec)
+		if err != nil {
+			// Rejections must point at the offending field so multi-class
+			// specs stay debuggable.
+			if !strings.Contains(err.Error(), "prefix_toks") {
+				t.Fatalf("rejection of %q not anchored to prefix_toks: %v", spec, err)
+			}
+			return
+		}
+		cls := classes[0]
+		if cls.PrefixLen < 0 {
+			t.Fatalf("accepted negative prefix length %d from %q", cls.PrefixLen, prefixField)
+		}
+		if err := cls.Validate(); err != nil {
+			t.Fatalf("accepted invalid class %+v: %v", cls, err)
+		}
+		reqs, err := MultiClassTrace(classes, 4, Ramp{}, 1)
+		if err != nil {
+			t.Fatalf("accepted class unusable for synthesis: %v", err)
+		}
+		for i, r := range reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("synthesised invalid request %d: %v", i, err)
+			}
+			if r.PrefixLen != cls.PrefixLen {
+				t.Fatalf("request %d carries prefix %d, class says %d", i, r.PrefixLen, cls.PrefixLen)
+			}
+			if r.InputLen < r.PrefixLen {
+				t.Fatalf("request %d input %d shorter than its prefix %d", i, r.InputLen, r.PrefixLen)
+			}
 		}
 	})
 }

@@ -14,27 +14,37 @@ import (
 // The TSV trace format matches the artifact's dataset files: a header line
 // followed by one request per line with input token count, output token
 // count, and arrival time in milliseconds. Multi-class traces carry a
-// fourth "class" column naming each request's traffic class; traces
+// fourth "class" column naming each request's traffic class, and traces
+// with shared-prefix traffic a fifth "prefix_toks" column; traces
 // without classes keep the artifact's exact three-column format.
 const (
-	tsvHeader      = "input_toks\toutput_toks\tarrival_time_ms"
-	tsvClassHeader = tsvHeader + "\tclass"
+	tsvHeader       = "input_toks\toutput_toks\tarrival_time_ms"
+	tsvClassHeader  = tsvHeader + "\tclass"
+	tsvPrefixHeader = tsvClassHeader + "\tprefix_toks"
 )
 
 // WriteTSV writes a trace in the artifact's TSV format. The class column
-// is emitted only when at least one request carries a class name, so
-// single-class traces stay byte-compatible with the artifact files.
+// is emitted only when at least one request carries a class name, and
+// the prefix_toks column only when at least one request carries a shared
+// prefix, so single-class traces stay byte-compatible with the artifact
+// files and pre-prefix traces with older readers.
 func WriteTSV(w io.Writer, reqs []Request) error {
-	classes := false
+	classes, prefixes := false, false
 	for _, r := range reqs {
 		if r.Class != "" {
 			classes = true
-			break
+		}
+		if r.PrefixLen > 0 {
+			prefixes = true
 		}
 	}
 	bw := bufio.NewWriter(w)
 	header := tsvHeader
-	if classes {
+	switch {
+	case prefixes:
+		classes = true // the prefix column position implies the class column
+		header = tsvPrefixHeader
+	case classes:
 		header = tsvClassHeader
 	}
 	if _, err := fmt.Fprintln(bw, header); err != nil {
@@ -46,9 +56,12 @@ func WriteTSV(w io.Writer, reqs []Request) error {
 		}
 		ms := simtime.Duration(r.Arrival).Milliseconds()
 		var err error
-		if classes {
+		switch {
+		case prefixes:
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%.3f\t%s\t%d\n", r.InputLen, r.OutputLen, ms, r.Class, r.PrefixLen)
+		case classes:
 			_, err = fmt.Fprintf(bw, "%d\t%d\t%.3f\t%s\n", r.InputLen, r.OutputLen, ms, r.Class)
-		} else {
+		default:
 			_, err = fmt.Fprintf(bw, "%d\t%d\t%.3f\n", r.InputLen, r.OutputLen, ms)
 		}
 		if err != nil {
@@ -97,12 +110,20 @@ func ReadTSV(r io.Reader) ([]Request, error) {
 		if len(fields) > 3 {
 			class = strings.TrimSpace(fields[3])
 		}
+		prefix := 0
+		if len(fields) > 4 {
+			prefix, err = strconv.Atoi(strings.TrimSpace(fields[4]))
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: prefix tokens: %w", lineNo, err)
+			}
+		}
 		req := Request{
 			ID:        len(reqs),
 			InputLen:  in,
 			OutputLen: out,
 			Arrival:   simtime.Time(ms * float64(simtime.Millisecond)),
 			Class:     class,
+			PrefixLen: prefix,
 		}
 		if err := req.Validate(); err != nil {
 			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)

@@ -25,6 +25,10 @@ type Request struct {
 	OutputLen int          // tokens to generate
 	Arrival   simtime.Time // arrival time relative to trace start
 	Class     string       // traffic class name; empty for single-class traces
+	// PrefixLen counts the leading prompt tokens shared with every other
+	// request of the same class (the class system prompt); prefix-caching
+	// schedulers serve them from cache instead of prefilling.
+	PrefixLen int
 }
 
 // TotalLen returns the final sequence length of the request.
@@ -40,6 +44,9 @@ func (r Request) Validate() error {
 	}
 	if r.Arrival < 0 {
 		return fmt.Errorf("workload: request %d has negative arrival", r.ID)
+	}
+	if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
+		return fmt.Errorf("workload: request %d has prefix length %d outside [0,%d]", r.ID, r.PrefixLen, r.InputLen)
 	}
 	return nil
 }

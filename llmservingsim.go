@@ -75,6 +75,11 @@ type Request struct {
 	OutputLen int
 	Arrival   time.Duration
 	Class     string
+	// PrefixLen counts the leading prompt tokens shared with every other
+	// request of the same class (a common system prompt). With prefix
+	// caching enabled, those tokens are served from cache after the first
+	// request of the class computes them. Zero means no shared prefix.
+	PrefixLen int
 }
 
 // Iteration is one completed simulation iteration, delivered to the
@@ -112,6 +117,17 @@ type Config struct {
 	// (default 16).
 	KVManage     KVPolicy
 	KVPageTokens int
+
+	// PrefixCache enables shared-prefix KV caching (off by default;
+	// requires KVPaged). In tiered mode, KVHostMemGB bounds the host
+	// spill tier in gigabytes (0 = unbounded host memory).
+	PrefixCache PrefixCacheMode
+	KVHostMemGB float64
+
+	// PrefillChunk caps the prompt tokens one iteration may prefill for
+	// a single request under SchedChunked (0 selects the default, 256).
+	// Ignored by the other scheduling policies.
+	PrefillChunk int
 
 	// PIMPoolSize sizes the PIMPool-mode pool (0 = NPUs); SubBatches > 1
 	// enables NeuPIMs-style sub-batch interleaving.
@@ -261,6 +277,19 @@ func (c Config) Validate() error {
 	if c.KVPageTokens < 0 {
 		return &ConfigError{Field: "KVPageTokens", Value: c.KVPageTokens, Reason: "must not be negative"}
 	}
+	if !c.PrefixCache.valid() {
+		return &ConfigError{Field: "PrefixCache", Value: c.PrefixCache, Reason: "unknown prefix cache mode"}
+	}
+	if c.PrefixCache != PrefixCacheOff && c.KVManage != KVPaged {
+		return &ConfigError{Field: "PrefixCache", Value: c.PrefixCache,
+			Reason: "prefix caching requires paged KV management (KVPaged)"}
+	}
+	if c.KVHostMemGB < 0 {
+		return &ConfigError{Field: "KVHostMemGB", Value: c.KVHostMemGB, Reason: "must not be negative"}
+	}
+	if c.PrefillChunk < 0 {
+		return &ConfigError{Field: "PrefillChunk", Value: c.PrefillChunk, Reason: "must not be negative"}
+	}
 	if c.PIMPoolSize < 0 {
 		return &ConfigError{Field: "PIMPoolSize", Value: c.PIMPoolSize, Reason: "must not be negative"}
 	}
@@ -350,11 +379,26 @@ type SimulationTime struct {
 }
 
 // KVStats reports KV-cache occupancy at end of run plus cumulative paging
-// activity.
+// activity. The Prefix* fields are zero unless prefix caching is on.
 type KVStats struct {
 	TotalPages int
 	Evictions  int64
 	Reloads    int64
+
+	PrefixLookups     int64 // admissions that probed the prefix cache
+	PrefixHits        int64 // probes that reused at least one cached block
+	PrefixTokensSaved int64 // prefill tokens skipped via cache hits
+	PrefixSpillBytes  int64 // prefix blocks spilled device -> host
+	PrefixReloadBytes int64 // prefix blocks restored host -> device
+}
+
+// PrefixHitRate returns the fraction of prefix-cache probes that reused
+// at least one cached block.
+func (s KVStats) PrefixHitRate() float64 {
+	if s.PrefixLookups == 0 {
+		return 0
+	}
+	return float64(s.PrefixHits) / float64(s.PrefixLookups)
 }
 
 // Report is the outcome of a simulation run.
@@ -483,6 +527,12 @@ func wrapReport(rep *core.Report) *Report {
 			TotalPages: rep.KV.TotalPages,
 			Evictions:  rep.KV.Evictions,
 			Reloads:    rep.KV.Reloads,
+
+			PrefixLookups:     rep.KV.PrefixLookups,
+			PrefixHits:        rep.KV.PrefixHits,
+			PrefixTokensSaved: rep.KV.PrefixTokensSaved,
+			PrefixSpillBytes:  rep.KV.PrefixSpillBytes,
+			PrefixReloadBytes: rep.KV.PrefixReloadBytes,
 		},
 		SimTime: SimulationTime{
 			Scheduler:       rep.Host.Scheduler,
@@ -535,10 +585,13 @@ func buildOptions(cfg Config) (core.Options, error) {
 			BatchDelay:  simtime.FromStd(cfg.BatchDelay),
 			SubBatches:  max(cfg.SubBatches, 1),
 			SkipPrefill: cfg.SkipInitiation,
+			ChunkTokens: cfg.PrefillChunk, // sched.New applies the default of 256
 		},
 		SelectiveBatching: cfg.SelectiveBatching,
 		KVPolicy:          cfg.KVManage.internal(),
 		KVPageTokens:      cfg.KVPageTokens, // core.New applies the default of 16
+		KVPrefix:          cfg.PrefixCache.internal(),
+		KVHostBytes:       int64(cfg.KVHostMemGB * (1 << 30)),
 		Reuse: core.ReuseOptions{
 			ModelRedundancy:  cfg.ModelRedundancyReuse,
 			ComputationReuse: cfg.ComputationReuse,
@@ -666,6 +719,7 @@ func toWorkload(trace []Request) []workload.Request {
 			OutputLen: r.OutputLen,
 			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
 			Class:     r.Class,
+			PrefixLen: r.PrefixLen,
 		}
 	}
 	return out
@@ -679,6 +733,7 @@ func fromWorkload(reqs []workload.Request) []Request {
 			OutputLen: r.OutputLen,
 			Arrival:   simtime.Duration(r.Arrival).Std(),
 			Class:     r.Class,
+			PrefixLen: r.PrefixLen,
 		}
 	}
 	return out

@@ -38,6 +38,25 @@ func WithKVPolicy(p KVPolicy) Option { return func(c *Config) { c.KVManage = p }
 // WithKVPageTokens sets the paged-allocation page size in tokens.
 func WithKVPageTokens(n int) Option { return func(c *Config) { c.KVPageTokens = n } }
 
+// WithPrefixCache enables shared-prefix KV caching (requires KVPaged).
+// hostMemGB bounds the tiered mode's host spill tier in gigabytes
+// (0 = unbounded; ignored by the gpu-only mode).
+func WithPrefixCache(mode PrefixCacheMode, hostMemGB float64) Option {
+	return func(c *Config) {
+		c.PrefixCache = mode
+		c.KVHostMemGB = hostMemGB
+	}
+}
+
+// WithChunkedPrefill selects chunked-prefill scheduling with the given
+// per-iteration prompt-chunk size in tokens (0 = the default, 256).
+func WithChunkedPrefill(chunkTokens int) Option {
+	return func(c *Config) {
+		c.Scheduling = SchedChunked
+		c.PrefillChunk = chunkTokens
+	}
+}
+
 // WithPIM selects how PIM devices participate.
 func WithPIM(mode PIMMode) Option { return func(c *Config) { c.PIMType = mode } }
 
