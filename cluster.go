@@ -214,6 +214,30 @@ type ClusterScenario struct {
 	// FleetEvents injects failures, planned scales, and drains at fixed
 	// simulated times (see ParseFleetEvents for the CLI grammar).
 	FleetEvents []FleetEvent
+
+	// Telemetry, when non-nil, records request spans, per-replica
+	// execution detail, and every routing/admission/autoscaling
+	// decision with counterfactual regret (see NewTelemetry and
+	// ClusterReport.Regret). Falls back to Config.Telemetry when nil.
+	// One recorder serves the whole cluster; give each concurrently
+	// running scenario its own.
+	Telemetry *Telemetry
+}
+
+// WithTelemetry returns a copy of the scenario recording into the
+// given telemetry recorder.
+func (sc ClusterScenario) WithTelemetry(t *Telemetry) ClusterScenario {
+	sc.Telemetry = t
+	return sc
+}
+
+// telemetry returns the scenario's recorder: the scenario-level field,
+// else the replica Config's.
+func (sc ClusterScenario) telemetry() *Telemetry {
+	if sc.Telemetry != nil {
+		return sc.Telemetry
+	}
+	return sc.Config.Telemetry
 }
 
 // WithAutoscaler returns a copy of the scenario resized at runtime by
@@ -416,13 +440,19 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 		return nil, err
 	}
 	hook := sc.Config.OnIteration
+	rec := sc.telemetry().recorder()
 	return cluster.New(cluster.Config{
 		Replicas: len(optsList),
 		// Autoscaled slots beyond the initial fleet cycle through the
 		// initial replica configurations, so a heterogeneous fleet
 		// scales up in its own proportions.
 		NewReplica: func(i int) (*core.Simulator, error) {
-			inner, err := core.New(optsList[i%len(optsList)], nil)
+			opts := optsList[i%len(optsList)]
+			// All replicas share the cluster's recorder; each tags its
+			// events with its own fleet slot.
+			opts.Obs = rec
+			opts.ObsReplica = i
+			inner, err := core.New(opts, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -441,6 +471,7 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 		MaxReplicas:    sc.MaxReplicas,
 		ProvisionDelay: simtime.FromStd(sc.ProvisionDelay),
 		Events:         events,
+		Obs:            rec,
 	})
 }
 
@@ -502,9 +533,17 @@ type ClassStats struct {
 	Class string
 
 	Requests    int // arrivals (admitted + rejected)
-	Rejected    int // dropped at admission
+	Rejected    int // refused, any reason
 	Completed   int // finished serving
 	SLOAttained int // completed within both SLO targets
+
+	// Rejection breakdown by reason (sums to Rejected): dropped by the
+	// admission policy, no routable replica existed, unservable by the
+	// scheduler, or lost to an injected replica failure.
+	RejectedAdmission  int
+	RejectedNoReplica  int
+	RejectedUnservable int
+	RejectedFailure    int
 
 	TTFT    DistStats // time to first token, over completed requests
 	TPOT    DistStats // time per output token, over multi-token requests
@@ -589,6 +628,10 @@ type ClusterReport struct {
 	PrefixReloadBytes int64
 	PrefixLinkSeconds float64
 
+	// Regret summarises counterfactual routing regret — nil unless the
+	// scenario ran with a Telemetry recorder.
+	Regret *RegretSummary
+
 	inner *cluster.Report
 }
 
@@ -637,13 +680,23 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 
 		inner: rep,
 	}
+	if rep.Regret != nil {
+		s := RegretSummary(*rep.Regret)
+		out.Regret = &s
+	}
 	for _, cs := range rep.Classes {
 		out.Classes = append(out.Classes, ClassStats{
-			Class:         cs.Class,
-			Requests:      cs.Requests,
-			Rejected:      cs.Rejected,
-			Completed:     cs.Completed,
-			SLOAttained:   cs.SLOAttained,
+			Class:       cs.Class,
+			Requests:    cs.Requests,
+			Rejected:    cs.Rejected,
+			Completed:   cs.Completed,
+			SLOAttained: cs.SLOAttained,
+
+			RejectedAdmission:  cs.RejectedAdmission,
+			RejectedNoReplica:  cs.RejectedNoReplica,
+			RejectedUnservable: cs.RejectedUnservable,
+			RejectedFailure:    cs.RejectedFailure,
+
 			TTFT:          DistStats(cs.TTFT),
 			TPOT:          DistStats(cs.TPOT),
 			Latency:       DistStats(cs.Latency),

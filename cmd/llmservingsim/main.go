@@ -52,8 +52,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	llmservingsim "repro"
@@ -98,7 +102,16 @@ func main() {
 		scaleSched   = flag.String("scale-schedule", "", "scheduled autoscaler: step plan T_S:REPLICAS,... (e.g. 0:2,60:8,120:2)")
 		provision    = flag.Duration("provision-delay", 0, "cold-start delay of scaled-up replicas (simulated time)")
 		fleetEvtSpec = flag.String("fleet-events", "", "fleet events fail@T:R[:reject]|scale@T:N|drain@T:R,... (enables the cluster layer)")
+
+		traceOut     = flag.String("trace-out", "", "write a Chrome-trace JSON of the run (open in chrome://tracing or Perfetto)")
+		decisionsOut = flag.String("decisions-out", "", "write routing/admission/autoscaling decision records as TSV")
+		traceDetail  llmservingsim.TraceDetail
+
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address while the simulation runs (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
+	flag.Var(&traceDetail, "trace-detail", "telemetry capture level: decisions|spans|full")
 	flag.Var(&autoscaler, "autoscaler", "fleet autoscaling policy: none|queue-depth|slo-target|scheduled")
 	flag.Var(&cfg.PerfModel, "perf-model", "performance model: astra|roofline")
 	flag.StringVar(&cfg.Hardware, "hardware", "", "accelerator preset the backend models (see -list-hardware)")
@@ -237,6 +250,45 @@ func main() {
 		fatal(err)
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "llmservingsim: pprof listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Runs on normal return from main (both the single-instance and
+		// cluster paths); error exits skip the profile.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	var tel *llmservingsim.Telemetry
+	if *traceOut != "" || *decisionsOut != "" {
+		tel = llmservingsim.NewTelemetry(llmservingsim.TelemetryConfig{Detail: traceDetail})
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -266,6 +318,7 @@ func main() {
 			ScaleSchedule:    scaleSchedule,
 			ProvisionDelay:   *provision,
 			FleetEvents:      fleetEvents,
+			Telemetry:        tel,
 		}
 		if len(fleet) > 0 {
 			sc.Fleet = fleet
@@ -279,9 +332,11 @@ func main() {
 			}
 		}
 		runCluster(ctx, sc, *output)
+		writeTelemetry(tel, *traceOut, *decisionsOut)
 		return
 	}
 
+	cfg.Telemetry = tel
 	sim, err := llmservingsim.NewFromConfig(cfg, trace)
 	if err != nil {
 		fatal(err)
@@ -327,6 +382,36 @@ func main() {
 		}
 		fmt.Printf("wrote %s-throughput.tsv, %s-simulation-time.tsv\n", *output, *output)
 	}
+	writeTelemetry(tel, *traceOut, *decisionsOut)
+}
+
+// writeTelemetry exports the run's captured telemetry to the requested
+// files; a nil recorder (no -trace-out/-decisions-out) is a no-op.
+func writeTelemetry(tel *llmservingsim.Telemetry, traceOut, decisionsOut string) {
+	if tel == nil {
+		return
+	}
+	write := func(path, what string, fn func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, what)
+	}
+	if traceOut != "" {
+		write(traceOut, fmt.Sprintf("chrome trace: %d events, %d decisions",
+			tel.Events(), tel.Decisions()), tel.WriteChromeTrace)
+	}
+	if decisionsOut != "" {
+		write(decisionsOut, fmt.Sprintf("%d decisions", tel.Decisions()), tel.WriteDecisionsTSV)
+	}
 }
 
 // runCluster executes the multi-replica path and prints the cluster
@@ -364,6 +449,10 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, p99 %.3f, ttft %.3f, tpot %.4f)\n",
 		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
 		rep.Latency.TTFTSec, rep.Latency.TPOTSec)
+	if rg := rep.Regret; rg != nil {
+		fmt.Printf("routing regret   %d/%d decisions regretful (%.1f %%), mean %.4f s, max %.4f s\n",
+			rg.Regretful, rg.Decisions, 100*rg.RegretfulFrac(), rg.MeanRegretSec, rg.MaxRegretSec)
+	}
 	fmt.Printf("wall clock       %v\n", time.Since(start).Round(time.Millisecond))
 	if len(rep.Classes) > 0 {
 		fmt.Printf("\n%-12s %9s %9s %9s %12s %12s %12s %12s\n",

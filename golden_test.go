@@ -21,7 +21,9 @@ package llmservingsim_test
 // not.
 
 import (
+	"bytes"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"strconv"
 	"testing"
@@ -425,6 +427,99 @@ func TestGoldenPrefix(t *testing.T) {
 	if affinity.PrefixHitRate <= least.PrefixHitRate {
 		t.Errorf("prefix-affinity hit rate %.3f does not beat least-loaded %.3f",
 			affinity.PrefixHitRate, least.PrefixHitRate)
+	}
+}
+
+// traceFingerprint pins a telemetry capture: total event/decision
+// counts, the regret summary's exact token total and decision split,
+// and FNV-1a hashes of the serialized Chrome trace and decisions TSV
+// (any byte of drift in either exporter fails).
+func traceFingerprint(t testing.TB, tel *sim.Telemetry, rep *sim.ClusterReport) string {
+	t.Helper()
+	var chrome, dec bytes.Buffer
+	if err := tel.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.WriteDecisionsTSV(&dec); err != nil {
+		t.Fatal(err)
+	}
+	ch := fnv.New64a()
+	ch.Write(chrome.Bytes())
+	dh := fnv.New64a()
+	dh.Write(dec.Bytes())
+	rg := rep.Regret
+	if rg == nil {
+		t.Fatal("cluster ran with telemetry but reported no regret summary")
+	}
+	return fmt.Sprintf("events=%d decisions=%d regretful=%d/%d regret_toks=%d chrome_fnv=%016x dec_fnv=%016x",
+		tel.Events(), tel.Decisions(), rg.Regretful, rg.Decisions,
+		rg.TotalRegretTokens, ch.Sum64(), dh.Sum64())
+}
+
+// TestGoldenTrace pins the telemetry capture itself: the shared-prefix
+// golden scenario run under a full-detail recorder must reproduce the
+// exact event/decision stream — hashed exporter bytes included — for
+// both routers, and the regret accounting must explain the goodput gap
+// TestGoldenPrefix pins: the prefix-blind least-loaded router leaves
+// strictly more tokens of regret on the table than prefix-affinity.
+func TestGoldenTrace(t *testing.T) {
+	goldens := map[string]string{
+		"least-loaded":    "events=4106 decisions=192 regretful=15/96 regret_toks=16924 chrome_fnv=5b7115421228e26a dec_fnv=c9b940b51fb92ab6",
+		"prefix-affinity": "events=1550 decisions=192 regretful=8/96 regret_toks=7785 chrome_fnv=00df339caf2ade7d dec_fnv=bd2c3798c0198b8e",
+	}
+
+	classes := goldenPrefixClasses()
+	trace, err := sim.MultiClassTrace(classes, 96, sim.Ramp{From: 0.8, To: 1.6}, 20240614)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(t *testing.T, router sim.RouterPolicy) *sim.RegretSummary {
+		t.Helper()
+		cfg := goldenConfig(sim.SchedChunked, sim.KVPaged)
+		cfg.PerfModel = sim.PerfModelRoofline
+		cfg.PrefixCache = sim.PrefixCacheTiered
+		cfg.KVHostMemGB = 0.02
+		tel := sim.NewTelemetry(sim.TelemetryConfig{Detail: sim.TraceFull})
+		sc := sim.ClusterScenario{
+			Name:     "trace/" + router.String(),
+			Config:   cfg,
+			Replicas: 2,
+			Router:   router,
+			Classes:  classes,
+			Trace:    trace,
+		}.WithTelemetry(tel)
+		rep, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := traceFingerprint(t, tel, rep)
+		if os.Getenv("GOLDEN_PRINT") != "" {
+			t.Logf("golden: %q: %q,", router.String(), got)
+			return rep.Regret
+		}
+		want, ok := goldens[router.String()]
+		if !ok {
+			t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", router)
+		}
+		if got != want {
+			t.Errorf("telemetry capture drifted from pinned golden\n got %s\nwant %s", got, want)
+		}
+		return rep.Regret
+	}
+
+	least := run(t, sim.RouterLeastLoaded)
+	affinity := run(t, sim.RouterPrefixAffinity)
+
+	// The regret gap must point the same way as the goodput gap
+	// TestGoldenPrefix pins: least-loaded ignores prefix placement and
+	// pays for it.
+	if least.TotalRegretTokens <= affinity.TotalRegretTokens {
+		t.Errorf("least-loaded regret %d tokens does not exceed prefix-affinity's %d",
+			least.TotalRegretTokens, affinity.TotalRegretTokens)
+	}
+	if least.RegretfulFrac() <= affinity.RegretfulFrac() {
+		t.Errorf("least-loaded regretful fraction %.3f does not exceed prefix-affinity's %.3f",
+			least.RegretfulFrac(), affinity.RegretfulFrac())
 	}
 }
 

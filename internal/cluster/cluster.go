@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/workload"
@@ -85,6 +86,13 @@ type Config struct {
 	// (failures, planned scales, drains). Applied in time order, stable
 	// on spec order; events after the cluster drains are ignored.
 	Events []workload.FleetEvent
+
+	// Obs, when non-nil, records routing/admission/autoscaling decision
+	// records with counterfactual routing regret, plus whatever span
+	// detail the recorder is configured for. The same recorder should
+	// be passed to every replica's core.Options so spans and decisions
+	// land in one timeline.
+	Obs *obs.Recorder
 }
 
 // lifecycle is a replica's position in the dynamic-fleet state machine.
@@ -162,6 +170,7 @@ type Cluster struct {
 	intervalAttained  int
 
 	statesBuf []ReplicaState
+	candBuf   []obs.Candidate
 }
 
 // New validates the configuration and builds the initial replicas.
@@ -263,6 +272,9 @@ func (c *Cluster) complete(f sched.Finished) {
 	rec.FirstToken = f.FirstToken
 	rec.Completed = f.Completed
 	rec.CachedTokens = f.CachedTokens
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Outcome(id, rec.TTFT(), rec.TPOT())
+	}
 	if c.scaler != nil {
 		c.intervalCompleted++
 		if rec.MeetsSLO(c.slos[rec.Class]) {
@@ -281,6 +293,36 @@ func (c *Cluster) reject(r sched.Rejected) {
 	}
 	c.records[id].Rejected = true
 	c.records[id].Replica = -1
+	c.records[id].RejectReason = obs.RejectUnservable.String()
+	c.cfg.Obs.Admission(r.Time, id, r.Req.Class, "scheduler", false, obs.RejectUnservable)
+	c.cfg.Obs.OutcomeRejected(id)
+}
+
+// rejectArrival drops one arrival before routing, recording the verdict
+// and its reason in both the request record and the decision trace.
+func (c *Cluster) rejectArrival(rec *metrics.RequestRecord, r workload.Request, policy string, reason obs.RejectReason) {
+	rec.Rejected = true
+	rec.RejectReason = reason.String()
+	c.cfg.Obs.Admission(r.Arrival, r.ID, r.Class, policy, false, reason)
+	c.cfg.Obs.Reject(-1, r.ID, r.Class, r.Arrival, reason)
+}
+
+// recordRoute snapshots one routing decision's candidate set for the
+// decision trace. The candidate buffer is recycled across calls.
+func (c *Cluster) recordRoute(t simtime.Time, r workload.Request, states []ReplicaState, idx int) {
+	cands := c.candBuf[:0]
+	for _, s := range states {
+		// The regret cost model scores device-resident coverage only:
+		// host-spilled prefix blocks still price a reload, so counting
+		// them as free coverage would hide the churn a prefix-blind
+		// router causes.
+		cands = append(cands, obs.Candidate{
+			Replica: int32(s.Index), QueuedTokens: s.QueuedTokens,
+			QueuedRequests: int32(s.QueuedRequests), PrefixTokens: int32(s.DevicePrefixTokens),
+		})
+	}
+	c.candBuf = cands
+	c.cfg.Obs.Route(t, r.ID, r.Class, c.router.Name(), r.InputLen, r.PrefixLen, cands, idx)
 }
 
 // Run simulates the arrival stream to completion over the cluster.
@@ -340,14 +382,22 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 		// With no routable replica (all failed, draining, or still cold-
 		// starting) the arrival has nowhere to go and is rejected — the
 		// cluster-level 503.
-		if len(states) == 0 || !c.admission.Admit(r, states) {
-			rec.Rejected = true
+		if len(states) == 0 {
+			c.rejectArrival(rec, r, "cluster", obs.RejectNoReplica)
 			continue
 		}
+		if !c.admission.Admit(r, states) {
+			c.rejectArrival(rec, r, c.admission.Name(), obs.RejectAdmission)
+			continue
+		}
+		c.cfg.Obs.Admission(r.Arrival, r.ID, r.Class, c.admission.Name(), true, obs.RejectNone)
 		idx := c.router.Route(r, states)
 		if idx < 0 || idx >= len(states) {
 			return nil, fmt.Errorf("cluster: router %s returned replica %d of %d",
 				c.router.Name(), idx, len(states))
+		}
+		if c.cfg.Obs != nil {
+			c.recordRoute(r.Arrival, r, states, idx)
 		}
 		target := states[idx].Index
 		rec.Replica = target
@@ -462,11 +512,21 @@ func (c *Cluster) applyTick(t simtime.Time) error {
 		}
 	}
 	c.intervalCompleted, c.intervalAttained = 0, 0
-	return c.scaleTo(t, clampReplicas(c.scaler.Desired(view), c.minRep, c.maxRep))
+	desired := c.scaler.Desired(view)
+	clamped := clampReplicas(desired, c.minRep, c.maxRep)
+	c.cfg.Obs.Scale(t, c.scaler.Name(), view.Active+view.Provisioning, desired, clamped)
+	return c.scaleTo(t, clamped)
 }
 
 // applyFleetEvent applies one injected fleet change.
 func (c *Cluster) applyFleetEvent(t simtime.Time, ev workload.FleetEvent) error {
+	if c.cfg.Obs != nil {
+		target := ev.Replica
+		if ev.Kind == workload.EventScale {
+			target = ev.Replicas
+		}
+		c.cfg.Obs.Fleet(t, ev.Kind.String(), target)
+	}
 	switch ev.Kind {
 	case workload.EventScale:
 		return c.scaleTo(t, clampReplicas(ev.Replicas, c.minRep, c.maxRep))
@@ -550,7 +610,7 @@ func (c *Cluster) drainReplica(t simtime.Time, i int) error {
 	case stateActive:
 		rep.state = stateDraining
 		if len(c.routable(c.statesBuf[:0], "")) > 0 {
-			if err := c.redistribute(rep.sim.TakePending()); err != nil {
+			if err := c.redistribute(t, rep.sim.TakePending()); err != nil {
 				return err
 			}
 		}
@@ -587,17 +647,20 @@ func (c *Cluster) failReplica(t simtime.Time, ev workload.FleetEvent) error {
 		for _, r := range outstanding {
 			c.records[r.ID].Rejected = true
 			c.records[r.ID].Replica = -1
+			c.records[r.ID].RejectReason = obs.RejectFailure.String()
+			c.cfg.Obs.Reject(-1, r.ID, r.Class, t, obs.RejectFailure)
+			c.cfg.Obs.OutcomeRejected(r.ID)
 		}
 		return nil
 	}
-	return c.redistribute(outstanding)
+	return c.redistribute(t, outstanding)
 }
 
 // redistribute re-routes requests that lost their replica (failure
 // requeue, drain backlog migration) onto the routable fleet, rejecting
 // them when no replica survives. The router sees fresh load signals per
 // request, so migrated work spreads like any other traffic.
-func (c *Cluster) redistribute(reqs []workload.Request) error {
+func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request) error {
 	for _, r := range reqs {
 		rec := &c.records[r.ID]
 		states := c.routable(c.statesBuf[:0], r.Class)
@@ -605,12 +668,18 @@ func (c *Cluster) redistribute(reqs []workload.Request) error {
 		if len(states) == 0 {
 			rec.Rejected = true
 			rec.Replica = -1
+			rec.RejectReason = obs.RejectNoReplica.String()
+			c.cfg.Obs.Reject(-1, r.ID, r.Class, t, obs.RejectNoReplica)
+			c.cfg.Obs.OutcomeRejected(r.ID)
 			continue
 		}
 		idx := c.router.Route(r, states)
 		if idx < 0 || idx >= len(states) {
 			return fmt.Errorf("cluster: router %s returned replica %d of %d",
 				c.router.Name(), idx, len(states))
+		}
+		if c.cfg.Obs != nil {
+			c.recordRoute(t, r, states, idx)
 		}
 		target := states[idx].Index
 		rec.Replica = target
@@ -809,6 +878,9 @@ func (c *Cluster) routable(states []ReplicaState, class string) []ReplicaState {
 		}
 		if class != "" {
 			s.PrefixTokens = rep.sim.PrefixCachedTokens(class)
+			if c.cfg.Obs != nil {
+				s.DevicePrefixTokens = rep.sim.DevicePrefixCachedTokens(class)
+			}
 		}
 		states = append(states, s)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -98,6 +99,11 @@ type Report struct {
 	// Latency aggregates end-to-end timing over all completed requests,
 	// classes combined.
 	Latency metrics.LatencyStats
+
+	// Regret summarises counterfactual routing regret (nil unless the
+	// cluster ran with a telemetry recorder): token regret converts to
+	// seconds at each chosen replica's realized serving rate.
+	Regret *obs.RegretSummary
 }
 
 // report assembles the final Report from the records and replicas.
@@ -190,6 +196,33 @@ func (c *Cluster) report() *Report {
 	for _, cs := range r.Classes {
 		r.ThroughputTPS += cs.ThroughputTPS
 		r.GoodputTPS += cs.GoodputTPS
+	}
+
+	// Counterfactual regret: convert each decision's token regret into
+	// seconds at the chosen replica's realized serving rate (prompt +
+	// generation tokens per second), falling back to the fleet mean for
+	// replicas that never served (their own rate is unmeasured).
+	if c.cfg.Obs != nil {
+		var rateSum float64
+		var rateN int
+		for i := range perReplica {
+			if v := perReplica[i].PromptTPS + perReplica[i].GenTPS; v > 0 {
+				rateSum += v
+				rateN++
+			}
+		}
+		mean := 0.0
+		if rateN > 0 {
+			mean = rateSum / float64(rateN)
+		}
+		r.Regret = c.cfg.Obs.FinalizeRegret(func(rep int) float64 {
+			if rep >= 0 && rep < len(perReplica) {
+				if v := perReplica[rep].PromptTPS + perReplica[rep].GenTPS; v > 0 {
+					return v
+				}
+			}
+			return mean
+		})
 	}
 	return r
 }

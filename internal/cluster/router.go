@@ -21,6 +21,12 @@ type ReplicaState struct {
 	// replica currently has cached (device or host tier); zero when the
 	// request has no class or prefix caching is off.
 	PrefixTokens int
+	// DevicePrefixTokens is the device-resident subset of PrefixTokens —
+	// coverage served without recompute or a host-link reload. Routers
+	// see it but none currently rank on it; the telemetry recorder's
+	// counterfactual regret cost model does. Only populated when a
+	// telemetry recorder is attached.
+	DevicePrefixTokens int
 }
 
 // Router places each admitted request on a replica. Implementations may

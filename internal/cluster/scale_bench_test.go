@@ -16,6 +16,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 
@@ -48,8 +49,9 @@ func (e flatEngine) PeakFLOPs() float64         { return 1e15 }
 
 // scaleReplicaFactory builds 2-NPU gpt2 replicas on the flat engine.
 // Per-device memory leaves a KV budget tight enough that saturated
-// replicas exercise the admission/eviction/reload machinery.
-func scaleReplicaFactory(b testing.TB) func(int) (*core.Simulator, error) {
+// replicas exercise the admission/eviction/reload machinery. A non-nil
+// recorder is attached to every replica (BenchmarkClusterTelemetry).
+func scaleReplicaFactoryObs(b testing.TB, rec *obs.Recorder) func(int) (*core.Simulator, error) {
 	b.Helper()
 	topo, err := network.Build(network.Tensor, 2, 1, config.DefaultLink(), config.DefaultLink())
 	if err != nil {
@@ -62,7 +64,16 @@ func scaleReplicaFactory(b testing.TB) func(int) (*core.Simulator, error) {
 		KVPolicy:      kvcache.Paged,
 		Reuse:         core.ReuseAll(),
 	}
-	return func(int) (*core.Simulator, error) { return core.New(opts, nil) }
+	return func(i int) (*core.Simulator, error) {
+		opts := opts
+		opts.Obs = rec
+		opts.ObsReplica = i
+		return core.New(opts, nil)
+	}
+}
+
+func scaleReplicaFactory(b testing.TB) func(int) (*core.Simulator, error) {
+	return scaleReplicaFactoryObs(b, nil)
 }
 
 // scaleClasses is a high-rate two-class mix of short requests; total
@@ -136,4 +147,56 @@ func BenchmarkClusterScale(b *testing.B) {
 // over-load in one run.
 func BenchmarkClusterSaturationRamp(b *testing.B) {
 	runScaleCluster(b, 16, 10000, workload.Ramp{From: 0.5, To: 4})
+}
+
+// BenchmarkClusterTelemetry measures the overhead of the obs recorder
+// on the 16-replica saturated cluster: detail=off is the same run with
+// no recorder attached (the baseline every other hot-path benchmark
+// sees), detail=spans is the default capture level, detail=full adds
+// iteration events and top-k routing counterfactuals. The off/full gap
+// is the telemetry tax guarded by the CI benchmark-regression job.
+func BenchmarkClusterTelemetry(b *testing.B) {
+	const replicas, n = 16, 10000
+	details := []struct {
+		name   string
+		detail obs.Detail // 0 means no recorder at all
+	}{
+		{"off", 0},
+		{"spans", obs.DetailSpans},
+		{"full", obs.DetailFull},
+	}
+	for _, d := range details {
+		b.Run("detail="+d.name, func(b *testing.B) {
+			trace := scaleTrace(b, n, workload.Ramp{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var rec *obs.Recorder
+				if d.detail != 0 {
+					rec = obs.New(obs.Config{Detail: d.detail})
+				}
+				r, err := NewRouter(RouterLeastLoad)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := New(Config{
+					Replicas:   replicas,
+					NewReplica: scaleReplicaFactoryObs(b, rec),
+					Router:     r,
+					Classes:    scaleClasses(),
+					Obs:        rec,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := c.Run(trace)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Admitted != n {
+					b.Fatalf("admitted %d of %d", rep.Admitted, n)
+				}
+			}
+		})
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	astrabackend "repro/internal/perfmodel/astra"
 	"repro/internal/sched"
@@ -96,6 +97,14 @@ type Options struct {
 	// ThroughputWindow is the bucket width for throughput-over-time
 	// series; defaults to 10 simulated seconds.
 	ThroughputWindow simtime.Duration
+
+	// Obs, when non-nil, records request spans, iteration events, and
+	// KV operations for this instance; ObsReplica labels them with the
+	// owning cluster slot (0 for a standalone simulator). Telemetry is
+	// strictly observational: enabling it never changes simulation
+	// results.
+	Obs        *obs.Recorder
+	ObsReplica int
 }
 
 // perfConfig derives the backend-independent performance-model
@@ -164,6 +173,7 @@ type Simulator struct {
 
 	kv        *kvcache.Manager
 	scheduler *sched.Scheduler
+	obsFull   bool // cached Options.Obs.Full() for the Step hot path
 	collector metrics.Collector
 	schedHost time.Duration // host time spent inside the scheduler
 	wall      time.Duration // accumulated host wall-clock across Steps
@@ -234,10 +244,14 @@ func New(opts Options, reqs []workload.Request) (*Simulator, error) {
 		return nil, err
 	}
 	opts.Sched.Prefix = opts.KVPrefix != kvcache.PrefixOff
+	opts.Sched.Obs = opts.Obs
+	opts.Sched.ObsReplica = opts.ObsReplica
 	s.scheduler, err = sched.New(opts.Sched, s.kv, reqs)
 	if err != nil {
 		return nil, err
 	}
+	s.obsFull = opts.Obs.Full()
+	s.kv.SetObserver(opts.Obs, opts.ObsReplica, s.scheduler.Clock)
 	return s, nil
 }
 

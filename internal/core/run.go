@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/workload"
@@ -97,6 +98,16 @@ func (s *Simulator) Step() (done bool, err error) {
 		GenTokens:    len(batch.Seqs),
 		BatchSize:    len(batch.Seqs),
 	})
+	if s.obsFull {
+		s.opts.Obs.Iteration(s.opts.ObsReplica, batch.Time, latency, len(batch.Seqs), batch.PromptTokens)
+		for _, op := range batch.PageOps {
+			kind := obs.EvKVEvict
+			if op.Load {
+				kind = obs.EvKVReload
+			}
+			s.opts.Obs.KVOp(s.opts.ObsReplica, op.ReqID, batch.Time, op.Bytes, kind)
+		}
+	}
 	if s.OnIteration != nil {
 		s.OnIteration(IterationStats{
 			Index:        s.scheduler.Iterations() - 1,
@@ -213,6 +224,13 @@ func (s *Simulator) QueuedRequests() int { return s.scheduler.QueuedRequests() }
 // class this instance has cached (device or host tier) — the signal
 // prefix-affinity cluster routing scores replicas by.
 func (s *Simulator) PrefixCachedTokens(class string) int { return s.kv.PrefixCachedTokens(class) }
+
+// DevicePrefixCachedTokens returns the device-resident subset of the
+// class's cached prefix — the coverage a hit serves without recompute
+// or a host-link reload (the routing-regret cost model's signal).
+func (s *Simulator) DevicePrefixCachedTokens(class string) int {
+	return s.kv.DevicePrefixCachedTokens(class)
+}
 
 // Outstanding returns the requests accepted but not yet finished or
 // rejected — the work a cluster must requeue or reject when this

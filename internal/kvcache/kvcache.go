@@ -17,6 +17,9 @@ package kvcache
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
 )
 
 // Policy selects the memory-management scheme (the artifact's kv_manage
@@ -247,6 +250,12 @@ type Manager struct {
 	prefixSpillBytes  int64
 	prefixReloads     int64
 	prefixReloadBytes int64
+
+	// Telemetry (see SetObserver); nil unless full-detail recording is
+	// on, so the tier operations pay one nil-check when it is off.
+	obs        *obs.Recorder
+	obsReplica int
+	obsNow     func() simtime.Time
 }
 
 // New creates a manager; capacity is rounded down to whole pages.
@@ -277,6 +286,24 @@ func New(cfg Config) (*Manager, error) {
 		groups:    make(map[string]*prefixGroup),
 		hostCap:   hostCap,
 	}, nil
+}
+
+// SetObserver attaches a telemetry recorder: at full detail the manager
+// records shared-prefix tier operations (spills, host drops, cache
+// hits) that never surface as scheduler page ops. now supplies the
+// simulated clock, which the manager does not track itself. Below full
+// detail this is a no-op, so the tier paths stay branch-only.
+func (m *Manager) SetObserver(rec *obs.Recorder, replica int, now func() simtime.Time) {
+	if rec.Full() && now != nil {
+		m.obs, m.obsReplica, m.obsNow = rec, replica, now
+	}
+}
+
+// observe records one prefix-tier operation when telemetry is attached.
+func (m *Manager) observe(kind obs.EventKind, req int, v int64) {
+	if m.obs != nil {
+		m.obs.KVOp(m.obsReplica, req, m.obsNow(), v, kind)
+	}
 }
 
 // Config returns the manager's configuration.

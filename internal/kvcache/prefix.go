@@ -16,7 +16,11 @@
 // next request recomputes them.
 package kvcache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // PrefixMode selects shared-prefix block caching.
 type PrefixMode int
@@ -199,10 +203,12 @@ func (m *Manager) spillOne(excludeStamp int) (bytes int64, ok bool) {
 			m.hostPages++
 			m.prefixSpills++
 			m.prefixSpillBytes += m.pageBytes
+			m.observe(obs.EvPrefixSpill, -1, m.pageBytes)
 			return m.pageBytes, true
 		}
 	}
 	m.removeBlock(victim)
+	m.observe(obs.EvPrefixDrop, -1, m.pageBytes)
 	return 0, true
 }
 
@@ -224,6 +230,7 @@ func (m *Manager) dropOldestHost(excludeStamp int) {
 	if victim != nil {
 		m.hostPages--
 		m.removeBlock(victim)
+		m.observe(obs.EvPrefixDrop, -1, m.pageBytes)
 	}
 }
 
@@ -381,6 +388,7 @@ func (m *Manager) AdmitWithPrefix(id, tokens int, key string, prefixLen int) (Pr
 		m.prefixLookups++
 		if res.CachedTokens > 0 {
 			m.prefixHits++
+			m.observe(obs.EvPrefixHit, id, int64(res.CachedTokens))
 		}
 		m.prefixTokensSaved += int64(res.CachedTokens)
 	}
@@ -398,6 +406,27 @@ func (m *Manager) PrefixCachedTokens(key string) int {
 	n := 0
 	for _, b := range g.blocks {
 		if b.state == blockDropped {
+			break
+		}
+		n += m.cfg.PageTokens
+	}
+	return n
+}
+
+// DevicePrefixCachedTokens returns how many leading prefix tokens of
+// key are device-resident right now — coverage a hit serves without
+// recompute or a host-link reload. The counterfactual routing-regret
+// cost model scores candidates with this, not PrefixCachedTokens:
+// host-spilled coverage still prices a reload, so counting it as free
+// would hide exactly the churn a prefix-blind router causes.
+func (m *Manager) DevicePrefixCachedTokens(key string) int {
+	g := m.groups[key]
+	if g == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range g.blocks {
+		if b.state != blockResident {
 			break
 		}
 		n += m.cfg.PageTokens

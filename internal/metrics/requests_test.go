@@ -96,7 +96,8 @@ func TestRequestTSVWriters(t *testing.T) {
 	records := []RequestRecord{
 		{ID: 0, Class: "chat", Replica: 2, InputLen: 10, OutputLen: 5,
 			Arrival: 0, FirstToken: sec(1), Completed: sec(3)},
-		{ID: 1, Replica: -1, InputLen: 8, OutputLen: 4, Arrival: sec(1), Rejected: true},
+		{ID: 1, Replica: -1, InputLen: 8, OutputLen: 4, Arrival: sec(1),
+			Rejected: true, RejectReason: "admission"},
 	}
 	var buf bytes.Buffer
 	if err := WriteRequestsTSV(&buf, records); err != nil {
@@ -109,12 +110,15 @@ func TestRequestTSVWriters(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "id\tclass\treplica") {
 		t.Fatalf("header %q", lines[0])
 	}
-	if !strings.HasSuffix(lines[1], "\t0") || !strings.HasSuffix(lines[2], "\t1") {
+	if !strings.HasSuffix(lines[1], "\t0\t-") || !strings.HasSuffix(lines[2], "\t1\tadmission") {
 		t.Fatalf("rejected flags: %q / %q", lines[1], lines[2])
 	}
 
 	buf.Reset()
 	sums := SummarizeRequests(records, nil, sec(10))
+	if sums[0].RejectedAdmission != 1 || sums[0].RejectedFailure != 0 {
+		t.Fatalf("reject breakdown %+v", sums[0])
+	}
 	if err := WriteClassSummaryTSV(&buf, sums); err != nil {
 		t.Fatal(err)
 	}
@@ -122,8 +126,11 @@ func TestRequestTSVWriters(t *testing.T) {
 	if len(lines) != 3 { // header + "" class + "chat"
 		t.Fatalf("class rows %q", buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "class\trequests\trejected") {
+	if !strings.HasPrefix(lines[0], "class\trequests\trejected\trej_admission\trej_no_replica\trej_unservable\trej_failure") {
 		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-\t1\t1\t1\t0\t0\t0") {
+		t.Fatalf("classless row %q", lines[1])
 	}
 }
 

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// WriteChromeTrace exports the retained telemetry as Chrome trace-event
+// JSON (load in chrome://tracing or https://ui.perfetto.dev). Layout:
+//
+//   - pid 0 is the "cluster" process; decisions land there as instant
+//     events on one track per decision kind.
+//   - pid 1+i is "replica i". Each request routed to the replica gets
+//     its own thread (tid = request ID + 1) carrying the queue /
+//     prefill / decode slices, prefill-chunk sub-slices, and KV-op
+//     instants; tid 0 is the replica's iteration track.
+//
+// Output is deterministic: slices are emitted in sorted (replica,
+// request) order and instants in recording order. A nil recorder
+// writes an empty trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	e := &chromeEmitter{bw: bw}
+	r.emitChrome(e)
+	if e.err != nil {
+		return e.err
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// reqSpan is one request's assembled timeline on one replica.
+type reqSpan struct {
+	replica, req            int32
+	class                   string
+	arrival, admit          simtime.Time
+	first, finish, rejectAt simtime.Time
+	cached                  int64
+	reason                  RejectReason
+	hasAdmit, hasFirst      bool
+	hasFinish, hasReject    bool
+}
+
+type chromeEmitter struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+}
+
+func (e *chromeEmitter) emit(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	if e.first {
+		if _, e.err = e.bw.WriteString(",\n"); e.err != nil {
+			return
+		}
+	}
+	e.first = true
+	_, e.err = fmt.Fprintf(e.bw, format, args...)
+}
+
+// us renders a picosecond instant as fractional microseconds, the
+// trace-event timestamp unit.
+func us(t simtime.Time) string { return fmt.Sprintf("%.6f", float64(t)/1e6) }
+
+func usd(d simtime.Duration) string { return fmt.Sprintf("%.6f", float64(d)/1e6) }
+
+func (r *Recorder) emitChrome(e *chromeEmitter) {
+	// Pass 1: assemble per-(replica, request) timelines and find the
+	// replica tracks in play.
+	spans := map[int64]*reqSpan{}
+	maxReplica := int32(-1)
+	seen := func(rep int32) {
+		if rep > maxReplica {
+			maxReplica = rep
+		}
+	}
+	get := func(rep, req int32) *reqSpan {
+		k := int64(rep)<<32 | int64(uint32(req))
+		s, ok := spans[k]
+		if !ok {
+			s = &reqSpan{replica: rep, req: req}
+			spans[k] = s
+		}
+		return s
+	}
+	r.eachEvent(func(ev *Event) {
+		seen(ev.Replica)
+		switch ev.Kind {
+		case EvAdmit:
+			s := get(ev.Replica, ev.Req)
+			s.arrival, s.admit = simtime.Time(ev.A), ev.Time
+			s.cached, s.class, s.hasAdmit = ev.B, ev.Class, true
+		case EvFirstToken:
+			s := get(ev.Replica, ev.Req)
+			s.first, s.hasFirst = ev.Time, true
+		case EvFinish:
+			s := get(ev.Replica, ev.Req)
+			s.finish, s.hasFinish = ev.Time, true
+		case EvReject:
+			s := get(ev.Replica, ev.Req)
+			s.rejectAt, s.reason, s.hasReject = ev.Time, RejectReason(ev.A), true
+			if ev.Class != "" {
+				s.class = ev.Class
+			}
+		}
+	})
+	r.eachDecision(func(d *Decision) {
+		if d.Kind == DecisionRoute {
+			seen(d.Chosen)
+		}
+	})
+
+	// Track metadata: the cluster process plus every replica process.
+	e.emit(`{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"cluster"}}`)
+	e.emit(`{"ph":"M","pid":0,"tid":0,"name":"process_sort_index","args":{"sort_index":-1}}`)
+	for _, k := range []DecisionKind{DecisionRoute, DecisionAdmission, DecisionScale, DecisionFleet} {
+		e.emit(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":"%s decisions"}}`, int(k), k)
+	}
+	for rep := int32(0); rep <= maxReplica; rep++ {
+		e.emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"replica %d"}}`, rep+1, rep)
+		e.emit(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"iterations"}}`, rep+1)
+	}
+
+	// Request slices in sorted (replica, request) order.
+	keys := make([]int64, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		s := spans[k]
+		pid, tid := s.replica+1, int64(s.req)+1
+		if s.replica < 0 {
+			pid = 0 // cluster-level rejections live on the cluster process
+			tid = int64(s.req) + 16
+		}
+		e.emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"req %d"}}`, pid, tid, s.req)
+		if s.hasAdmit {
+			e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"queue","cat":"req","ts":%s,"dur":%s,"args":{"class":"%s"}}`,
+				pid, tid, us(s.arrival), usd(s.admit.Sub(s.arrival)), s.class)
+			if s.hasFirst {
+				e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"prefill","cat":"req","ts":%s,"dur":%s,"args":{"cached_toks":%d}}`,
+					pid, tid, us(s.admit), usd(s.first.Sub(s.admit)), s.cached)
+			}
+			if s.hasFirst && s.hasFinish {
+				e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"decode","cat":"req","ts":%s,"dur":%s,"args":{}}`,
+					pid, tid, us(s.first), usd(s.finish.Sub(s.first)))
+			}
+		}
+		if s.hasReject {
+			e.emit(`{"ph":"i","pid":%d,"tid":%d,"name":"reject:%s","cat":"req","ts":%s,"s":"t"}`,
+				pid, tid, s.reason, us(s.rejectAt))
+		}
+	}
+
+	// Iteration slices, prefill chunks, and KV-op instants in recording
+	// (simulated-event) order.
+	r.eachEvent(func(ev *Event) {
+		switch ev.Kind {
+		case EvIteration:
+			e.emit(`{"ph":"X","pid":%d,"tid":0,"name":"iter","cat":"iter","ts":%s,"dur":%s,"args":{"batch":%d,"prompt_toks":%d}}`,
+				ev.Replica+1, us(ev.Time), usd(ev.Dur), ev.A, ev.B)
+		case EvPrefillChunk:
+			e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"chunk","cat":"req","ts":%s,"dur":%s,"args":{"new_toks":%d}}`,
+				ev.Replica+1, int64(ev.Req)+1, us(ev.Time), usd(ev.Dur), ev.A)
+		case EvKVEvict, EvKVReload, EvPrefixSpill, EvPrefixDrop, EvPrefixHit:
+			tid := int64(0)
+			if ev.Req >= 0 {
+				tid = int64(ev.Req) + 1
+			}
+			e.emit(`{"ph":"i","pid":%d,"tid":%d,"name":"%s","cat":"kv","ts":%s,"s":"t","args":{"bytes":%d}}`,
+				ev.Replica+1, tid, ev.Kind, us(ev.Time), ev.A)
+		}
+	})
+
+	// Decisions as instant events on the cluster process.
+	r.eachDecision(func(d *Decision) {
+		switch d.Kind {
+		case DecisionRoute:
+			e.emit(`{"ph":"i","pid":0,"tid":%d,"name":"route req %d -> r%d","cat":"decision","ts":%s,"s":"p","args":{"policy":"%s","class":"%s","best":%d,"regret_toks":%d}}`,
+				int(d.Kind), d.Req, d.Chosen, us(d.Time), d.Policy, d.Class, d.Best, d.Regret)
+		case DecisionAdmission:
+			verdict := "accept"
+			if d.Chosen == 0 {
+				verdict = "reject:" + RejectReason(d.Aux).String()
+			}
+			e.emit(`{"ph":"i","pid":0,"tid":%d,"name":"%s req %d","cat":"decision","ts":%s,"s":"p","args":{"policy":"%s","class":"%s"}}`,
+				int(d.Kind), verdict, d.Req, us(d.Time), d.Policy, d.Class)
+		case DecisionScale:
+			e.emit(`{"ph":"i","pid":0,"tid":%d,"name":"scale %d -> %d","cat":"decision","ts":%s,"s":"p","args":{"policy":"%s","desired":%d}}`,
+				int(d.Kind), d.Aux, d.Chosen, us(d.Time), d.Policy, d.Regret)
+		case DecisionFleet:
+			e.emit(`{"ph":"i","pid":0,"tid":%d,"name":"fleet %s %d","cat":"decision","ts":%s,"s":"p","args":{}}`,
+				int(d.Kind), d.Policy, d.Chosen, us(d.Time))
+		}
+	})
+}

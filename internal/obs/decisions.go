@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDecisionsTSV exports the retained decision records, oldest to
+// newest, one row per decision. The candidates column encodes the
+// routing snapshot as "replica:cost/queued_toks/prefix_toks" entries
+// (chosen first, then the top-k alternatives by cost), so a routing
+// decision is replayable from the row alone. A nil recorder writes
+// only the header.
+func (r *Recorder) WriteDecisionsTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s\tkind\tpolicy\treq\tclass\tchosen\tbest\tregret_toks\tnote\tcandidates"); err != nil {
+		return err
+	}
+	var werr error
+	var sb strings.Builder
+	r.eachDecision(func(d *Decision) {
+		if werr != nil {
+			return
+		}
+		class := d.Class
+		if class == "" {
+			class = "-"
+		}
+		req := "-"
+		if d.Req >= 0 {
+			req = fmt.Sprintf("%d", d.Req)
+		}
+		note, best, cands := "-", "-", "-"
+		switch d.Kind {
+		case DecisionRoute:
+			best = fmt.Sprintf("%d", d.Best)
+			sb.Reset()
+			for i := 0; i < int(d.NCand); i++ {
+				if i > 0 {
+					sb.WriteByte('|')
+				}
+				c := &d.Cand[i]
+				fmt.Fprintf(&sb, "%d:%d/%d/%d", c.Replica, c.Cost, c.QueuedTokens, c.PrefixTokens)
+			}
+			cands = sb.String()
+		case DecisionAdmission:
+			if d.Chosen == 1 {
+				note = "accept"
+			} else {
+				note = "reject:" + RejectReason(d.Aux).String()
+			}
+		case DecisionScale:
+			note = fmt.Sprintf("%d->%d desired=%d", d.Aux, d.Chosen, d.Regret)
+		case DecisionFleet:
+			note = fmt.Sprintf("%s target=%d", d.Policy, d.Chosen)
+		}
+		_, werr = fmt.Fprintf(bw, "%.6f\t%s\t%s\t%s\t%s\t%d\t%s\t%d\t%s\t%s\n",
+			d.Time.Seconds(), d.Kind, d.Policy, req, class, d.Chosen, best, d.Regret, note, cands)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/kvcache"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -79,6 +80,13 @@ type Config struct {
 	// of prefill, and the admit's spill/reload traffic is priced as page
 	// operations. Requires a manager configured with a PrefixMode.
 	Prefix bool
+
+	// Obs, when non-nil, records span telemetry for this scheduler's
+	// requests (admission, prefill slices, first token, completion,
+	// rejection); ObsReplica labels the events with the owning replica
+	// slot. Purely observational: recording never changes scheduling.
+	Obs        *obs.Recorder
+	ObsReplica int
 }
 
 // PageOp is a KV paging action decided during batch formation, to be
@@ -172,6 +180,10 @@ type Scheduler struct {
 	rejected   []Rejected
 	iterations int
 
+	// Cached telemetry levels, so the hot loops pay one local bool test
+	// instead of a recorder nil-check per potential event.
+	obsSpans, obsFull bool
+
 	// Iteration-scoped buffers recycled across Next calls (see Batch).
 	batchBuf Batch
 	seqBuf   []model.Seq
@@ -213,6 +225,8 @@ func New(cfg Config, kv *kvcache.Manager, reqs []workload.Request) (*Scheduler, 
 		pending:  sorted,
 		byID:     make(map[int]*reqState),
 		iterEvic: make(map[int]bool),
+		obsSpans: cfg.Obs.Spans(),
+		obsFull:  cfg.Obs.Full(),
 	}
 	for _, r := range sorted {
 		s.pendingTokens += int64(r.TotalLen())
@@ -554,6 +568,9 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 			})
 			s.cursor++
 			s.pendingTokens -= int64(r.TotalLen())
+			if s.obsSpans {
+				s.cfg.Obs.Reject(s.cfg.ObsReplica, r.ID, r.Class, s.clock, obs.RejectUnservable)
+			}
 			continue
 		}
 		if s.cfg.MaxBatch > 0 && s.kv.ResidentCount() >= s.cfg.MaxBatch {
@@ -598,6 +615,12 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 		s.pushActive(st)
 		s.cursor++
 		s.pendingTokens -= int64(r.TotalLen())
+		if s.obsSpans {
+			s.cfg.Obs.Admit(s.cfg.ObsReplica, r.ID, r.Class, r.Arrival, s.clock, st.cached)
+			if s.cfg.SkipPrefill {
+				s.cfg.Obs.FirstToken(s.cfg.ObsReplica, r.ID, s.clock)
+			}
+		}
 	}
 }
 
@@ -666,12 +689,18 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 		}
 		if !st.prefilled {
 			st.prefillDone += seq.NewTokens
+			if s.obsFull {
+				s.cfg.Obs.PrefillChunk(s.cfg.ObsReplica, seq.ReqID, b.Time, s.clock, seq.NewTokens)
+			}
 			if st.cached+st.prefillDone < st.req.InputLen {
 				continue // mid-prefill under the Chunked policy
 			}
 			st.prefilled = true
 			st.generated = 1
 			st.first = s.clock
+			if s.obsSpans {
+				s.cfg.Obs.FirstToken(s.cfg.ObsReplica, seq.ReqID, s.clock)
+			}
 		} else {
 			st.generated++
 		}
@@ -684,6 +713,9 @@ func (s *Scheduler) Complete(b *Batch, latency simtime.Duration) error {
 				CachedTokens: st.cached,
 			})
 			s.dropActive(st)
+			if s.obsSpans {
+				s.cfg.Obs.Finish(s.cfg.ObsReplica, seq.ReqID, s.clock)
+			}
 		}
 	}
 	return nil

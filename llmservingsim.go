@@ -183,6 +183,12 @@ type Config struct {
 	// simulated iteration. It runs synchronously on the goroutine
 	// driving the simulation (inside a Sweep, a worker goroutine).
 	OnIteration func(Iteration)
+
+	// Telemetry, when non-nil, records request spans and decision
+	// records for this simulation (see NewTelemetry). A recorder holds
+	// one run's state: give each concurrently running simulation its
+	// own.
+	Telemetry *Telemetry
 }
 
 // DefaultConfig returns the artifact's default parameters: gpt2, 16 NPUs,
@@ -597,6 +603,7 @@ func buildOptions(cfg Config) (core.Options, error) {
 			ComputationReuse: cfg.ComputationReuse,
 		},
 		ThroughputWindow: simtime.FromStd(cfg.ThroughputWindow),
+		Obs:              cfg.Telemetry.recorder(),
 	}
 
 	switch cfg.PerfModel {

@@ -104,3 +104,8 @@ func WithThroughputWindow(d time.Duration) Option { return func(c *Config) { c.T
 // WithOnIteration installs a progress hook invoked after every simulated
 // iteration.
 func WithOnIteration(hook func(Iteration)) Option { return func(c *Config) { c.OnIteration = hook } }
+
+// WithTelemetry attaches a telemetry recorder capturing request spans
+// and policy decisions (see NewTelemetry). Recorders hold one run's
+// state; do not share one across concurrently running simulations.
+func WithTelemetry(t *Telemetry) Option { return func(c *Config) { c.Telemetry = t } }

@@ -1,0 +1,190 @@
+package llmservingsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	sim "repro"
+)
+
+func TestParseTraceDetail(t *testing.T) {
+	cases := map[string]sim.TraceDetail{
+		"":          sim.TraceSpans,
+		"spans":     sim.TraceSpans,
+		"decisions": sim.TraceDecisions,
+		"full":      sim.TraceFull,
+	}
+	for in, want := range cases {
+		got, err := sim.ParseTraceDetail(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTraceDetail(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Errorf("round-trip %q -> %q", in, got)
+		}
+	}
+	if _, err := sim.ParseTraceDetail("bogus"); err == nil {
+		t.Fatal("bogus detail must fail")
+	}
+	var d sim.TraceDetail
+	if err := d.Set("full"); err != nil || d != sim.TraceFull {
+		t.Fatalf("flag.Value Set: %v %v", d, err)
+	}
+}
+
+// telemetryScenario is a small prefix-heavy cluster run that exercises
+// routing, admission, spans, and KV churn.
+func telemetryScenario(t testing.TB, tel *sim.Telemetry) sim.ClusterScenario {
+	t.Helper()
+	classes := []sim.TrafficClass{
+		{Name: "chat", Dist: "fixed-96-48", RatePerSec: 120,
+			TTFT: 50 * time.Millisecond, TPOT: 5 * time.Millisecond},
+		{Name: "agent", Dist: "fixed-64-64", RatePerSec: 120,
+			TTFT: 50 * time.Millisecond, TPOT: 5 * time.Millisecond,
+			PrefixTokens: 512},
+	}
+	trace, err := sim.MultiClassTrace(classes, 64, sim.Ramp{}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Model = "gpt2"
+	cfg.NPUs = 2
+	cfg.Parallelism = sim.ParallelismTensor
+	cfg.Scheduling = sim.SchedChunked
+	cfg.PerfModel = sim.PerfModelRoofline
+	cfg.PrefixCache = sim.PrefixCacheTiered
+	cfg.NPU.MemoryBytes = 161 << 20
+	cfg.KVHostMemGB = 0.02
+	return sim.ClusterScenario{
+		Name:     "telemetry",
+		Config:   cfg,
+		Replicas: 2,
+		Router:   sim.RouterLeastLoaded,
+		Classes:  classes,
+		Trace:    trace,
+	}.WithTelemetry(tel)
+}
+
+// exportBytes runs the scenario with a fresh full-detail recorder and
+// returns both serialized exports.
+func exportBytes(t testing.TB, run func(sc sim.ClusterScenario)) (chrome, decisions string) {
+	t.Helper()
+	tel := sim.NewTelemetry(sim.TelemetryConfig{Detail: sim.TraceFull})
+	run(telemetryScenario(t, tel))
+	var cb, db bytes.Buffer
+	if err := tel.WriteChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.WriteDecisionsTSV(&db); err != nil {
+		t.Fatal(err)
+	}
+	return cb.String(), db.String()
+}
+
+// TestTelemetryDeterminism pins the acceptance bar for the recorder:
+// the same seed must yield byte-identical Chrome-trace and decisions
+// exports, run standalone or interleaved with other scenarios inside a
+// parallel Sweep.
+func TestTelemetryDeterminism(t *testing.T) {
+	standalone := func(sc sim.ClusterScenario) {
+		if _, err := sc.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, d1 := exportBytes(t, standalone)
+	c2, d2 := exportBytes(t, standalone)
+	if c1 != c2 || d1 != d2 {
+		t.Fatal("standalone telemetry exports are not deterministic")
+	}
+	if !strings.Contains(d1, "route\tleast-loaded") {
+		t.Fatalf("decisions TSV missing routing rows: %q", d1[:min(len(d1), 200)])
+	}
+
+	// Two telemetry-carrying scenarios (own recorders) racing on two
+	// Sweep workers must each reproduce the standalone bytes.
+	tels := []*sim.Telemetry{
+		sim.NewTelemetry(sim.TelemetryConfig{Detail: sim.TraceFull}),
+		sim.NewTelemetry(sim.TelemetryConfig{Detail: sim.TraceFull}),
+	}
+	sw := &sim.Sweep{
+		ClusterScenarios: []sim.ClusterScenario{
+			telemetryScenario(t, tels[0]),
+			telemetryScenario(t, tels[1]),
+		},
+		Workers: 2,
+	}
+	rep, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tel := range tels {
+		var cb, db bytes.Buffer
+		if err := tel.WriteChromeTrace(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.WriteDecisionsTSV(&db); err != nil {
+			t.Fatal(err)
+		}
+		if cb.String() != c1 {
+			t.Errorf("sweep recorder %d chrome trace diverged from standalone", i)
+		}
+		if db.String() != d1 {
+			t.Errorf("sweep recorder %d decisions TSV diverged from standalone", i)
+		}
+	}
+}
+
+// TestTelemetrySingleInstance wires WithTelemetry through the
+// single-replica constructor path: spans and full-detail events are
+// captured, and a nil telemetry pointer is accepted everywhere.
+func TestTelemetrySingleInstance(t *testing.T) {
+	trace, err := sim.ShareGPTTrace(24, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := sim.NewTelemetry(sim.TelemetryConfig{Detail: sim.TraceFull})
+	s, err := sim.New(trace,
+		sim.WithModel("gpt2"),
+		sim.WithNPUs(2),
+		sim.WithParallelism(sim.ParallelismTensor),
+		sim.WithPerfModel(sim.PerfModelRoofline),
+		sim.WithTelemetry(tel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Events() == 0 {
+		t.Fatal("single-instance run recorded no events")
+	}
+	var buf bytes.Buffer
+	if err := tel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prefill", "decode", "iterations"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("single-instance trace missing %q", want)
+		}
+	}
+
+	// Nil recorders are inert but exportable.
+	var nilTel *sim.Telemetry
+	if nilTel.Events() != 0 || nilTel.Decisions() != 0 {
+		t.Fatal("nil telemetry must count nothing")
+	}
+	buf.Reset()
+	if err := nilTel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil telemetry trace %q", buf.String())
+	}
+}
