@@ -173,6 +173,11 @@ type FleetPoint struct {
 	Active       int
 	Provisioning int
 	Draining     int
+
+	// Pool split of Active for disaggregated fleets (both zero on a
+	// unified fleet).
+	ActivePrefill int
+	ActiveDecode  int
 }
 
 // Committed returns the replicas consuming capacity at this point.

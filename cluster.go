@@ -155,10 +155,23 @@ type ClusterScenario struct {
 	// ReplicaSpec contributes Count replicas serving its model on its
 	// hardware under its performance-model backend, in spec order. See
 	// ParseFleet for the CLI grammar.
+	//
+	// Specs may also carry a Role (RolePrefill / RoleDecode), turning the
+	// cluster into a disaggregated deployment: prefill replicas compute
+	// each request's first token, then hand its KV cache to a decode
+	// replica over the interconnect (priced through the network model)
+	// where the remaining tokens generate. Roles must not mix with
+	// unified specs, and both pools need at least one replica. See
+	// WithDisaggregation for the common two-pool case.
 	Fleet []ReplicaSpec
 
 	Router    RouterPolicy
 	Admission AdmissionPolicy
+
+	// DecodeRouter places the decode stage of disaggregated requests
+	// once their prefill completes (Router places the prefill stage).
+	// The zero value is round-robin. Ignored by unified fleets.
+	DecodeRouter RouterPolicy
 
 	// AdmissionLimit bounds the admission policy: queued requests per
 	// replica for AdmitQueueCap, total in-flight cluster tokens for
@@ -191,6 +204,16 @@ type ClusterScenario struct {
 	// MinReplicas).
 	MinReplicas int
 	MaxReplicas int
+
+	// Per-pool clamps for a disaggregated fleet's autoscaler (the
+	// Autoscaler policy is instantiated once per pool: the prefill
+	// instance reacts to TTFT attainment, the decode instance to TPOT
+	// attainment). Zero values default to 1 and max(initial pool size,
+	// min). Ignored by unified fleets, which use MinReplicas/MaxReplicas.
+	PrefillMinReplicas int
+	PrefillMaxReplicas int
+	DecodeMinReplicas  int
+	DecodeMaxReplicas  int
 
 	// ScaleQueueTarget is the queue-depth policy's target queued
 	// requests per active replica.
@@ -261,6 +284,30 @@ func (sc ClusterScenario) WithReplicaSpecs(specs ...ReplicaSpec) ClusterScenario
 	return sc
 }
 
+// WithDisaggregation returns a copy of the scenario serving a
+// disaggregated fleet: prefill replicas computing first tokens and
+// decode replicas generating the rest from handed-off KV caches, all
+// built from the scenario's base Config. Heterogeneous disaggregated
+// fleets (different hardware per pool) are expressed directly through
+// Fleet specs carrying Roles.
+func (sc ClusterScenario) WithDisaggregation(prefill, decode int) ClusterScenario {
+	return sc.WithReplicaSpecs(
+		ReplicaSpec{Count: prefill, Role: RolePrefill},
+		ReplicaSpec{Count: decode, Role: RoleDecode},
+	)
+}
+
+// disaggregated reports whether any fleet spec carries a non-unified
+// role.
+func (sc ClusterScenario) disaggregated() bool {
+	for _, rs := range sc.Fleet {
+		if rs.Role != RoleUnified {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks the scenario without building it.
 func (sc ClusterScenario) Validate() error {
 	if len(sc.Fleet) > 0 {
@@ -284,8 +331,14 @@ func (sc ClusterScenario) Validate() error {
 	if !sc.Router.valid() {
 		return &ConfigError{Field: "Router", Value: sc.Router, Reason: "unknown router policy"}
 	}
+	if !sc.DecodeRouter.valid() {
+		return &ConfigError{Field: "DecodeRouter", Value: sc.DecodeRouter, Reason: "unknown router policy"}
+	}
 	if !sc.Admission.valid() {
 		return &ConfigError{Field: "Admission", Value: sc.Admission, Reason: "unknown admission policy"}
+	}
+	if err := sc.validateDisaggregation(); err != nil {
+		return err
 	}
 	if len(sc.Trace) == 0 {
 		return &ConfigError{Field: "Trace", Value: len(sc.Trace), Reason: "cluster scenario needs a trace"}
@@ -348,6 +401,67 @@ func (sc ClusterScenario) Validate() error {
 	return nil
 }
 
+// validateDisaggregation checks the role structure of the fleet and
+// the per-pool scaling bounds.
+func (sc ClusterScenario) validateDisaggregation() error {
+	if !sc.disaggregated() {
+		if sc.PrefillMinReplicas != 0 || sc.PrefillMaxReplicas != 0 ||
+			sc.DecodeMinReplicas != 0 || sc.DecodeMaxReplicas != 0 {
+			return &ConfigError{Field: "PrefillMinReplicas", Value: sc.PrefillMinReplicas,
+				Reason: "per-pool replica bounds need a disaggregated fleet (specs with #prefill/#decode roles)"}
+		}
+		return nil
+	}
+	prefillN, decodeN := 0, 0
+	for _, rs := range sc.Fleet {
+		switch rs.Role {
+		case RolePrefill:
+			prefillN += rs.Count
+		case RoleDecode:
+			decodeN += rs.Count
+		default:
+			return &ConfigError{Field: "Fleet", Value: rs.String(),
+				Reason: "a disaggregated fleet cannot mix unified replicas with prefill/decode pools"}
+		}
+	}
+	if prefillN == 0 || decodeN == 0 {
+		return &ConfigError{Field: "Fleet", Value: FleetString(sc.Fleet),
+			Reason: "a disaggregated fleet needs at least one prefill and one decode replica"}
+	}
+	if sc.Config.SkipInitiation {
+		return &ConfigError{Field: "Config.SkipInitiation", Value: true,
+			Reason: "incompatible with disaggregation (decode replicas are built generation-only internally)"}
+	}
+	for _, ev := range sc.FleetEvents {
+		if ev.Kind == FleetScale {
+			return &ConfigError{Field: "FleetEvents", Value: ev.String(),
+				Reason: "scale events are ambiguous on a disaggregated fleet (use the per-pool autoscaler)"}
+		}
+	}
+	check := func(field string, lo, hi, initial int) error {
+		if lo < 0 || hi < 0 {
+			return &ConfigError{Field: field, Value: lo, Reason: "pool replica bounds must not be negative"}
+		}
+		effMin := max(lo, 1)
+		effMax := hi
+		if effMax == 0 {
+			effMax = max(initial, effMin)
+		}
+		if effMax < effMin {
+			return &ConfigError{Field: field, Value: hi, Reason: fmt.Sprintf("pool max below min %d", lo)}
+		}
+		if initial > effMax {
+			return &ConfigError{Field: field, Value: initial,
+				Reason: fmt.Sprintf("initial pool size exceeds pool max %d", hi)}
+		}
+		return nil
+	}
+	if err := check("PrefillMaxReplicas", sc.PrefillMinReplicas, sc.PrefillMaxReplicas, prefillN); err != nil {
+		return err
+	}
+	return check("DecodeMaxReplicas", sc.DecodeMinReplicas, sc.DecodeMaxReplicas, decodeN)
+}
+
 // buildAutoscaler constructs the internal autoscaling policy, nil for
 // ScaleNone.
 func (sc ClusterScenario) buildAutoscaler() (cluster.Autoscaler, error) {
@@ -387,12 +501,14 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	// One buildOptions call per homogeneous replica group; the list
-	// then maps replica index -> options. Backend factories inside the
+	// One buildOptions call per homogeneous replica group; the lists
+	// then map replica index -> options. Backend factories inside the
 	// options build per-replica state, so sharing an Options value
 	// across a group is safe.
+	disagg := sc.disaggregated()
 	var optsList []core.Options
 	var costList []float64
+	var roles []cluster.Role
 	if len(sc.Fleet) == 0 {
 		opts, err := buildOptions(sc.Config)
 		if err != nil {
@@ -400,6 +516,7 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 		}
 		optsList = make([]core.Options, sc.Replicas)
 		costList = make([]float64, sc.Replicas)
+		roles = make([]cluster.Role, sc.Replicas)
 		for i := range optsList {
 			optsList[i] = opts
 			costList[i] = replicaCost(sc.Config)
@@ -407,8 +524,17 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	} else {
 		optsList = make([]core.Options, 0, FleetReplicas(sc.Fleet))
 		costList = make([]float64, 0, FleetReplicas(sc.Fleet))
+		roles = make([]cluster.Role, 0, FleetReplicas(sc.Fleet))
 		for _, rs := range sc.Fleet {
 			cfg := rs.apply(sc.Config)
+			if rs.Role == RoleDecode {
+				// Decode replicas never run a prompt phase: their KV
+				// caches arrive from the prefill pool, so requests enter
+				// generation directly and prefix caching has nothing to
+				// serve.
+				cfg.SkipInitiation = true
+				cfg.PrefixCache = PrefixCacheOff
+			}
 			opts, err := buildOptions(cfg)
 			if err != nil {
 				return nil, err
@@ -416,12 +542,30 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 			for i := 0; i < rs.Count; i++ {
 				optsList = append(optsList, opts)
 				costList = append(costList, replicaCost(cfg))
+				roles = append(roles, rs.Role.internal())
 			}
 		}
+	}
+	// Autoscaled slots beyond the initial fleet cycle through their
+	// pool's initial configurations, so a heterogeneous fleet (or pool)
+	// scales up in its own proportions. Creation order indexes the
+	// cycle: for a unified fleet the per-role counter equals the slot
+	// index, preserving the classic round-robin.
+	poolOpts := map[cluster.Role][]core.Options{}
+	poolCosts := map[cluster.Role][]float64{}
+	for i := range optsList {
+		poolOpts[roles[i]] = append(poolOpts[roles[i]], optsList[i])
+		poolCosts[roles[i]] = append(poolCosts[roles[i]], costList[i])
 	}
 	router, err := cluster.NewRouter(sc.Router.internal())
 	if err != nil {
 		return nil, err
+	}
+	var decodeRouter cluster.Router
+	if disagg {
+		if decodeRouter, err = cluster.NewRouter(sc.DecodeRouter.internal()); err != nil {
+			return nil, err
+		}
 	}
 	admission, err := cluster.NewAdmission(sc.Admission.internal(), sc.AdmissionLimit)
 	if err != nil {
@@ -431,8 +575,17 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	scaler, err := sc.buildAutoscaler()
-	if err != nil {
+	// A disaggregated fleet scales per pool: the same policy is
+	// instantiated twice so each pool's hysteresis state is its own.
+	var scaler, prefillScaler, decodeScaler cluster.Autoscaler
+	if disagg {
+		if prefillScaler, err = sc.buildAutoscaler(); err != nil {
+			return nil, err
+		}
+		if decodeScaler, err = sc.buildAutoscaler(); err != nil {
+			return nil, err
+		}
+	} else if scaler, err = sc.buildAutoscaler(); err != nil {
 		return nil, err
 	}
 	events, err := fleetEventsInternal(sc.FleetEvents)
@@ -441,13 +594,20 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 	}
 	hook := sc.Config.OnIteration
 	rec := sc.telemetry().recorder()
+	poolSeen := map[cluster.Role]int{}
+	slotCost := map[int]float64{}
 	return cluster.New(cluster.Config{
 		Replicas: len(optsList),
-		// Autoscaled slots beyond the initial fleet cycle through the
-		// initial replica configurations, so a heterogeneous fleet
-		// scales up in its own proportions.
-		NewReplica: func(i int) (*core.Simulator, error) {
-			opts := optsList[i%len(optsList)]
+		Roles:    roles,
+		NewReplica: func(i int, role cluster.Role) (*core.Simulator, error) {
+			list := poolOpts[role]
+			if len(list) == 0 {
+				return nil, fmt.Errorf("llmservingsim: no replica configuration for role %s", role)
+			}
+			k := poolSeen[role] % len(list)
+			poolSeen[role]++
+			slotCost[i] = poolCosts[role][k]
+			opts := list[k]
 			// All replicas share the cluster's recorder; each tags its
 			// events with its own fleet slot.
 			opts.Obs = rec
@@ -461,14 +621,23 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 			attachIterationHook(inner, hook)
 			return inner, nil
 		},
-		ReplicaCost:    func(i int) float64 { return costList[i%len(costList)] },
+		// The cluster builds slot i before pricing it, so the cost map
+		// is always populated by the time this runs.
+		ReplicaCost:    func(i int, role cluster.Role) float64 { return slotCost[i] },
 		Router:         router,
+		DecodeRouter:   decodeRouter,
 		Admission:      admission,
 		Classes:        classes,
 		Autoscaler:     scaler,
+		PrefillScaler:  prefillScaler,
+		DecodeScaler:   decodeScaler,
 		ScaleTick:      simtime.FromStd(sc.ScaleTick),
 		MinReplicas:    sc.MinReplicas,
 		MaxReplicas:    sc.MaxReplicas,
+		PrefillMin:     sc.PrefillMinReplicas,
+		PrefillMax:     sc.PrefillMaxReplicas,
+		DecodeMin:      sc.DecodeMinReplicas,
+		DecodeMax:      sc.DecodeMaxReplicas,
 		ProvisionDelay: simtime.FromStd(sc.ProvisionDelay),
 		Events:         events,
 		Obs:            rec,
@@ -555,10 +724,25 @@ type ClassStats struct {
 	ThroughputTPS float64
 }
 
+// PoolStats is one serving pool's rollup in a disaggregated cluster
+// run: capacity consumed and the token rate delivered within the
+// latency phase the pool owns (TTFT-attained prompt tokens for
+// prefill, TPOT-attained output tokens for decode).
+type PoolStats struct {
+	Role     string // "prefill" or "decode"
+	Slots    int    // fleet slots ever created in this pool
+	Requests int    // placements onto the pool, requeues included
+
+	ReplicaSeconds float64
+	CostProxy      float64
+	GoodputTPS     float64
+}
+
 // ReplicaStats summarises one replica's share of a cluster run.
 type ReplicaStats struct {
 	Index      int
 	Backend    string // performance model pricing this replica
+	Role       string // serving pool (unified, prefill, decode)
 	State      string // lifecycle at end of run (active, retired, failed, ...)
 	Requests   int
 	Iterations int
@@ -592,6 +776,10 @@ type ClusterReport struct {
 	Router    string
 	Admission string
 	Scaler    string // autoscaling policy; "" for a static fleet
+
+	// DecodeRouter names the stage-2 placement policy of a
+	// disaggregated cluster ("" on a unified fleet).
+	DecodeRouter string
 
 	Requests int
 	Admitted int
@@ -628,6 +816,14 @@ type ClusterReport struct {
 	PrefixReloadBytes int64
 	PrefixLinkSeconds float64
 
+	// Disaggregation rollup (empty/zero on a unified fleet): per-pool
+	// stats plus the KV-handoff transfer totals — every prefill->decode
+	// cache movement priced through the network model.
+	Pools              []PoolStats
+	HandoffCount       int
+	HandoffBytes       int64
+	HandoffLinkSeconds float64
+
 	// Regret summarises counterfactual routing regret — nil unless the
 	// scenario ran with a Telemetry recorder.
 	Regret *RegretSummary
@@ -652,6 +848,7 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 		Router:         rep.Router,
 		Admission:      rep.Admission,
 		Scaler:         rep.Scaler,
+		DecodeRouter:   rep.DecodeRouter,
 		Requests:       rep.Requests,
 		Admitted:       rep.Admitted,
 		Rejected:       rep.Rejected,
@@ -678,7 +875,14 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 		PrefixReloadBytes: rep.PrefixReloadBytes,
 		PrefixLinkSeconds: rep.PrefixLinkSeconds,
 
+		HandoffCount:       rep.HandoffCount,
+		HandoffBytes:       rep.HandoffBytes,
+		HandoffLinkSeconds: rep.HandoffLinkSeconds,
+
 		inner: rep,
+	}
+	for _, p := range rep.Pools {
+		out.Pools = append(out.Pools, PoolStats(p))
 	}
 	if rep.Regret != nil {
 		s := RegretSummary(*rep.Regret)
@@ -708,6 +912,7 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 		out.PerReplica = append(out.PerReplica, ReplicaStats{
 			Index:          p.Index,
 			Backend:        p.Backend,
+			Role:           p.Role,
 			State:          p.State,
 			Requests:       p.Requests,
 			Iterations:     p.Iterations,
@@ -728,10 +933,12 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 	}
 	for _, p := range rep.FleetTimeline {
 		out.FleetTimeline = append(out.FleetTimeline, FleetPoint{
-			TimeSec:      p.Time.Seconds(),
-			Active:       p.Active,
-			Provisioning: p.Provisioning,
-			Draining:     p.Draining,
+			TimeSec:       p.Time.Seconds(),
+			Active:        p.Active,
+			Provisioning:  p.Provisioning,
+			Draining:      p.Draining,
+			ActivePrefill: p.ActivePrefill,
+			ActiveDecode:  p.ActiveDecode,
 		})
 	}
 	return out

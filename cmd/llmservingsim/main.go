@@ -44,6 +44,17 @@
 // drains ("fail@30:2,scale@60:8,drain@90:0"). Either flag enables the
 // cluster layer; -output then also writes the fleet-size timeline to
 // *-fleet.tsv.
+//
+// A fleet whose groups carry #prefill / #decode role suffixes runs
+// disaggregated: prefill replicas compute first tokens, then hand each
+// request's KV cache to a decode replica over the interconnect
+// (-decode-router places the decode stage; -autoscaler scales the two
+// pools independently between -prefill-min/-prefill-max and
+// -decode-min/-decode-max):
+//
+//	llmservingsim -model gpt2 -npu-num 2 \
+//	    -fleet "2xgpt2#prefill,2xgpt2#decode" -decode-router least-loaded \
+//	    -classes "chat:sharegpt:6:1000:80" -synth-n 512
 package main
 
 import (
@@ -84,14 +95,15 @@ func main() {
 		progress     = flag.Int("progress", 0, "print a progress line every N iterations (0 = off)")
 		output       = flag.String("output", "", "output file prefix for TSV results")
 
-		replicas   = flag.Int("replicas", 1, "cluster mode: number of serving replicas (>1 enables the cluster layer)")
-		router     llmservingsim.RouterPolicy
-		admission  llmservingsim.AdmissionPolicy
-		autoscaler llmservingsim.AutoscalePolicy
-		admitLimit = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
-		classSpec  = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]],... (synthesises a mixed trace)")
-		rampSpec   = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
-		fleetSpec  = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL],... (enables the cluster layer; see -list-hardware)")
+		replicas     = flag.Int("replicas", 1, "cluster mode: number of serving replicas (>1 enables the cluster layer)")
+		router       llmservingsim.RouterPolicy
+		decodeRouter llmservingsim.RouterPolicy
+		admission    llmservingsim.AdmissionPolicy
+		autoscaler   llmservingsim.AutoscalePolicy
+		admitLimit   = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
+		classSpec    = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]],... (synthesises a mixed trace)")
+		rampSpec     = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
+		fleetSpec    = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE],... (enables the cluster layer; #prefill/#decode pools disaggregate; see -list-hardware)")
 
 		scaleTick    = flag.Duration("scale-tick", 10*time.Second, "autoscaler evaluation interval (simulated time)")
 		minReplicas  = flag.Int("min-replicas", 0, "autoscaling floor (0 = 1)")
@@ -101,6 +113,10 @@ func main() {
 		sloHigh      = flag.Float64("slo-scale-high", 1, "slo-target autoscaler: scale down at or above this interval attainment")
 		scaleSched   = flag.String("scale-schedule", "", "scheduled autoscaler: step plan T_S:REPLICAS,... (e.g. 0:2,60:8,120:2)")
 		provision    = flag.Duration("provision-delay", 0, "cold-start delay of scaled-up replicas (simulated time)")
+		prefillMin   = flag.Int("prefill-min", 0, "disaggregated autoscaling: prefill pool floor (0 = 1)")
+		prefillMax   = flag.Int("prefill-max", 0, "disaggregated autoscaling: prefill pool ceiling (0 = initial pool size)")
+		decodeMin    = flag.Int("decode-min", 0, "disaggregated autoscaling: decode pool floor (0 = 1)")
+		decodeMax    = flag.Int("decode-max", 0, "disaggregated autoscaling: decode pool ceiling (0 = initial pool size)")
 		fleetEvtSpec = flag.String("fleet-events", "", "fleet events fail@T:R[:reject]|scale@T:N|drain@T:R,... (enables the cluster layer)")
 
 		traceOut     = flag.String("trace-out", "", "write a Chrome-trace JSON of the run (open in chrome://tracing or Perfetto)")
@@ -116,6 +132,7 @@ func main() {
 	flag.Var(&cfg.PerfModel, "perf-model", "performance model: astra|roofline")
 	flag.StringVar(&cfg.Hardware, "hardware", "", "accelerator preset the backend models (see -list-hardware)")
 	flag.Var(&router, "router", "cluster routing policy: round-robin|least-loaded|affinity|prefix-affinity")
+	flag.Var(&decodeRouter, "decode-router", "disaggregated clusters: decode-stage routing policy (same choices as -router)")
 	flag.Var(&admission, "admission", "cluster admission policy: all|queue-cap|token-budget")
 	flag.StringVar(&cfg.Model, "model", cfg.Model, "model name (see -list-models)")
 	flag.IntVar(&cfg.NPUs, "npu-num", cfg.NPUs, "number of NPUs")
@@ -300,25 +317,30 @@ func main() {
 
 	if *replicas > 1 || len(fleet) > 0 || len(fleetEvents) > 0 || autoscaler != llmservingsim.ScaleNone {
 		sc := llmservingsim.ClusterScenario{
-			Name:             "cli",
-			Config:           cfg,
-			Replicas:         *replicas,
-			Router:           router,
-			Admission:        admission,
-			AdmissionLimit:   *admitLimit,
-			Classes:          classes,
-			Trace:            trace,
-			Autoscaler:       autoscaler,
-			ScaleTick:        *scaleTick,
-			MinReplicas:      *minReplicas,
-			MaxReplicas:      *maxReplicas,
-			ScaleQueueTarget: *scaleTarget,
-			ScaleSLOTarget:   *sloTarget,
-			ScaleSLOHigh:     *sloHigh,
-			ScaleSchedule:    scaleSchedule,
-			ProvisionDelay:   *provision,
-			FleetEvents:      fleetEvents,
-			Telemetry:        tel,
+			Name:               "cli",
+			Config:             cfg,
+			Replicas:           *replicas,
+			Router:             router,
+			DecodeRouter:       decodeRouter,
+			Admission:          admission,
+			AdmissionLimit:     *admitLimit,
+			Classes:            classes,
+			Trace:              trace,
+			Autoscaler:         autoscaler,
+			ScaleTick:          *scaleTick,
+			MinReplicas:        *minReplicas,
+			MaxReplicas:        *maxReplicas,
+			ScaleQueueTarget:   *scaleTarget,
+			ScaleSLOTarget:     *sloTarget,
+			ScaleSLOHigh:       *sloHigh,
+			ScaleSchedule:      scaleSchedule,
+			ProvisionDelay:     *provision,
+			PrefillMinReplicas: *prefillMin,
+			PrefillMaxReplicas: *prefillMax,
+			DecodeMinReplicas:  *decodeMin,
+			DecodeMaxReplicas:  *decodeMax,
+			FleetEvents:        fleetEvents,
+			Telemetry:          tel,
 		}
 		if len(fleet) > 0 {
 			sc.Fleet = fleet
@@ -428,6 +450,9 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("model            %s\n", rep.Model)
 	fmt.Printf("topology         %s\n", rep.Topology)
 	fmt.Printf("router           %s\n", rep.Router)
+	if rep.DecodeRouter != "" {
+		fmt.Printf("decode router    %s\n", rep.DecodeRouter)
+	}
 	fmt.Printf("admission        %s\n", rep.Admission)
 	if rep.Scaler != "" {
 		fmt.Printf("autoscaler       %s (peak %d replicas)\n", rep.Scaler, rep.PeakReplicas())
@@ -438,6 +463,14 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("requests         %d (admitted %d, rejected %d)\n", rep.Requests, rep.Admitted, rep.Rejected)
 	fmt.Printf("iterations       %d across %d replicas\n", rep.TotalIterations(), rep.Replicas)
 	fmt.Printf("replica seconds  %.1f (cost proxy %.1f)\n", rep.ReplicaSeconds, rep.CostProxy)
+	for _, p := range rep.Pools {
+		fmt.Printf("%-7s pool     %d slots, %d placements, %.1f replica s (cost proxy %.1f), goodput %.1f tok/s\n",
+			p.Role, p.Slots, p.Requests, p.ReplicaSeconds, p.CostProxy, p.GoodputTPS)
+	}
+	if rep.HandoffCount > 0 {
+		fmt.Printf("kv handoffs      %d transfers, %d B over the interconnect (%.3f s link time)\n",
+			rep.HandoffCount, rep.HandoffBytes, rep.HandoffLinkSeconds)
+	}
 	fmt.Printf("simulated time   %.2f s\n", rep.SimEndSec)
 	fmt.Printf("prompt tput      %.1f tok/s\n", rep.PromptTPS)
 	fmt.Printf("gen tput         %.1f tok/s (goodput %.1f tok/s)\n", rep.ThroughputTPS, rep.GoodputTPS)

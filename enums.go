@@ -637,3 +637,76 @@ func (p AutoscalePolicy) internal() string {
 		return ""
 	}
 }
+
+// ReplicaRole assigns a fleet entry's replicas to a serving pool in a
+// disaggregated cluster. The zero value is RoleUnified: the replica
+// runs both phases, the classic colocated deployment. A fleet mixing
+// prefill and decode entries simulates disaggregated serving — prefill
+// replicas compute the first token, then hand the KV cache to a decode
+// replica over the interconnect.
+type ReplicaRole int
+
+const (
+	// RoleUnified serves both prefill and decode (the default).
+	RoleUnified ReplicaRole = iota
+	// RolePrefill serves only the prompt phase; each request's KV cache
+	// is shipped to a decode replica after the first token.
+	RolePrefill
+	// RoleDecode serves only the token-generation phase, starting from
+	// a KV cache received from a prefill replica.
+	RoleDecode
+)
+
+// ParseReplicaRole converts fleet-grammar values ("unified", "prefill",
+// "decode"; "" selects the default, unified).
+func ParseReplicaRole(s string) (ReplicaRole, error) {
+	switch s {
+	case "unified", "":
+		return RoleUnified, nil
+	case "prefill":
+		return RolePrefill, nil
+	case "decode":
+		return RoleDecode, nil
+	default:
+		return 0, fmt.Errorf("llmservingsim: unknown replica role %q (want unified|prefill|decode)", s)
+	}
+}
+
+func (p ReplicaRole) String() string {
+	switch p {
+	case RoleUnified:
+		return "unified"
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return fmt.Sprintf("ReplicaRole(%d)", int(p))
+	}
+}
+
+// Set implements flag.Value.
+func (p *ReplicaRole) Set(s string) error {
+	v, err := ParseReplicaRole(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+func (p ReplicaRole) valid() bool {
+	return p >= RoleUnified && p <= RoleDecode
+}
+
+// internal returns the internal/cluster role.
+func (p ReplicaRole) internal() cluster.Role {
+	switch p {
+	case RolePrefill:
+		return cluster.RolePrefill
+	case RoleDecode:
+		return cluster.RoleDecode
+	default:
+		return cluster.RoleUnified
+	}
+}

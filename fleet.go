@@ -36,10 +36,16 @@ type ReplicaSpec struct {
 	// whose base config selects another backend. ParseFleet sets it
 	// whenever a :PERFMODEL suffix is present.
 	PerfModelSet bool
+
+	// Role assigns this group to a serving pool. The zero value
+	// (RoleUnified) is the classic colocated deployment; a fleet mixing
+	// RolePrefill and RoleDecode groups runs disaggregated (see
+	// ClusterScenario).
+	Role ReplicaRole
 }
 
 // String renders the spec in the -fleet grammar,
-// "COUNTxMODEL[@HARDWARE][:PERFMODEL]".
+// "COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE]".
 func (rs ReplicaSpec) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%dx%s", rs.Count, rs.Model)
@@ -50,6 +56,10 @@ func (rs ReplicaSpec) String() string {
 	if rs.PerfModelSet || rs.PerfModel != PerfModelAstra {
 		b.WriteByte(':')
 		b.WriteString(rs.PerfModel.String())
+	}
+	if rs.Role != RoleUnified {
+		b.WriteByte('#')
+		b.WriteString(rs.Role.String())
 	}
 	return b.String()
 }
@@ -81,6 +91,9 @@ func (rs ReplicaSpec) Validate() error {
 	}
 	if !rs.PerfModel.valid() {
 		return &ConfigError{Field: "Fleet", Value: rs.PerfModel, Reason: "unknown perf model"}
+	}
+	if !rs.Role.valid() {
+		return &ConfigError{Field: "Fleet", Value: rs.Role, Reason: "unknown replica role"}
 	}
 	return nil
 }
@@ -123,15 +136,17 @@ func FleetString(specs []ReplicaSpec) string {
 // llmservingsim CLI's -fleet flag, Sweep construction, and the examples.
 // A fleet is a comma-separated list of replica groups of the form
 //
-//	COUNTxMODEL[@HARDWARE][:PERFMODEL]
+//	COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE]
 //
 // e.g. "2xgpt3-7b@rtx3090:astra,2xgpt3-7b@a100:roofline" is four
 // gpt3-7b replicas: two RTX 3090-class instances priced by the astra
 // pipeline and two A100-class instances priced by the roofline model.
 // MODEL may be empty to inherit the scenario's model
 // ("4x@h100:roofline"); an omitted @HARDWARE or :PERFMODEL likewise
-// inherits the scenario config's. Errors name the offending entry by
-// position and text.
+// inherits the scenario config's. ROLE is "prefill", "decode", or
+// "unified" (the default); "2xgpt2#prefill,2xgpt2#decode" is a
+// disaggregated fleet. Errors name the offending entry by position and
+// text.
 func ParseFleet(spec string) ([]ReplicaSpec, error) {
 	var out []ReplicaSpec
 	for i, part := range strings.Split(spec, ",") {
@@ -151,14 +166,14 @@ func ParseFleet(spec string) ([]ReplicaSpec, error) {
 	return out, nil
 }
 
-// parseReplicaSpec parses one COUNTxMODEL[@HARDWARE][:PERFMODEL] entry.
-// The count/model split is at the first 'x', so model names containing
-// 'x' (e.g. moe-8x7b) parse correctly: "2xmoe-8x7b".
+// parseReplicaSpec parses one COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE]
+// entry. The count/model split is at the first 'x', so model names
+// containing 'x' (e.g. moe-8x7b) parse correctly: "2xmoe-8x7b".
 func parseReplicaSpec(s string) (ReplicaSpec, error) {
 	var rs ReplicaSpec
 	countStr, rest, ok := strings.Cut(s, "x")
 	if !ok {
-		return rs, fmt.Errorf("want COUNTxMODEL[@HARDWARE][:PERFMODEL]")
+		return rs, fmt.Errorf("want COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE]")
 	}
 	count, err := strconv.Atoi(strings.TrimSpace(countStr))
 	if err != nil {
@@ -166,6 +181,14 @@ func parseReplicaSpec(s string) (ReplicaSpec, error) {
 	}
 	rs.Count = count
 
+	rest, roleStr, hasRole := strings.Cut(rest, "#")
+	if hasRole {
+		role, err := ParseReplicaRole(strings.TrimSpace(roleStr))
+		if err != nil {
+			return rs, err
+		}
+		rs.Role = role
+	}
 	rest, pmStr, hasPM := strings.Cut(rest, ":")
 	modelName, hwName, _ := strings.Cut(rest, "@")
 	rs.Model = strings.TrimSpace(modelName)

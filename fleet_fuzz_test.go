@@ -24,6 +24,14 @@ func FuzzParseFleet(f *testing.F) {
 		"1e300xgpt2",
 		"2xgpt2@warpdrive",
 		"2xgpt2@a100:psychic",
+		"2xgpt2#prefill,2xgpt2#decode",
+		"1xgpt2@a100:roofline#decode",
+		"2xgpt2#unified",
+		"2xgpt2# prefill ",
+		"2xgpt2#",
+		"2xgpt2#psychic",
+		"2xgpt2#prefill#decode",
+		"2xgpt2:astra#prefill",
 		"x", ":", "@", ",,,",
 	}
 	for _, s := range seeds {

@@ -36,24 +36,67 @@ import (
 	"repro/internal/workload"
 )
 
+// Role assigns a replica to a serving pool in a disaggregated
+// deployment. The zero value is RoleUnified: the replica serves both
+// prefill and decode, the only mode before disaggregation existed.
+type Role uint8
+
+const (
+	// RoleUnified serves requests end to end on one replica.
+	RoleUnified Role = iota
+	// RolePrefill serves only the prompt phase; the KV cache is then
+	// handed off to a decode replica over the interconnect.
+	RolePrefill
+	// RoleDecode serves only the generation phase, starting from a
+	// handed-off KV cache.
+	RoleDecode
+)
+
+func (r Role) String() string {
+	switch r {
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	default:
+		return "unified"
+	}
+}
+
 // Config assembles a cluster.
 type Config struct {
 	// Replicas is the initial serving instance count (>= 1).
 	Replicas int
 
+	// Roles assigns each initial slot to a serving pool; nil means every
+	// replica is RoleUnified. When any slot is prefill or decode the
+	// cluster runs disaggregated: both pools must be non-empty and no
+	// slot may stay unified. Slots added by scaling keep their pool's
+	// role.
+	Roles []Role
+
 	// NewReplica builds the replica in slot i with an empty trace;
 	// requests are fed incrementally as the cluster routes them. Slots
 	// beyond the initial count are created by autoscaling and fleet
-	// events, so the factory must accept any non-negative index.
-	NewReplica func(i int) (*core.Simulator, error)
+	// events, so the factory must accept any non-negative index. role is
+	// the pool the slot serves (RoleUnified outside disaggregation);
+	// decode replicas should be built generation-only (sched.SkipPrefill)
+	// since their prompts arrive as handed-off KV caches.
+	NewReplica func(i int, role Role) (*core.Simulator, error)
 
 	// ReplicaCost weighs slot i's capacity cost (the hardware-relative
 	// factor of the cost proxy: replica-seconds x weight). nil charges
 	// every replica 1.0.
-	ReplicaCost func(i int) float64
+	ReplicaCost func(i int, role Role) float64
 
-	// Router places admitted requests; nil defaults to round-robin.
+	// Router places admitted requests; nil defaults to round-robin. In a
+	// disaggregated cluster it is the stage-1 (prefill) router.
 	Router Router
+
+	// DecodeRouter places the decode stage of a disaggregated request
+	// once its prefill completes; nil defaults to round-robin. Unused
+	// outside disaggregation.
+	DecodeRouter Router
 
 	// Admission gates arrivals; nil defaults to admit-all.
 	Admission Admission
@@ -65,11 +108,21 @@ type Config struct {
 
 	// Autoscaler, when non-nil, re-evaluates the fleet size every
 	// ScaleTick of simulated time, clamped to [MinReplicas,
-	// MaxReplicas].
+	// MaxReplicas]. Unified fleets only; disaggregated clusters scale
+	// per pool through PrefillScaler/DecodeScaler.
 	Autoscaler Autoscaler
 
-	// ScaleTick is the autoscaler evaluation interval (> 0 when an
-	// Autoscaler is set).
+	// PrefillScaler / DecodeScaler resize the two pools of a
+	// disaggregated cluster independently on the shared ScaleTick: the
+	// prefill view's IntervalAttained counts completions that met their
+	// class TTFT target, the decode view's counts TPOT attainment, so an
+	// slo-target policy scales each pool against the latency phase it
+	// owns. Set both or neither.
+	PrefillScaler Autoscaler
+	DecodeScaler  Autoscaler
+
+	// ScaleTick is the autoscaler evaluation interval (> 0 when any
+	// scaler is set).
 	ScaleTick simtime.Duration
 
 	// MinReplicas / MaxReplicas clamp scaling decisions (autoscaler
@@ -77,6 +130,13 @@ type Config struct {
 	// max(Replicas, MinReplicas) respectively.
 	MinReplicas int
 	MaxReplicas int
+
+	// Per-pool clamps for disaggregated scaling. Zero values default to
+	// 1 and max(initial pool size, min) respectively.
+	PrefillMin int
+	PrefillMax int
+	DecodeMin  int
+	DecodeMax  int
 
 	// ProvisionDelay is the cold-start time of a scaled-up replica:
 	// provisioned at t, it starts serving at t+ProvisionDelay.
@@ -129,6 +189,7 @@ func (l lifecycle) String() string {
 type replica struct {
 	sim     *core.Simulator
 	state   lifecycle
+	role    Role
 	cost    float64      // capacity-cost weight (replica-seconds multiplier)
 	created simtime.Time // provisioning start; cost accrues from here
 	readyAt simtime.Time // provisioning -> active transition time
@@ -146,6 +207,24 @@ type Cluster struct {
 	maxRep    int
 	slos      map[string]metrics.SLO
 	records   []metrics.RequestRecord
+
+	// Disaggregation state: the stage-2 router, per-pool scalers and
+	// clamps, per-record prefill source slots (for handoff pricing on
+	// decode requeues), per-slot placement counters, and the handoff
+	// transfer rollup.
+	disagg        bool
+	decodeRouter  Router
+	prefillScaler Autoscaler
+	decodeScaler  Autoscaler
+	prefMin       int
+	prefMax       int
+	decMin        int
+	decMax        int
+	prefillOf     []int32
+	placed        []int
+	handoffCount  int
+	handoffBytes  int64
+	handoffLink   simtime.Duration
 
 	// Replica stepping is driven off a min-heap of next-event times, so
 	// advancing the cluster to an instant touches only replicas with
@@ -165,9 +244,14 @@ type Cluster struct {
 	timeline []metrics.FleetPoint
 	requeued int
 
-	// SLO attainment over the current autoscaler tick interval.
+	// SLO attainment over the current autoscaler tick interval. Unified
+	// fleets track whole-SLO attainment; disaggregated fleets split it
+	// into the TTFT component (prefill pool signal) and the TPOT
+	// component (decode pool signal).
 	intervalCompleted int
 	intervalAttained  int
+	intervalTTFT      int
+	intervalTPOT      int
 
 	statesBuf []ReplicaState
 	candBuf   []obs.Candidate
@@ -183,6 +267,48 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Autoscaler != nil && cfg.ScaleTick <= 0 {
 		return nil, fmt.Errorf("cluster: autoscaler %s needs a positive scale tick", cfg.Autoscaler.Name())
+	}
+	if (cfg.PrefillScaler == nil) != (cfg.DecodeScaler == nil) {
+		return nil, fmt.Errorf("cluster: per-pool autoscaling needs both a prefill and a decode scaler")
+	}
+	if cfg.PrefillScaler != nil && cfg.ScaleTick <= 0 {
+		return nil, fmt.Errorf("cluster: per-pool autoscalers need a positive scale tick")
+	}
+	if cfg.Roles != nil && len(cfg.Roles) != cfg.Replicas {
+		return nil, fmt.Errorf("cluster: %d roles for %d replicas", len(cfg.Roles), cfg.Replicas)
+	}
+	prefillN, decodeN, unifiedN := 0, 0, cfg.Replicas
+	if cfg.Roles != nil {
+		unifiedN = 0
+		for _, role := range cfg.Roles {
+			switch role {
+			case RolePrefill:
+				prefillN++
+			case RoleDecode:
+				decodeN++
+			default:
+				unifiedN++
+			}
+		}
+	}
+	disagg := prefillN > 0 || decodeN > 0
+	if disagg {
+		if unifiedN > 0 {
+			return nil, fmt.Errorf("cluster: cannot mix unified replicas with prefill/decode pools")
+		}
+		if prefillN == 0 || decodeN == 0 {
+			return nil, fmt.Errorf("cluster: disaggregation needs at least one prefill and one decode replica, got %d/%d", prefillN, decodeN)
+		}
+		if cfg.Autoscaler != nil {
+			return nil, fmt.Errorf("cluster: a disaggregated fleet scales per pool; set PrefillScaler/DecodeScaler instead of Autoscaler")
+		}
+		for _, ev := range cfg.Events {
+			if ev.Kind == workload.EventScale {
+				return nil, fmt.Errorf("cluster: scale fleet events are ambiguous on a disaggregated fleet; drain or fail per-pool replicas instead")
+			}
+		}
+	} else if cfg.PrefillScaler != nil {
+		return nil, fmt.Errorf("cluster: per-pool autoscalers require a disaggregated fleet")
 	}
 	if cfg.MinReplicas < 0 || cfg.MaxReplicas < 0 {
 		return nil, fmt.Errorf("cluster: negative replica bounds [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
@@ -210,19 +336,35 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		router:    cfg.Router,
-		admission: cfg.Admission,
-		scaler:    cfg.Autoscaler,
-		minRep:    minRep,
-		maxRep:    maxRep,
-		slos:      map[string]metrics.SLO{},
+		cfg:           cfg,
+		router:        cfg.Router,
+		admission:     cfg.Admission,
+		scaler:        cfg.Autoscaler,
+		minRep:        minRep,
+		maxRep:        maxRep,
+		slos:          map[string]metrics.SLO{},
+		disagg:        disagg,
+		decodeRouter:  cfg.DecodeRouter,
+		prefillScaler: cfg.PrefillScaler,
+		decodeScaler:  cfg.DecodeScaler,
 	}
 	if c.router == nil {
 		c.router = &roundRobin{}
 	}
+	if disagg && c.decodeRouter == nil {
+		c.decodeRouter = &roundRobin{}
+	}
 	if c.admission == nil {
 		c.admission = admitAll{}
+	}
+	if disagg {
+		var err error
+		if c.prefMin, c.prefMax, err = poolClamps("prefill", cfg.PrefillMin, cfg.PrefillMax, prefillN); err != nil {
+			return nil, err
+		}
+		if c.decMin, c.decMax, err = poolClamps("decode", cfg.DecodeMin, cfg.DecodeMax, decodeN); err != nil {
+			return nil, err
+		}
 	}
 	for _, cl := range cfg.Classes {
 		c.slos[cl.Name] = metrics.SLO{TTFT: cl.TTFT, TPOT: cl.TPOT}
@@ -230,17 +372,41 @@ func New(cfg Config) (*Cluster, error) {
 	c.fleetEvents = append([]workload.FleetEvent(nil), cfg.Events...)
 	workload.SortFleetEvents(c.fleetEvents)
 	for i := 0; i < cfg.Replicas; i++ {
-		if _, err := c.addReplica(0, stateActive); err != nil {
+		role := RoleUnified
+		if cfg.Roles != nil {
+			role = cfg.Roles[i]
+		}
+		if _, err := c.addReplica(0, stateActive, role); err != nil {
 			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
 	}
 	return c, nil
 }
 
-// addReplica appends a fleet slot in the given lifecycle state.
-func (c *Cluster) addReplica(t simtime.Time, state lifecycle) (*replica, error) {
+// poolClamps validates and defaults one pool's scaling bounds.
+func poolClamps(pool string, lo, hi, initial int) (int, int, error) {
+	if lo < 0 || hi < 0 {
+		return 0, 0, fmt.Errorf("cluster: negative %s replica bounds [%d, %d]", pool, lo, hi)
+	}
+	if lo == 0 {
+		lo = 1
+	}
+	if hi == 0 {
+		hi = max(initial, lo)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("cluster: max %s replicas %d below min %d", pool, hi, lo)
+	}
+	if initial > hi {
+		return 0, 0, fmt.Errorf("cluster: initial %s replicas %d exceed max %d", pool, initial, hi)
+	}
+	return lo, hi, nil
+}
+
+// addReplica appends a fleet slot in the given lifecycle state and pool.
+func (c *Cluster) addReplica(t simtime.Time, state lifecycle, role Role) (*replica, error) {
 	i := len(c.replicas)
-	sim, err := c.cfg.NewReplica(i)
+	sim, err := c.cfg.NewReplica(i, role)
 	if err != nil {
 		return nil, err
 	}
@@ -248,10 +414,11 @@ func (c *Cluster) addReplica(t simtime.Time, state lifecycle) (*replica, error) 
 	sim.OnRequestReject = c.reject
 	cost := 1.0
 	if c.cfg.ReplicaCost != nil {
-		cost = c.cfg.ReplicaCost(i)
+		cost = c.cfg.ReplicaCost(i, role)
 	}
-	rep := &replica{sim: sim, state: state, cost: cost, created: t}
+	rep := &replica{sim: sim, state: state, role: role, cost: cost, created: t}
 	c.replicas = append(c.replicas, rep)
+	c.placed = append(c.placed, 0)
 	if state == stateProvisioning {
 		c.provisioning++
 	}
@@ -263,15 +430,31 @@ func (c *Cluster) addReplica(t simtime.Time, state lifecycle) (*replica, error) 
 // per-interval SLO attainment signal. The attainment check only runs
 // when a scaler will read it, keeping static-fleet completions as
 // cheap as before.
+//
+// In a disaggregated cluster, a completion on a prefill replica is the
+// end of stage 1: the request's first token is recorded, its KV cache
+// is handed off to a decode replica (priced as a per-request link
+// transfer), and the decode stage is routed and pushed. Only the
+// decode completion finalizes the record.
 func (c *Cluster) complete(f sched.Finished) {
 	id := f.Req.ID
 	if id < 0 || id >= len(c.records) {
 		return
 	}
 	rec := &c.records[id]
-	rec.FirstToken = f.FirstToken
-	rec.Completed = f.Completed
-	rec.CachedTokens = f.CachedTokens
+	if c.disagg && c.replicas[rec.Replica].role == RolePrefill && rec.OutputLen > 1 {
+		c.handoff(f, rec)
+		return
+	}
+	if c.disagg && c.replicas[rec.Replica].role == RoleDecode {
+		// Stage 2: the first token and cached-token count belong to the
+		// prefill stage; only the completion instant is the decode's.
+		rec.Completed = f.Completed
+	} else {
+		rec.FirstToken = f.FirstToken
+		rec.Completed = f.Completed
+		rec.CachedTokens = f.CachedTokens
+	}
 	if c.cfg.Obs != nil {
 		c.cfg.Obs.Outcome(id, rec.TTFT(), rec.TPOT())
 	}
@@ -281,6 +464,91 @@ func (c *Cluster) complete(f sched.Finished) {
 			c.intervalAttained++
 		}
 	}
+	if c.prefillScaler != nil {
+		slo := c.slos[rec.Class]
+		c.intervalCompleted++
+		if !(slo.TTFT > 0 && rec.TTFT() > slo.TTFT) {
+			c.intervalTTFT++
+		}
+		if !(slo.TPOT > 0 && rec.TPOT() > slo.TPOT) {
+			c.intervalTPOT++
+		}
+	}
+}
+
+// handoff finishes stage 1 of a disaggregated request: record the
+// first token, price the KV transfer to a decode replica through the
+// network model, and push the decode stage with its arrival delayed by
+// the transfer. With no active decode replica the request is rejected
+// (the decode-pool 503).
+func (c *Cluster) handoff(f sched.Finished, rec *metrics.RequestRecord) {
+	id := f.Req.ID
+	rec.FirstToken = f.FirstToken
+	rec.CachedTokens = f.CachedTokens
+	from := rec.Replica
+
+	states := c.routableRole(c.statesBuf[:0], rec.Class, RoleDecode)
+	c.statesBuf = states
+	if len(states) == 0 {
+		rec.Rejected = true
+		rec.Replica = -1
+		rec.RejectReason = obs.RejectNoReplica.String()
+		c.cfg.Obs.Reject(-1, id, rec.Class, f.Completed, obs.RejectNoReplica)
+		c.cfg.Obs.OutcomeRejected(id)
+		return
+	}
+	dr := workload.Request{
+		ID: id, InputLen: rec.InputLen, OutputLen: rec.OutputLen,
+		Class: rec.Class,
+	}
+	idx := c.decodeRouter.Route(dr, states)
+	if idx < 0 || idx >= len(states) {
+		idx = 0 // a misbehaving decode router cannot error out of a completion callback
+	}
+	target := states[idx].Index
+	bytes, dur := c.priceHandoff(target, rec.InputLen)
+	dr.Arrival = f.Completed.Add(dur)
+	c.handoffCount++
+	c.handoffBytes += bytes
+	c.handoffLink += dur
+	c.prefillOf[id] = int32(from)
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Handoff(from, target, id, rec.Class, f.Completed, dur, bytes)
+		c.recordRoute(f.Completed, dr, states, idx, c.decodeRouter.Name(), 2, false)
+	}
+	rec.Replica = target
+	if err := c.pushTo(target, dr); err != nil {
+		// Push on an empty-trace replica only fails on ID misuse, which
+		// the cluster's ID discipline rules out; surface via reject.
+		rec.Rejected = true
+		rec.Replica = -1
+		rec.RejectReason = obs.RejectNoReplica.String()
+	}
+}
+
+// priceHandoff prices moving one request's KV cache (inLen prompt
+// tokens) onto decode replica `to`: the cache is sharded over the
+// replica's NPUs, so the wire time is one P2P transfer of the
+// per-device shard.
+func (c *Cluster) priceHandoff(to, inLen int) (bytes int64, dur simtime.Duration) {
+	sim := c.replicas[to].sim
+	bytes = sim.KVBytesPerToken() * int64(inLen)
+	topo := sim.Topology()
+	npus := int64(topo.NPUNodes())
+	if npus < 1 {
+		npus = 1
+	}
+	return bytes, topo.P2P(bytes / npus)
+}
+
+// pushTo places a request on slot target, counting the placement.
+func (c *Cluster) pushTo(target int, r workload.Request) error {
+	if err := c.replicas[target].sim.Push(r); err != nil {
+		return err
+	}
+	c.placed[target]++
+	c.refreshEvent(target)
+	return nil
 }
 
 // reject records a replica's scheduler refusing a request as unservable
@@ -308,8 +576,9 @@ func (c *Cluster) rejectArrival(rec *metrics.RequestRecord, r workload.Request, 
 }
 
 // recordRoute snapshots one routing decision's candidate set for the
-// decision trace. The candidate buffer is recycled across calls.
-func (c *Cluster) recordRoute(t simtime.Time, r workload.Request, states []ReplicaState, idx int) {
+// decision trace. The candidate buffer is recycled across calls. stage
+// and requeue tag disaggregated and displaced-backlog routes.
+func (c *Cluster) recordRoute(t simtime.Time, r workload.Request, states []ReplicaState, idx int, policy string, stage uint8, requeue bool) {
 	cands := c.candBuf[:0]
 	for _, s := range states {
 		// The regret cost model scores device-resident coverage only:
@@ -322,7 +591,7 @@ func (c *Cluster) recordRoute(t simtime.Time, r workload.Request, states []Repli
 		})
 	}
 	c.candBuf = cands
-	c.cfg.Obs.Route(t, r.ID, r.Class, c.router.Name(), r.InputLen, r.PrefixLen, cands, idx)
+	c.cfg.Obs.Route(t, r.ID, r.Class, policy, r.InputLen, r.PrefixLen, cands, idx, stage, requeue)
 }
 
 // Run simulates the arrival stream to completion over the cluster.
@@ -338,11 +607,14 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 	workload.SortByArrival(arrivals)
 
 	c.records = make([]metrics.RequestRecord, len(arrivals))
+	if c.disagg {
+		c.prefillOf = make([]int32, len(arrivals))
+	}
 	c.events.init(len(c.replicas))
 	for i := range c.replicas {
 		c.refreshEvent(i)
 	}
-	if c.scaler != nil {
+	if c.scaler != nil || c.prefillScaler != nil {
 		c.nextTick = simtime.Time(c.cfg.ScaleTick)
 	}
 	c.mark(0)
@@ -370,7 +642,13 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 		if err := c.advanceTo(ctx, r.Arrival); err != nil {
 			return nil, err
 		}
-		states := c.routable(c.statesBuf[:0], r.Class)
+		// Stage 1 routes over the prefill pool in a disaggregated
+		// cluster, the whole active fleet otherwise.
+		stage1 := RoleUnified
+		if c.disagg {
+			stage1 = RolePrefill
+		}
+		states := c.routableRole(c.statesBuf[:0], r.Class, stage1)
 		c.statesBuf = states
 
 		rec := &c.records[r.ID]
@@ -381,8 +659,10 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 		}
 		// With no routable replica (all failed, draining, or still cold-
 		// starting) the arrival has nowhere to go and is rejected — the
-		// cluster-level 503.
-		if len(states) == 0 {
+		// cluster-level 503. A disaggregated arrival also needs a live
+		// decode pool: prefilling a prompt whose cache can never be
+		// handed off would only burn capacity.
+		if len(states) == 0 || (c.disagg && !c.hasActive(RoleDecode)) {
 			c.rejectArrival(rec, r, "cluster", obs.RejectNoReplica)
 			continue
 		}
@@ -396,15 +676,21 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 			return nil, fmt.Errorf("cluster: router %s returned replica %d of %d",
 				c.router.Name(), idx, len(states))
 		}
+		var stage uint8
+		if c.disagg {
+			stage = 1
+			// The prefill pool serves only the prompt phase: one output
+			// token ends stage 1 and triggers the KV handoff.
+			r.OutputLen = 1
+		}
 		if c.cfg.Obs != nil {
-			c.recordRoute(r.Arrival, r, states, idx)
+			c.recordRoute(r.Arrival, r, states, idx, c.router.Name(), stage, false)
 		}
 		target := states[idx].Index
 		rec.Replica = target
-		if err := c.replicas[target].sim.Push(r); err != nil {
+		if err := c.pushTo(target, r); err != nil {
 			return nil, err
 		}
-		c.refreshEvent(target)
 	}
 
 	// All arrivals placed: drain every replica in event order, still
@@ -455,7 +741,7 @@ func (c *Cluster) nextControl() (simtime.Time, bool) {
 	if c.fleetCursor < len(c.fleetEvents) && c.fleetEvents[c.fleetCursor].Time.Before(t) {
 		t = c.fleetEvents[c.fleetCursor].Time
 	}
-	if c.scaler != nil && c.nextTick.Before(t) {
+	if (c.scaler != nil || c.prefillScaler != nil) && c.nextTick.Before(t) {
 		t = c.nextTick
 	}
 	return t, t != simtime.Forever
@@ -481,7 +767,7 @@ func (c *Cluster) applyControls(t simtime.Time) error {
 			return err
 		}
 	}
-	if c.scaler != nil && !c.nextTick.After(t) {
+	if (c.scaler != nil || c.prefillScaler != nil) && !c.nextTick.After(t) {
 		if err := c.applyTick(t); err != nil {
 			return err
 		}
@@ -491,9 +777,15 @@ func (c *Cluster) applyControls(t simtime.Time) error {
 	return nil
 }
 
-// applyTick evaluates the autoscaler against the current fleet view and
-// applies the clamped decision.
+// applyTick evaluates the autoscaler(s) against the current fleet view
+// and applies the clamped decision. A disaggregated cluster evaluates
+// each pool over its own role-filtered view: the prefill view's
+// attainment signal is the TTFT component (prefill owns time to first
+// token), the decode view's is the TPOT component.
 func (c *Cluster) applyTick(t simtime.Time) error {
+	if c.disagg {
+		return c.applyTickDisagg(t)
+	}
 	view := FleetView{
 		Time:              t,
 		IntervalCompleted: c.intervalCompleted,
@@ -516,6 +808,41 @@ func (c *Cluster) applyTick(t simtime.Time) error {
 	clamped := clampReplicas(desired, c.minRep, c.maxRep)
 	c.cfg.Obs.Scale(t, c.scaler.Name(), view.Active+view.Provisioning, desired, clamped)
 	return c.scaleTo(t, clamped)
+}
+
+// applyTickDisagg runs the per-pool scalers: prefill first, then
+// decode, each over its own view and clamps.
+func (c *Cluster) applyTickDisagg(t simtime.Time) error {
+	pref := FleetView{Time: t, IntervalCompleted: c.intervalCompleted, IntervalAttained: c.intervalTTFT}
+	dec := FleetView{Time: t, IntervalCompleted: c.intervalCompleted, IntervalAttained: c.intervalTPOT}
+	for _, rep := range c.replicas {
+		view := &pref
+		if rep.role == RoleDecode {
+			view = &dec
+		}
+		switch rep.state {
+		case stateProvisioning:
+			view.Provisioning++
+		case stateActive:
+			view.Active++
+			view.QueuedRequests += rep.sim.QueuedRequests()
+			view.QueuedTokens += rep.sim.QueuedTokens()
+		case stateDraining:
+			view.Draining++
+		}
+	}
+	c.intervalCompleted, c.intervalTTFT, c.intervalTPOT = 0, 0, 0
+
+	desired := c.prefillScaler.Desired(pref)
+	clamped := clampReplicas(desired, c.prefMin, c.prefMax)
+	c.cfg.Obs.Scale(t, c.prefillScaler.Name()+"/prefill", pref.Active+pref.Provisioning, desired, clamped)
+	if err := c.scalePool(t, clamped, RolePrefill); err != nil {
+		return err
+	}
+	desired = c.decodeScaler.Desired(dec)
+	clamped = clampReplicas(desired, c.decMin, c.decMax)
+	c.cfg.Obs.Scale(t, c.decodeScaler.Name()+"/decode", dec.Active+dec.Provisioning, desired, clamped)
+	return c.scalePool(t, clamped, RoleDecode)
 }
 
 // applyFleetEvent applies one injected fleet change.
@@ -545,11 +872,17 @@ func (c *Cluster) applyFleetEvent(t simtime.Time, ev workload.FleetEvent) error 
 }
 
 // scaleTo provisions or drains replicas until the committed count
-// (active + provisioning) reaches desired.
+// (active + provisioning) reaches desired. Unified fleets only.
 func (c *Cluster) scaleTo(t simtime.Time, desired int) error {
+	return c.scalePool(t, desired, RoleUnified)
+}
+
+// scalePool provisions or drains replicas of one role until the pool's
+// committed count (active + provisioning) reaches desired.
+func (c *Cluster) scalePool(t simtime.Time, desired int, role Role) error {
 	committed := 0
 	for _, rep := range c.replicas {
-		if rep.state == stateActive || rep.state == stateProvisioning {
+		if rep.role == role && (rep.state == stateActive || rep.state == stateProvisioning) {
 			committed++
 		}
 	}
@@ -558,7 +891,7 @@ func (c *Cluster) scaleTo(t simtime.Time, desired int) error {
 		if c.cfg.ProvisionDelay > 0 {
 			state = stateProvisioning
 		}
-		rep, err := c.addReplica(t, state)
+		rep, err := c.addReplica(t, state, role)
 		if err != nil {
 			return err
 		}
@@ -567,17 +900,18 @@ func (c *Cluster) scaleTo(t simtime.Time, desired int) error {
 	}
 	for ; committed > desired; committed-- {
 		// Cancel the newest cold-start first (it holds no work), then
-		// drain the highest-index active replica — deterministic LIFO.
+		// drain the highest-index active replica — deterministic LIFO
+		// within the pool.
 		victim := -1
 		for i := len(c.replicas) - 1; i >= 0; i-- {
-			if c.replicas[i].state == stateProvisioning {
+			if c.replicas[i].role == role && c.replicas[i].state == stateProvisioning {
 				victim = i
 				break
 			}
 		}
 		if victim < 0 {
 			for i := len(c.replicas) - 1; i >= 0; i-- {
-				if c.replicas[i].state == stateActive {
+				if c.replicas[i].role == role && c.replicas[i].state == stateActive {
 					victim = i
 					break
 				}
@@ -609,8 +943,8 @@ func (c *Cluster) drainReplica(t simtime.Time, i int) error {
 		c.provisioning--
 	case stateActive:
 		rep.state = stateDraining
-		if len(c.routable(c.statesBuf[:0], "")) > 0 {
-			if err := c.redistribute(t, rep.sim.TakePending()); err != nil {
+		if len(c.routableRole(c.statesBuf[:0], "", rep.role)) > 0 {
+			if err := c.redistribute(t, rep.sim.TakePending(), rep.role); err != nil {
 				return err
 			}
 		}
@@ -653,17 +987,31 @@ func (c *Cluster) failReplica(t simtime.Time, ev workload.FleetEvent) error {
 		}
 		return nil
 	}
-	return c.redistribute(t, outstanding)
+	return c.redistribute(t, outstanding, rep.role)
 }
 
 // redistribute re-routes requests that lost their replica (failure
-// requeue, drain backlog migration) onto the routable fleet, rejecting
-// them when no replica survives. The router sees fresh load signals per
-// request, so migrated work spreads like any other traffic.
-func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request) error {
+// requeue, drain backlog migration) onto the routable fleet — the
+// same-role pool in a disaggregated cluster — rejecting them when no
+// replica survives. The router sees fresh load signals per request, so
+// migrated work spreads like any other traffic, and each re-route is
+// recorded as a requeue-flagged decision so telemetry distinguishes
+// displaced work from first-pass placements. Decode-pool requeues
+// re-price the KV handoff against the new target: the cache died with
+// the old replica, so it ships again from the original prefill slot.
+func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request, role Role) error {
+	router := c.router
+	var stage uint8
+	switch role {
+	case RolePrefill:
+		stage = 1
+	case RoleDecode:
+		stage = 2
+		router = c.decodeRouter
+	}
 	for _, r := range reqs {
 		rec := &c.records[r.ID]
-		states := c.routable(c.statesBuf[:0], r.Class)
+		states := c.routableRole(c.statesBuf[:0], r.Class, role)
 		c.statesBuf = states
 		if len(states) == 0 {
 			rec.Rejected = true
@@ -673,20 +1021,29 @@ func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request) error {
 			c.cfg.Obs.OutcomeRejected(r.ID)
 			continue
 		}
-		idx := c.router.Route(r, states)
+		idx := router.Route(r, states)
 		if idx < 0 || idx >= len(states) {
 			return fmt.Errorf("cluster: router %s returned replica %d of %d",
-				c.router.Name(), idx, len(states))
-		}
-		if c.cfg.Obs != nil {
-			c.recordRoute(t, r, states, idx)
+				router.Name(), idx, len(states))
 		}
 		target := states[idx].Index
+		if role == RoleDecode {
+			bytes, dur := c.priceHandoff(target, rec.InputLen)
+			r.Arrival = t.Add(dur)
+			c.handoffCount++
+			c.handoffBytes += bytes
+			c.handoffLink += dur
+			if c.cfg.Obs != nil {
+				c.cfg.Obs.Handoff(int(c.prefillOf[r.ID]), target, r.ID, r.Class, t, dur, bytes)
+			}
+		}
+		if c.cfg.Obs != nil {
+			c.recordRoute(t, r, states, idx, router.Name(), stage, true)
+		}
 		rec.Replica = target
-		if err := c.replicas[target].sim.Push(r); err != nil {
+		if err := c.pushTo(target, r); err != nil {
 			return err
 		}
-		c.refreshEvent(target)
 		c.requeued++
 	}
 	return nil
@@ -702,13 +1059,20 @@ func (c *Cluster) mark(t simtime.Time) {
 			p.Provisioning++
 		case stateActive:
 			p.Active++
+			switch rep.role {
+			case RolePrefill:
+				p.ActivePrefill++
+			case RoleDecode:
+				p.ActiveDecode++
+			}
 		case stateDraining:
 			p.Draining++
 		}
 	}
 	if n := len(c.timeline); n > 0 {
 		last := c.timeline[n-1]
-		if last.Active == p.Active && last.Provisioning == p.Provisioning && last.Draining == p.Draining {
+		if last.Active == p.Active && last.Provisioning == p.Provisioning && last.Draining == p.Draining &&
+			last.ActivePrefill == p.ActivePrefill && last.ActiveDecode == p.ActiveDecode {
 			return
 		}
 		if last.Time == t {
@@ -856,18 +1220,28 @@ func (h *eventHeap) swap(i, j int) {
 	h.pos[h.heap[j]] = j
 }
 
-// routable appends the routing- and admission-visible state of every
-// active replica to states, in slot order. ReplicaState.Index carries
-// the global slot, so routers index the returned slice and the cluster
-// maps the choice back.
+// hasActive reports whether any active replica serves the given role.
+func (c *Cluster) hasActive(role Role) bool {
+	for _, rep := range c.replicas {
+		if rep.state == stateActive && rep.role == role {
+			return true
+		}
+	}
+	return false
+}
+
+// routableRole appends the routing- and admission-visible state of
+// every active replica of the given role to states, in slot order.
+// ReplicaState.Index carries the global slot, so routers index the
+// returned slice and the cluster maps the choice back.
 //
 // Slots are append-only, so this scan is O(slots ever created), not
 // O(active) — fine for the fleets the scale benchmarks pin (hundreds
 // of slots over a run); an active-index list would pay bookkeeping on
 // every lifecycle transition to speed up a loop of cheap field reads.
-func (c *Cluster) routable(states []ReplicaState, class string) []ReplicaState {
+func (c *Cluster) routableRole(states []ReplicaState, class string, role Role) []ReplicaState {
 	for i, rep := range c.replicas {
-		if rep.state != stateActive {
+		if rep.state != stateActive || rep.role != role {
 			continue
 		}
 		s := ReplicaState{

@@ -16,7 +16,7 @@ import (
 
 // newReplicaFactory builds homogeneous 2-NPU gpt2 tensor-parallel
 // replicas, the smallest realistic instance.
-func newReplicaFactory(t testing.TB) func(int) (*core.Simulator, error) {
+func newReplicaFactory(t testing.TB) func(int, Role) (*core.Simulator, error) {
 	t.Helper()
 	topo, err := network.Build(network.Tensor, 2, 1, config.DefaultLink(), config.DefaultLink())
 	if err != nil {
@@ -30,7 +30,7 @@ func newReplicaFactory(t testing.TB) func(int) (*core.Simulator, error) {
 		KVPolicy: kvcache.Paged,
 		Reuse:    core.ReuseAll(),
 	}
-	return func(int) (*core.Simulator, error) { return core.New(opts, nil) }
+	return func(int, Role) (*core.Simulator, error) { return core.New(opts, nil) }
 }
 
 func testClasses() []workload.Class {

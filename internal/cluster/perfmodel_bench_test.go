@@ -24,7 +24,7 @@ import (
 // backendReplicaFactory builds 2-NPU gpt2 replicas priced by the named
 // backend. Device memory is pinched to 200 MiB per NPU (as in the scale
 // benchmarks) so saturated replicas still churn the KV machinery.
-func backendReplicaFactory(b testing.TB, backend string) func(int) (*core.Simulator, error) {
+func backendReplicaFactory(b testing.TB, backend string) func(int, Role) (*core.Simulator, error) {
 	b.Helper()
 	topo, err := network.Build(network.Tensor, 2, 1, config.DefaultLink(), config.DefaultLink())
 	if err != nil {
@@ -44,7 +44,7 @@ func backendReplicaFactory(b testing.TB, backend string) func(int) (*core.Simula
 		hw := perfmodel.HardwareFromNPU(npuCfg)
 		opts.Backend = func() (perfmodel.Backend, error) { return roofline.New(pc, hw) }
 	}
-	return func(int) (*core.Simulator, error) { return core.New(opts, nil) }
+	return func(int, Role) (*core.Simulator, error) { return core.New(opts, nil) }
 }
 
 func runBackendCluster(b *testing.B, backend string, replicas, n int) {

@@ -15,6 +15,7 @@ import (
 type ReplicaSummary struct {
 	Index      int
 	Backend    string // performance model pricing this replica
+	Role       string // serving pool (unified, prefill, decode)
 	State      string // lifecycle at end of run (active, retired, failed, ...)
 	Requests   int    // requests routed to this replica
 	Iterations int
@@ -50,12 +51,33 @@ func (p ReplicaSummary) PrefixHitRate() float64 {
 	return float64(p.PrefixHits) / float64(p.PrefixLookups)
 }
 
+// PoolStats is one serving pool's rollup in a disaggregated cluster.
+type PoolStats struct {
+	Role     string
+	Slots    int // fleet slots ever created in this pool
+	Requests int // placements onto the pool, requeues included
+
+	// Capacity consumed by the pool and its cost-weighted share.
+	ReplicaSeconds float64
+	CostProxy      float64
+
+	// GoodputTPS is the token rate the pool delivered within the latency
+	// phase it owns: prompt tokens of completed requests that met their
+	// class TTFT target (prefill), output tokens of those that met TPOT
+	// (decode), over the run's SimEnd.
+	GoodputTPS float64
+}
+
 // Report is the outcome of one cluster simulation.
 type Report struct {
 	Replicas  int // fleet slots ever created
 	Router    string
 	Admission string
 	Scaler    string // autoscaling policy; "" for a static fleet
+
+	// DecodeRouter names the stage-2 placement policy of a
+	// disaggregated cluster ("" on a unified fleet).
+	DecodeRouter string
 
 	Requests int // arrivals
 	Admitted int
@@ -90,6 +112,14 @@ type Report struct {
 	PrefixReloadBytes int64
 	PrefixLinkSeconds float64
 
+	// Disaggregation rollup (empty/zero on a unified fleet): per-pool
+	// stats plus the KV-handoff transfer totals — every prefill->decode
+	// cache movement priced through the network model.
+	Pools              []PoolStats
+	HandoffCount       int
+	HandoffBytes       int64
+	HandoffLinkSeconds float64
+
 	// Cluster-level rates over SimEnd: all completed output tokens per
 	// second, the SLO-attained subset, and the prompt-token rate.
 	ThroughputTPS float64
@@ -120,6 +150,15 @@ func (c *Cluster) report() *Report {
 	if c.scaler != nil {
 		r.Scaler = c.scaler.Name()
 	}
+	if c.prefillScaler != nil {
+		r.Scaler = c.prefillScaler.Name()
+	}
+	if c.disagg {
+		r.DecodeRouter = c.decodeRouter.Name()
+		r.HandoffCount = c.handoffCount
+		r.HandoffBytes = c.handoffBytes
+		r.HandoffLinkSeconds = c.handoffLink.Seconds()
+	}
 
 	perReplica := make([]ReplicaSummary, len(c.replicas))
 	for i, rep := range c.replicas {
@@ -127,6 +166,7 @@ func (c *Cluster) report() *Report {
 		perReplica[i] = ReplicaSummary{
 			Index:      i,
 			Backend:    srep.Backend,
+			Role:       rep.role.String(),
 			State:      rep.state.String(),
 			Iterations: srep.Iterations,
 			SimEnd:     srep.SimEnd,
@@ -173,18 +213,51 @@ func (c *Cluster) report() *Report {
 
 	var samples []metrics.LatencySample
 	var promptTokens int64
+	var prefGoodToks, decGoodToks int64
 	for _, rec := range c.records {
 		if rec.Rejected {
 			r.Rejected++
 			continue
 		}
 		r.Admitted++
-		perReplica[rec.Replica].Requests++
+		if !c.disagg {
+			// A unified record's Replica is its (single) serving slot; a
+			// disaggregated one ends on its decode slot, so per-slot
+			// request counts come from placement counters instead.
+			perReplica[rec.Replica].Requests++
+		} else {
+			slo := c.slos[rec.Class]
+			if !(slo.TTFT > 0 && rec.TTFT() > slo.TTFT) {
+				prefGoodToks += int64(rec.InputLen)
+			}
+			if !(slo.TPOT > 0 && rec.TPOT() > slo.TPOT) {
+				decGoodToks += int64(rec.OutputLen)
+			}
+		}
 		promptTokens += int64(rec.InputLen)
 		samples = append(samples, metrics.LatencySample{
 			Arrival: rec.Arrival, FirstToken: rec.FirstToken,
 			Completed: rec.Completed, OutputTokens: rec.OutputLen,
 		})
+	}
+	if c.disagg {
+		pools := []PoolStats{{Role: RolePrefill.String()}, {Role: RoleDecode.String()}}
+		for i, rep := range c.replicas {
+			p := &pools[0]
+			if rep.role == RoleDecode {
+				p = &pools[1]
+			}
+			p.Slots++
+			p.Requests += c.placed[i]
+			perReplica[i].Requests = c.placed[i]
+			p.ReplicaSeconds += perReplica[i].ReplicaSeconds
+			p.CostProxy += perReplica[i].ReplicaSeconds * rep.cost
+		}
+		if end := r.SimEnd.Seconds(); end > 0 {
+			pools[0].GoodputTPS = float64(prefGoodToks) / end
+			pools[1].GoodputTPS = float64(decGoodToks) / end
+		}
+		r.Pools = pools
 	}
 	r.PerReplica = perReplica
 	r.Latency = metrics.Latency(samples)
@@ -217,12 +290,10 @@ func (c *Cluster) report() *Report {
 		}
 		r.Regret = c.cfg.Obs.FinalizeRegret(func(rep int) float64 {
 			if rep >= 0 && rep < len(perReplica) {
-				if v := perReplica[rep].PromptTPS + perReplica[rep].GenTPS; v > 0 {
-					return v
-				}
+				return perReplica[rep].PromptTPS + perReplica[rep].GenTPS
 			}
-			return mean
-		})
+			return 0
+		}, mean)
 	}
 	return r
 }
@@ -302,14 +373,14 @@ func (r *Report) WriteFleetTSV(w io.Writer) error {
 // WriteReplicaTSV writes the per-replica placement/utilisation table.
 func (r *Report) WriteReplicaTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "replica\tbackend\tstate\trequests\titerations\tsim_end_s\t"+
+	if _, err := fmt.Fprintln(bw, "replica\tbackend\trole\tstate\trequests\titerations\tsim_end_s\t"+
 		"prompt_tps\tgen_tps\tkv_evictions\tkv_reloads\treplica_s\tcost_weight\t"+
 		"prefix_hit_rate\tprefix_saved_toks\tspill_bytes\treload_bytes\tprefix_link_s"); err != nil {
 		return err
 	}
 	for _, p := range r.PerReplica {
-		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%.2f\t%.3f\t%d\t%d\t%d\t%.6f\n",
-			p.Index, p.Backend, p.State, p.Requests, p.Iterations, p.SimEnd.Seconds(),
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%s\t%d\t%d\t%.3f\t%.1f\t%.1f\t%d\t%d\t%.3f\t%.2f\t%.3f\t%d\t%d\t%d\t%.6f\n",
+			p.Index, p.Backend, p.Role, p.State, p.Requests, p.Iterations, p.SimEnd.Seconds(),
 			p.PromptTPS, p.GenTPS, p.Evictions, p.Reloads, p.ReplicaSeconds, p.CostWeight,
 			p.PrefixHitRate(), p.PrefixTokensSaved, p.PrefixSpillBytes, p.PrefixReloadBytes,
 			p.PrefixLinkSeconds); err != nil {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 
@@ -51,7 +52,7 @@ func (e flatEngine) PeakFLOPs() float64         { return 1e15 }
 // Per-device memory leaves a KV budget tight enough that saturated
 // replicas exercise the admission/eviction/reload machinery. A non-nil
 // recorder is attached to every replica (BenchmarkClusterTelemetry).
-func scaleReplicaFactoryObs(b testing.TB, rec *obs.Recorder) func(int) (*core.Simulator, error) {
+func scaleReplicaFactoryObs(b testing.TB, rec *obs.Recorder) func(int, Role) (*core.Simulator, error) {
 	b.Helper()
 	topo, err := network.Build(network.Tensor, 2, 1, config.DefaultLink(), config.DefaultLink())
 	if err != nil {
@@ -64,7 +65,7 @@ func scaleReplicaFactoryObs(b testing.TB, rec *obs.Recorder) func(int) (*core.Si
 		KVPolicy:      kvcache.Paged,
 		Reuse:         core.ReuseAll(),
 	}
-	return func(i int) (*core.Simulator, error) {
+	return func(i int, _ Role) (*core.Simulator, error) {
 		opts := opts
 		opts.Obs = rec
 		opts.ObsReplica = i
@@ -72,7 +73,7 @@ func scaleReplicaFactoryObs(b testing.TB, rec *obs.Recorder) func(int) (*core.Si
 	}
 }
 
-func scaleReplicaFactory(b testing.TB) func(int) (*core.Simulator, error) {
+func scaleReplicaFactory(b testing.TB) func(int, Role) (*core.Simulator, error) {
 	return scaleReplicaFactoryObs(b, nil)
 }
 
@@ -147,6 +148,74 @@ func BenchmarkClusterScale(b *testing.B) {
 // over-load in one run.
 func BenchmarkClusterSaturationRamp(b *testing.B) {
 	runScaleCluster(b, 16, 10000, workload.Ramp{From: 0.5, To: 4})
+}
+
+// BenchmarkClusterDisagg runs the saturated trace through a
+// disaggregated fleet — half the slots prefill-only, half
+// generation-only decode — measuring the two-stage routing path and the
+// per-handoff KV transfer pricing on top of the unified baseline
+// (BenchmarkClusterScale at the same slot count).
+func BenchmarkClusterDisagg(b *testing.B) {
+	const replicas, n = 16, 10000
+	roles := make([]Role, replicas)
+	for i := replicas / 2; i < replicas; i++ {
+		roles[i] = RoleDecode
+	}
+	for i := 0; i < replicas/2; i++ {
+		roles[i] = RolePrefill
+	}
+	unified := scaleReplicaFactory(b)
+	factory := func(i int, role Role) (*core.Simulator, error) {
+		if role != RoleDecode {
+			return unified(i, role)
+		}
+		topo, err := network.Build(network.Tensor, 2, 1, config.DefaultLink(), config.DefaultLink())
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.Options{
+			Model:         model.MustLookup("gpt2"),
+			Topo:          topo,
+			EngineFactory: func() (engine.Engine, error) { return flatEngine{mem: 200 << 20}, nil },
+			KVPolicy:      kvcache.Paged,
+			Reuse:         core.ReuseAll(),
+			Sched:         sched.Config{SkipPrefill: true},
+		}, nil)
+	}
+	trace := scaleTrace(b, n, workload.Ramp{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		router, err := NewRouter(RouterLeastLoad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		decodeRouter, err := NewRouter(RouterLeastLoad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := New(Config{
+			Replicas:     replicas,
+			Roles:        roles,
+			NewReplica:   factory,
+			Router:       router,
+			DecodeRouter: decodeRouter,
+			Classes:      scaleClasses(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Admitted != n {
+			b.Fatalf("admitted %d of %d", rep.Admitted, n)
+		}
+		if rep.HandoffCount != n {
+			b.Fatalf("handoffs %d of %d", rep.HandoffCount, n)
+		}
+	}
 }
 
 // BenchmarkClusterTelemetry measures the overhead of the obs recorder

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -212,6 +213,14 @@ func (s *Simulator) NextEventTime() (simtime.Time, bool) {
 
 // Clock returns the simulator's scheduler clock.
 func (s *Simulator) Clock() simtime.Time { return s.scheduler.Clock() }
+
+// Topology returns the network topology this instance was built on —
+// the link model the cluster layer prices KV-handoff transfers with.
+func (s *Simulator) Topology() network.Topology { return s.opts.Topo }
+
+// KVBytesPerToken returns the per-token KV-cache footprint of the
+// served model (summed over layers, pre-sharding).
+func (s *Simulator) KVBytesPerToken() int64 { return s.opts.Model.KVBytesPerToken() }
 
 // QueuedTokens returns the total tokens still to be processed — the
 // load signal least-loaded cluster routing balances on.

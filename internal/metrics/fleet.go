@@ -21,6 +21,11 @@ type FleetPoint struct {
 	Active       int
 	Provisioning int
 	Draining     int
+
+	// Pool split of Active for disaggregated fleets (both zero on a
+	// unified fleet).
+	ActivePrefill int
+	ActiveDecode  int
 }
 
 // Committed returns the replicas consuming capacity at this point —
@@ -33,7 +38,7 @@ func (p FleetPoint) Committed() int { return p.Active + p.Provisioning + p.Drain
 // *-fleet.tsv output. end bounds the final interval (the run's SimEnd).
 func WriteFleetTimelineTSV(w io.Writer, points []FleetPoint, end simtime.Time) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "time_s\tactive\tprovisioning\tdraining\t"+
+	if _, err := fmt.Fprintln(bw, "time_s\tactive\tprefill\tdecode\tprovisioning\tdraining\t"+
 		"interval_replica_s\tcum_replica_s"); err != nil {
 		return err
 	}
@@ -48,8 +53,9 @@ func WriteFleetTimelineTSV(w io.Writer, points []FleetPoint, end simtime.Time) e
 			interval = float64(p.Committed()) * next.Sub(p.Time).Seconds()
 		}
 		cum += interval
-		if _, err := fmt.Fprintf(bw, "%.6f\t%d\t%d\t%d\t%.3f\t%.3f\n",
-			p.Time.Seconds(), p.Active, p.Provisioning, p.Draining, interval, cum); err != nil {
+		if _, err := fmt.Fprintf(bw, "%.6f\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\n",
+			p.Time.Seconds(), p.Active, p.ActivePrefill, p.ActiveDecode,
+			p.Provisioning, p.Draining, interval, cum); err != nil {
 			return err
 		}
 	}

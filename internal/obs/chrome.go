@@ -174,6 +174,9 @@ func (r *Recorder) emitChrome(e *chromeEmitter) {
 		case EvPrefillChunk:
 			e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"chunk","cat":"req","ts":%s,"dur":%s,"args":{"new_toks":%d}}`,
 				ev.Replica+1, int64(ev.Req)+1, us(ev.Time), usd(ev.Dur), ev.A)
+		case EvHandoff:
+			e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":"handoff","cat":"req","ts":%s,"dur":%s,"args":{"bytes":%d,"from_replica":%d}}`,
+				ev.Replica+1, int64(ev.Req)+1, us(ev.Time), usd(ev.Dur), ev.A, ev.B)
 		case EvKVEvict, EvKVReload, EvPrefixSpill, EvPrefixDrop, EvPrefixHit:
 			tid := int64(0)
 			if ev.Req >= 0 {

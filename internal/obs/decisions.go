@@ -36,6 +36,21 @@ func (r *Recorder) WriteDecisionsTSV(w io.Writer) error {
 		switch d.Kind {
 		case DecisionRoute:
 			best = fmt.Sprintf("%d", d.Best)
+			// Stage/requeue markers only on non-default routes, so
+			// unified first-pass rows keep their historical "-" note.
+			var marks []string
+			switch d.Stage {
+			case 1:
+				marks = append(marks, "prefill")
+			case 2:
+				marks = append(marks, "decode")
+			}
+			if d.Requeue {
+				marks = append(marks, "requeue")
+			}
+			if len(marks) > 0 {
+				note = strings.Join(marks, "+")
+			}
 			sb.Reset()
 			for i := 0; i < int(d.NCand); i++ {
 				if i > 0 {

@@ -64,6 +64,10 @@ const (
 	EvPrefixSpill
 	EvPrefixDrop
 	EvPrefixHit
+	// EvHandoff is a disaggregated prefill->decode KV transfer: Replica
+	// is the decode replica receiving the cache, Dur the priced link
+	// time, A = bytes moved, B = source (prefill) replica slot.
+	EvHandoff
 )
 
 func (k EventKind) String() string {
@@ -90,6 +94,8 @@ func (k EventKind) String() string {
 		return "prefix-drop"
 	case EvPrefixHit:
 		return "prefix-hit"
+	case EvHandoff:
+		return "handoff"
 	default:
 		return "unknown"
 	}
@@ -211,8 +217,13 @@ type Decision struct {
 	Best   int32
 	Aux    int64
 	Regret int64
-	NCand  uint8
-	Cand   [MaxTopK + 1]Candidate
+	// Stage tags disaggregated routing decisions: 0 = unified, 1 =
+	// prefill placement, 2 = decode placement. Requeue marks routes
+	// re-issued for backlog displaced by a drain or failure.
+	Stage   uint8
+	Requeue bool
+	NCand   uint8
+	Cand    [MaxTopK + 1]Candidate
 }
 
 // routeOutcome links one routing decision to its realized result, kept
@@ -224,6 +235,8 @@ type routeOutcome struct {
 	regret   int64 // tokens
 	ttft     simtime.Duration
 	tpot     simtime.Duration
+	stage    uint8
+	requeue  bool
 	done     bool
 	rejected bool
 }
@@ -419,8 +432,10 @@ func (r *Recorder) KVOp(replica, req int, t simtime.Time, bytes int64, kind Even
 // set (Cost fields are computed here), chosenPos indexes into cands.
 // The recorder scores every candidate with the prefix-aware load score,
 // derives the counterfactual best, and keeps the chosen replica plus
-// the top-k cheapest alternatives.
-func (r *Recorder) Route(t simtime.Time, req int, class, policy string, inLen, prefixLen int, cands []Candidate, chosenPos int) {
+// the top-k cheapest alternatives. stage tags disaggregated decisions
+// (0 unified, 1 prefill, 2 decode); requeue marks routes re-issued for
+// backlog displaced by a drain or failure.
+func (r *Recorder) Route(t simtime.Time, req int, class, policy string, inLen, prefixLen int, cands []Candidate, chosenPos int, stage uint8, requeue bool) {
 	if r == nil || len(cands) == 0 || chosenPos < 0 || chosenPos >= len(cands) {
 		return
 	}
@@ -456,6 +471,7 @@ func (r *Recorder) Route(t simtime.Time, req int, class, policy string, inLen, p
 	d := Decision{
 		Kind: DecisionRoute, Time: t, Req: int32(req), Class: class, Policy: policy,
 		Chosen: cands[chosenPos].Replica, Best: cands[best].Replica, Regret: regret,
+		Stage: stage, Requeue: requeue,
 	}
 	// Candidate snapshot: chosen first, then the k cheapest others
 	// (cost, then replica index, ascending). k is small, so repeated
@@ -485,7 +501,19 @@ func (r *Recorder) Route(t simtime.Time, req int, class, policy string, inLen, p
 	r.outIdx[int32(req)] = int32(len(r.outcomes))
 	r.outcomes = append(r.outcomes, routeOutcome{
 		req: int32(req), chosen: cands[chosenPos].Replica, best: cands[best].Replica, regret: regret,
+		stage: stage, requeue: requeue,
 	})
+}
+
+// Handoff records a disaggregated prefill->decode KV transfer: the
+// request's cache moves from replica `from` to `to`, taking d of link
+// time for `bytes` bytes, starting at t (the prefill completion).
+func (r *Recorder) Handoff(from, to, req int, class string, t simtime.Time, d simtime.Duration, bytes int64) {
+	if !r.Spans() {
+		return
+	}
+	r.push(Event{Kind: EvHandoff, Replica: int32(to), Req: int32(req),
+		Time: t, Dur: d, A: bytes, B: int64(from), Class: class})
 }
 
 func taken(cands []Candidate, replica int32) bool {
@@ -574,13 +602,32 @@ type RegretSummary struct {
 	MeanTPOTRegretSec  float64
 	CompletedZero      int
 	CompletedRegretful int
+
+	// Requeues counts routing decisions re-issued for backlog displaced
+	// by a drain or failure; RateFallbacks counts regretful decisions
+	// whose chosen replica never served (realized rate <= 0), priced at
+	// the fleet-mean rate instead of silently contributing zero seconds.
+	Requeues      int
+	RateFallbacks int
+
+	// Per-stage split of disaggregated routing decisions (stage 1 =
+	// prefill placement, stage 2 = decode placement); unified decisions
+	// appear in neither.
+	Stage1Decisions    int
+	Stage2Decisions    int
+	Stage1RegretTokens int64
+	Stage2RegretTokens int64
 }
 
 // FinalizeRegret folds the routing outcomes into a summary. rate maps
 // a replica slot to its realized serving rate in tokens/second (used
-// to convert token regret into seconds); non-positive rates contribute
-// zero seconds but still count tokens.
-func (r *Recorder) FinalizeRegret(rate func(replica int) float64) *RegretSummary {
+// to convert token regret into seconds). A chosen replica with a
+// non-positive rate — typically one that failed before serving — falls
+// back to fleetMean so its regret still prices in seconds instead of
+// silently deflating the means; such decisions are counted in
+// RateFallbacks. When fleetMean is also non-positive the tokens still
+// count but the seconds stay zero.
+func (r *Recorder) FinalizeRegret(rate func(replica int) float64, fleetMean float64) *RegretSummary {
 	if r == nil || len(r.outcomes) == 0 {
 		return nil
 	}
@@ -589,10 +636,26 @@ func (r *Recorder) FinalizeRegret(rate func(replica int) float64) *RegretSummary
 	for i := range r.outcomes {
 		o := &r.outcomes[i]
 		s.TotalRegretTokens += o.regret
+		if o.requeue {
+			s.Requeues++
+		}
+		switch o.stage {
+		case 1:
+			s.Stage1Decisions++
+			s.Stage1RegretTokens += o.regret
+		case 2:
+			s.Stage2Decisions++
+			s.Stage2RegretTokens += o.regret
+		}
 		var sec float64
 		if o.regret > 0 {
 			s.Regretful++
-			if v := rate(int(o.chosen)); v > 0 {
+			v := rate(int(o.chosen))
+			if v <= 0 {
+				v = fleetMean
+				s.RateFallbacks++
+			}
+			if v > 0 {
 				sec = float64(o.regret) / v
 			}
 			s.TotalRegretSec += sec

@@ -20,7 +20,7 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	r.Iteration(0, sec(1), simtime.Second, 4, 128)
 	r.PrefillChunk(0, 0, sec(1), sec(2), 256)
 	r.KVOp(0, 0, sec(1), 4096, EvKVEvict)
-	r.Route(sec(1), 0, "c", "p", 10, 0, []Candidate{{Replica: 0}}, 0)
+	r.Route(sec(1), 0, "c", "p", 10, 0, []Candidate{{Replica: 0}}, 0, 0, false)
 	r.Admission(sec(1), 0, "c", "p", true, RejectNone)
 	r.Scale(sec(1), "p", 1, 3, 2)
 	r.Fleet(sec(1), "fail", 2)
@@ -32,7 +32,7 @@ func TestNilRecorderIsNoOp(t *testing.T) {
 	if r.Spans() || r.Full() {
 		t.Fatal("nil recorder captures nothing")
 	}
-	if s := r.FinalizeRegret(func(int) float64 { return 1 }); s != nil {
+	if s := r.FinalizeRegret(func(int) float64 { return 1 }, 1); s != nil {
 		t.Fatalf("nil recorder regret %+v", s)
 	}
 	var buf bytes.Buffer
@@ -130,7 +130,7 @@ func TestRouteRegret(t *testing.T) {
 	// twice — prefill compute plus the duplicated-footprint
 	// displacement. Costs: r0=100+40+40=180, r1=30+40+40=110,
 	// r2=60+0+0=60. Best is replica 2; choosing replica 0 regrets 120.
-	r.Route(sec(1), 7, "agent", "least-loaded", 40, 40, routeCands(), 0)
+	r.Route(sec(1), 7, "agent", "least-loaded", 40, 40, routeCands(), 0, 0, false)
 	if r.DecisionCount() != 1 {
 		t.Fatal("route must record a decision")
 	}
@@ -150,7 +150,7 @@ func TestRouteRegret(t *testing.T) {
 
 	// Prefix coverage clamps at the request's actual prefix length.
 	r2 := New(Config{})
-	r2.Route(sec(1), 8, "agent", "least-loaded", 40, 10, routeCands(), 1)
+	r2.Route(sec(1), 8, "agent", "least-loaded", 40, 10, routeCands(), 1, 0, false)
 	var d2 Decision
 	r2.eachDecision(func(x *Decision) { d2 = *x })
 	// Costs: r0=100+40+10=150, r1=30+40+10=80, r2=60+30+0=90 -> best is
@@ -163,14 +163,14 @@ func TestRouteRegret(t *testing.T) {
 func TestFinalizeRegret(t *testing.T) {
 	r := New(Config{})
 	// Decision 1: regret 120 tokens on replica 0 (rate 100 t/s -> 1.2 s).
-	r.Route(sec(1), 1, "c", "least-loaded", 40, 40, routeCands(), 0)
+	r.Route(sec(1), 1, "c", "least-loaded", 40, 40, routeCands(), 0, 0, false)
 	r.Outcome(1, 2*simtime.Second, 100*simtime.Millisecond)
 	// Decision 2: zero regret (chose the best replica).
-	r.Route(sec(2), 2, "c", "least-loaded", 40, 40, routeCands(), 2)
+	r.Route(sec(2), 2, "c", "least-loaded", 40, 40, routeCands(), 2, 0, false)
 	r.Outcome(2, 1*simtime.Second, 50*simtime.Millisecond)
 	// Decision 3: regret, but the request was ultimately rejected — its
 	// latency must not pollute the attribution.
-	r.Route(sec(3), 3, "c", "least-loaded", 40, 40, routeCands(), 0)
+	r.Route(sec(3), 3, "c", "least-loaded", 40, 40, routeCands(), 0, 0, false)
 	r.OutcomeRejected(3)
 
 	s := r.FinalizeRegret(func(rep int) float64 {
@@ -178,7 +178,7 @@ func TestFinalizeRegret(t *testing.T) {
 			return 100
 		}
 		return 50
-	})
+	}, 75)
 	if s == nil || s.Policy != "least-loaded" || s.Decisions != 3 || s.Regretful != 2 {
 		t.Fatalf("summary %+v", s)
 	}
@@ -202,14 +202,80 @@ func TestFinalizeRegret(t *testing.T) {
 func TestRequeueKeepsLatestRoute(t *testing.T) {
 	r := New(Config{})
 	// First placement regrets 80; the requeue lands on the best replica.
-	r.Route(sec(1), 1, "c", "p", 40, 40, routeCands(), 0)
-	r.Route(sec(2), 1, "c", "p", 40, 40, routeCands(), 2)
+	r.Route(sec(1), 1, "c", "p", 40, 40, routeCands(), 0, 0, false)
+	r.Route(sec(2), 1, "c", "p", 40, 40, routeCands(), 2, 0, false)
 	r.Outcome(1, simtime.Second, simtime.Millisecond)
-	s := r.FinalizeRegret(func(int) float64 { return 100 })
+	s := r.FinalizeRegret(func(int) float64 { return 100 }, 100)
 	// Both decisions are scored, but the outcome attributes to the
 	// latest one (zero regret).
 	if s.Decisions != 2 || s.CompletedZero != 1 || s.CompletedRegretful != 0 {
 		t.Fatalf("requeue summary %+v", s)
+	}
+	// Both route calls are counted as requeues or not per-call: the
+	// second placement was flagged.
+	r2 := New(Config{})
+	r2.Route(sec(1), 1, "c", "p", 40, 40, routeCands(), 0, 1, false)
+	r2.Route(sec(2), 1, "c", "p", 40, 40, routeCands(), 2, 1, true)
+	if s2 := r2.FinalizeRegret(func(int) float64 { return 100 }, 100); s2.Requeues != 1 {
+		t.Fatalf("requeue count %+v", s2)
+	}
+}
+
+// TestFinalizeRegretRateFallback pins the fix for dividing regret by a
+// dead replica's throughput: a chosen replica that realised no tokens
+// (rate <= 0) must fall back to the fleet-mean rate instead of silently
+// dropping the decision's seconds, and the fallback must be counted.
+func TestFinalizeRegretRateFallback(t *testing.T) {
+	r := New(Config{})
+	// Regret 120 tokens on replica 0, which never produced a token.
+	r.Route(sec(1), 1, "c", "least-loaded", 40, 40, routeCands(), 0, 0, false)
+	r.Outcome(1, simtime.Second, simtime.Millisecond)
+	s := r.FinalizeRegret(func(int) float64 { return 0 }, 60)
+	if s.RateFallbacks != 1 {
+		t.Fatalf("rate fallbacks %+v", s)
+	}
+	if s.TotalRegretSec != 2 { // 120 tokens / 60 t/s fleet mean
+		t.Fatalf("fallback seconds %+v", s)
+	}
+
+	// A healthy chosen rate must not trip the fallback.
+	r2 := New(Config{})
+	r2.Route(sec(1), 1, "c", "least-loaded", 40, 40, routeCands(), 0, 0, false)
+	r2.Outcome(1, simtime.Second, simtime.Millisecond)
+	if s2 := r2.FinalizeRegret(func(int) float64 { return 100 }, 60); s2.RateFallbacks != 0 || s2.TotalRegretSec != 1.2 {
+		t.Fatalf("healthy-rate summary %+v", s2)
+	}
+
+	// A dead fleet (mean <= 0 too) counts the fallback but contributes
+	// no seconds — regret tokens still accumulate.
+	r3 := New(Config{})
+	r3.Route(sec(1), 1, "c", "least-loaded", 40, 40, routeCands(), 0, 0, false)
+	r3.Outcome(1, simtime.Second, simtime.Millisecond)
+	if s3 := r3.FinalizeRegret(func(int) float64 { return 0 }, 0); s3.RateFallbacks != 1 || s3.TotalRegretSec != 0 || s3.TotalRegretTokens != 120 {
+		t.Fatalf("dead-fleet summary %+v", s3)
+	}
+}
+
+// TestFinalizeRegretStageSplit pins the two-stage attribution used by
+// disaggregated clusters: stage-1 (prefill) and stage-2 (decode) routes
+// are tallied separately, with their regret tokens split per stage.
+func TestFinalizeRegretStageSplit(t *testing.T) {
+	r := New(Config{})
+	// Stage-1 placement regrets 120; the stage-2 handoff is optimal.
+	r.Route(sec(1), 1, "c", "p", 40, 40, routeCands(), 0, 1, false)
+	r.Route(sec(2), 1, "c", "p", 40, 40, routeCands(), 2, 2, false)
+	// A second request regrets on the decode stage instead.
+	r.Route(sec(3), 2, "c", "p", 40, 40, routeCands(), 2, 1, false)
+	r.Route(sec(4), 2, "c", "p", 40, 40, routeCands(), 0, 2, false)
+	s := r.FinalizeRegret(func(int) float64 { return 100 }, 100)
+	if s.Stage1Decisions != 2 || s.Stage2Decisions != 2 {
+		t.Fatalf("stage decision split %+v", s)
+	}
+	if s.Stage1RegretTokens != 120 || s.Stage2RegretTokens != 120 {
+		t.Fatalf("stage regret split %+v", s)
+	}
+	if s.Decisions != 4 || s.TotalRegretTokens != 240 {
+		t.Fatalf("totals %+v", s)
 	}
 }
 
@@ -217,7 +283,7 @@ func TestRequeueKeepsLatestRoute(t *testing.T) {
 // every decision kind, for the exporter tests.
 func record(r *Recorder) {
 	r.Admission(sec(0), 1, "chat", "all", true, RejectNone)
-	r.Route(sec(0), 1, "chat", "least-loaded", 40, 0, routeCands(), 1)
+	r.Route(sec(0), 1, "chat", "least-loaded", 40, 0, routeCands(), 1, 0, false)
 	r.Admit(1, 1, "chat", sec(0), sec(1), 16)
 	r.PrefillChunk(1, 1, sec(1), sec(2), 256)
 	r.FirstToken(1, 1, sec(2))

@@ -181,6 +181,21 @@ type RegretSummary struct {
 	MeanTPOTRegretSec  float64
 	CompletedZero      int
 	CompletedRegretful int
+
+	// Requeues counts routing decisions re-issued for backlog displaced
+	// by a drain or failure; RateFallbacks counts regretful decisions
+	// whose chosen replica never served (realized rate <= 0), priced at
+	// the fleet-mean rate instead of silently contributing zero seconds.
+	Requeues      int
+	RateFallbacks int
+
+	// Per-stage split of disaggregated routing decisions (stage 1 =
+	// prefill placement, stage 2 = decode placement); unified decisions
+	// appear in neither.
+	Stage1Decisions    int
+	Stage2Decisions    int
+	Stage1RegretTokens int64
+	Stage2RegretTokens int64
 }
 
 // RegretfulFrac returns the fraction of routing decisions that left a
