@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/simtime"
 	"repro/internal/workload"
@@ -187,6 +188,38 @@ type ClusterScenario struct {
 	// LoadTrace. Requests are processed in arrival order.
 	Trace []Request
 
+	// TraceStream is the pull-based alternative to Trace (exactly one of
+	// the two must be set): requests are generated as the simulation
+	// reaches them and never materialize as a slice. Streams are
+	// consumed by a run, so a scenario holding one is single-use — in
+	// particular it cannot ride in a Sweep next to repeated runs.
+	TraceStream RequestStream
+
+	// StreamMetrics folds each request's metrics into constant-size
+	// accumulators at its terminal event instead of retaining a
+	// per-request record table: report memory stays flat in the request
+	// count, percentile fields (P50/P95/P99) come from a relative-error
+	// sketch with a 2.5% guarantee, and counts, rates, and means stay
+	// exact. The report's Records-dependent output (WriteRequestsTSV) is
+	// empty; use RequestsOut to stream rows instead.
+	StreamMetrics bool
+
+	// RequestsOut, when non-nil, receives the per-request TSV table
+	// (the WriteRequestsTSV format) row by row as requests reach their
+	// terminal events — completion order, not ID order. This is how
+	// streaming-metrics runs keep a per-request artifact without
+	// retaining records.
+	RequestsOut io.Writer
+
+	// Shards fans the replica-stepping half of the simulation loop out
+	// over this many worker goroutines (slot i belongs to shard i mod
+	// Shards), with routing and admission kept on the coordinating
+	// goroutine in arrival order. Results are byte-identical to the
+	// sequential run. 0 or 1 means sequential; sharding requires a
+	// static unified fleet (no disaggregation, autoscaling, fleet
+	// events, telemetry, or RequestsOut).
+	Shards int
+
 	// Autoscaler makes the fleet dynamic: the policy re-evaluates the
 	// fleet size every ScaleTick of simulated time, clamped to
 	// [MinReplicas, MaxReplicas]. ScaleNone (the zero value) keeps the
@@ -340,8 +373,15 @@ func (sc ClusterScenario) Validate() error {
 	if err := sc.validateDisaggregation(); err != nil {
 		return err
 	}
-	if len(sc.Trace) == 0 {
-		return &ConfigError{Field: "Trace", Value: len(sc.Trace), Reason: "cluster scenario needs a trace"}
+	if len(sc.Trace) == 0 && sc.TraceStream == nil {
+		return &ConfigError{Field: "Trace", Value: len(sc.Trace), Reason: "cluster scenario needs a trace or a trace stream"}
+	}
+	if len(sc.Trace) > 0 && sc.TraceStream != nil {
+		return &ConfigError{Field: "TraceStream", Value: sc.TraceStream,
+			Reason: "set either Trace or TraceStream, not both"}
+	}
+	if err := sc.validateSharding(); err != nil {
+		return err
 	}
 	if _, err := internalClasses(sc.Classes); err != nil {
 		return &ConfigError{Field: "Classes", Value: len(sc.Classes), Reason: "invalid traffic class", Err: err}
@@ -397,6 +437,35 @@ func (sc ClusterScenario) Validate() error {
 		if err := rs.apply(sc.Config).Validate(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateSharding checks that a sharded scenario stays inside the
+// configuration space whose sequential bit-identity the sharded loop
+// guarantees (see internal/cluster/shard.go).
+func (sc ClusterScenario) validateSharding() error {
+	if sc.Shards < 0 {
+		return &ConfigError{Field: "Shards", Value: sc.Shards, Reason: "must not be negative"}
+	}
+	if sc.Shards <= 1 {
+		return nil
+	}
+	reason := ""
+	switch {
+	case sc.disaggregated():
+		reason = "sharding requires a unified fleet (no prefill/decode pools)"
+	case sc.Autoscaler != ScaleNone:
+		reason = "sharding requires a static fleet (no autoscaler)"
+	case len(sc.FleetEvents) > 0:
+		reason = "sharding requires a static fleet (no fleet events)"
+	case sc.telemetry() != nil:
+		reason = "sharding is incompatible with telemetry recording"
+	case sc.RequestsOut != nil:
+		reason = "sharding is incompatible with a per-request row sink (completion order is nondeterministic across shards)"
+	}
+	if reason != "" {
+		return &ConfigError{Field: "Shards", Value: sc.Shards, Reason: reason}
 	}
 	return nil
 }
@@ -496,8 +565,10 @@ func replicaCost(cfg Config) float64 {
 	return hw.Cost()
 }
 
-// build assembles the internal cluster.
-func (sc ClusterScenario) build() (*cluster.Cluster, error) {
+// build assembles the internal cluster. onRecord, when non-nil, is the
+// streaming per-request row sink (RunContext wires RequestsOut through
+// it).
+func (sc ClusterScenario) build(onRecord func(*metrics.RequestRecord)) (*cluster.Cluster, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -641,6 +712,9 @@ func (sc ClusterScenario) build() (*cluster.Cluster, error) {
 		ProvisionDelay: simtime.FromStd(sc.ProvisionDelay),
 		Events:         events,
 		Obs:            rec,
+		StreamMetrics:  sc.StreamMetrics,
+		OnRecord:       onRecord,
+		Shards:         sc.Shards,
 	})
 }
 
@@ -652,13 +726,29 @@ func (sc ClusterScenario) Run() (*ClusterReport, error) {
 // RunContext simulates the cluster scenario, checking ctx at arrival
 // and iteration boundaries.
 func (sc ClusterScenario) RunContext(ctx context.Context) (*ClusterReport, error) {
-	c, err := sc.build()
+	var rows *metrics.RequestsTSVWriter
+	var onRecord func(*metrics.RequestRecord)
+	if sc.RequestsOut != nil {
+		rows = metrics.NewRequestsTSVWriter(sc.RequestsOut)
+		onRecord = rows.WriteRow
+	}
+	c, err := sc.build(onRecord)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := c.RunContext(ctx, toWorkload(sc.Trace))
+	var rep *cluster.Report
+	if sc.TraceStream != nil {
+		rep, err = c.RunStream(ctx, streamAdapter{s: sc.TraceStream})
+	} else {
+		rep, err = c.RunContext(ctx, toWorkload(sc.Trace))
+	}
 	if err != nil {
 		return nil, err
+	}
+	if rows != nil {
+		if err := rows.Flush(); err != nil {
+			return nil, fmt.Errorf("llmservingsim: writing request rows: %w", err)
+		}
 	}
 	out := wrapClusterReport(rep)
 	out.Model = sc.fleetModel()

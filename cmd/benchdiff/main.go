@@ -9,11 +9,13 @@
 //
 // Benchmark output is read from stdin; when a benchmark appears several
 // times (-count=N) the minimum per metric is used, which rejects
-// scheduler noise. Two metrics are compared per benchmark: ns/op
+// scheduler noise. Three metrics are compared per benchmark: ns/op
 // (hardware-dependent — regenerate the baseline when the reference
-// machine changes) and allocs/op (stable across machines, so a genuine
-// algorithmic regression fails CI deterministically). Only benchmarks
-// present in the baseline entry participate.
+// machine changes), allocs/op, and B/op (both stable across machines,
+// so a genuine algorithmic regression fails CI deterministically; B/op
+// additionally catches same-count-but-bigger allocations, e.g. a
+// record table regrowing in a streaming run). Only benchmarks present
+// in the baseline entry participate.
 //
 // -update appends a fresh entry (the measured minima) to the baseline
 // file instead of comparing, for refreshing the baseline after an
@@ -48,6 +50,9 @@ type measurement struct {
 	// stays distinguishable from "no allocation data recorded" — a zero
 	// baseline must still gate regressions away from zero.
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp follows the same convention; older baseline entries
+	// predate the field and simply don't gate on it.
+	BytesPerOp *float64 `json:"bytes_per_op,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -55,13 +60,14 @@ type measurement struct {
 // the -N GOMAXPROCS suffix is optional and stripped, and the B/op and
 // allocs/op columns only appear under -benchmem/ReportAllocs.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON file")
 	entryLabel := flag.String("entry", "", "baseline entry label to compare against (default: newest)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown before failing")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.20, "allowed fractional allocs/op growth before failing")
+	byteTolerance := flag.Float64("byte-tolerance", 0.20, "allowed fractional B/op growth before failing")
 	update := flag.Bool("update", false, "append measured results as a new baseline entry instead of comparing")
 	label := flag.String("label", "updated", "entry label used with -update")
 	flag.Parse()
@@ -107,8 +113,8 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("benchdiff: comparing against %q (ns/op %+.0f%%, allocs/op %+.0f%%)\n",
-		ref.Label, *tolerance*100, *allocTolerance*100)
+	fmt.Printf("benchdiff: comparing against %q (ns/op %+.0f%%, allocs/op %+.0f%%, B/op %+.0f%%)\n",
+		ref.Label, *tolerance*100, *allocTolerance*100, *byteTolerance*100)
 	failed, missing := 0, 0
 	for _, name := range names {
 		want := ref.Benchmarks[name]
@@ -135,8 +141,18 @@ func main() {
 				failed++
 			}
 		}
-		fmt.Printf("  %-16s %-55s %14.0f -> %14.0f ns/op (%+.1f%%)  %10.0f -> %10.0f allocs/op\n",
-			status, name, want.NsPerOp, got.NsPerOp, (nsRatio-1)*100, wantAllocs, gotAllocs)
+		wantBytes, gotBytes := 0.0, 0.0
+		if want.BytesPerOp != nil && got.BytesPerOp != nil {
+			wantBytes, gotBytes = *want.BytesPerOp, *got.BytesPerOp
+			// Wider absolute slack than allocs: a single extra slice
+			// header or map bucket is tens-to-thousands of bytes.
+			if gotBytes > wantBytes*(1+*byteTolerance)+4096 {
+				status = "BYTE-REGRESSION"
+				failed++
+			}
+		}
+		fmt.Printf("  %-16s %-55s %14.0f -> %14.0f ns/op (%+.1f%%)  %10.0f -> %10.0f allocs/op  %12.0f -> %12.0f B/op\n",
+			status, name, want.NsPerOp, got.NsPerOp, (nsRatio-1)*100, wantAllocs, gotAllocs, wantBytes, gotBytes)
 	}
 	if missing > 0 {
 		fatal(fmt.Errorf("%d baseline benchmark(s) were not measured — run the full bench command", missing))
@@ -163,10 +179,15 @@ func parseBench(f *os.File) (map[string]measurement, error) {
 		}
 		cur := measurement{NsPerOp: ns}
 		if m[3] != "" {
-			allocs, err := strconv.ParseFloat(m[3], 64)
+			bytes, err := strconv.ParseFloat(m[3], 64)
 			if err != nil {
 				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
 			}
+			allocs, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			cur.BytesPerOp = &bytes
 			cur.AllocsPerOp = &allocs
 		}
 		prev, seen := out[m[1]]
@@ -179,6 +200,9 @@ func parseBench(f *os.File) (map[string]measurement, error) {
 		}
 		if cur.AllocsPerOp != nil && (prev.AllocsPerOp == nil || *cur.AllocsPerOp < *prev.AllocsPerOp) {
 			prev.AllocsPerOp = cur.AllocsPerOp
+		}
+		if cur.BytesPerOp != nil && (prev.BytesPerOp == nil || *cur.BytesPerOp < *prev.BytesPerOp) {
+			prev.BytesPerOp = cur.BytesPerOp
 		}
 		out[m[1]] = prev
 	}

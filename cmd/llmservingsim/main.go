@@ -69,6 +69,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	llmservingsim "repro"
@@ -102,6 +103,9 @@ func main() {
 		autoscaler   llmservingsim.AutoscalePolicy
 		admitLimit   = flag.Int64("admission-limit", 0, "admission bound: queued requests/replica (queue-cap) or cluster tokens (token-budget)")
 		classSpec    = flag.String("classes", "", "traffic classes name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]],... (synthesises a mixed trace)")
+		requests     = flag.Int("requests", 0, "request count for -classes/-synth traffic (overrides -synth-n; spelled for large -stream runs)")
+		stream       = flag.Bool("stream", false, "pull -classes arrivals from the generator and stream per-request metrics: memory stays flat in the request count (enables the cluster layer)")
+		shards       = flag.Int("shards", 0, "cluster mode: fan replica stepping over N worker goroutines, byte-identical to sequential (static unified fleets; enables the cluster layer)")
 		rampSpec     = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
 		fleetSpec    = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE],... (enables the cluster layer; #prefill/#decode pools disaggregate; see -list-hardware)")
 
@@ -225,7 +229,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *progress > 0 {
+	if *progress > 0 && !*stream {
+		// Streaming runs report request-level progress through the
+		// arrival stream instead (see progressStream below).
 		every := *progress
 		cfg.OnIteration = func(it llmservingsim.Iteration) {
 			if (it.Index+1)%every == 0 {
@@ -242,19 +248,36 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *requests > 0 {
+		*synthN = *requests
+	}
+	var ramp llmservingsim.Ramp
+	if *rampSpec != "" {
+		var err error
+		if ramp, err = llmservingsim.ParseRamp(*rampSpec); err != nil {
+			fatal(err)
+		}
+	}
 
 	var trace []llmservingsim.Request
+	var arrivals llmservingsim.RequestStream
 	var err error
 	switch {
+	case *stream:
+		if *classSpec == "" {
+			err = fmt.Errorf("-stream requires -classes traffic (the generator is the stream)")
+			break
+		}
+		var ms *llmservingsim.MultiClassStream
+		if ms, err = llmservingsim.NewMultiClassStream(classes, *synthN, ramp, *seed); err == nil {
+			arrivals = ms
+			if *progress > 0 {
+				arrivals = &progressStream{inner: ms, every: *progress, target: ms.Target()}
+			}
+		}
 	case *dataset != "":
 		trace, err = llmservingsim.LoadTrace(*dataset)
 	case *classSpec != "":
-		var ramp llmservingsim.Ramp
-		if *rampSpec != "" {
-			if ramp, err = llmservingsim.ParseRamp(*rampSpec); err != nil {
-				fatal(err)
-			}
-		}
 		trace, err = llmservingsim.MultiClassTrace(classes, *synthN, ramp, *seed)
 	case *synth == "sharegpt":
 		trace, err = llmservingsim.ShareGPTTrace(*synthN, *synthRate, *seed)
@@ -315,7 +338,8 @@ func main() {
 		stop()
 	}()
 
-	if *replicas > 1 || len(fleet) > 0 || len(fleetEvents) > 0 || autoscaler != llmservingsim.ScaleNone {
+	if *replicas > 1 || len(fleet) > 0 || len(fleetEvents) > 0 || autoscaler != llmservingsim.ScaleNone ||
+		*stream || *shards > 1 {
 		sc := llmservingsim.ClusterScenario{
 			Name:               "cli",
 			Config:             cfg,
@@ -341,6 +365,21 @@ func main() {
 			DecodeMaxReplicas:  *decodeMax,
 			FleetEvents:        fleetEvents,
 			Telemetry:          tel,
+			TraceStream:        arrivals,
+			StreamMetrics:      *stream,
+			Shards:             *shards,
+		}
+		if *stream && *shards <= 1 && *output != "" {
+			// Stream the per-request table as requests complete; the
+			// post-hoc dump has no retained records to write from.
+			// (Sharded runs complete out of ID order across shards, so
+			// they skip the table; Validate rejects the combination.)
+			f, err := os.Create(*output + "-requests.tsv")
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			sc.RequestsOut = f
 		}
 		if len(fleet) > 0 {
 			sc.Fleet = fleet
@@ -511,7 +550,15 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 			{"-replicas.tsv", rep.WriteReplicaTSV},
 			{"-fleet.tsv", rep.WriteFleetTSV},
 		}
-		for _, f := range files {
+		if sc.StreamMetrics {
+			// No retained records to dump post-hoc; when RequestsOut was
+			// wired the table already streamed row by row during the run
+			// (and the post-hoc create would truncate it).
+			files = append(files[:1], files[2:]...)
+		}
+		names := make([]string, len(files))
+		for i, f := range files {
+			names[i] = output + f.suffix
 			out, err := os.Create(output + f.suffix)
 			if err != nil {
 				fatal(err)
@@ -524,10 +571,49 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 				fatal(err)
 			}
 		}
-		fmt.Printf("wrote %s-classes.tsv, %s-requests.tsv, %s-replicas.tsv, %s-fleet.tsv\n",
-			output, output, output, output)
+		if sc.RequestsOut != nil {
+			names = append(names, output+"-requests.tsv (streamed)")
+		}
+		fmt.Printf("wrote %s\n", strings.Join(names, ", "))
 	}
 }
+
+// progressStream decorates an arrival stream with request-count
+// progress reporting against the stream's declared target — the
+// streaming analogue of the per-iteration -progress hook (which needs
+// a materialized report to be useful at million-request scale).
+type progressStream struct {
+	inner  llmservingsim.RequestStream
+	every  int
+	target int
+	n      int
+}
+
+func (p *progressStream) Next() (llmservingsim.Request, bool) {
+	r, ok := p.inner.Next()
+	if !ok {
+		return r, ok
+	}
+	p.n++
+	if p.n%p.every == 0 {
+		if p.target > 0 {
+			fmt.Fprintf(os.Stderr, "request %d/%d  sim clock %.2fs\n", p.n, p.target, r.Arrival.Seconds())
+		} else {
+			fmt.Fprintf(os.Stderr, "request %d  sim clock %.2fs\n", p.n, r.Arrival.Seconds())
+		}
+	}
+	return r, ok
+}
+
+// Err and Target forward the engine's optional stream probes.
+func (p *progressStream) Err() error {
+	if e, ok := p.inner.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+func (p *progressStream) Target() int { return p.target }
 
 func writeTSVs(prefix string, rep *llmservingsim.Report) error {
 	tf, err := os.Create(prefix + "-throughput.tsv")

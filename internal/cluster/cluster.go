@@ -153,6 +153,36 @@ type Config struct {
 	// be passed to every replica's core.Options so spans and decisions
 	// land in one timeline.
 	Obs *obs.Recorder
+
+	// StreamMetrics folds each request's outcome into streaming
+	// accumulators (integer counters plus quantile sketches) at its
+	// terminal event instead of retaining a RequestRecord per arrival,
+	// so memory stays flat in the request count — the million-request
+	// mode. The report's counts, token totals, and means are exact;
+	// percentiles come from the sketch (within metrics.SketchRelError
+	// of the exact nearest-rank values) and Report.Records is nil.
+	// Leave false for golden runs, which pin exact percentiles.
+	StreamMetrics bool
+
+	// OnRecord, when non-nil, receives each request's final record at
+	// its terminal event (completion or rejection, in completion order —
+	// not arrival order). This is the streaming per-request TSV sink:
+	// with StreamMetrics it replaces the post-hoc Report.Records dump.
+	// The record is recycled after the callback returns, so the callback
+	// must not retain the pointer. Incompatible with Shards > 1.
+	OnRecord func(*metrics.RequestRecord)
+
+	// Shards > 1 partitions the replicas across that many worker
+	// goroutines (slot i belongs to shard i mod Shards). All routing and
+	// admission stays on the coordinator in arrival order, and replica
+	// stepping between arrivals fans out with an epoch barrier per
+	// arrival instant, so the report is bit-identical to the sequential
+	// (Shards <= 1) run. Only static unified fleets qualify: no
+	// disaggregation, autoscaling, fleet events, telemetry recorder, or
+	// OnRecord sink — and the replica factory must build fully
+	// independent replicas (no shared mutable state such as a common
+	// engine instance). Counts above the replica count are clamped.
+	Shards int
 }
 
 // lifecycle is a replica's position in the dynamic-fleet state machine.
@@ -207,6 +237,24 @@ type Cluster struct {
 	maxRep    int
 	slos      map[string]metrics.SLO
 	records   []metrics.RequestRecord
+
+	// Streaming-metrics state (Config.StreamMetrics): retain is false
+	// when records are not kept, in-flight records then live in a
+	// recycled pool keyed by request ID, terminal outcomes fold into
+	// accum, and routedTo counts completed placements per slot (the
+	// per-replica Requests column the records loop would otherwise
+	// produce). prefillSrcM replaces the prefillOf slice for in-flight
+	// disaggregated requests.
+	retain      bool
+	accum       *metrics.RequestAccumulator
+	inflight    map[int]*metrics.RequestRecord
+	recFree     []*metrics.RequestRecord
+	routedTo    []int
+	prefillSrcM map[int]int32
+
+	// shards is non-nil only while a sharded run (Config.Shards > 1) is
+	// in flight; replica event times then live in per-shard heaps.
+	shards []*clusterShard
 
 	// Disaggregation state: the stage-2 router, per-pool scalers and
 	// clamps, per-record prefill source slots (for handoff pricing on
@@ -310,6 +358,26 @@ func New(cfg Config) (*Cluster, error) {
 	} else if cfg.PrefillScaler != nil {
 		return nil, fmt.Errorf("cluster: per-pool autoscalers require a disaggregated fleet")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		// Sharding's bit-identity argument needs replicas that never
+		// interact mid-epoch and controls that never fire: static
+		// unified fleets with no cross-replica observer or row sink.
+		switch {
+		case disagg:
+			return nil, fmt.Errorf("cluster: sharding requires a unified fleet (disaggregated handoffs cross shards)")
+		case cfg.Autoscaler != nil || cfg.PrefillScaler != nil:
+			return nil, fmt.Errorf("cluster: sharding requires a static fleet (no autoscaler)")
+		case len(cfg.Events) > 0:
+			return nil, fmt.Errorf("cluster: sharding requires a static fleet (no fleet events)")
+		case cfg.Obs != nil:
+			return nil, fmt.Errorf("cluster: sharding cannot preserve the telemetry recorder's global event order; run with Shards <= 1 or without Obs")
+		case cfg.OnRecord != nil:
+			return nil, fmt.Errorf("cluster: sharding cannot order the OnRecord row stream; run with Shards <= 1")
+		}
+	}
 	if cfg.MinReplicas < 0 || cfg.MaxReplicas < 0 {
 		return nil, fmt.Errorf("cluster: negative replica bounds [%d, %d]", cfg.MinReplicas, cfg.MaxReplicas)
 	}
@@ -412,6 +480,12 @@ func (c *Cluster) addReplica(t simtime.Time, state lifecycle, role Role) (*repli
 	}
 	sim.OnRequestComplete = c.complete
 	sim.OnRequestReject = c.reject
+	if c.cfg.StreamMetrics {
+		// The completion/rejection hooks above are the only consumers of
+		// per-request state in streaming mode, so each replica can drop
+		// its delivered records and per-iteration log as it goes.
+		sim.StreamMetrics()
+	}
 	cost := 1.0
 	if c.cfg.ReplicaCost != nil {
 		cost = c.cfg.ReplicaCost(i, role)
@@ -419,10 +493,116 @@ func (c *Cluster) addReplica(t simtime.Time, state lifecycle, role Role) (*repli
 	rep := &replica{sim: sim, state: state, role: role, cost: cost, created: t}
 	c.replicas = append(c.replicas, rep)
 	c.placed = append(c.placed, 0)
+	if c.routedTo != nil {
+		c.routedTo = append(c.routedTo, 0)
+	}
 	if state == stateProvisioning {
 		c.provisioning++
 	}
 	return rep, nil
+}
+
+// newRecord opens one arrival's record. Retained mode appends to the
+// records slice (indexed by request ID, the report's Records order);
+// streaming mode recycles a record from the free pool and tracks it in
+// the in-flight map until its terminal event.
+func (c *Cluster) newRecord(r workload.Request) *metrics.RequestRecord {
+	if c.retain {
+		c.records = append(c.records, metrics.RequestRecord{
+			ID: r.ID, Class: r.Class, Replica: -1,
+			InputLen: r.InputLen, OutputLen: r.OutputLen,
+			Arrival: r.Arrival,
+		})
+		if c.disagg {
+			c.prefillOf = append(c.prefillOf, 0)
+		}
+		return &c.records[len(c.records)-1]
+	}
+	var rec *metrics.RequestRecord
+	if n := len(c.recFree); n > 0 {
+		rec = c.recFree[n-1]
+		c.recFree = c.recFree[:n-1]
+	} else {
+		rec = new(metrics.RequestRecord)
+	}
+	*rec = metrics.RequestRecord{
+		ID: r.ID, Class: r.Class, Replica: -1,
+		InputLen: r.InputLen, OutputLen: r.OutputLen,
+		Arrival: r.Arrival,
+	}
+	c.inflight[r.ID] = rec
+	return rec
+}
+
+// rec resolves a request ID to its open record; nil when unknown.
+func (c *Cluster) rec(id int) *metrics.RequestRecord {
+	if c.retain {
+		if id < 0 || id >= len(c.records) {
+			return nil
+		}
+		return &c.records[id]
+	}
+	return c.inflight[id]
+}
+
+// finish closes a record at its terminal event (completion or
+// rejection): fold it into the streaming accumulator, hand it to the
+// row sink, and — in streaming mode — recycle it.
+func (c *Cluster) finish(rec *metrics.RequestRecord) {
+	if c.accum != nil {
+		c.accum.Observe(rec)
+	}
+	if c.cfg.OnRecord != nil {
+		c.cfg.OnRecord(rec)
+	}
+	if !c.retain {
+		delete(c.inflight, rec.ID)
+		if c.prefillSrcM != nil {
+			delete(c.prefillSrcM, rec.ID)
+		}
+		c.recFree = append(c.recFree, rec)
+	}
+}
+
+// setPrefillSrc records which prefill slot produced a disaggregated
+// request's KV cache (for handoff re-pricing on decode requeues).
+func (c *Cluster) setPrefillSrc(id int, from int32) {
+	if c.retain {
+		c.prefillOf[id] = from
+		return
+	}
+	c.prefillSrcM[id] = from
+}
+
+// prefillSrcOf returns the prefill slot recorded by setPrefillSrc.
+func (c *Cluster) prefillSrcOf(id int) int32 {
+	if c.retain {
+		return c.prefillOf[id]
+	}
+	return c.prefillSrcM[id]
+}
+
+// effShards returns the worker count a run will use: Config.Shards
+// clamped to [1, replica count].
+func (c *Cluster) effShards() int {
+	n := c.cfg.Shards
+	if n > len(c.replicas) {
+		n = len(c.replicas)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// setEvent records replica i's next event time in whichever heap owns
+// it: the shard heap during a sharded run, the global heap otherwise.
+func (c *Cluster) setEvent(i int, ev simtime.Time) {
+	if c.shards != nil {
+		c.shards[i%len(c.shards)].events.update(i/len(c.shards), ev)
+		return
+	}
+	c.events.update(i, ev)
 }
 
 // complete records one request finishing on its replica (placement was
@@ -438,10 +618,10 @@ func (c *Cluster) addReplica(t simtime.Time, state lifecycle, role Role) (*repli
 // decode completion finalizes the record.
 func (c *Cluster) complete(f sched.Finished) {
 	id := f.Req.ID
-	if id < 0 || id >= len(c.records) {
+	rec := c.rec(id)
+	if rec == nil {
 		return
 	}
-	rec := &c.records[id]
 	if c.disagg && c.replicas[rec.Replica].role == RolePrefill && rec.OutputLen > 1 {
 		c.handoff(f, rec)
 		return
@@ -474,6 +654,10 @@ func (c *Cluster) complete(f sched.Finished) {
 			c.intervalTPOT++
 		}
 	}
+	if c.routedTo != nil {
+		c.routedTo[rec.Replica]++
+	}
+	c.finish(rec)
 }
 
 // handoff finishes stage 1 of a disaggregated request: record the
@@ -495,6 +679,7 @@ func (c *Cluster) handoff(f sched.Finished, rec *metrics.RequestRecord) {
 		rec.RejectReason = obs.RejectNoReplica.String()
 		c.cfg.Obs.Reject(-1, id, rec.Class, f.Completed, obs.RejectNoReplica)
 		c.cfg.Obs.OutcomeRejected(id)
+		c.finish(rec)
 		return
 	}
 	dr := workload.Request{
@@ -511,7 +696,7 @@ func (c *Cluster) handoff(f sched.Finished, rec *metrics.RequestRecord) {
 	c.handoffCount++
 	c.handoffBytes += bytes
 	c.handoffLink += dur
-	c.prefillOf[id] = int32(from)
+	c.setPrefillSrc(id, int32(from))
 	if c.cfg.Obs != nil {
 		c.cfg.Obs.Handoff(from, target, id, rec.Class, f.Completed, dur, bytes)
 		c.recordRoute(f.Completed, dr, states, idx, c.decodeRouter.Name(), 2, false)
@@ -523,6 +708,7 @@ func (c *Cluster) handoff(f sched.Finished, rec *metrics.RequestRecord) {
 		rec.Rejected = true
 		rec.Replica = -1
 		rec.RejectReason = obs.RejectNoReplica.String()
+		c.finish(rec)
 	}
 }
 
@@ -556,14 +742,16 @@ func (c *Cluster) pushTo(target int, r workload.Request) error {
 // rejection in the report instead of a request that never completed.
 func (c *Cluster) reject(r sched.Rejected) {
 	id := r.Req.ID
-	if id < 0 || id >= len(c.records) {
+	rec := c.rec(id)
+	if rec == nil {
 		return
 	}
-	c.records[id].Rejected = true
-	c.records[id].Replica = -1
-	c.records[id].RejectReason = obs.RejectUnservable.String()
+	rec.Rejected = true
+	rec.Replica = -1
+	rec.RejectReason = obs.RejectUnservable.String()
 	c.cfg.Obs.Admission(r.Time, id, r.Req.Class, "scheduler", false, obs.RejectUnservable)
 	c.cfg.Obs.OutcomeRejected(id)
+	c.finish(rec)
 }
 
 // rejectArrival drops one arrival before routing, recording the verdict
@@ -573,6 +761,7 @@ func (c *Cluster) rejectArrival(rec *metrics.RequestRecord, r workload.Request, 
 	rec.RejectReason = reason.String()
 	c.cfg.Obs.Admission(r.Arrival, r.ID, r.Class, policy, false, reason)
 	c.cfg.Obs.Reject(-1, r.ID, r.Class, r.Arrival, reason)
+	c.finish(rec)
 }
 
 // recordRoute snapshots one routing decision's candidate set for the
@@ -601,96 +790,150 @@ func (c *Cluster) Run(reqs []workload.Request) (*Report, error) {
 
 // RunContext simulates the arrival stream, checking ctx at arrival and
 // iteration boundaries. Request IDs are reassigned to arrival order
-// (the cluster-global ID space).
+// (the cluster-global ID space). A trace already in arrival order —
+// the generators' native output — is detected in O(n) and skips the
+// sort entirely.
 func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Report, error) {
 	arrivals := append([]workload.Request(nil), reqs...)
-	workload.SortByArrival(arrivals)
-
-	c.records = make([]metrics.RequestRecord, len(arrivals))
-	if c.disagg {
-		c.prefillOf = make([]int32, len(arrivals))
+	if workload.IsSortedByArrival(arrivals) {
+		for i := range arrivals {
+			arrivals[i].ID = i
+		}
+	} else {
+		workload.SortByArrival(arrivals)
 	}
-	c.events.init(len(c.replicas))
-	for i := range c.replicas {
-		c.refreshEvent(i)
+	next := 0
+	return c.run(ctx, arrivalSource{
+		pull: func() (workload.Request, bool) {
+			if next >= len(arrivals) {
+				return workload.Request{}, false
+			}
+			r := arrivals[next]
+			next++
+			return r, true
+		},
+		finish: func() error { return nil },
+		hint:   len(arrivals),
+	})
+}
+
+// RunStream simulates a pull-based arrival stream to completion
+// without materializing it. Combined with Config.StreamMetrics this is
+// the million-request mode: each request is drawn, routed, and folded
+// into the streaming accumulators at its terminal event, so memory
+// stays flat in the request count. The stream must yield non-
+// decreasing arrival times (every generator in internal/workload
+// does); request IDs are reassigned to arrival order.
+func (c *Cluster) RunStream(ctx context.Context, s workload.Stream) (*Report, error) {
+	hint := 0
+	if n, ok := workload.StreamTarget(s); ok {
+		hint = n
+	}
+	return c.run(ctx, arrivalSource{
+		pull:   s.Next,
+		finish: func() error { return workload.StreamErr(s) },
+		hint:   hint,
+	})
+}
+
+// arrivalSource abstracts where arrivals come from: a sorted slice or
+// a pull-based stream. finish reports the source's terminal error once
+// pull has returned false; hint sizes preallocations (0 = unknown).
+type arrivalSource struct {
+	pull   func() (workload.Request, bool)
+	finish func() error
+	hint   int
+}
+
+// run wires the metrics sink (retained records or streaming
+// accumulators), then executes the simulation sequentially or sharded.
+func (c *Cluster) run(ctx context.Context, src arrivalSource) (*Report, error) {
+	c.retain = !c.cfg.StreamMetrics
+	if c.retain {
+		c.records = make([]metrics.RequestRecord, 0, src.hint)
+		if c.disagg {
+			c.prefillOf = make([]int32, 0, src.hint)
+		}
+	} else {
+		c.accum = metrics.NewRequestAccumulator(c.slos)
+		c.inflight = make(map[int]*metrics.RequestRecord)
+		if c.disagg {
+			c.prefillSrcM = make(map[int]int32)
+		} else {
+			c.routedTo = make([]int, len(c.replicas))
+		}
 	}
 	if c.scaler != nil || c.prefillScaler != nil {
 		c.nextTick = simtime.Time(c.cfg.ScaleTick)
 	}
 	c.mark(0)
-
-	for ai := 0; ai < len(arrivals); {
-		if err := ctx.Err(); err != nil {
+	if n := c.effShards(); n > 1 {
+		if err := c.runSharded(ctx, src, n); err != nil {
 			return nil, err
+		}
+	} else {
+		c.events.init(len(c.replicas))
+		for i := range c.replicas {
+			c.refreshEvent(i)
+		}
+		if err := c.runSequential(ctx, src); err != nil {
+			return nil, err
+		}
+	}
+	return c.report(), nil
+}
+
+// runSequential is the single-goroutine simulation loop: arrivals
+// interleaved with control events, then a drain.
+func (c *Cluster) runSequential(ctx context.Context, src arrivalSource) error {
+	var (
+		pending workload.Request
+		have    bool
+		nextID  int
+		last    simtime.Time
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !have {
+			r, ok := src.pull()
+			if !ok {
+				break
+			}
+			if r.Arrival.Before(last) {
+				return fmt.Errorf("cluster: stream arrivals out of order: %v after %v", r.Arrival, last)
+			}
+			last = r.Arrival
+			r.ID = nextID
+			nextID++
+			pending, have = r, true
 		}
 		// Control events (activations, fleet events, scaler ticks) fire
 		// before any arrival at the same instant, so an arrival always
 		// sees the fleet the controls produced.
-		r := arrivals[ai]
+		r := pending
 		if ct, ok := c.nextControl(); ok && !r.Arrival.Before(ct) {
 			if err := c.advanceTo(ctx, ct); err != nil {
-				return nil, err
+				return err
 			}
 			if err := c.applyControls(ct); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
-		ai++
+		have = false
 		// Advance every replica to the arrival instant so the routing
 		// and admission signals are exact at time r.Arrival.
 		if err := c.advanceTo(ctx, r.Arrival); err != nil {
-			return nil, err
+			return err
 		}
-		// Stage 1 routes over the prefill pool in a disaggregated
-		// cluster, the whole active fleet otherwise.
-		stage1 := RoleUnified
-		if c.disagg {
-			stage1 = RolePrefill
+		if err := c.routeArrival(r); err != nil {
+			return err
 		}
-		states := c.routableRole(c.statesBuf[:0], r.Class, stage1)
-		c.statesBuf = states
-
-		rec := &c.records[r.ID]
-		*rec = metrics.RequestRecord{
-			ID: r.ID, Class: r.Class, Replica: -1,
-			InputLen: r.InputLen, OutputLen: r.OutputLen,
-			Arrival: r.Arrival,
-		}
-		// With no routable replica (all failed, draining, or still cold-
-		// starting) the arrival has nowhere to go and is rejected — the
-		// cluster-level 503. A disaggregated arrival also needs a live
-		// decode pool: prefilling a prompt whose cache can never be
-		// handed off would only burn capacity.
-		if len(states) == 0 || (c.disagg && !c.hasActive(RoleDecode)) {
-			c.rejectArrival(rec, r, "cluster", obs.RejectNoReplica)
-			continue
-		}
-		if !c.admission.Admit(r, states) {
-			c.rejectArrival(rec, r, c.admission.Name(), obs.RejectAdmission)
-			continue
-		}
-		c.cfg.Obs.Admission(r.Arrival, r.ID, r.Class, c.admission.Name(), true, obs.RejectNone)
-		idx := c.router.Route(r, states)
-		if idx < 0 || idx >= len(states) {
-			return nil, fmt.Errorf("cluster: router %s returned replica %d of %d",
-				c.router.Name(), idx, len(states))
-		}
-		var stage uint8
-		if c.disagg {
-			stage = 1
-			// The prefill pool serves only the prompt phase: one output
-			// token ends stage 1 and triggers the KV handoff.
-			r.OutputLen = 1
-		}
-		if c.cfg.Obs != nil {
-			c.recordRoute(r.Arrival, r, states, idx, c.router.Name(), stage, false)
-		}
-		target := states[idx].Index
-		rec.Replica = target
-		if err := c.pushTo(target, r); err != nil {
-			return nil, err
-		}
+	}
+	if err := src.finish(); err != nil {
+		return err
 	}
 
 	// All arrivals placed: drain every replica in event order, still
@@ -698,7 +941,7 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 	// fleet and late failures still inject).
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		i, ev := c.events.min()
 		if ct, ok := c.nextControl(); ok && (ev == simtime.Forever || !ev.Before(ct)) {
@@ -708,10 +951,10 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 				break
 			}
 			if err := c.advanceTo(ctx, ct); err != nil {
-				return nil, err
+				return err
 			}
 			if err := c.applyControls(ct); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
@@ -719,11 +962,68 @@ func (c *Cluster) RunContext(ctx context.Context, reqs []workload.Request) (*Rep
 			break
 		}
 		if _, err := c.replicas[i].sim.Step(); err != nil {
-			return nil, err
+			return err
 		}
 		c.refreshEvent(i)
 	}
-	return c.report(), nil
+	return nil
+}
+
+// routeArrival opens one arrival's record and takes it through
+// admission and routing onto a replica, with every replica already
+// advanced to the arrival instant.
+func (c *Cluster) routeArrival(r workload.Request) error {
+	// Stage 1 routes over the prefill pool in a disaggregated cluster,
+	// the whole active fleet otherwise.
+	stage1 := RoleUnified
+	if c.disagg {
+		stage1 = RolePrefill
+	}
+	states := c.routableRole(c.statesBuf[:0], r.Class, stage1)
+	c.statesBuf = states
+
+	rec := c.newRecord(r)
+	// With no routable replica (all failed, draining, or still cold-
+	// starting) the arrival has nowhere to go and is rejected — the
+	// cluster-level 503. A disaggregated arrival also needs a live
+	// decode pool: prefilling a prompt whose cache can never be
+	// handed off would only burn capacity.
+	if len(states) == 0 || (c.disagg && !c.hasActive(RoleDecode)) {
+		c.rejectArrival(rec, r, "cluster", obs.RejectNoReplica)
+		return nil
+	}
+	if !c.admission.Admit(r, states) {
+		c.rejectArrival(rec, r, c.admission.Name(), obs.RejectAdmission)
+		return nil
+	}
+	c.cfg.Obs.Admission(r.Arrival, r.ID, r.Class, c.admission.Name(), true, obs.RejectNone)
+	idx := c.router.Route(r, states)
+	if idx < 0 || idx >= len(states) {
+		return fmt.Errorf("cluster: router %s returned replica %d of %d",
+			c.router.Name(), idx, len(states))
+	}
+	var stage uint8
+	if c.disagg {
+		stage = 1
+		// The prefill pool serves only the prompt phase: one output
+		// token ends stage 1 and triggers the KV handoff.
+		r.OutputLen = 1
+	}
+	if c.cfg.Obs != nil {
+		c.recordRoute(r.Arrival, r, states, idx, c.router.Name(), stage, false)
+	}
+	target := states[idx].Index
+	rec.Replica = target
+	if err := c.pushTo(target, r); err != nil {
+		return err
+	}
+	if c.shards != nil && !c.retain {
+		// Hand the in-flight record to the shard that owns the target
+		// replica, so its completion callback finds it locally.
+		delete(c.inflight, rec.ID)
+		c.shards[target%len(c.shards)].inflight[rec.ID] = rec
+	}
+	return nil
 }
 
 // nextControl returns the earliest pending control event: a
@@ -979,11 +1279,16 @@ func (c *Cluster) failReplica(t simtime.Time, ev workload.FleetEvent) error {
 
 	if ev.Reject {
 		for _, r := range outstanding {
-			c.records[r.ID].Rejected = true
-			c.records[r.ID].Replica = -1
-			c.records[r.ID].RejectReason = obs.RejectFailure.String()
+			rec := c.rec(r.ID)
+			if rec == nil {
+				continue
+			}
+			rec.Rejected = true
+			rec.Replica = -1
+			rec.RejectReason = obs.RejectFailure.String()
 			c.cfg.Obs.Reject(-1, r.ID, r.Class, t, obs.RejectFailure)
 			c.cfg.Obs.OutcomeRejected(r.ID)
+			c.finish(rec)
 		}
 		return nil
 	}
@@ -1010,7 +1315,7 @@ func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request, role Rol
 		router = c.decodeRouter
 	}
 	for _, r := range reqs {
-		rec := &c.records[r.ID]
+		rec := c.rec(r.ID)
 		states := c.routableRole(c.statesBuf[:0], r.Class, role)
 		c.statesBuf = states
 		if len(states) == 0 {
@@ -1019,6 +1324,7 @@ func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request, role Rol
 			rec.RejectReason = obs.RejectNoReplica.String()
 			c.cfg.Obs.Reject(-1, r.ID, r.Class, t, obs.RejectNoReplica)
 			c.cfg.Obs.OutcomeRejected(r.ID)
+			c.finish(rec)
 			continue
 		}
 		idx := router.Route(r, states)
@@ -1034,7 +1340,7 @@ func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request, role Rol
 			c.handoffBytes += bytes
 			c.handoffLink += dur
 			if c.cfg.Obs != nil {
-				c.cfg.Obs.Handoff(int(c.prefillOf[r.ID]), target, r.ID, r.Class, t, dur, bytes)
+				c.cfg.Obs.Handoff(int(c.prefillSrcOf(r.ID)), target, r.ID, r.Class, t, dur, bytes)
 			}
 		}
 		if c.cfg.Obs != nil {
@@ -1108,7 +1414,7 @@ func (c *Cluster) advanceTo(ctx context.Context, t simtime.Time) error {
 func (c *Cluster) refreshEvent(i int) {
 	rep := c.replicas[i]
 	if rep.state == stateRetired || rep.state == stateFailed {
-		c.events.update(i, simtime.Forever)
+		c.setEvent(i, simtime.Forever)
 		return
 	}
 	ev, ok := rep.sim.NextEventTime()
@@ -1120,7 +1426,7 @@ func (c *Cluster) refreshEvent(i int) {
 		}
 		ev = simtime.Forever
 	}
-	c.events.update(i, ev)
+	c.setEvent(i, ev)
 }
 
 // clampReplicas bounds a scaling decision to [lo, hi].

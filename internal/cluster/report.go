@@ -214,31 +214,47 @@ func (c *Cluster) report() *Report {
 	var samples []metrics.LatencySample
 	var promptTokens int64
 	var prefGoodToks, decGoodToks int64
-	for _, rec := range c.records {
-		if rec.Rejected {
-			r.Rejected++
-			continue
+	if c.retain {
+		for _, rec := range c.records {
+			if rec.Rejected {
+				r.Rejected++
+				continue
+			}
+			r.Admitted++
+			if !c.disagg {
+				// A unified record's Replica is its (single) serving slot; a
+				// disaggregated one ends on its decode slot, so per-slot
+				// request counts come from placement counters instead.
+				perReplica[rec.Replica].Requests++
+			} else {
+				slo := c.slos[rec.Class]
+				if !(slo.TTFT > 0 && rec.TTFT() > slo.TTFT) {
+					prefGoodToks += int64(rec.InputLen)
+				}
+				if !(slo.TPOT > 0 && rec.TPOT() > slo.TPOT) {
+					decGoodToks += int64(rec.OutputLen)
+				}
+			}
+			promptTokens += int64(rec.InputLen)
+			samples = append(samples, metrics.LatencySample{
+				Arrival: rec.Arrival, FirstToken: rec.FirstToken,
+				Completed: rec.Completed, OutputTokens: rec.OutputLen,
+			})
 		}
-		r.Admitted++
+	} else {
+		// Streaming mode: the per-record loop already ran online; the
+		// accumulator holds exact counts and token totals.
+		r.Requests = c.accum.Requests()
+		r.Rejected = c.accum.Rejected()
+		r.Admitted = r.Requests - r.Rejected
+		promptTokens = c.accum.PromptTokens()
+		prefGoodToks = c.accum.AttainedPrefillTokens()
+		decGoodToks = c.accum.AttainedDecodeTokens()
 		if !c.disagg {
-			// A unified record's Replica is its (single) serving slot; a
-			// disaggregated one ends on its decode slot, so per-slot
-			// request counts come from placement counters instead.
-			perReplica[rec.Replica].Requests++
-		} else {
-			slo := c.slos[rec.Class]
-			if !(slo.TTFT > 0 && rec.TTFT() > slo.TTFT) {
-				prefGoodToks += int64(rec.InputLen)
-			}
-			if !(slo.TPOT > 0 && rec.TPOT() > slo.TPOT) {
-				decGoodToks += int64(rec.OutputLen)
+			for i, n := range c.routedTo {
+				perReplica[i].Requests = n
 			}
 		}
-		promptTokens += int64(rec.InputLen)
-		samples = append(samples, metrics.LatencySample{
-			Arrival: rec.Arrival, FirstToken: rec.FirstToken,
-			Completed: rec.Completed, OutputTokens: rec.OutputLen,
-		})
 	}
 	if c.disagg {
 		pools := []PoolStats{{Role: RolePrefill.String()}, {Role: RoleDecode.String()}}
@@ -260,12 +276,20 @@ func (c *Cluster) report() *Report {
 		r.Pools = pools
 	}
 	r.PerReplica = perReplica
-	r.Latency = metrics.Latency(samples)
+	if c.retain {
+		r.Latency = metrics.Latency(samples)
+	} else {
+		r.Latency = c.accum.Latency()
+	}
 	if end := r.SimEnd.Seconds(); end > 0 {
 		r.PromptTPS = float64(promptTokens) / end
 	}
 
-	r.Classes = metrics.SummarizeRequests(c.records, c.slos, r.SimEnd)
+	if c.retain {
+		r.Classes = metrics.SummarizeRequests(c.records, c.slos, r.SimEnd)
+	} else {
+		r.Classes = c.accum.Classes(r.SimEnd)
+	}
 	for _, cs := range r.Classes {
 		r.ThroughputTPS += cs.ThroughputTPS
 		r.GoodputTPS += cs.GoodputTPS

@@ -174,6 +174,7 @@ type Simulator struct {
 	kv        *kvcache.Manager
 	scheduler *sched.Scheduler
 	obsFull   bool // cached Options.Obs.Full() for the Step hot path
+	streaming bool // see StreamMetrics
 	collector metrics.Collector
 	schedHost time.Duration // host time spent inside the scheduler
 	wall      time.Duration // accumulated host wall-clock across Steps

@@ -72,6 +72,7 @@ func (s *Simulator) Step() (done bool, err error) {
 	if !ok {
 		// The final Next can still have rejected trailing requests.
 		s.emitRejects()
+		s.trimTerminal()
 		return true, nil
 	}
 
@@ -91,6 +92,7 @@ func (s *Simulator) Step() (done bool, err error) {
 		}
 	}
 	s.emitRejects()
+	s.trimTerminal()
 
 	s.collector.AddIteration(metrics.Iteration{
 		Start:        batch.Time,
@@ -119,6 +121,32 @@ func (s *Simulator) Step() (done bool, err error) {
 		})
 	}
 	return false, nil
+}
+
+// StreamMetrics switches this instance to streaming (totals-only)
+// metrics: the iteration collector keeps exact totals but drops
+// per-iteration records (Report.Buckets becomes nil), and finished or
+// rejected request records are discarded each step once the
+// OnRequestComplete / OnRequestReject hooks have delivered them, so
+// Report.Finished, Report.Rejected, and Report.Latency are empty.
+// SimEnd, PromptTPS, GenTPS, Iterations, and KV stats — everything the
+// cluster layer folds into its streaming accumulators — are unchanged
+// bit for bit. Call it before the first Step.
+func (s *Simulator) StreamMetrics() {
+	s.streaming = true
+	s.collector.Stream()
+}
+
+// trimTerminal drops the delivered finished/rejected records in
+// streaming mode; the hooks are the only consumers there.
+func (s *Simulator) trimTerminal() {
+	if !s.streaming {
+		return
+	}
+	s.scheduler.ResetFinished()
+	s.emittedFinished = 0
+	s.scheduler.ResetRejected()
+	s.emittedRejected = 0
 }
 
 // emitRejects delivers any newly recorded scheduler rejections to the

@@ -25,42 +25,53 @@ type Iteration struct {
 	BatchSize    int
 }
 
-// Collector accumulates iteration and request records.
+// Collector accumulates iteration records. End time and token totals
+// are tracked as running scalars — integer sums, so they are exact and
+// identical whether or not the per-iteration slice is retained — which
+// is what lets Stream drop the slice without perturbing any report
+// field derived from them.
 type Collector struct {
-	iters []Iteration
+	iters     []Iteration
+	streaming bool
+
+	end          simtime.Time
+	promptTokens int64
+	genTokens    int64
 }
 
-// AddIteration appends one iteration record.
-func (c *Collector) AddIteration(it Iteration) { c.iters = append(c.iters, it) }
+// AddIteration folds one iteration into the running totals and, unless
+// the collector is streaming, retains the record for Buckets.
+func (c *Collector) AddIteration(it Iteration) {
+	c.end = it.End
+	c.promptTokens += int64(it.PromptTokens)
+	c.genTokens += int64(it.GenTokens)
+	if !c.streaming {
+		c.iters = append(c.iters, it)
+	}
+}
 
-// Iterations returns the recorded iterations.
+// Stream switches the collector to totals-only accumulation: End,
+// token totals, and MeanThroughput stay exact, but per-iteration
+// records are no longer retained — Iterations and Buckets return nil —
+// so memory stays flat in the iteration count. Any records retained
+// before the switch are dropped (their totals are already folded in).
+func (c *Collector) Stream() {
+	c.streaming = true
+	c.iters = nil
+}
+
+// Iterations returns the recorded iterations (nil after Stream).
 func (c *Collector) Iterations() []Iteration { return c.iters }
 
-// End returns the simulated end time of the run.
-func (c *Collector) End() simtime.Time {
-	if len(c.iters) == 0 {
-		return 0
-	}
-	return c.iters[len(c.iters)-1].End
-}
+// End returns the simulated end time of the run: the End of the last
+// iteration added.
+func (c *Collector) End() simtime.Time { return c.end }
 
 // TotalPromptTokens sums prompt tokens across the run.
-func (c *Collector) TotalPromptTokens() int64 {
-	var n int64
-	for _, it := range c.iters {
-		n += int64(it.PromptTokens)
-	}
-	return n
-}
+func (c *Collector) TotalPromptTokens() int64 { return c.promptTokens }
 
 // TotalGenTokens sums generated tokens across the run.
-func (c *Collector) TotalGenTokens() int64 {
-	var n int64
-	for _, it := range c.iters {
-		n += int64(it.GenTokens)
-	}
-	return n
-}
+func (c *Collector) TotalGenTokens() int64 { return c.genTokens }
 
 // MeanThroughput returns overall prompt and generation token rates in
 // tokens/second over the whole run.

@@ -26,6 +26,46 @@ func TestCollectorTotals(t *testing.T) {
 	}
 }
 
+// TestCollectorStream pins the streaming contract: End, token totals,
+// and MeanThroughput are bit-identical to the retained collector, while
+// per-iteration records (Iterations, Buckets) are dropped.
+func TestCollectorStream(t *testing.T) {
+	var exact, stream Collector
+	stream.Stream()
+	for _, it := range []Iteration{
+		{End: simtime.AtSeconds(0.5), PromptTokens: 100, GenTokens: 1, BatchSize: 3},
+		{End: simtime.AtSeconds(1.5), PromptTokens: 7, GenTokens: 2, BatchSize: 2},
+		{End: simtime.AtSeconds(1.7), GenTokens: 3, BatchSize: 1},
+	} {
+		exact.AddIteration(it)
+		stream.AddIteration(it)
+	}
+	if stream.End() != exact.End() {
+		t.Fatalf("end %v != %v", stream.End(), exact.End())
+	}
+	if stream.TotalPromptTokens() != exact.TotalPromptTokens() ||
+		stream.TotalGenTokens() != exact.TotalGenTokens() {
+		t.Fatal("token totals diverged")
+	}
+	sp, sg := stream.MeanThroughput()
+	ep, eg := exact.MeanThroughput()
+	if sp != ep || sg != eg {
+		t.Fatalf("throughput %v/%v != %v/%v", sp, sg, ep, eg)
+	}
+	if stream.Iterations() != nil || stream.Buckets(simtime.Second) != nil {
+		t.Fatal("streaming collector retained iteration records")
+	}
+	// Switching mid-run drops the retained records but keeps the totals
+	// they already contributed.
+	exact.Stream()
+	if exact.Iterations() != nil {
+		t.Fatal("records survived the switch")
+	}
+	if exact.End() != stream.End() || exact.TotalGenTokens() != stream.TotalGenTokens() {
+		t.Fatal("totals lost in the switch")
+	}
+}
+
 func TestEmptyCollector(t *testing.T) {
 	var c Collector
 	if c.End() != 0 {

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// TestPendingCompaction pins the admitted-prefix shedding in admit():
+// draining a long arrival sequence must not leave the pending slice
+// holding every request ever queued, and the shedding must be invisible
+// to results — every request still finishes exactly once.
+func TestPendingCompaction(t *testing.T) {
+	const n = 4096
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		reqs[i] = req(i, 16, 2, float64(i)*1e-3)
+	}
+	s := newSched(t, Config{}, 1000, reqs...)
+	drain(t, s, simtime.Millisecond)
+	if !s.Done() {
+		t.Fatal("not done")
+	}
+	if len(s.Finished()) != n {
+		t.Fatalf("finished %d of %d", len(s.Finished()), n)
+	}
+	if len(s.pending) >= n {
+		t.Fatalf("pending slice holds %d entries after drain; admitted prefix was never shed", len(s.pending))
+	}
+}
+
+// TestResetTerminalRecords pins the streaming engine's record recycling:
+// Reset{Finished,Rejected} drop the retained slices without disturbing
+// completion accounting, and the scheduler stays usable afterwards.
+func TestResetTerminalRecords(t *testing.T) {
+	s := newSched(t, Config{}, 1000, req(0, 16, 2, 0), req(1, 16, 2, 0))
+	drain(t, s, simtime.Millisecond)
+	if len(s.Finished()) != 2 {
+		t.Fatalf("finished %d", len(s.Finished()))
+	}
+	s.ResetFinished()
+	s.ResetRejected()
+	if len(s.Finished()) != 0 || len(s.Rejected()) != 0 {
+		t.Fatal("reset retained records")
+	}
+	if !s.Done() {
+		t.Fatal("reset must not disturb completion accounting")
+	}
+	if err := s.Push(req(2, 16, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s, simtime.Millisecond)
+	if len(s.Finished()) != 1 || s.Finished()[0].Req.ID != 2 {
+		t.Fatalf("finished after reset: %v", s.Finished())
+	}
+}

@@ -326,8 +326,19 @@ func (s *Scheduler) Iterations() int { return s.iterations }
 // Finished returns the completed requests so far, in completion order.
 func (s *Scheduler) Finished() []Finished { return s.finished }
 
+// ResetFinished discards the retained completion records, recycling
+// the backing array for subsequent completions. The streaming engine
+// calls it each step once the completion hook has delivered every
+// record, so per-replica memory stays flat in the request count;
+// Iterations, Done, and queue accounting are unaffected.
+func (s *Scheduler) ResetFinished() { s.finished = s.finished[:0] }
+
 // Rejected returns the requests refused as unservable, in refusal order.
 func (s *Scheduler) Rejected() []Rejected { return s.rejected }
+
+// ResetRejected discards the retained rejection records — the
+// counterpart to ResetFinished for the rejection hook.
+func (s *Scheduler) ResetRejected() { s.rejected = s.rejected[:0] }
 
 // Done reports whether all requests have completed (or been rejected).
 func (s *Scheduler) Done() bool {
@@ -621,6 +632,16 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 				s.cfg.Obs.FirstToken(s.cfg.ObsReplica, r.ID, s.clock)
 			}
 		}
+	}
+	// Shed the admitted prefix once it dominates the slice. The region
+	// below cursor is never read again, so this is invisible to every
+	// accessor, but without it a streamed run's pending array grows with
+	// every request ever pushed rather than with the standing backlog.
+	// The half-full threshold amortizes the copy to O(1) per admission.
+	if s.cursor >= 1024 && s.cursor*2 >= len(s.pending) {
+		n := copy(s.pending, s.pending[s.cursor:])
+		s.pending = s.pending[:n]
+		s.cursor = 0
 	}
 }
 

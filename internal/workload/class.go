@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -106,67 +105,16 @@ func (r Ramp) factor(t, over float64) float64 {
 // class with probability proportional to its rate and draws lengths from
 // that class's distribution. The result is in arrival order with IDs
 // 0..n-1, and is deterministic for a given (classes, n, ramp, seed).
+//
+// This is the collect-from-stream wrapper over MultiClassStream; the
+// streaming path and the materialized path share one generator, so the
+// same seed yields the same sequence either way.
 func MultiClassTrace(classes []Class, n int, ramp Ramp, seed int64) ([]Request, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
-	}
-	if len(classes) == 0 {
-		return nil, fmt.Errorf("workload: no traffic classes")
-	}
-	seen := map[string]bool{}
-	total := 0.0
-	for _, c := range classes {
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
-		if seen[c.Name] {
-			return nil, fmt.Errorf("workload: duplicate class %q", c.Name)
-		}
-		seen[c.Name] = true
-		total += c.Rate
-	}
-	if err := ramp.Validate(); err != nil {
+	s, err := NewMultiClassStream(classes, n, ramp, seed)
+	if err != nil {
 		return nil, err
 	}
-	over := float64(ramp.Over) / float64(simtime.Second)
-	if over == 0 {
-		over = float64(n) / total // expected unramped span
-	}
-
-	// Arrival times live in int64 picoseconds; vanishingly small rates
-	// would overflow that range (or reach +Inf) and wrap into negative
-	// arrivals, so the generator fails fast instead.
-	maxTraceSeconds := float64(math.MaxInt64) / float64(simtime.Second)
-
-	rng := rand.New(rand.NewSource(seed))
-	reqs := make([]Request, n)
-	t := 0.0
-	for i := range reqs {
-		rate := total * ramp.factor(t, over)
-		t += rng.ExpFloat64() / rate
-		if !(t < maxTraceSeconds) {
-			return nil, fmt.Errorf("workload: arrival time overflow at request %d (total rate %g too low for the simulated-time range)", i, total)
-		}
-
-		// Pick the class in declaration order by cumulative rate.
-		u := rng.Float64() * total
-		cls := classes[len(classes)-1]
-		for _, c := range classes {
-			if u < c.Rate {
-				cls = c
-				break
-			}
-			u -= c.Rate
-		}
-		in, out := cls.Dist.Sample(rng)
-		reqs[i] = Request{
-			ID: i, Class: cls.Name,
-			InputLen: in + cls.PrefixLen, OutputLen: out,
-			PrefixLen: cls.PrefixLen,
-			Arrival:   simtime.AtSeconds(t),
-		}
-	}
-	return reqs, nil
+	return Collect(s)
 }
 
 // ClassNames returns the distinct class names present in the trace, in

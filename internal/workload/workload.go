@@ -114,22 +114,14 @@ func Fixed(in, out int) LengthDist {
 // PoissonTrace draws n requests with lengths from dist and exponential
 // inter-arrival gaps at the given mean rate (requests per second). The
 // result is sorted by arrival time and IDs are assigned in arrival order.
+// It is the collect-from-stream wrapper over PoissonStream, so the
+// streaming and materialized paths share one generator.
 func PoissonTrace(dist LengthDist, n int, ratePerSec float64, seed int64) ([]Request, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
+	s, err := NewPoissonStream(dist, n, ratePerSec, seed)
+	if err != nil {
+		return nil, err
 	}
-	if ratePerSec <= 0 {
-		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", ratePerSec)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	reqs := make([]Request, n)
-	t := 0.0
-	for i := range reqs {
-		t += rng.ExpFloat64() / ratePerSec
-		in, out := dist.Sample(rng)
-		reqs[i] = Request{ID: i, InputLen: in, OutputLen: out, Arrival: simtime.AtSeconds(t)}
-	}
-	return reqs, nil
+	return Collect(s)
 }
 
 // BurstTrace returns n requests that all arrive at time zero, the setup
