@@ -918,7 +918,31 @@ type ClusterReport struct {
 	// scenario ran with a Telemetry recorder.
 	Regret *RegretSummary
 
+	// Sessions summarises multi-turn conversation traffic — nil unless
+	// the trace carried session identity (see NewPopulationStream).
+	Sessions *SessionStats
+
 	inner *cluster.Report
+}
+
+// SessionStats aggregates multi-turn session traffic: conversation
+// counts, the first- vs later-turn TTFT split (later turns ride the
+// session's cached prefix), and session-level goodput.
+type SessionStats struct {
+	Sessions  int // distinct sessions observed
+	Completed int // sessions whose every turn was served
+	Attained  int // completed sessions with every turn within SLO
+
+	Turns         int // session turns observed (admitted + rejected)
+	TurnsRejected int
+
+	FirstTurnTTFT DistStats // over completed first turns
+	LaterTurnTTFT DistStats // over completed turns >= 2
+
+	OutputTokens int64 // generated by completed session turns
+	// GoodputTPS is the session-level goodput: output tokens of
+	// fully-SLO-attained sessions per second of simulated time.
+	GoodputTPS float64
 }
 
 // PeakReplicas returns the largest committed fleet size over the run.
@@ -977,6 +1001,19 @@ func wrapClusterReport(rep *cluster.Report) *ClusterReport {
 	if rep.Regret != nil {
 		s := RegretSummary(*rep.Regret)
 		out.Regret = &s
+	}
+	if rep.Sessions != nil {
+		out.Sessions = &SessionStats{
+			Sessions:      rep.Sessions.Sessions,
+			Completed:     rep.Sessions.Completed,
+			Attained:      rep.Sessions.Attained,
+			Turns:         rep.Sessions.Turns,
+			TurnsRejected: rep.Sessions.TurnsRejected,
+			FirstTurnTTFT: DistStats(rep.Sessions.FirstTurnTTFT),
+			LaterTurnTTFT: DistStats(rep.Sessions.LaterTurnTTFT),
+			OutputTokens:  rep.Sessions.OutputTokens,
+			GoodputTPS:    rep.Sessions.GoodputTPS,
+		}
 	}
 	for _, cs := range rep.Classes {
 		out.Classes = append(out.Classes, ClassStats{

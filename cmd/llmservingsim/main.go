@@ -107,6 +107,10 @@ func main() {
 		stream       = flag.Bool("stream", false, "pull -classes arrivals from the generator and stream per-request metrics: memory stays flat in the request count (enables the cluster layer)")
 		shards       = flag.Int("shards", 0, "cluster mode: fan replica stepping over N worker goroutines, byte-identical to sequential (static unified fleets; enables the cluster layer)")
 		rampSpec     = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] for -classes traffic")
+		popSpec      = flag.String("population", "", "client population clients:rate_dist:skew[:diurnal_amp:diurnal_period_s[:burst_factor:burst_frac:burst_mean_s]] generating session traffic over -classes (enables the cluster layer)")
+		sessSpecFlag = flag.String("sessions", "", "session structure mean_turns:think_mean_s:think_sigma[:max_context] for -population traffic (default 4:10:0.6:4096)")
+		replayPath   = flag.String("replay", "", "replay a recorded trace file as the arrival source (versioned format; -classes still supplies SLO targets; enables the cluster layer)")
+		recordPath   = flag.String("record-trace", "", "record the arrival stream to a versioned replay trace file")
 		fleetSpec    = flag.String("fleet", "", "heterogeneous fleet COUNTxMODEL[@HARDWARE][:PERFMODEL][#ROLE],... (enables the cluster layer; #prefill/#decode pools disaggregate; see -list-hardware)")
 
 		scaleTick    = flag.Duration("scale-tick", 10*time.Second, "autoscaler evaluation interval (simulated time)")
@@ -259,10 +263,49 @@ func main() {
 		}
 	}
 
+	var pop llmservingsim.PopulationSpec
+	sessions := llmservingsim.DefaultSessionSpec()
+	if *sessSpecFlag != "" && *popSpec == "" {
+		fatal(fmt.Errorf("-sessions structures -population traffic; give -population too"))
+	}
+	if *popSpec != "" {
+		if *classSpec == "" {
+			fatal(fmt.Errorf("-population apportions clients over -classes traffic; give -classes too"))
+		}
+		var err error
+		if pop, err = llmservingsim.ParsePopulation(*popSpec); err != nil {
+			fatal(err)
+		}
+		if *sessSpecFlag != "" {
+			if sessions, err = llmservingsim.ParseSessionSpec(*sessSpecFlag); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
 	var trace []llmservingsim.Request
 	var arrivals llmservingsim.RequestStream
 	var err error
 	switch {
+	case *replayPath != "" && *stream:
+		var rs *llmservingsim.ReplayStream
+		if rs, err = llmservingsim.OpenReplayTrace(*replayPath); err == nil {
+			defer rs.Close()
+			arrivals = rs
+			if *progress > 0 {
+				arrivals = &progressStream{inner: rs, every: *progress}
+			}
+		}
+	case *replayPath != "":
+		trace, err = llmservingsim.LoadReplayTrace(*replayPath)
+	case *stream && *popSpec != "":
+		var ps *llmservingsim.PopulationStream
+		if ps, err = llmservingsim.NewPopulationStream(classes, pop, sessions, *synthN, *seed); err == nil {
+			arrivals = ps
+			if *progress > 0 {
+				arrivals = &progressStream{inner: ps, every: *progress, target: ps.Target()}
+			}
+		}
 	case *stream:
 		if *classSpec == "" {
 			err = fmt.Errorf("-stream requires -classes traffic (the generator is the stream)")
@@ -275,6 +318,8 @@ func main() {
 				arrivals = &progressStream{inner: ms, every: *progress, target: ms.Target()}
 			}
 		}
+	case *popSpec != "":
+		trace, err = llmservingsim.PopulationTrace(classes, pop, sessions, *synthN, *seed)
 	case *dataset != "":
 		trace, err = llmservingsim.LoadTrace(*dataset)
 	case *classSpec != "":
@@ -284,11 +329,37 @@ func main() {
 	case *synth == "alpaca":
 		trace, err = llmservingsim.AlpacaTrace(*synthN, *synthRate, *seed)
 	default:
-		err = fmt.Errorf("provide -dataset FILE, -classes SPEC, or -synth sharegpt|alpaca")
+		err = fmt.Errorf("provide -dataset FILE, -classes SPEC, -population SPEC, -replay FILE, or -synth sharegpt|alpaca")
 	}
 	if err != nil {
 		fatal(err)
 	}
+
+	var recordClose func() error
+	if *recordPath != "" {
+		gen := generatorFingerprint()
+		if arrivals != nil {
+			// Streaming source: tee every request as the engine pulls it.
+			rec, closeFn, err := llmservingsim.RecordReplayFile(*recordPath, arrivals, gen)
+			if err != nil {
+				fatal(err)
+			}
+			arrivals, recordClose = rec, closeFn
+		} else {
+			if err := llmservingsim.SaveReplayTrace(*recordPath, trace, gen); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "recorded %d requests to %s\n", len(trace), *recordPath)
+		}
+	}
+	defer func() {
+		if recordClose != nil {
+			if err := recordClose(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "recorded trace to %s\n", *recordPath)
+		}
+	}()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -339,7 +410,7 @@ func main() {
 	}()
 
 	if *replicas > 1 || len(fleet) > 0 || len(fleetEvents) > 0 || autoscaler != llmservingsim.ScaleNone ||
-		*stream || *shards > 1 {
+		*stream || *shards > 1 || *popSpec != "" || *replayPath != "" {
 		sc := llmservingsim.ClusterScenario{
 			Name:               "cli",
 			Config:             cfg,
@@ -521,6 +592,15 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 	fmt.Printf("mean latency     %.3f s (p50 %.3f, p95 %.3f, p99 %.3f, ttft %.3f, tpot %.4f)\n",
 		rep.Latency.MeanSec, rep.Latency.P50Sec, rep.Latency.P95Sec, rep.Latency.P99Sec,
 		rep.Latency.TTFTSec, rep.Latency.TPOTSec)
+	if ss := rep.Sessions; ss != nil {
+		fmt.Printf("sessions         %d (%d completed, %d attained), %d turns (%d rejected)\n",
+			ss.Sessions, ss.Completed, ss.Attained, ss.Turns, ss.TurnsRejected)
+		fmt.Printf("session ttft     turn 1 p50 %.3fs p99 %.3fs, later turns p50 %.3fs p99 %.3fs\n",
+			ss.FirstTurnTTFT.P50Sec, ss.FirstTurnTTFT.P99Sec,
+			ss.LaterTurnTTFT.P50Sec, ss.LaterTurnTTFT.P99Sec)
+		fmt.Printf("session goodput  %.1f tok/s (%d tokens from completed turns)\n",
+			ss.GoodputTPS, ss.OutputTokens)
+	}
 	if rg := rep.Regret; rg != nil {
 		fmt.Printf("routing regret   %d/%d decisions regretful (%.1f %%), mean %.4f s, max %.4f s\n",
 			rg.Regretful, rg.Decisions, 100*rg.RegretfulFrac(), rg.MeanRegretSec, rg.MaxRegretSec)
@@ -576,6 +656,23 @@ func runCluster(ctx context.Context, sc llmservingsim.ClusterScenario, output st
 		}
 		fmt.Printf("wrote %s\n", strings.Join(names, ", "))
 	}
+}
+
+// generatorFingerprint renders the workload-shaping flags the user set
+// into the replay-trace header, so a recorded trace names the exact
+// generator configuration that produced it. flag.Visit iterates in
+// lexical order, so the fingerprint is deterministic for a given
+// command line.
+func generatorFingerprint() string {
+	parts := []string{"llmservingsim", "v" + llmservingsim.Version}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "classes", "dataset", "population", "ramp", "replay", "requests",
+			"seed", "sessions", "stream", "synth", "synth-n", "synth-rate":
+			parts = append(parts, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	return strings.Join(parts, " ")
 }
 
 // progressStream decorates an arrival stream with request-count

@@ -1,42 +1,54 @@
-// Command tracegen synthesises request traces in the artifact's TSV
-// format: ShareGPT-like conversational traffic, Alpaca-like instruction
-// traffic, or fixed-shape batches, with Poisson or burst arrivals.
-// Multi-class traffic mixes several classes into one trace (adding a
-// "class" column) and can ramp the arrival rate for saturation scans.
+// Command tracegen synthesises request traces in the versioned replay
+// format (a "#repro-trace v1 generator=..." header over the artifact's
+// TSV columns): ShareGPT-like conversational traffic, Alpaca-like
+// instruction traffic, or fixed-shape batches, with Poisson or burst
+// arrivals. Multi-class traffic mixes several classes into one trace
+// and can ramp the arrival rate for saturation scans; -population adds
+// a ServeGen-style client layer generating multi-turn session traffic
+// over the classes. Feed the output back with llmservingsim -replay.
 //
 // Examples:
 //
 //	tracegen -dist sharegpt -n 256 -rate 5 -seed 7 -o trace.tsv
 //	tracegen -classes "chat:sharegpt:3:1000:80,api:alpaca:9:500:50" \
 //	    -ramp 0.5:2:120 -n 1024 -o mixed.tsv
+//	tracegen -classes "chat:sharegpt:3:1000:80:256" \
+//	    -population 200:zipf:1.2 -sessions 4:10:0.6 -n 4096 -o sessions.tsv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		dist    = flag.String("dist", "sharegpt", "length distribution: sharegpt|alpaca|fixed")
-		classes = flag.String("classes", "", "multi-class spec name:dist:rate[:ttft_ms[:tpot_ms]],... (overrides -dist/-rate)")
-		ramp    = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] (multi-class only)")
-		n       = flag.Int("n", 256, "request count")
-		rate    = flag.Float64("rate", 4, "Poisson arrival rate in requests/second (0 = burst at t=0)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		in      = flag.Int("in", 512, "input tokens (fixed distribution)")
-		out     = flag.Int("out", 128, "output tokens (fixed distribution)")
-		o       = flag.String("o", "", "output TSV path (default stdout)")
-		show    = flag.Bool("stats", false, "print trace statistics to stderr")
+		dist     = flag.String("dist", "sharegpt", "length distribution: sharegpt|alpaca|fixed")
+		classes  = flag.String("classes", "", "multi-class spec name:dist:rate[:ttft_ms[:tpot_ms[:prefix_toks]]],... (overrides -dist/-rate)")
+		ramp     = flag.String("ramp", "", "arrival-rate ramp from:to[:over_s] (multi-class only)")
+		popSpec  = flag.String("population", "", "client population clients:rate_dist:skew[:diurnal_amp:diurnal_period_s[:burst_factor:burst_frac:burst_mean_s]] generating session traffic over -classes")
+		sessSpec = flag.String("sessions", "", "session structure mean_turns:think_mean_s:think_sigma[:max_context] for -population traffic (default 4:10:0.6:4096)")
+		n        = flag.Int("n", 256, "request count")
+		rate     = flag.Float64("rate", 4, "Poisson arrival rate in requests/second (0 = burst at t=0)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		in       = flag.Int("in", 512, "input tokens (fixed distribution)")
+		out      = flag.Int("out", 128, "output tokens (fixed distribution)")
+		o        = flag.String("o", "", "output trace path (default stdout)")
+		show     = flag.Bool("stats", false, "print trace statistics to stderr")
 	)
 	flag.Parse()
 
 	var reqs []workload.Request
 	var err error
 	switch {
+	case *popSpec != "":
+		reqs, err = populationTrace(*classes, *popSpec, *sessSpec, *n, *seed)
+	case *sessSpec != "":
+		err = fmt.Errorf("-sessions requires -population")
 	case *classes != "":
 		reqs, err = multiClassTrace(*classes, *ramp, *n, *seed)
 	case *ramp != "":
@@ -72,13 +84,52 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := workload.WriteTSV(w, reqs); err != nil {
+	if err := workload.WriteReplayTrace(w, reqs, generatorFingerprint()); err != nil {
 		fatal(err)
 	}
 }
 
+// generatorFingerprint renders the flags the user set into the trace
+// header, so every emitted trace names the generator configuration
+// that produced it. flag.Visit iterates in lexical order, so the
+// fingerprint is deterministic for a given command line.
+func generatorFingerprint() string {
+	parts := []string{"tracegen", fmt.Sprintf("format=v%d", workload.ReplayVersion)}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "o" || f.Name == "stats" {
+			return // output plumbing, not generator configuration
+		}
+		parts = append(parts, "-"+f.Name+"="+f.Value.String())
+	})
+	return strings.Join(parts, " ")
+}
+
+// populationTrace layers a client population with multi-turn sessions
+// over the spec'd classes — the same generator llmservingsim
+// -population uses.
+func populationTrace(classSpec, popSpec, sessSpec string, n int, seed int64) ([]workload.Request, error) {
+	if classSpec == "" {
+		return nil, fmt.Errorf("-population requires -classes")
+	}
+	cs, err := workload.ParseClasses(classSpec)
+	if err != nil {
+		return nil, err
+	}
+	pop, err := workload.ParsePopulation(popSpec)
+	if err != nil {
+		return nil, err
+	}
+	sess := workload.DefaultSessionSpec()
+	if sessSpec != "" {
+		if sess, err = workload.ParseSessionSpec(sessSpec); err != nil {
+			return nil, err
+		}
+	}
+	return workload.PopulationTrace(cs, pop, sess, n, seed)
+}
+
 // multiClassTrace mixes the spec'd classes, optionally under a rate
-// ramp — the same generator cluster simulations use, so generated TSV
+// ramp — the same generator cluster simulations use, so generated
 // traces express mixed traffic without the cluster API.
 func multiClassTrace(classSpec, rampSpec string, n int, seed int64) ([]workload.Request, error) {
 	cs, err := workload.ParseClasses(classSpec)

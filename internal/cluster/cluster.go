@@ -512,6 +512,7 @@ func (c *Cluster) newRecord(r workload.Request) *metrics.RequestRecord {
 			ID: r.ID, Class: r.Class, Replica: -1,
 			InputLen: r.InputLen, OutputLen: r.OutputLen,
 			Arrival: r.Arrival,
+			Session: r.Session, Turn: r.Turn, SessionTurns: r.SessionTurns,
 		})
 		if c.disagg {
 			c.prefillOf = append(c.prefillOf, 0)
@@ -529,6 +530,7 @@ func (c *Cluster) newRecord(r workload.Request) *metrics.RequestRecord {
 		ID: r.ID, Class: r.Class, Replica: -1,
 		InputLen: r.InputLen, OutputLen: r.OutputLen,
 		Arrival: r.Arrival,
+		Session: r.Session, Turn: r.Turn, SessionTurns: r.SessionTurns,
 	}
 	c.inflight[r.ID] = rec
 	return rec
@@ -979,7 +981,7 @@ func (c *Cluster) routeArrival(r workload.Request) error {
 	if c.disagg {
 		stage1 = RolePrefill
 	}
-	states := c.routableRole(c.statesBuf[:0], r.Class, stage1)
+	states := c.routableRole(c.statesBuf[:0], r.CacheKey(), stage1)
 	c.statesBuf = states
 
 	rec := c.newRecord(r)
@@ -1316,7 +1318,7 @@ func (c *Cluster) redistribute(t simtime.Time, reqs []workload.Request, role Rol
 	}
 	for _, r := range reqs {
 		rec := c.rec(r.ID)
-		states := c.routableRole(c.statesBuf[:0], r.Class, role)
+		states := c.routableRole(c.statesBuf[:0], r.CacheKey(), role)
 		c.statesBuf = states
 		if len(states) == 0 {
 			rec.Rejected = true
@@ -1539,13 +1541,16 @@ func (c *Cluster) hasActive(role Role) bool {
 // routableRole appends the routing- and admission-visible state of
 // every active replica of the given role to states, in slot order.
 // ReplicaState.Index carries the global slot, so routers index the
-// returned slice and the cluster maps the choice back.
+// returned slice and the cluster maps the choice back. cacheKey is the
+// arriving request's prefix cache key (Request.CacheKey: the session
+// key for conversation traffic, the class name otherwise), used to
+// surface per-replica cached-prefix depth to prefix-affinity routers.
 //
 // Slots are append-only, so this scan is O(slots ever created), not
 // O(active) — fine for the fleets the scale benchmarks pin (hundreds
 // of slots over a run); an active-index list would pay bookkeeping on
 // every lifecycle transition to speed up a loop of cheap field reads.
-func (c *Cluster) routableRole(states []ReplicaState, class string, role Role) []ReplicaState {
+func (c *Cluster) routableRole(states []ReplicaState, cacheKey string, role Role) []ReplicaState {
 	for i, rep := range c.replicas {
 		if rep.state != stateActive || rep.role != role {
 			continue
@@ -1556,10 +1561,10 @@ func (c *Cluster) routableRole(states []ReplicaState, class string, role Role) [
 			QueuedRequests: rep.sim.QueuedRequests(),
 			Clock:          rep.sim.Clock(),
 		}
-		if class != "" {
-			s.PrefixTokens = rep.sim.PrefixCachedTokens(class)
+		if cacheKey != "" {
+			s.PrefixTokens = rep.sim.PrefixCachedTokens(cacheKey)
 			if c.cfg.Obs != nil {
-				s.DevicePrefixTokens = rep.sim.DevicePrefixCachedTokens(class)
+				s.DevicePrefixTokens = rep.sim.DevicePrefixCachedTokens(cacheKey)
 			}
 		}
 		states = append(states, s)

@@ -78,6 +78,73 @@ func BenchmarkMillionRequest(b *testing.B) {
 	}
 }
 
+// sessionBenchSpecs drive the client/session layer at scale: a large
+// heavy-tailed population holding ~4-turn conversations over two
+// prefix-carrying classes, saturating the fleet like millionClasses.
+func sessionBenchClasses() []workload.Class {
+	return []workload.Class{
+		{Name: "chat", Dist: workload.Fixed(96, 32), Rate: 1200, PrefixLen: 64},
+		{Name: "api", Dist: workload.Fixed(48, 16), Rate: 400, PrefixLen: 32},
+	}
+}
+
+// BenchmarkSessionStream measures the session workload path end to
+// end: the population generator (heap of per-client arrival processes,
+// diurnal/burst modulation, per-conversation context growth) pulled
+// through the streaming engine with session metrics accumulating in
+// the per-request sketches. 100k session requests over 64 roofline
+// replicas under prefix-affinity routing, so per-conversation prefix
+// keys exercise the router's cache probes as well. Tracked in
+// BENCH_hotpath.json like the other scale benchmarks.
+func BenchmarkSessionStream(b *testing.B) {
+	const (
+		replicas = 64
+		n        = 100000
+	)
+	classes := sessionBenchClasses()
+	pop := workload.Population{
+		Clients: 2000, RateDist: "zipf", Skew: 1.1,
+		DiurnalAmp: 0.3, DiurnalPeriod: 600,
+		BurstFactor: 3, BurstFrac: 0.1, BurstMean: 30,
+	}
+	sess := workload.SessionSpec{MeanTurns: 4, ThinkMean: 5, ThinkSigma: 0.6, MaxContext: 512}
+	factory := backendReplicaFactory(b, "roofline")
+	b.Run(fmt.Sprintf("replicas=%d/reqs=%d", replicas, n), func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := NewRouter(RouterPrefixAffinity)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := New(Config{
+				Replicas:      replicas,
+				NewReplica:    factory,
+				Router:        r,
+				Classes:       classes,
+				StreamMetrics: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := workload.NewPopulationStream(classes, pop, sess, n, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := c.RunStream(context.Background(), s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Requests != n {
+				b.Fatalf("saw %d of %d requests", rep.Requests, n)
+			}
+			if rep.Sessions == nil || rep.Sessions.Sessions == 0 {
+				b.Fatal("streaming run produced no session summary")
+			}
+		}
+	})
+}
+
 // BenchmarkShardedCluster tracks the coordination cost of the
 // epoch-barrier sharded loop: the same saturated 16-replica roofline
 // run at 1, 2, and 8 shards. shards=1 takes the sequential path, so

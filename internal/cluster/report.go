@@ -134,6 +134,11 @@ type Report struct {
 	// cluster ran with a telemetry recorder): token regret converts to
 	// seconds at each chosen replica's realized serving rate.
 	Regret *obs.RegretSummary
+
+	// Sessions summarises multi-turn conversation traffic (nil unless
+	// the trace carried session identity): first- vs later-turn TTFT
+	// and session-level goodput.
+	Sessions *metrics.SessionSummary
 }
 
 // report assembles the final Report from the records and replicas.
@@ -287,8 +292,10 @@ func (c *Cluster) report() *Report {
 
 	if c.retain {
 		r.Classes = metrics.SummarizeRequests(c.records, c.slos, r.SimEnd)
+		r.Sessions = metrics.SummarizeSessions(c.records, c.slos, r.SimEnd)
 	} else {
 		r.Classes = c.accum.Classes(r.SimEnd)
+		r.Sessions = c.accum.Sessions(r.SimEnd)
 	}
 	for _, cs := range r.Classes {
 		r.ThroughputTPS += cs.ThroughputTPS

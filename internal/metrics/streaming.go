@@ -54,6 +54,10 @@ type RequestAccumulator struct {
 	promptTokens    int64
 	attainedPrefill int64 // input tokens of TTFT-attained completions
 	attainedDecode  int64 // output tokens of TPOT-attained completions
+
+	// Session-level aggregate (sessions.go); empty unless records carry
+	// session identity.
+	sessions sessionAccum
 }
 
 // NewRequestAccumulator returns an accumulator scoring attainment
@@ -73,6 +77,7 @@ func (a *RequestAccumulator) class(name string) *classAccum {
 
 // Observe folds one terminal record into the aggregate.
 func (a *RequestAccumulator) Observe(r *RequestRecord) {
+	a.observeSession(r)
 	c := a.class(r.Class)
 	c.requests++
 	if r.Rejected {
@@ -160,6 +165,7 @@ func (a *RequestAccumulator) Merge(o *RequestAccumulator) {
 	a.promptTokens += o.promptTokens
 	a.attainedPrefill += o.attainedPrefill
 	a.attainedDecode += o.attainedDecode
+	a.mergeSessions(o)
 }
 
 // Requests returns total arrivals observed.

@@ -589,10 +589,10 @@ func (s *Scheduler) admit(ops *[]PageOp) {
 		}
 		st := &reqState{req: r}
 		if s.cfg.Prefix {
-			if !s.kv.CanAdmitWithPrefix(r.InputLen, r.Class, r.PrefixLen) {
+			if !s.kv.CanAdmitWithPrefix(r.InputLen, r.CacheKey(), r.PrefixLen) {
 				break
 			}
-			res, err := s.kv.AdmitWithPrefix(r.ID, r.InputLen, r.Class, r.PrefixLen)
+			res, err := s.kv.AdmitWithPrefix(r.ID, r.InputLen, r.CacheKey(), r.PrefixLen)
 			if err != nil {
 				break
 			}

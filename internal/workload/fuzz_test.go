@@ -191,6 +191,75 @@ func FuzzParseRamp(f *testing.F) {
 	})
 }
 
+// FuzzParseReplayTrace drives the versioned replay parser: malformed
+// headers, versions, and rows must be rejected with line-anchored
+// errors; anything accepted must validate, stay arrival-ordered, and
+// round-trip byte-identically through the current writer.
+func FuzzParseReplayTrace(f *testing.F) {
+	const header = "#repro-trace v1 generator=fuzz\n" +
+		"input_toks\toutput_toks\tarrival_ps\tclass\tprefix_toks\tprefix_key\tsession\tturn\tturns\n"
+	seeds := []string{
+		header + "207\t119\t412803566863\tchat\t0\t-\t0\t0\t0\n",
+		header + "10\t5\t0\t-\t0\t-\t0\t0\t0\n10\t5\t0\t-\t0\t-\t0\t0\t0\n",
+		header + "10\t5\t1000\tchat\t4\tchat#s1\t1\t1\t3\n12\t6\t2000\tchat\t9\tchat#s1\t1\t2\t3\n",
+		header,
+		"#repro-trace v2 generator=future\n",
+		"#repro-trace v1\n",
+		"#repro-trace vNaN generator=g\n" + header,
+		"input_toks\toutput_toks\tarrival_ps\n1\t1\t0\n",
+		header + "10\t5\t-1\tchat\t0\t-\t0\t0\t0\n",
+		header + "10\t5\t1000\tchat\t99\t-\t0\t0\t0\n",
+		header + "10\t5\t1000\tchat\t0\t-\t0\t2\t1\n",
+		header + "10\t5\t2000\t-\t0\t-\t0\t0\t0\n10\t5\t1000\t-\t0\t-\t0\t0\t0\n",
+		header + "99999999999999\t1\t0\t-\t0\t-\t0\t0\t0\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ParseReplayTrace(bytes.NewReader(data))
+		if err != nil {
+			// Rejections must be anchored to a trace line so corpus
+			// failures in CI point at the offending row.
+			if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "reading replay trace") {
+				t.Fatalf("rejection not line-anchored: %v", err)
+			}
+			return
+		}
+		var prev Request
+		for i, r := range reqs {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("accepted invalid request %d: %v", i, err)
+			}
+			if r.ID != i {
+				t.Fatalf("request %d assigned ID %d", i, r.ID)
+			}
+			if i > 0 && r.Arrival < prev.Arrival {
+				t.Fatalf("accepted out-of-order arrival at %d", i)
+			}
+			prev = r
+		}
+		// Accepted traces must round-trip through the writer exactly.
+		var buf bytes.Buffer
+		if err := WriteReplayTrace(&buf, reqs, "fuzz"); err != nil {
+			t.Fatalf("re-writing accepted trace: %v", err)
+		}
+		again, err := ParseReplayTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip %d -> %d requests", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if reqs[i] != again[i] {
+				t.Fatalf("round trip changed request %d: %+v != %+v", i, reqs[i], again[i])
+			}
+		}
+	})
+}
+
 func FuzzParseFleetEvents(f *testing.F) {
 	seeds := []string{
 		"fail@30:2", "fail@30:2:reject", "fail@1:0:requeue",

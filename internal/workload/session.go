@@ -1,0 +1,577 @@
+package workload
+
+// ServeGen-style client populations and multi-turn sessions: instead of
+// a single Poisson process per class, traffic comes from a Population of
+// clients with heavy-tailed per-client rates (Zipf or lognormal),
+// per-client diurnal modulation and burst episodes, and multi-turn
+// Sessions whose growing context feeds Request.PrefixLen — so prefix
+// caching sees per-conversation lineage chains, not just the static
+// class prefix. The generator is a Stream (pull-based, arrival-ordered,
+// flat memory), and PopulationTrace is its collect wrapper, keeping the
+// streaming and materialized paths byte-identical per seed.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Population describes the client population a session workload draws
+// from. Clients are apportioned to traffic classes by rate share, each
+// carrying a heavy-tailed share of its class's session-initiation rate
+// plus optional diurnal and burst rate modulation.
+type Population struct {
+	Clients  int
+	RateDist string  // per-client rate distribution: "zipf" | "lognormal"
+	Skew     float64 // zipf exponent, or lognormal sigma
+
+	// Diurnal modulation: the instantaneous client rate is scaled by
+	// 1 + Amp*sin(2*pi*(t+phase)/Period) with a per-client phase.
+	// Amp 0 disables; Period is in simulated seconds.
+	DiurnalAmp    float64
+	DiurnalPeriod float64
+
+	// Burst episodes: a two-state on/off process per client. The client
+	// spends fraction BurstFrac of time in burst episodes of mean length
+	// BurstMean seconds, during which its rate is multiplied by
+	// BurstFactor; the off/on rates are renormalised so the long-run
+	// mean rate is unchanged. BurstFrac 0 disables.
+	BurstFactor float64
+	BurstFrac   float64
+	BurstMean   float64
+}
+
+// Validate reports an error if the population spec is malformed, with
+// field-anchored messages (see Class.Validate for why NaN needs the
+// negated comparisons).
+func (p Population) Validate() error {
+	if p.Clients <= 0 {
+		return fmt.Errorf("workload: population: clients: want a positive count, got %d", p.Clients)
+	}
+	if p.RateDist != "zipf" && p.RateDist != "lognormal" {
+		return fmt.Errorf("workload: population: rate_dist: want zipf|lognormal, got %q", p.RateDist)
+	}
+	if !(p.Skew >= 0) || math.IsInf(p.Skew, 1) {
+		return fmt.Errorf("workload: population: skew: want a finite non-negative value, got %g", p.Skew)
+	}
+	if !(p.DiurnalAmp >= 0) || p.DiurnalAmp >= 1 {
+		return fmt.Errorf("workload: population: diurnal_amp: want a value in [0,1), got %g", p.DiurnalAmp)
+	}
+	if p.DiurnalAmp > 0 && (!(p.DiurnalPeriod > 0) || math.IsInf(p.DiurnalPeriod, 1)) {
+		return fmt.Errorf("workload: population: diurnal_period: want a positive finite period in seconds, got %g", p.DiurnalPeriod)
+	}
+	if p.DiurnalAmp == 0 && (math.IsNaN(p.DiurnalPeriod) || p.DiurnalPeriod < 0) {
+		return fmt.Errorf("workload: population: diurnal_period: want a finite non-negative period in seconds, got %g", p.DiurnalPeriod)
+	}
+	if !(p.BurstFrac >= 0) || p.BurstFrac >= 1 {
+		return fmt.Errorf("workload: population: burst_frac: want a value in [0,1), got %g", p.BurstFrac)
+	}
+	if p.BurstFrac > 0 {
+		if !(p.BurstFactor >= 1) || math.IsInf(p.BurstFactor, 1) {
+			return fmt.Errorf("workload: population: burst_factor: want a finite multiplier >= 1, got %g", p.BurstFactor)
+		}
+		if !(p.BurstMean > 0) || math.IsInf(p.BurstMean, 1) {
+			return fmt.Errorf("workload: population: burst_mean: want a positive finite mean episode length in seconds, got %g", p.BurstMean)
+		}
+	} else {
+		if math.IsNaN(p.BurstFactor) || p.BurstFactor < 0 {
+			return fmt.Errorf("workload: population: burst_factor: want a finite non-negative multiplier, got %g", p.BurstFactor)
+		}
+		if math.IsNaN(p.BurstMean) || p.BurstMean < 0 {
+			return fmt.Errorf("workload: population: burst_mean: want a finite non-negative mean in seconds, got %g", p.BurstMean)
+		}
+	}
+	return nil
+}
+
+// SessionSpec describes multi-turn conversation structure: geometric
+// session lengths, lognormal think times between turns, and context
+// growth (turn n's prompt carries all prior turns' tokens as a cached
+// per-conversation prefix, clamped at MaxContext).
+type SessionSpec struct {
+	MeanTurns  float64 // mean turns per session (geometric), >= 1
+	ThinkMean  float64 // mean think time between turns, seconds
+	ThinkSigma float64 // lognormal sigma of think times
+	MaxContext int     // context-growth clamp in tokens; 0 = unlimited
+}
+
+// Validate reports an error if the session spec is malformed, with
+// field-anchored messages.
+func (s SessionSpec) Validate() error {
+	if !(s.MeanTurns >= 1) || math.IsInf(s.MeanTurns, 1) {
+		return fmt.Errorf("workload: sessions: mean_turns: want a finite value >= 1, got %g", s.MeanTurns)
+	}
+	if !(s.ThinkMean >= 0) || math.IsInf(s.ThinkMean, 1) {
+		return fmt.Errorf("workload: sessions: think_mean: want a finite non-negative time in seconds, got %g", s.ThinkMean)
+	}
+	if !(s.ThinkSigma >= 0) || math.IsInf(s.ThinkSigma, 1) {
+		return fmt.Errorf("workload: sessions: think_sigma: want a finite non-negative value, got %g", s.ThinkSigma)
+	}
+	if s.MaxContext < 0 {
+		return fmt.Errorf("workload: sessions: max_context: want a non-negative token count, got %d", s.MaxContext)
+	}
+	return nil
+}
+
+// DefaultSessionSpec is the session structure used when a population is
+// requested without an explicit session spec: four-turn conversations
+// with ~10 s think times and a 4096-token context clamp.
+func DefaultSessionSpec() SessionSpec {
+	return SessionSpec{MeanTurns: 4, ThinkMean: 10, ThinkSigma: 0.6, MaxContext: 4096}
+}
+
+// ParsePopulation converts a population spec of the form
+// "clients:rate_dist:skew[:diurnal_amp:diurnal_period_s[:burst_factor:burst_frac:burst_mean_s]]",
+// e.g. "200:zipf:1.2", "200:lognormal:1:0.5:3600", or
+// "500:zipf:1:0.3:86400:4:0.05:60".
+func ParsePopulation(spec string) (Population, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 && len(parts) != 5 && len(parts) != 8 {
+		return Population{}, fmt.Errorf("workload: population spec %q: want clients:rate_dist:skew[:diurnal_amp:diurnal_period_s[:burst_factor:burst_frac:burst_mean_s]]", spec)
+	}
+	var p Population
+	n, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Population{}, fmt.Errorf("workload: population spec %q: clients: %w", spec, err)
+	}
+	p.Clients = n
+	p.RateDist = strings.TrimSpace(parts[1])
+	fields := []struct {
+		name string
+		dst  *float64
+	}{
+		{"skew", &p.Skew},
+		{"diurnal_amp", &p.DiurnalAmp},
+		{"diurnal_period", &p.DiurnalPeriod},
+		{"burst_factor", &p.BurstFactor},
+		{"burst_frac", &p.BurstFrac},
+		{"burst_mean", &p.BurstMean},
+	}
+	for i, part := range parts[2:] {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return Population{}, fmt.Errorf("workload: population spec %q: %s: %w", spec, fields[i].name, err)
+		}
+		*fields[i].dst = f
+	}
+	if err := p.Validate(); err != nil {
+		return Population{}, err
+	}
+	return p, nil
+}
+
+// ParseSessionSpec converts a session spec of the form
+// "mean_turns:think_mean_s:think_sigma[:max_context]", e.g. "4:10:0.6"
+// or "6:20:0.8:8192".
+func ParseSessionSpec(spec string) (SessionSpec, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return SessionSpec{}, fmt.Errorf("workload: session spec %q: want mean_turns:think_mean_s:think_sigma[:max_context]", spec)
+	}
+	var s SessionSpec
+	fields := []struct {
+		name string
+		dst  *float64
+	}{
+		{"mean_turns", &s.MeanTurns},
+		{"think_mean", &s.ThinkMean},
+		{"think_sigma", &s.ThinkSigma},
+	}
+	for i, part := range parts[:3] {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return SessionSpec{}, fmt.Errorf("workload: session spec %q: %s: %w", spec, fields[i].name, err)
+		}
+		*fields[i].dst = f
+	}
+	if len(parts) == 4 {
+		f, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err != nil {
+			return SessionSpec{}, fmt.Errorf("workload: session spec %q: max_context: %w", spec, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 || f != math.Trunc(f) || f > math.MaxInt32 {
+			return SessionSpec{}, fmt.Errorf("workload: session spec %q: max_context: want a whole non-negative token count, got %g", spec, f)
+		}
+		s.MaxContext = int(f)
+	}
+	if err := s.Validate(); err != nil {
+		return SessionSpec{}, err
+	}
+	return s, nil
+}
+
+// popClient is one client's immutable parameters plus its mutable
+// generator state (rng, burst process).
+type popClient struct {
+	class   int     // index into the class list
+	base    float64 // base session-initiation rate, sessions/second
+	lamMax  float64 // thinning envelope: base * (1+amp) * burst peak
+	phase   float64 // diurnal phase offset, seconds
+	rng     *rand.Rand
+	burstOn bool
+	toggle  float64 // next burst on/off toggle time; +Inf when disabled
+}
+
+// PopulationStream generates session traffic from a client population
+// one request at a time, in arrival order. Each client runs an
+// independent (modulated) Poisson session-initiation process; each
+// session issues a geometric number of turns separated by lognormal
+// think times, with turn n's prompt carrying the conversation's prior
+// context as a per-session cached prefix (PrefixKey "class#sID").
+// Identical (classes, population, sessions, n, seed), identical
+// sequence — whether collected or streamed.
+type PopulationStream struct {
+	classes []Class
+	pop     Population
+	sess    SessionSpec
+	n       int
+	clients []popClient
+	events  []popEvent // min-heap on (time, push sequence)
+	seq     int        // heap tie-break: global push sequence
+	nextSID int        // next session ID
+	i       int        // requests emitted
+	err     error
+}
+
+// popEvent is one pending arrival: either a client's next session
+// initiation (turn 0) or a pre-scheduled later turn of a live session.
+type popEvent struct {
+	t      float64 // arrival time, seconds
+	seq    int     // push order, the deterministic heap tie-break
+	client int
+	// Session state; session 0 means "initiation" (the pop draws a new
+	// session and emits its first turn).
+	session int
+	turn    int // 1-based turn to emit
+	turns   int // total turns in the session
+	context int // prompt context carried into this turn, tokens
+}
+
+// NewPopulationStream validates the specs and builds the generator.
+// Clients are apportioned to classes by rate share (largest remainder,
+// declaration order ties), so every class keeps its aggregate request
+// rate: a client's session-initiation rate is its heavy-tailed share of
+// ClassRate/MeanTurns, and each session emits MeanTurns requests in
+// expectation.
+func NewPopulationStream(classes []Class, pop Population, sess SessionSpec, n int, seed int64) (*PopulationStream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: trace size must be positive, got %d", n)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: no traffic classes")
+	}
+	seen := map[string]bool{}
+	total := 0.0
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("workload: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		total += c.Rate
+	}
+	if err := pop.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sess.Validate(); err != nil {
+		return nil, err
+	}
+	if pop.Clients < len(classes) {
+		return nil, fmt.Errorf("workload: population: clients: want at least one client per class (%d classes), got %d", len(classes), pop.Clients)
+	}
+
+	root := rand.New(rand.NewSource(seed))
+
+	// Heavy-tailed per-client weights, drawn in client order.
+	weights := make([]float64, pop.Clients)
+	for i := range weights {
+		if pop.RateDist == "zipf" {
+			weights[i] = 1 / math.Pow(float64(i+1), pop.Skew)
+		} else {
+			weights[i] = math.Exp(pop.Skew * root.NormFloat64())
+		}
+	}
+
+	// Apportion client counts to classes by rate share (largest
+	// remainder), then deal clients out one at a time to the class with
+	// the largest remaining deficit so heavy-tailed clients interleave
+	// across classes instead of piling into the first one.
+	counts := apportion(classes, total, pop.Clients)
+	assigned := make([]int, len(classes))
+	clients := make([]popClient, pop.Clients)
+	classWeight := make([]float64, len(classes))
+	for i := range clients {
+		best, bestDeficit := 0, math.Inf(-1)
+		for c := range counts {
+			if d := float64(counts[c] - assigned[c]); d > bestDeficit {
+				best, bestDeficit = c, d
+			}
+		}
+		assigned[best]++
+		clients[i].class = best
+		classWeight[best] += weights[i]
+	}
+
+	// Burst renormalisation: with the off-state multiplier normOff and
+	// on-state multiplier normOff*BurstFactor, time-averaged rate stays
+	// at the base rate.
+	normOff := 1.0
+	if pop.BurstFrac > 0 {
+		normOff = 1 / (1 - pop.BurstFrac + pop.BurstFrac*pop.BurstFactor)
+	}
+	burstPeak := normOff
+	if pop.BurstFrac > 0 {
+		burstPeak = normOff * pop.BurstFactor
+	}
+	meanOff := 0.0
+	if pop.BurstFrac > 0 {
+		meanOff = pop.BurstMean * (1 - pop.BurstFrac) / pop.BurstFrac
+	}
+
+	// Per-client rng seeds and phases come from the root rng in client
+	// order, so the whole construction is a pure function of the seed.
+	for i := range clients {
+		cl := &clients[i]
+		c := cl.class
+		cl.base = classes[c].Rate / sess.MeanTurns * weights[i] / classWeight[c]
+		cl.lamMax = cl.base * (1 + pop.DiurnalAmp) * burstPeak
+		cl.rng = rand.New(rand.NewSource(root.Int63()))
+		if pop.DiurnalAmp > 0 {
+			cl.phase = cl.rng.Float64() * pop.DiurnalPeriod
+		}
+		cl.toggle = math.Inf(1)
+		if pop.BurstFrac > 0 {
+			cl.toggle = cl.rng.ExpFloat64() * meanOff
+		}
+	}
+
+	s := &PopulationStream{
+		classes: append([]Class(nil), classes...),
+		pop:     pop, sess: sess, n: n,
+		clients: clients,
+		nextSID: 1,
+	}
+	// Seed the heap with each client's first session initiation.
+	for i := range s.clients {
+		t := s.nextInitiation(&s.clients[i], 0)
+		s.push(popEvent{t: t, client: i})
+	}
+	return s, nil
+}
+
+// apportion splits n clients across classes proportionally to rate,
+// largest-remainder rounding with declaration-order ties. Every class
+// gets at least the floor of its quota; callers guarantee n >= classes.
+func apportion(classes []Class, total float64, n int) []int {
+	counts := make([]int, len(classes))
+	rem := make([]float64, len(classes))
+	used := 0
+	for i, c := range classes {
+		q := float64(n) * c.Rate / total
+		counts[i] = int(q)
+		rem[i] = q - float64(counts[i])
+		used += counts[i]
+	}
+	for used < n {
+		best := 0
+		for i := range rem {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		used++
+	}
+	return counts
+}
+
+// diurnal returns the client's rate multiplier at time t.
+func (s *PopulationStream) diurnal(cl *popClient, t float64) float64 {
+	if s.pop.DiurnalAmp == 0 {
+		return 1
+	}
+	return 1 + s.pop.DiurnalAmp*math.Sin(2*math.Pi*(t+cl.phase)/s.pop.DiurnalPeriod)
+}
+
+// burstMult advances the client's on/off burst process to time t and
+// returns its current rate multiplier (mean-preserving normalisation).
+func (s *PopulationStream) burstMult(cl *popClient, t float64) float64 {
+	if s.pop.BurstFrac == 0 {
+		return 1
+	}
+	meanOff := s.pop.BurstMean * (1 - s.pop.BurstFrac) / s.pop.BurstFrac
+	for t >= cl.toggle {
+		if cl.burstOn {
+			cl.burstOn = false
+			cl.toggle += cl.rng.ExpFloat64() * meanOff
+		} else {
+			cl.burstOn = true
+			cl.toggle += cl.rng.ExpFloat64() * s.pop.BurstMean
+		}
+	}
+	norm := 1 / (1 - s.pop.BurstFrac + s.pop.BurstFrac*s.pop.BurstFactor)
+	if cl.burstOn {
+		return norm * s.pop.BurstFactor
+	}
+	return norm
+}
+
+// nextInitiation draws the client's next session-initiation time after
+// `from` by thinning a homogeneous Poisson process at the client's
+// envelope rate against its instantaneous (diurnal x burst) rate.
+func (s *PopulationStream) nextInitiation(cl *popClient, from float64) float64 {
+	t := from
+	for {
+		t += cl.rng.ExpFloat64() / cl.lamMax
+		if !(t < maxTraceSeconds) {
+			return t // overflow; the pop path reports the error
+		}
+		lam := cl.base * s.diurnal(cl, t) * s.burstMult(cl, t)
+		if cl.rng.Float64()*cl.lamMax <= lam {
+			return t
+		}
+	}
+}
+
+// Target returns the stream's total request count.
+func (s *PopulationStream) Target() int { return s.n }
+
+// Err reports the error that stopped the stream early (arrival-time
+// overflow), nil otherwise.
+func (s *PopulationStream) Err() error { return s.err }
+
+// push adds an event to the heap, stamping the global push sequence
+// that breaks time ties deterministically.
+func (s *PopulationStream) push(e popEvent) {
+	e.seq = s.seq
+	s.seq++
+	s.events = append(s.events, e)
+	i := len(s.events) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.before(s.events[i], s.events[p]) {
+			break
+		}
+		s.events[i], s.events[p] = s.events[p], s.events[i]
+		i = p
+	}
+}
+
+func (s *PopulationStream) before(a, b popEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (s *PopulationStream) popMin() popEvent {
+	e := s.events[0]
+	last := len(s.events) - 1
+	s.events[0] = s.events[last]
+	s.events = s.events[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.before(s.events[l], s.events[best]) {
+			best = l
+		}
+		if r < n && s.before(s.events[r], s.events[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		s.events[i], s.events[best] = s.events[best], s.events[i]
+		i = best
+	}
+	return e
+}
+
+// drawTurns draws a geometric session length with mean MeanTurns.
+func (s *PopulationStream) drawTurns(rng *rand.Rand) int {
+	if s.sess.MeanTurns <= 1 {
+		return 1
+	}
+	p := 1 / s.sess.MeanTurns
+	u := rng.Float64()
+	k := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// think draws one lognormal think-time gap in seconds.
+func (s *PopulationStream) think(rng *rand.Rand) float64 {
+	return s.sess.ThinkMean * math.Exp(s.sess.ThinkSigma*rng.NormFloat64())
+}
+
+// Next yields the next request in arrival order, false once n requests
+// have been emitted or the generator failed (see Err).
+func (s *PopulationStream) Next() (Request, bool) {
+	if s.i >= s.n || s.err != nil || len(s.events) == 0 {
+		return Request{}, false
+	}
+	e := s.popMin()
+	if !(e.t < maxTraceSeconds) {
+		s.err = fmt.Errorf("workload: arrival time overflow at request %d (population rates too low for the simulated-time range)", s.i)
+		return Request{}, false
+	}
+	cl := &s.clients[e.client]
+	cls := s.classes[cl.class]
+
+	if e.session == 0 {
+		// Session initiation: mint the session, then immediately
+		// reschedule the client's next initiation (open-loop clients).
+		e.session = s.nextSID
+		s.nextSID++
+		e.turn = 1
+		e.turns = s.drawTurns(cl.rng)
+		e.context = 0
+		s.push(popEvent{t: s.nextInitiation(cl, e.t), client: e.client})
+	}
+
+	in, out := cls.Dist.Sample(cl.rng)
+	context := e.context
+	if s.sess.MaxContext > 0 && context > s.sess.MaxContext {
+		context = s.sess.MaxContext
+	}
+	r := Request{
+		ID: s.i, Class: cls.Name,
+		InputLen:  cls.PrefixLen + context + in,
+		OutputLen: out,
+		PrefixLen: cls.PrefixLen + context,
+		PrefixKey: cls.Name + "#s" + strconv.Itoa(e.session),
+		Arrival:   simtime.AtSeconds(e.t),
+		Session:   e.session, Turn: e.turn, SessionTurns: e.turns,
+	}
+	if e.turn < e.turns {
+		s.push(popEvent{
+			t: e.t + s.think(cl.rng), client: e.client,
+			session: e.session, turn: e.turn + 1, turns: e.turns,
+			context: e.context + in + out,
+		})
+	}
+	s.i++
+	return r, true
+}
+
+// PopulationTrace draws n session-structured requests from a client
+// population. This is the collect-from-stream wrapper over
+// PopulationStream; the streaming and materialized paths share one
+// generator, so the same seed yields the same sequence either way.
+func PopulationTrace(classes []Class, pop Population, sess SessionSpec, n int, seed int64) ([]Request, error) {
+	s, err := NewPopulationStream(classes, pop, sess, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(s)
+}

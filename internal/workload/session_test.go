@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func sessionTestClasses() []Class {
+	return []Class{
+		{Name: "chat", Dist: ShareGPT(), Rate: 3, TTFT: simtime.Second, PrefixLen: 128},
+		{Name: "api", Dist: Alpaca(), Rate: 5, TPOT: 50 * simtime.Millisecond},
+	}
+}
+
+func sessionTestPopulation() Population {
+	return Population{
+		Clients: 40, RateDist: "zipf", Skew: 1.1,
+		DiurnalAmp: 0.4, DiurnalPeriod: 600,
+		BurstFactor: 4, BurstFrac: 0.05, BurstMean: 30,
+	}
+}
+
+func sessionTestSpec() SessionSpec {
+	return SessionSpec{MeanTurns: 4, ThinkMean: 8, ThinkSigma: 0.6, MaxContext: 2048}
+}
+
+// The materialized path must be the collect of the streaming path: one
+// generator, byte-identical sequences per seed.
+func TestPopulationTraceMatchesStream(t *testing.T) {
+	classes, pop, sess := sessionTestClasses(), sessionTestPopulation(), sessionTestSpec()
+	trace, err := PopulationTrace(classes, pop, sess, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPopulationStream(classes, pop, sess, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, streamed) {
+		t.Fatal("PopulationTrace and collected PopulationStream differ")
+	}
+	again, err := PopulationTrace(classes, pop, sess, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, again) {
+		t.Fatal("same seed produced a different trace")
+	}
+}
+
+// The generator's structural invariants: ordered arrivals, valid
+// requests, contiguous per-session turn numbering with growing
+// per-conversation prefixes under the class prefix, and the context
+// clamp respected.
+func TestPopulationSessionStructure(t *testing.T) {
+	classes, pop, sess := sessionTestClasses(), sessionTestPopulation(), sessionTestSpec()
+	trace, err := PopulationTrace(classes, pop, sess, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 2000 {
+		t.Fatalf("got %d requests, want 2000", len(trace))
+	}
+	if !IsSortedByArrival(trace) {
+		t.Fatal("trace not in arrival order")
+	}
+	prefixLen := map[string]int{}
+	for _, c := range classes {
+		prefixLen[c.Name] = c.PrefixLen
+	}
+	type sessInfo struct {
+		turns    int
+		nextTurn int
+		lastCtx  int
+	}
+	sessions := map[int]*sessInfo{}
+	grew := false
+	for _, r := range trace {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if r.Session <= 0 {
+			t.Fatalf("request %d has no session", r.ID)
+		}
+		wantKey := r.Class + "#s"
+		if !strings.HasPrefix(r.PrefixKey, wantKey) {
+			t.Fatalf("request %d prefix key %q lacks %q", r.ID, r.PrefixKey, wantKey)
+		}
+		base := prefixLen[r.Class]
+		ctx := r.PrefixLen - base
+		if ctx < 0 {
+			t.Fatalf("request %d prefix %d below class prefix %d", r.ID, r.PrefixLen, base)
+		}
+		if ctx > sess.MaxContext {
+			t.Fatalf("request %d context %d exceeds clamp %d", r.ID, ctx, sess.MaxContext)
+		}
+		si := sessions[r.Session]
+		if si == nil {
+			si = &sessInfo{turns: r.SessionTurns, nextTurn: 1}
+			sessions[r.Session] = si
+		}
+		if r.Turn != si.nextTurn {
+			t.Fatalf("session %d turn %d out of order (want %d)", r.Session, r.Turn, si.nextTurn)
+		}
+		if r.SessionTurns != si.turns {
+			t.Fatalf("session %d turn count changed: %d vs %d", r.Session, r.SessionTurns, si.turns)
+		}
+		if r.Turn == 1 && ctx != 0 {
+			t.Fatalf("session %d first turn carries context %d", r.Session, ctx)
+		}
+		if r.Turn > 1 && ctx < si.lastCtx {
+			t.Fatalf("session %d context shrank: %d after %d", r.Session, ctx, si.lastCtx)
+		}
+		if r.Turn > 1 && ctx > si.lastCtx {
+			grew = true
+		}
+		si.nextTurn++
+		si.lastCtx = ctx
+	}
+	if !grew {
+		t.Fatal("no session ever grew its context")
+	}
+	multi := 0
+	for _, si := range sessions {
+		if si.turns > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-turn sessions generated")
+	}
+	// Both classes should carry traffic (clients apportioned by rate).
+	byClass := map[string]int{}
+	for _, r := range trace {
+		byClass[r.Class]++
+	}
+	for _, c := range classes {
+		if byClass[c.Name] == 0 {
+			t.Fatalf("class %s got no requests", c.Name)
+		}
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Population)
+		want   string
+	}{
+		{"clients", func(p *Population) { p.Clients = 0 }, "clients:"},
+		{"rate_dist", func(p *Population) { p.RateDist = "pareto" }, "rate_dist:"},
+		{"skew_nan", func(p *Population) { p.Skew = nanF() }, "skew:"},
+		{"skew_neg", func(p *Population) { p.Skew = -1 }, "skew:"},
+		{"amp_range", func(p *Population) { p.DiurnalAmp = 1 }, "diurnal_amp:"},
+		{"amp_nan", func(p *Population) { p.DiurnalAmp = nanF() }, "diurnal_amp:"},
+		{"period", func(p *Population) { p.DiurnalPeriod = 0 }, "diurnal_period:"},
+		{"burst_frac", func(p *Population) { p.BurstFrac = nanF() }, "burst_frac:"},
+		{"burst_factor", func(p *Population) { p.BurstFactor = 0.5 }, "burst_factor:"},
+		{"burst_mean", func(p *Population) { p.BurstMean = -1 }, "burst_mean:"},
+	}
+	for _, tc := range cases {
+		pop := sessionTestPopulation()
+		tc.mutate(&pop)
+		err := pop.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	good := sessionTestPopulation()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid population rejected: %v", err)
+	}
+}
+
+func nanF() float64 {
+	var z float64
+	return z / z
+}
+
+func TestSessionSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec SessionSpec
+		want string
+	}{
+		{"turns_low", SessionSpec{MeanTurns: 0.5, ThinkMean: 1}, "mean_turns:"},
+		{"turns_nan", SessionSpec{MeanTurns: nanF(), ThinkMean: 1}, "mean_turns:"},
+		{"think_neg", SessionSpec{MeanTurns: 2, ThinkMean: -1}, "think_mean:"},
+		{"sigma_nan", SessionSpec{MeanTurns: 2, ThinkMean: 1, ThinkSigma: nanF()}, "think_sigma:"},
+		{"ctx_neg", SessionSpec{MeanTurns: 2, ThinkMean: 1, MaxContext: -1}, "max_context:"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := DefaultSessionSpec().Validate(); err != nil {
+		t.Fatalf("default session spec rejected: %v", err)
+	}
+}
+
+func TestParsePopulation(t *testing.T) {
+	p, err := ParsePopulation("200:zipf:1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clients != 200 || p.RateDist != "zipf" || p.Skew != 1.2 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p, err = ParsePopulation("500:lognormal:1:0.3:86400:4:0.05:60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DiurnalAmp != 0.3 || p.DiurnalPeriod != 86400 || p.BurstFactor != 4 || p.BurstFrac != 0.05 || p.BurstMean != 60 {
+		t.Fatalf("parsed %+v", p)
+	}
+	for _, bad := range []string{"", "200", "200:zipf", "200:zipf:1:0.3", "x:zipf:1", "200:zipf:nan", "200:zipf:1:1.5:600"} {
+		if _, err := ParsePopulation(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseSessionSpec(t *testing.T) {
+	s, err := ParseSessionSpec("4:10:0.6:8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanTurns != 4 || s.ThinkMean != 10 || s.ThinkSigma != 0.6 || s.MaxContext != 8192 {
+		t.Fatalf("parsed %+v", s)
+	}
+	for _, bad := range []string{"", "4", "4:10", "0:10:0.6", "4:10:0.6:-1", "4:10:0.6:1.5", "4:nan:0.6"} {
+		if _, err := ParseSessionSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -82,6 +82,9 @@ func ReadTSV(r io.Reader) ([]Request, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, replayMagic) {
+			return nil, fmt.Errorf("workload: line %d: this is a versioned replay trace (%s header); read it with ParseReplayTrace / -replay, not the legacy TSV loader", lineNo, replayMagic)
+		}
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}

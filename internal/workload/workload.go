@@ -26,13 +26,35 @@ type Request struct {
 	Arrival   simtime.Time // arrival time relative to trace start
 	Class     string       // traffic class name; empty for single-class traces
 	// PrefixLen counts the leading prompt tokens shared with every other
-	// request of the same class (the class system prompt); prefix-caching
-	// schedulers serve them from cache instead of prefilling.
+	// request carrying the same cache key (the class system prompt, or a
+	// conversation's accumulated context); prefix-caching schedulers serve
+	// them from cache instead of prefilling.
 	PrefixLen int
+	// PrefixKey scopes the cached prefix. Empty means the prefix is shared
+	// class-wide (the pre-session behaviour); session generators set a
+	// per-conversation key so each conversation grows its own kvcache
+	// lineage chain.
+	PrefixKey string
+	// Session/Turn/SessionTurns identify multi-turn conversation traffic:
+	// Session is a positive conversation ID (0 = not session traffic),
+	// Turn is the 1-based turn index within the session, and SessionTurns
+	// is the total number of turns the session will issue.
+	Session      int
+	Turn         int
+	SessionTurns int
 }
 
 // TotalLen returns the final sequence length of the request.
 func (r Request) TotalLen() int { return r.InputLen + r.OutputLen }
+
+// CacheKey returns the key under which the request's prefix is cached:
+// PrefixKey when set, otherwise the class-wide key (the class name).
+func (r Request) CacheKey() string {
+	if r.PrefixKey != "" {
+		return r.PrefixKey
+	}
+	return r.Class
+}
 
 // Validate reports an error if the request is malformed.
 func (r Request) Validate() error {
@@ -47,6 +69,16 @@ func (r Request) Validate() error {
 	}
 	if r.PrefixLen < 0 || r.PrefixLen > r.InputLen {
 		return fmt.Errorf("workload: request %d has prefix length %d outside [0,%d]", r.ID, r.PrefixLen, r.InputLen)
+	}
+	if r.Session < 0 {
+		return fmt.Errorf("workload: request %d has negative session %d", r.ID, r.Session)
+	}
+	if r.Session > 0 {
+		if r.Turn < 1 || r.SessionTurns < 1 || r.Turn > r.SessionTurns {
+			return fmt.Errorf("workload: request %d has turn %d/%d outside [1,turns]", r.ID, r.Turn, r.SessionTurns)
+		}
+	} else if r.Turn != 0 || r.SessionTurns != 0 {
+		return fmt.Errorf("workload: request %d has turn %d/%d without a session", r.ID, r.Turn, r.SessionTurns)
 	}
 	return nil
 }

@@ -76,10 +76,22 @@ type Request struct {
 	Arrival   time.Duration
 	Class     string
 	// PrefixLen counts the leading prompt tokens shared with every other
-	// request of the same class (a common system prompt). With prefix
-	// caching enabled, those tokens are served from cache after the first
-	// request of the class computes them. Zero means no shared prefix.
+	// request carrying the same prefix cache key (a common system prompt,
+	// or a conversation's accumulated context). With prefix caching
+	// enabled, those tokens are served from cache after the first request
+	// under the key computes them. Zero means no shared prefix.
 	PrefixLen int
+	// PrefixKey scopes the cached prefix. Empty means class-wide (the
+	// default); session generators set a per-conversation key so each
+	// conversation grows its own cache lineage.
+	PrefixKey string
+	// Session/Turn/SessionTurns identify multi-turn conversation
+	// traffic: Session is a positive conversation ID (0 = not session
+	// traffic), Turn the 1-based turn index, SessionTurns the session's
+	// total turn count.
+	Session      int
+	Turn         int
+	SessionTurns int
 }
 
 // Iteration is one completed simulation iteration, delivered to the
@@ -721,12 +733,16 @@ func toWorkload(trace []Request) []workload.Request {
 	out := make([]workload.Request, len(trace))
 	for i, r := range trace {
 		out[i] = workload.Request{
-			ID:        i,
-			InputLen:  r.InputLen,
-			OutputLen: r.OutputLen,
-			Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
-			Class:     r.Class,
-			PrefixLen: r.PrefixLen,
+			ID:           i,
+			InputLen:     r.InputLen,
+			OutputLen:    r.OutputLen,
+			Arrival:      simtime.Time(simtime.FromStd(r.Arrival)),
+			Class:        r.Class,
+			PrefixLen:    r.PrefixLen,
+			PrefixKey:    r.PrefixKey,
+			Session:      r.Session,
+			Turn:         r.Turn,
+			SessionTurns: r.SessionTurns,
 		}
 	}
 	return out
@@ -736,11 +752,15 @@ func fromWorkload(reqs []workload.Request) []Request {
 	out := make([]Request, len(reqs))
 	for i, r := range reqs {
 		out[i] = Request{
-			InputLen:  r.InputLen,
-			OutputLen: r.OutputLen,
-			Arrival:   simtime.Duration(r.Arrival).Std(),
-			Class:     r.Class,
-			PrefixLen: r.PrefixLen,
+			InputLen:     r.InputLen,
+			OutputLen:    r.OutputLen,
+			Arrival:      simtime.Duration(r.Arrival).Std(),
+			Class:        r.Class,
+			PrefixLen:    r.PrefixLen,
+			PrefixKey:    r.PrefixKey,
+			Session:      r.Session,
+			Turn:         r.Turn,
+			SessionTurns: r.SessionTurns,
 		}
 	}
 	return out

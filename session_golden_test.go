@@ -1,0 +1,191 @@
+package llmservingsim_test
+
+// Golden determinism for the client/session workload layer: a
+// fixed-seed population run over the starved gpt2 cluster is pinned
+// bit-for-bit — per-turn TTFT split, prefix hit rate, and session
+// goodput included — standalone, under parallel Sweep, and with the
+// generator streamed instead of materialized.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	sim "repro"
+)
+
+// goldenSessionClasses carry modest system prompts over short fixed
+// lengths, so even a deep conversation's input (prompt + clamped
+// context + new tokens) stays inside gpt2's 1024-token window.
+func goldenSessionClasses() []sim.TrafficClass {
+	return []sim.TrafficClass{
+		{Name: "chat", Dist: "fixed-192-96", RatePerSec: 48,
+			TTFT: 2 * time.Second, TPOT: 250 * time.Millisecond, PrefixTokens: 128},
+		{Name: "api", Dist: "fixed-96-48", RatePerSec: 80,
+			TTFT: 120 * time.Millisecond, TPOT: 2 * time.Millisecond, PrefixTokens: 64},
+	}
+}
+
+// goldenSessionSpecs exercise every population feature at once:
+// zipf-skewed client rates, diurnal modulation, burst episodes, and
+// multi-turn sessions (think times short enough that the fixed-seed
+// trace reaches eighth turns) whose context growth is clamped under
+// gpt2's window.
+func goldenSessionSpecs() (sim.PopulationSpec, sim.SessionSpec) {
+	pop := sim.PopulationSpec{
+		Clients: 16, RateDist: "zipf", Skew: 1.1,
+		DiurnalAmp: 0.3, DiurnalPeriod: 60,
+		BurstFactor: 3, BurstFrac: 0.1, BurstMean: 5,
+	}
+	sess := sim.SessionSpec{MeanTurns: 4, ThinkMean: 0.2, ThinkSigma: 0.6, MaxContext: 384}
+	return pop, sess
+}
+
+func goldenSessionScenario(t testing.TB) sim.ClusterScenario {
+	t.Helper()
+	cfg := goldenConfig(sim.SchedChunked, sim.KVPaged)
+	cfg.PerfModel = sim.PerfModelRoofline
+	cfg.PrefixCache = sim.PrefixCacheGPU
+	// Unlike the starved baseline, give the KV budget room to keep idle
+	// conversation chains resident across think times: the pinned
+	// behaviour here is prefix-affinity following session lineage, which
+	// starvation would erase (every idle chain dropped between turns).
+	cfg.NPU.MemoryBytes = 1 << 30
+	return sim.ClusterScenario{
+		Name:     "sessions",
+		Config:   cfg,
+		Replicas: 2,
+		Router:   sim.RouterPrefixAffinity,
+		Classes:  goldenSessionClasses(),
+	}
+}
+
+func goldenSessionTrace(t testing.TB) []sim.Request {
+	t.Helper()
+	pop, sess := goldenSessionSpecs()
+	trace, err := sim.PopulationTrace(goldenSessionClasses(), pop, sess, 128, 20240614)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// sessionFingerprint extends the cluster fingerprint with the session
+// dimension: conversation counts, the turn-1 vs later-turn TTFT split,
+// and session-level goodput, all at exact precision.
+func sessionFingerprint(r *sim.ClusterReport) string {
+	ss := r.Sessions
+	if ss == nil {
+		return clusterFingerprint(r) + " sessions=nil"
+	}
+	return fmt.Sprintf("%s hit=%s sessions=%d done=%d attained=%d turns=%d turns_rej=%d t1p50=%s t1p99=%s ltp50=%s ltp99=%s out=%d sess_good=%s",
+		clusterFingerprint(r), g17(r.PrefixHitRate),
+		ss.Sessions, ss.Completed, ss.Attained, ss.Turns, ss.TurnsRejected,
+		g17(ss.FirstTurnTTFT.P50Sec), g17(ss.FirstTurnTTFT.P99Sec),
+		g17(ss.LaterTurnTTFT.P50Sec), g17(ss.LaterTurnTTFT.P99Sec),
+		ss.OutputTokens, g17(ss.GoodputTPS))
+}
+
+// TestGoldenSessions pins the population+session run bit-for-bit under
+// both prefix-affinity and round-robin routing, and requires the
+// session payoff to actually materialise: affinity follows each
+// conversation's chain, so it must beat round-robin on hit rate and on
+// later-turn TTFT (the turns with history to reuse). The affinity run
+// is additionally reproduced inside a parallel Sweep.
+func TestGoldenSessions(t *testing.T) {
+	goldens := map[string]string{
+		"prefix-affinity": "iters=7019 admitted=128 rejected=0 end_ps=1693473845391 evict=0 reload=0 tput=5073.594743363883 good=5073.594743363883 p99=0.02847551379 hit=0.5546875 sessions=57 done=44 attained=44 turns=128 turns_rej=0 t1p50=0.00079809036359756308 t1p99=0.0022126814185719264 ltp50=0.0010098389155383846 ltp99=0.002488965671220492 out=8592 sess_good=3486.3248795181994",
+		"round-robin":     "iters=7415 admitted=128 rejected=0 end_ps=1692557351524 evict=0 reload=0 tput=5076.3420171633497 good=5076.3420171633497 p99=0.028601569471 hit=0.3828125 sessions=57 done=44 attained=44 turns=128 turns_rej=0 t1p50=0.00079809036359756308 t1p99=0.0016167846393404014 ltp50=0.0013288791208660175 ltp99=0.003028207307864377 out=8592 sess_good=3488.2126710116877",
+	}
+
+	run := func(t *testing.T, router sim.RouterPolicy) (*sim.ClusterReport, string) {
+		t.Helper()
+		sc := goldenSessionScenario(t)
+		sc.Router = router
+		sc.Trace = goldenSessionTrace(t)
+		rep, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sessionFingerprint(rep)
+		if os.Getenv("GOLDEN_PRINT") != "" {
+			t.Logf("golden: %q: %q,", router.String(), got)
+			return rep, got
+		}
+		want, ok := goldens[router.String()]
+		if !ok {
+			t.Fatalf("no golden pinned for %s; run with GOLDEN_PRINT=1", router)
+		}
+		if got != want {
+			t.Errorf("behaviour drifted from pinned golden\n got %s\nwant %s", got, want)
+		}
+		return rep, got
+	}
+
+	affinity, got := run(t, sim.RouterPrefixAffinity)
+	rr, _ := run(t, sim.RouterRoundRobin)
+
+	ss := affinity.Sessions
+	if ss == nil || ss.Sessions == 0 {
+		t.Fatal("session summary missing from the cluster report")
+	}
+	if ss.Turns <= ss.Sessions {
+		t.Errorf("no multi-turn traffic: %d turns over %d sessions", ss.Turns, ss.Sessions)
+	}
+	if affinity.PrefixHitRate <= rr.PrefixHitRate {
+		t.Errorf("prefix-affinity hit rate %.3f does not beat round-robin %.3f",
+			affinity.PrefixHitRate, rr.PrefixHitRate)
+	}
+	if a, r := ss.LaterTurnTTFT.P99Sec, rr.Sessions.LaterTurnTTFT.P99Sec; a >= r {
+		t.Errorf("prefix-affinity later-turn p99 TTFT %.6fs does not beat round-robin %.6fs", a, r)
+	}
+
+	// The same scenario inside a parallel Sweep (alongside a copy, so
+	// workers genuinely interleave) must reproduce the fingerprint.
+	first, second := goldenSessionScenario(t), goldenSessionScenario(t)
+	first.Trace, second.Trace = goldenSessionTrace(t), goldenSessionTrace(t)
+	sw := &sim.Sweep{ClusterScenarios: []sim.ClusterScenario{first, second}, Workers: 2}
+	swRep, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range swRep.Results {
+		if swGot := sessionFingerprint(res.Cluster); swGot != got {
+			t.Errorf("sweep result %d diverged from the standalone run\n got %s\nwant %s", i, swGot, got)
+		}
+	}
+}
+
+// TestGoldenSessionStreamEquivalence pins the pull path for session
+// traffic: the population generator fed directly through TraceStream
+// reproduces the materialized-trace fingerprint (which
+// TestGoldenSessions pins to a literal, so this transitively pins the
+// streaming generator too).
+func TestGoldenSessionStreamEquivalence(t *testing.T) {
+	sc := goldenSessionScenario(t)
+	sc.Trace = goldenSessionTrace(t)
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sessionFingerprint(rep)
+
+	pop, sess := goldenSessionSpecs()
+	stream, err := sim.NewPopulationStream(goldenSessionClasses(), pop, sess, 128, 20240614)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = goldenSessionScenario(t)
+	sc.TraceStream = stream
+	rep, err = sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sessionFingerprint(rep); got != want {
+		t.Errorf("streamed population run diverged from materialized trace\n got %s\nwant %s", got, want)
+	}
+}

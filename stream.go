@@ -56,13 +56,7 @@ func (s *MultiClassStream) Next() (Request, bool) {
 	if !ok {
 		return Request{}, false
 	}
-	return Request{
-		InputLen:  r.InputLen,
-		OutputLen: r.OutputLen,
-		Arrival:   simtime.Duration(r.Arrival).Std(),
-		Class:     r.Class,
-		PrefixLen: r.PrefixLen,
-	}, true
+	return publicRequest(r), true
 }
 
 // Err reports a terminal generator error (the arrival process
@@ -85,11 +79,15 @@ func (a streamAdapter) Next() (workload.Request, bool) {
 		return workload.Request{}, false
 	}
 	return workload.Request{
-		InputLen:  r.InputLen,
-		OutputLen: r.OutputLen,
-		Arrival:   simtime.Time(simtime.FromStd(r.Arrival)),
-		Class:     r.Class,
-		PrefixLen: r.PrefixLen,
+		InputLen:     r.InputLen,
+		OutputLen:    r.OutputLen,
+		Arrival:      simtime.Time(simtime.FromStd(r.Arrival)),
+		Class:        r.Class,
+		PrefixLen:    r.PrefixLen,
+		PrefixKey:    r.PrefixKey,
+		Session:      r.Session,
+		Turn:         r.Turn,
+		SessionTurns: r.SessionTurns,
 	}, true
 }
 
